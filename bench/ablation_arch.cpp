@@ -1,0 +1,94 @@
+// ablation_arch — architecture ablations for the design choices DESIGN.md
+// calls out: number of sliding windows, PE ladder depth, merge depth, and
+// off-chip bandwidth.  Each knob trades Table I area against Table II frame
+// rate; the paper's configuration (2 SWs x 7 lanes, merge-class halos) is
+// shown in context.
+#include <cstdio>
+#include <iostream>
+
+#include "common/text_table.hpp"
+#include "hw/accelerator.hpp"
+#include "hw/dram_model.hpp"
+#include "hw/resource_model.hpp"
+
+int main() {
+  using namespace chambolle;
+  const hw::Virtex5Spec device;
+
+  std::printf("ARCHITECTURE ABLATIONS (512x512, 200 iterations, 221 MHz)\n\n");
+
+  std::printf("Sliding-window count (throughput engines vs area):\n");
+  TextTable sw_table({"SWs", "fps", "LUTs", "DSPs", "BRAMs", "Fits device"});
+  for (const int sw : {1, 2, 3, 4}) {
+    hw::ArchConfig cfg;
+    cfg.num_sliding_windows = sw;
+    const double fps = hw::ChambolleAccelerator(cfg).estimate_fps(512, 512, 200);
+    const hw::ResourceReport area = hw::estimate_resources(cfg);
+    const bool fits = area.luts <= device.luts && area.dsps <= device.dsps &&
+                      area.brams <= device.brams &&
+                      area.flipflops <= device.flipflops;
+    sw_table.add_row({std::to_string(sw), TextTable::num(fps, 1),
+                      std::to_string(area.luts), std::to_string(area.dsps),
+                      std::to_string(area.brams), fits ? "yes" : "NO"});
+  }
+  std::cout << sw_table.to_string();
+  std::printf("-> the paper's 2 SWs nearly exhaust the XC5VLX110T's 64 DSPs;"
+              " a third window does not fit.\n\n");
+
+  std::printf("PE ladder depth (lanes per array; BRAMs = lanes + 1):\n");
+  TextTable lane_table({"Lanes", "Tile", "fps", "DSPs", "BRAMs"});
+  for (const int lanes : {3, 5, 7, 11}) {
+    hw::ArchConfig cfg;
+    cfg.pe_lanes = lanes;
+    cfg.num_brams = lanes + 1;
+    cfg.tile_rows = ((88 + lanes) / (lanes + 1)) * (lanes + 1);
+    const double fps = hw::ChambolleAccelerator(cfg).estimate_fps(512, 512, 200);
+    const hw::ResourceReport area = hw::estimate_resources(cfg);
+    lane_table.add_row({std::to_string(lanes),
+                        std::to_string(cfg.tile_rows) + "x" +
+                            std::to_string(cfg.tile_cols),
+                        TextTable::num(fps, 1), std::to_string(area.dsps),
+                        std::to_string(area.brams)});
+  }
+  std::cout << lane_table.to_string();
+  std::printf("-> throughput scales with ladder depth until the DSP budget "
+              "binds (each extra PE-V costs 2 DSPs x 4 arrays).\n\n");
+
+  std::printf("Off-chip bandwidth (overlapped transfers, merge depth 4):\n");
+  TextTable bw_table({"Bandwidth", "Transfer (ms/frame)", "Compute (ms/frame)",
+                      "Overlapped fps", "Bound"});
+  for (const double gbps : {0.4, 0.8, 1.6, 3.2, 6.4, 12.8, 25.6}) {
+    hw::DramConfig dram;
+    dram.bytes_per_second = gbps * 1e9;
+    const hw::TrafficReport r =
+        hw::estimate_traffic(hw::ArchConfig{}, 512, 512, 200, dram);
+    bw_table.add_row({TextTable::num(gbps, 1) + " GB/s",
+                      TextTable::num(r.transfer_seconds * 1e3, 1),
+                      TextTable::num(r.compute_seconds * 1e3, 1),
+                      TextTable::num(r.overlapped_fps(), 1),
+                      r.compute_bound() ? "compute" : "memory"});
+  }
+  std::cout << bw_table.to_string();
+  std::printf("-> at DDR2-era bandwidth the per-pass streaming dominates — "
+              "the quantified reason Table II assumes pre-loaded frames.\n\n");
+
+  std::printf("Merge depth under a 1.6 GB/s memory (compute vs traffic "
+              "trade):\n");
+  TextTable merge_table({"Merge", "Compute fps", "Overlapped fps",
+                         "Bytes/frame (MB)"});
+  for (const int k : {1, 2, 4, 8, 16, 32}) {
+    hw::ArchConfig cfg;
+    cfg.merge_iterations = k;
+    hw::DramConfig dram;
+    const hw::TrafficReport r = hw::estimate_traffic(cfg, 512, 512, 200, dram);
+    merge_table.add_row(
+        {std::to_string(k), TextTable::num(1.0 / r.compute_seconds, 1),
+         TextTable::num(r.overlapped_fps(), 1),
+         TextTable::num(static_cast<double>(r.total_bytes()) / 1e6, 1)});
+  }
+  std::cout << merge_table.to_string();
+  std::printf("-> deeper merges cut memory passes; with realistic bandwidth "
+              "the fps-optimal merge depth moves above the compute-only "
+              "optimum.\n");
+  return 0;
+}

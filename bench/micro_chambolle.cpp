@@ -1,0 +1,140 @@
+// micro_chambolle — google-benchmark microbenchmarks of the solver backends
+// (experiment E9): sequential float reference, tiled parallel solver at
+// several merge depths and thread counts, and the fixed-point datapath
+// model.  Throughput is reported in pixel-iterations/second.
+#include <benchmark/benchmark.h>
+
+#include "chambolle/chambolle_pock.hpp"
+#include "chambolle/fixed_solver.hpp"
+#include "chambolle/merged.hpp"
+#include "chambolle/row_parallel.hpp"
+#include "chambolle/solver.hpp"
+#include "chambolle/tiled_solver.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using namespace chambolle;
+
+Matrix<float> bench_field(int n) {
+  Rng rng(static_cast<std::uint64_t>(n));
+  return random_image(rng, n, n, -2.f, 2.f);
+}
+
+ChambolleParams bench_params(int iterations) {
+  ChambolleParams p;
+  p.iterations = iterations;
+  return p;
+}
+
+void set_throughput(benchmark::State& state, int n, int iterations) {
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n) *
+                          n * iterations);
+}
+
+void BM_ScalarSolver(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Matrix<float> v = bench_field(n);
+  const ChambolleParams params = bench_params(10);
+  for (auto _ : state) benchmark::DoNotOptimize(solve(v, params).u.data());
+  set_throughput(state, n, 10);
+}
+BENCHMARK(BM_ScalarSolver)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_TiledSolver(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  const Matrix<float> v = bench_field(n);
+  const ChambolleParams params = bench_params(16);
+  TiledSolverOptions opt;
+  opt.merge_iterations = 4;
+  opt.num_threads = threads;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(solve_tiled(v, params, opt).u.data());
+  set_throughput(state, n, 16);
+}
+BENCHMARK(BM_TiledSolver)
+    ->Args({128, 1})
+    ->Args({128, 2})
+    ->Args({128, 4})
+    ->Args({256, 1})
+    ->Args({256, 4});
+
+void BM_TiledSolverMergeDepth(benchmark::State& state) {
+  const int merge = static_cast<int>(state.range(0));
+  const Matrix<float> v = bench_field(192);
+  const ChambolleParams params = bench_params(16);
+  TiledSolverOptions opt;
+  opt.tile_rows = 64;
+  opt.tile_cols = 64;
+  opt.merge_iterations = merge;
+  opt.num_threads = 1;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(solve_tiled(v, params, opt).u.data());
+  set_throughput(state, 192, 16);
+}
+BENCHMARK(BM_TiledSolverMergeDepth)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_FixedSolver(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Matrix<float> v = bench_field(n);
+  const ChambolleParams params = bench_params(10);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(solve_fixed(v, params).u.data());
+  set_throughput(state, n, 10);
+}
+BENCHMARK(BM_FixedSolver)->Arg(64)->Arg(128);
+
+void BM_RowParallelSolver(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Matrix<float> v = bench_field(n);
+  const ChambolleParams params = bench_params(16);
+  RowParallelOptions opt;
+  opt.num_threads = static_cast<int>(state.range(1));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(solve_row_parallel(v, params, opt).u.data());
+  set_throughput(state, n, 16);
+}
+BENCHMARK(BM_RowParallelSolver)->Args({128, 1})->Args({128, 4});
+
+void BM_ChambollePock(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Matrix<float> v = bench_field(n);
+  ChambollePockParams params;
+  params.iterations = 10;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(solve_chambolle_pock(v, params).u.data());
+  set_throughput(state, n, 10);
+}
+BENCHMARK(BM_ChambollePock)->Arg(64)->Arg(128);
+
+void BM_MergedUpdateKernel(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  const int n = 64;
+  const Matrix<float> v = bench_field(n);
+  Matrix<float> px(n, n), py(n, n);
+  const ChambolleParams params = bench_params(0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        merged_update(px, py, v, n / 2, n / 2, 4, 4, depth, params).px.data());
+  state.SetItemsProcessed(state.iterations() * 16 * depth);
+}
+BENCHMARK(BM_MergedUpdateKernel)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_SingleIteration(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Matrix<float> v = bench_field(n);
+  const ChambolleParams params = bench_params(1);
+  Matrix<float> px(n, n), py(n, n), scratch;
+  const RegionGeometry geom = RegionGeometry::full_frame(n, n);
+  for (auto _ : state) {
+    iterate_region(px, py, v, geom, params, 1, scratch);
+    benchmark::DoNotOptimize(px.data());
+  }
+  set_throughput(state, n, 1);
+}
+BENCHMARK(BM_SingleIteration)->Arg(128)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// seu_resilience — soft-error (single-event-upset) study of the BRAM state.
+//
+// FPGAs flip bits; what happens when one lands in the accelerator's on-chip
+// state mid-solve?  The Chambolle iteration answers differently per field:
+//   * a flip in px/py (the DUAL state) is transient — the projected
+//     fixed-point iteration contracts back toward the solution, so the
+//     damage decays with the remaining iterations;
+//   * a flip in v (the INPUT, re-read every iteration) is persistent — but
+//     spatially confined: information propagates one pixel per iteration
+//     (the Figure 1 stencil), so the blast radius is bounded.
+// Both behaviours are quantified here and asserted by the test suite — an
+// operational-robustness result the paper's architecture gets for free from
+// the mathematics.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "chambolle/fixed_solver.hpp"
+#include "common/rng.hpp"
+#include "common/text_table.hpp"
+
+namespace {
+
+using namespace chambolle;
+
+struct RunResult {
+  double max_du = 0.0;  ///< max |u - u_clean| over the frame
+};
+
+// Runs `pre` clean iterations, flips `bit` of the chosen field at the frame
+// center, runs `post` more, and compares u against the unperturbed run.
+RunResult run_with_flip(const Matrix<float>& v, int pre, int post, int bit,
+                        bool flip_v) {
+  const FixedParams fp = FixedParams::from(ChambolleParams{});
+  const RegionGeometry geom = RegionGeometry::full_frame(v.rows(), v.cols());
+  Matrix<std::int32_t> scratch;
+
+  FixedState clean = make_fixed_state(v);
+  fixed_iterate_region(clean, geom, fp, pre + post, scratch);
+
+  FixedState hit = make_fixed_state(v);
+  fixed_iterate_region(hit, geom, fp, pre, scratch);
+  const int r = v.rows() / 2, c = v.cols() / 2;
+  if (flip_v)
+    hit.v(r, c) = fx::saturate_bits(hit.v(r, c) ^ (1 << bit), fx::kVBits);
+  else
+    hit.px(r, c) = fx::saturate_bits(hit.px(r, c) ^ (1 << bit), fx::kPBits);
+  fixed_iterate_region(hit, geom, fp, post, scratch);
+
+  const Matrix<std::int32_t> u_clean = fixed_recover_u(clean, geom, fp.theta_q);
+  const Matrix<std::int32_t> u_hit = fixed_recover_u(hit, geom, fp.theta_q);
+  RunResult out;
+  for (std::size_t i = 0; i < u_clean.size(); ++i)
+    out.max_du = std::max(
+        out.max_du, std::abs(static_cast<double>(u_hit.data()[i]) -
+                             u_clean.data()[i]) /
+                        fx::kOne);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(77);
+  const Matrix<float> v = random_image(rng, 48, 48, -2.f, 2.f);
+
+  std::printf("SINGLE-EVENT-UPSET RESILIENCE OF THE ON-CHIP STATE\n");
+  std::printf("(one bit flipped at the frame center after 20 iterations; "
+              "max |delta u| after N more iterations)\n\n");
+
+  std::printf("Flip in the dual state px (transient — contraction heals it):\n");
+  TextTable dual({"Bit flipped", "after 1 it", "after 5", "after 20",
+                  "after 60"});
+  for (const int bit : {0, 4, 8}) {  // LSB, mid, sign of the 9-bit field
+    std::vector<std::string> row{"bit " + std::to_string(bit)};
+    for (const int post : {1, 5, 20, 60})
+      row.push_back(TextTable::num(
+          run_with_flip(v, 20, post, bit, false).max_du, 5));
+    dual.add_row(row);
+  }
+  dual.render(std::cout);
+
+  std::printf("\nFlip in the input v (persistent but spatially confined):\n");
+  TextTable vin({"Bit flipped", "after 1 it", "after 5", "after 20",
+                 "after 60"});
+  for (const int bit : {0, 6, 12}) {
+    std::vector<std::string> row{"bit " + std::to_string(bit)};
+    for (const int post : {1, 5, 20, 60})
+      row.push_back(TextTable::num(
+          run_with_flip(v, 20, post, bit, true).max_du, 5));
+    vin.add_row(row);
+  }
+  vin.render(std::cout);
+
+  const double healed = run_with_flip(v, 20, 60, 8, false).max_du;
+  const double persistent = run_with_flip(v, 20, 60, 12, true).max_du;
+  std::printf("\nConclusions:\n");
+  std::printf("  dual-state flips decay to the quantization floor "
+              "(%.5f after 60 iterations) — no scrubbing needed for p;\n",
+              healed);
+  std::printf("  input flips persist (%.3f) — v is the field worth "
+              "protecting (parity on the 13-bit subfield would cost 1 spare "
+              "bit already present in the 32-bit word).\n",
+              persistent);
+  return healed < 0.05 && persistent > healed ? 0 : 1;
+}

@@ -1,0 +1,100 @@
+// sliding_window — quantifies the sliding-window technique's overheads
+// (experiment E6): redundant computation and memory replication vs merge
+// depth and tile size, supporting the paper's claim that the overhead is
+// "negligible ... [and] does not affect the final frame rates" (Sections
+// III-B and VI), and locating the fps-optimal merge depth.
+#include <cstdio>
+#include <string>
+#include <iostream>
+
+#include "chambolle/tile.hpp"
+#include "chambolle/tiled_solver.hpp"
+#include "common/rng.hpp"
+#include "common/text_table.hpp"
+#include "hw/accelerator.hpp"
+
+int main() {
+  using namespace chambolle;
+
+  std::printf("SLIDING-WINDOW OVERHEAD ANALYSIS (512x512 frame, 88x92 tiles)\n\n");
+
+  std::printf("Replication overhead vs merge depth (halo = merged iterations):\n");
+  TextTable plan_table({"Merge depth", "Tiles", "Replicated elements",
+                        "Memory overhead", "fps @ 200 iters (sim model)"});
+  double best_fps = 0.0;
+  int best_k = 0;
+  for (const int k : {1, 2, 4, 8, 12, 16, 24, 32}) {
+    const TilingPlan plan = make_tiling(512, 512, 88, 92, k);
+    hw::ArchConfig cfg;
+    cfg.merge_iterations = k;
+    const double fps =
+        hw::ChambolleAccelerator(cfg).estimate_fps(512, 512, 200);
+    if (fps > best_fps) {
+      best_fps = fps;
+      best_k = k;
+    }
+    plan_table.add_row(
+        {std::to_string(k), std::to_string(plan.tiles.size()),
+         std::to_string(plan.total_buffer_elements() - 512ull * 512ull),
+         TextTable::num(100.0 * plan.redundancy(), 1) + "%",
+         TextTable::num(fps, 1)});
+  }
+  std::cout << plan_table.to_string();
+  std::printf("fps-optimal merge depth for this architecture: %d (%.1f fps)\n",
+              best_k, best_fps);
+
+  std::printf("\nRedundant computation measured in the tiled CPU solver "
+              "(128x128 frame, 64 iterations):\n");
+  TextTable work_table({"Tile", "Merge depth", "Passes",
+                        "Computation overhead"});
+  Rng rng(3);
+  const Matrix<float> v = random_image(rng, 128, 128, -2.f, 2.f);
+  ChambolleParams params;
+  params.iterations = 64;
+  for (const auto& [tile, k] :
+       {std::pair{48, 2}, std::pair{48, 4}, std::pair{48, 8},
+        std::pair{88, 4}, std::pair{88, 8}, std::pair{88, 16}}) {
+    TiledSolverOptions opt;
+    opt.tile_rows = tile;
+    opt.tile_cols = tile;
+    opt.merge_iterations = k;
+    opt.num_threads = 1;
+    TiledSolverStats stats;
+    (void)solve_tiled(v, params, opt, &stats);
+    work_table.add_row({std::to_string(tile) + "x" + std::to_string(tile),
+                        std::to_string(k), std::to_string(stats.passes),
+                        TextTable::num(100.0 * stats.overhead(), 1) + "%"});
+  }
+  std::cout << work_table.to_string();
+
+  // Downscaled map of the paper's tiling on 512x512 (each cell = 16x16 px):
+  // digits = how many tile BUFFERS cover the cell (overlap depth); the
+  // profitable cores partition the frame exactly, so every pixel is written
+  // once no matter the digit.
+  {
+    const TilingPlan plan = make_tiling(512, 512, 88, 92, 4);
+    const int cell = 16;
+    std::printf("\nBuffer-overlap map, 512x512 with 88x92 windows (halo 4):\n");
+    for (int r = 0; r < 512; r += cell) {
+      std::string line = "  ";
+      for (int c = 0; c < 512; c += cell) {
+        int covers = 0;
+        for (const TileSpec& t : plan.tiles)
+          if (r >= t.buf_row0 && r < t.buf_row0 + t.buf_rows &&
+              c >= t.buf_col0 && c < t.buf_col0 + t.buf_cols)
+            ++covers;
+        line += static_cast<char>('0' + std::min(covers, 9));
+      }
+      std::printf("%s\n", line.c_str());
+    }
+  }
+
+  const double overhead_at_paper_tile =
+      make_tiling(512, 512, 88, 92, 4).redundancy();
+  std::printf("\nPaper claims reproduced:\n");
+  std::printf("  'slight memory overhead' at the paper's tile size "
+              "(merge 4): %.1f%% — %s\n",
+              100.0 * overhead_at_paper_tile,
+              overhead_at_paper_tile < 0.30 ? "yes" : "NO");
+  return overhead_at_paper_tile < 0.30 ? 0 : 1;
+}

@@ -1,0 +1,60 @@
+// table1_area — regenerates Table I: "Area usage on a XC5VLX110T FPGA".
+//
+// BRAM and DSP counts are structural consequences of the architecture; FF and
+// LUT counts come from the calibrated per-primitive model (see DESIGN.md,
+// experiment E1).  The table prints model vs paper with deviations.
+#include <cstdio>
+#include <iostream>
+
+#include "common/text_table.hpp"
+#include "hw/resource_model.hpp"
+
+int main() {
+  using namespace chambolle;
+  const hw::ArchConfig cfg;
+  const hw::ResourceReport model = hw::estimate_resources(cfg);
+  const hw::PaperTable1 paper;
+  const hw::Virtex5Spec device;
+
+  std::printf("TABLE I — AREA USAGE ON A XC5VLX110T FPGA\n");
+  std::printf("(model: structural counts for BRAM/DSP, calibrated estimates "
+              "for FF/LUT)\n\n");
+
+  TextTable table({"Resource", "Model", "Paper", "Deviation", "Total",
+                   "Model %", "Paper %"});
+  const auto row = [&](const char* name, int model_v, int paper_v, int total,
+                       double paper_pct) {
+    const double dev =
+        100.0 * (static_cast<double>(model_v) - paper_v) / paper_v;
+    table.add_row({name, std::to_string(model_v), std::to_string(paper_v),
+                   TextTable::num(dev, 1) + "%", std::to_string(total),
+                   TextTable::num(100.0 * model_v / total, 1) + "%",
+                   TextTable::num(paper_pct, 1) + "%"});
+  };
+  row("FlipFlops", model.flipflops, paper.flipflops, device.flipflops, 33.0);
+  row("LUTs", model.luts, paper.luts, device.luts, 47.0);
+  row("BRAMs", model.brams, paper.brams, device.brams, 28.0);
+  row("DSPs", model.dsps, paper.dsps, device.dsps, 96.8);
+  std::cout << table.to_string();
+
+  std::printf("\nModule inventory:\n");
+  TextTable modules({"Module", "Instances", "FF", "LUT", "BRAM", "DSP"});
+  for (const auto& m : model.modules)
+    modules.add_row({m.name, std::to_string(m.instances),
+                     std::to_string(m.instances * m.flipflops_each),
+                     std::to_string(m.instances * m.luts_each),
+                     std::to_string(m.instances * m.brams_each),
+                     std::to_string(m.instances * m.dsps_each)});
+  std::cout << modules.to_string();
+
+  std::printf("\nPaper claims reproduced:\n");
+  std::printf("  36 BRAMs (4 arrays x 9)               : %s\n",
+              model.brams == 36 ? "yes" : "NO");
+  std::printf("  62 DSPs (28 PE-V x 2 + 6 control)     : %s\n",
+              model.dsps == 62 ? "yes" : "NO");
+  std::printf("  less than half the device slice logic : %s\n",
+              model.lut_pct(device) < 50.0 && model.flipflop_pct(device) < 50.0
+                  ? "yes"
+                  : "NO");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// optical_flow_demo — computes TV-L1 flow on three synthetic scenes
+// (translation, rotation, zoom) with each inner-solver backend, writes
+// Middlebury-style flow visualizations as PPM files, and prints an accuracy
+// and timing summary.
+//
+// Usage: optical_flow_demo [output_dir]   (default: current directory)
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/flow_color.hpp"
+#include "common/image_io.hpp"
+#include "common/stopwatch.hpp"
+#include "common/text_table.hpp"
+#include "tvl1/tvl1.hpp"
+#include "workloads/metrics.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace {
+
+using namespace chambolle;
+
+struct Scene {
+  const char* name;
+  workloads::FlowWorkload wl;
+};
+
+const char* solver_name(tvl1::InnerSolver s) {
+  switch (s) {
+    case tvl1::InnerSolver::kReference: return "reference";
+    case tvl1::InnerSolver::kTiled: return "tiled";
+    case tvl1::InnerSolver::kFixed: return "fixed-point";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_dir = argc > 1 ? argv[1] : ".";
+  const int N = 96;
+
+  Scene scenes[] = {
+      {"translate", workloads::translating_scene(N, N, 2.5f, -1.f)},
+      {"rotate", workloads::rotating_scene(N, N, 0.04f)},
+      {"zoom", workloads::zooming_scene(N, N, 1.05f)},
+  };
+
+  TextTable table({"Scene", "Solver", "AEE (px)", "AAE (deg)", "Time (ms)"});
+
+  for (const Scene& scene : scenes) {
+    for (const tvl1::InnerSolver solver :
+         {tvl1::InnerSolver::kReference, tvl1::InnerSolver::kTiled,
+          tvl1::InnerSolver::kFixed}) {
+      tvl1::Tvl1Params params;
+      params.pyramid_levels = 3;
+      params.warps = 5;
+      params.chambolle.iterations = 30;
+      params.solver = solver;
+      params.tiled.tile_rows = 48;
+      params.tiled.tile_cols = 48;
+      params.tiled.merge_iterations = 5;
+
+      const Stopwatch clock;
+      const FlowField flow =
+          tvl1::compute_flow(scene.wl.frame0, scene.wl.frame1, params);
+      const double ms = clock.milliseconds();
+
+      table.add_row({scene.name, solver_name(solver),
+                     TextTable::num(workloads::interior_endpoint_error(
+                                        flow, scene.wl.ground_truth, 8),
+                                    3),
+                     TextTable::num(workloads::average_angular_error_deg(
+                                        flow, scene.wl.ground_truth),
+                                    2),
+                     TextTable::num(ms, 1)});
+
+      if (solver == tvl1::InnerSolver::kReference) {
+        const std::string path = out_dir + "/flow_" + scene.name + ".ppm";
+        io::write_ppm(path, colorize_flow(flow));
+        std::printf("wrote %s\n", path.c_str());
+      }
+    }
+    const std::string truth_path =
+        out_dir + "/flow_" + scene.name + "_truth.ppm";
+    io::write_ppm(truth_path, colorize_flow(scene.wl.ground_truth));
+  }
+
+  std::printf("\nTV-L1 optical flow across scenes and solver backends\n");
+  std::cout << table.to_string();
+  return 0;
+}

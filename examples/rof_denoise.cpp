@@ -1,0 +1,72 @@
+// rof_denoise — the Chambolle algorithm in its original role (Chambolle
+// 2004): Rudin-Osher-Fatemi total-variation denoising.  Generates a piecewise
+// constant image, adds Gaussian noise, denoises it with the sequential and
+// the tiled parallel solver (verifying they agree bit-exactly), and writes
+// before/after PGMs.
+//
+// Usage: rof_denoise [output_dir]
+#include <cstdio>
+#include <string>
+
+#include "chambolle/energy.hpp"
+#include "chambolle/solver.hpp"
+#include "chambolle/tiled_solver.hpp"
+#include "common/image_io.hpp"
+#include "common/rng.hpp"
+#include "workloads/metrics.hpp"
+
+int main(int argc, char** argv) {
+  using namespace chambolle;
+  const std::string out_dir = argc > 1 ? argv[1] : ".";
+  const int N = 128;
+
+  // Piecewise-constant scene: three nested rectangles.
+  Image clean(N, N, 60.f);
+  for (int r = 24; r < 104; ++r)
+    for (int c = 24; c < 104; ++c) clean(r, c) = 140.f;
+  for (int r = 48; r < 80; ++r)
+    for (int c = 48; c < 80; ++c) clean(r, c) = 220.f;
+
+  Rng rng(2024);
+  Image noisy = clean;
+  add_gaussian_noise(rng, noisy, 20.f);
+
+  // ROF denoising: u = argmin TV(u) + 1/(2*theta)||u - v||^2.  A larger
+  // theta denoises more aggressively.
+  ChambolleParams params;
+  params.theta = 12.f;
+  params.tau = 3.f;  // tau/theta = 1/4
+  params.iterations = 120;
+
+  const ChambolleResult seq = solve(noisy, params);
+
+  TiledSolverOptions topt;
+  topt.tile_rows = 48;
+  topt.tile_cols = 48;
+  topt.merge_iterations = 6;
+  const ChambolleResult tiled = solve_tiled(noisy, params, topt);
+
+  const bool exact = seq.u == tiled.u;
+
+  std::printf("ROF total-variation denoising via the Chambolle algorithm\n");
+  std::printf("  noise RMS before     : %.2f\n",
+              workloads::rms_diff(noisy, clean));
+  std::printf("  noise RMS after      : %.2f\n",
+              workloads::rms_diff(seq.u, clean));
+  std::printf("  ROF energy before    : %.0f\n",
+              rof_energy(noisy, noisy, params.theta));
+  std::printf("  ROF energy after     : %.0f\n",
+              rof_energy(seq.u, noisy, params.theta));
+  std::printf("  tiled == sequential  : %s (bit-exact)\n",
+              exact ? "yes" : "NO — BUG");
+
+  io::write_pgm(out_dir + "/denoise_clean.pgm", clean);
+  io::write_pgm(out_dir + "/denoise_noisy.pgm", noisy);
+  io::write_pgm(out_dir + "/denoise_result.pgm", seq.u);
+  std::printf("wrote %s/denoise_{clean,noisy,result}.pgm\n", out_dir.c_str());
+
+  return exact && workloads::rms_diff(seq.u, clean) <
+                      workloads::rms_diff(noisy, clean)
+             ? 0
+             : 1;
+}

@@ -1,0 +1,76 @@
+// rolling_shutter_correction — the application that motivates the paper's
+// introduction (Section I): undo rolling-shutter skew using TV-L1 optical
+// flow between two consecutive captured frames.
+//
+// Usage: rolling_shutter_correction [output_dir]
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "common/image_io.hpp"
+#include "tvl1/tvl1.hpp"
+#include "tvl1/warp.hpp"
+#include "workloads/metrics.hpp"
+#include "workloads/rolling_shutter.hpp"
+#include "workloads/synthetic.hpp"
+
+int main(int argc, char** argv) {
+  using namespace chambolle;
+  const std::string out_dir = argc > 1 ? argv[1] : ".";
+  const int N = 96;
+  const float vx = 5.f;  // camera pan: pixels per frame interval
+
+  // Scene with strong vertical structure so the skew is visible.
+  Image scene(N, N);
+  const Image texture = workloads::smooth_texture(N, N, 77);
+  for (int r = 0; r < N; ++r)
+    for (int c = 0; c < N; ++c)
+      scene(r, c) = 0.5f * texture(r, c) + ((c / 8) % 2 == 0 ? 40.f : 150.f);
+
+  // Two consecutive rolling-shutter captures of the panning scene.
+  const Image frame0 = workloads::rolling_shutter_capture(scene, vx, 0.f);
+  Image scene_next(N, N);
+  for (int r = 0; r < N; ++r)
+    for (int c = 0; c < N; ++c)
+      scene_next(r, c) = tvl1::sample_bilinear(scene, static_cast<float>(r),
+                                               static_cast<float>(c) - vx);
+  const Image frame1 = workloads::rolling_shutter_capture(scene_next, vx, 0.f);
+
+  // Estimate the inter-frame flow with TV-L1 and correct frame0.
+  tvl1::Tvl1Params params;
+  params.pyramid_levels = 4;
+  params.warps = 6;
+  params.chambolle.iterations = 30;
+  const FlowField flow = tvl1::compute_flow(frame0, frame1, params);
+  const Image corrected = workloads::rolling_shutter_correct(frame0, flow);
+
+  // Interior distortion before/after.
+  double err_before = 0, err_after = 0;
+  int n = 0;
+  for (int r = 10; r < N - 10; ++r)
+    for (int c = 10; c < N - 10; ++c) {
+      err_before += std::abs(frame0(r, c) - scene(r, c));
+      err_after += std::abs(corrected(r, c) - scene(r, c));
+      ++n;
+    }
+  err_before /= n;
+  err_after /= n;
+
+  std::printf("Rolling-shutter correction via TV-L1 optical flow\n");
+  std::printf("  camera pan              : %.1f px/frame\n", vx);
+  std::printf("  mean flow estimated     : (%.2f, %.2f) px/frame\n",
+              flow.u1(N / 2, N / 2), flow.u2(N / 2, N / 2));
+  std::printf("  mean |error| distorted  : %.2f intensity levels\n",
+              err_before);
+  std::printf("  mean |error| corrected  : %.2f intensity levels\n",
+              err_after);
+  std::printf("  distortion removed      : %.0f%%\n",
+              100.0 * (1.0 - err_after / err_before));
+
+  io::write_pgm(out_dir + "/rs_scene.pgm", scene);
+  io::write_pgm(out_dir + "/rs_captured.pgm", frame0);
+  io::write_pgm(out_dir + "/rs_corrected.pgm", corrected);
+  std::printf("wrote %s/rs_{scene,captured,corrected}.pgm\n", out_dir.c_str());
+
+  return err_after < err_before ? 0 : 1;
+}

@@ -1,0 +1,43 @@
+// rtl_export — writes the generated Verilog design and its self-checking
+// testbenches to disk: the artifact a hardware engineer would take into a
+// simulator/synthesis flow, with golden vectors baked in from the C++
+// bit-accurate model.
+//
+// Usage: rtl_export [output_dir]
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "hw/verilog_export.hpp"
+
+int main(int argc, char** argv) {
+  using namespace chambolle;
+  const std::string out_dir = argc > 1 ? argv[1] : ".";
+
+  const hw::ArchConfig cfg;  // the paper's configuration
+  const hw::VerilogParams params;
+
+  const std::string design_path = out_dir + "/chambolle_core.v";
+  hw::write_verilog(design_path, cfg, params);
+
+  const auto write = [&](const std::string& name, const std::string& text) {
+    std::ofstream out(out_dir + "/" + name);
+    out << text;
+    std::printf("wrote %s/%s (%zu bytes)\n", out_dir.c_str(), name.c_str(),
+                text.size());
+  };
+  write("pe_t_tb.v", hw::emit_pe_t_testbench(params, 128));
+  write("pe_v_tb.v", hw::emit_pe_v_testbench(params, 128));
+
+  std::printf("wrote %s (design: packed word macros, sqrt ROM + unit, pe_t, "
+              "pe_v, pe_array)\n",
+              design_path.c_str());
+  std::printf("\nTo simulate (with icarus verilog):\n");
+  std::printf("  iverilog -o pe_t_tb %s/chambolle_core.v %s/pe_t_tb.v && "
+              "vvp pe_t_tb\n",
+              out_dir.c_str(), out_dir.c_str());
+  std::printf("Expected: 'PASS: all 128 pe_t vectors' — the vectors were "
+              "computed by the C++ golden model this repository tests "
+              "bit-exactly against the architecture simulator.\n");
+  return 0;
+}

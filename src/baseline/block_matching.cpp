@@ -1,0 +1,67 @@
+#include "baseline/block_matching.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace chambolle::baseline {
+namespace {
+
+// SAD of a block at (r0, c0) in i0 against displacement (dr, dc) in i1,
+// clamped sampling on i1.
+double block_sad(const Image& i0, const Image& i1, int r0, int c0, int h,
+                 int w, int dr, int dc) {
+  double sad = 0.0;
+  for (int r = 0; r < h; ++r)
+    for (int c = 0; c < w; ++c) {
+      const int rr = std::clamp(r0 + r + dr, 0, i1.rows() - 1);
+      const int cc = std::clamp(c0 + c + dc, 0, i1.cols() - 1);
+      sad += std::abs(static_cast<double>(i0(r0 + r, c0 + c)) - i1(rr, cc));
+    }
+  return sad;
+}
+
+}  // namespace
+
+FlowField block_matching_flow(const Image& i0, const Image& i1,
+                              const BlockMatchingParams& params) {
+  params.validate();
+  if (!i0.same_shape(i1))
+    throw std::invalid_argument("block_matching_flow: frame shape mismatch");
+
+  FlowField flow(i0.rows(), i0.cols());
+  const int B = params.block_size;
+  const int R = params.search_radius;
+
+  for (int r0 = 0; r0 < i0.rows(); r0 += B)
+    for (int c0 = 0; c0 < i0.cols(); c0 += B) {
+      const int h = std::min(B, i0.rows() - r0);
+      const int w = std::min(B, i0.cols() - c0);
+
+      const double zero_sad = block_sad(i0, i1, r0, c0, h, w, 0, 0);
+      double best = zero_sad;
+      int best_dr = 0, best_dc = 0;
+      for (int dr = -R; dr <= R; ++dr)
+        for (int dc = -R; dc <= R; ++dc) {
+          if (dr == 0 && dc == 0) continue;
+          const double sad = block_sad(i0, i1, r0, c0, h, w, dr, dc);
+          if (sad < best) {
+            best = sad;
+            best_dr = dr;
+            best_dc = dc;
+          }
+        }
+      // Textureless guard: without a clear SAD advantage the match is noise.
+      if (zero_sad - best < params.min_texture_sad * h * w) {
+        best_dr = 0;
+        best_dc = 0;
+      }
+      for (int r = 0; r < h; ++r)
+        for (int c = 0; c < w; ++c) {
+          flow.u1(r0 + r, c0 + c) = static_cast<float>(best_dc);
+          flow.u2(r0 + r, c0 + c) = static_cast<float>(best_dr);
+        }
+    }
+  return flow;
+}
+
+}  // namespace chambolle::baseline

@@ -1,0 +1,42 @@
+// block_matching.hpp — the fast-but-limited FPGA alternative class.
+//
+// The paper's related work cites Abutaleb et al. [15]: an FPGA optical-flow
+// engine reaching 156 fps at 768x576 — but producing motion-detection-grade
+// flow that "cannot be used in other applications such as rolling shutter
+// correction".  Block matching with integer SAD search is the canonical
+// representative of that class: very fast and hardware-friendly, but
+// integer-quantized, blocky, and textureless-region-blind.  The flow-quality
+// bench puts numbers on exactly those limitations.
+#pragma once
+
+#include <stdexcept>
+
+#include "common/image.hpp"
+
+namespace chambolle::baseline {
+
+struct BlockMatchingParams {
+  /// Block edge length in pixels.
+  int block_size = 8;
+  /// Search radius in pixels (full search over [-r, r]^2).
+  int search_radius = 7;
+  /// Blocks whose best SAD advantage over the zero vector is below this
+  /// fraction are treated as textureless and assigned zero motion.
+  float min_texture_sad = 1.0f;
+
+  void validate() const {
+    if (block_size < 1)
+      throw std::invalid_argument("BlockMatching: block_size < 1");
+    if (search_radius < 0)
+      throw std::invalid_argument("BlockMatching: search_radius < 0");
+    if (min_texture_sad < 0.f)
+      throw std::invalid_argument("BlockMatching: min_texture_sad < 0");
+  }
+};
+
+/// Estimates per-pixel flow by full-search SAD block matching from i0 to i1.
+/// Every pixel of a block receives the block's integer motion vector.
+[[nodiscard]] FlowField block_matching_flow(const Image& i0, const Image& i1,
+                                            const BlockMatchingParams& params);
+
+}  // namespace chambolle::baseline

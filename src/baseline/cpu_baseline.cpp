@@ -1,0 +1,63 @@
+#include "baseline/cpu_baseline.hpp"
+
+#include <algorithm>
+
+#include "chambolle/solver.hpp"
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+
+namespace chambolle::baseline {
+namespace {
+
+ChambolleParams params_for(int iterations) {
+  ChambolleParams p;
+  p.iterations = iterations;
+  return p;
+}
+
+FlowField make_input(int rows, int cols) {
+  Rng rng(123);
+  FlowField v(rows, cols);
+  v.u1 = random_image(rng, rows, cols, -2.f, 2.f);
+  v.u2 = random_image(rng, rows, cols, -2.f, 2.f);
+  return v;
+}
+
+}  // namespace
+
+CpuMeasurement measure_scalar_chambolle(int rows, int cols, int iterations,
+                                        int repeats) {
+  const ChambolleParams params = params_for(iterations);
+  const FlowField v = make_input(rows, cols);
+  double best = -1.0;
+  for (int i = 0; i < std::max(repeats, 1); ++i) {
+    const Stopwatch clock;
+    const FlowField u = solve_flow(v, params);
+    const double s = clock.seconds();
+    (void)u;
+    if (best < 0 || s < best) best = s;
+  }
+  return {"CPU scalar (this host)", cols, rows, iterations, best,
+          best > 0 ? 1.0 / best : 0.0};
+}
+
+CpuMeasurement measure_tiled_chambolle(int rows, int cols, int iterations,
+                                       const TiledSolverOptions& options,
+                                       int repeats) {
+  const ChambolleParams params = params_for(iterations);
+  const FlowField v = make_input(rows, cols);
+  double best = -1.0;
+  for (int i = 0; i < std::max(repeats, 1); ++i) {
+    const Stopwatch clock;
+    const ChambolleResult r1 = solve_tiled(v.u1, params, options);
+    const ChambolleResult r2 = solve_tiled(v.u2, params, options);
+    const double s = clock.seconds();
+    (void)r1;
+    (void)r2;
+    if (best < 0 || s < best) best = s;
+  }
+  return {"CPU tiled (this host)", cols, rows, iterations, best,
+          best > 0 ? 1.0 / best : 0.0};
+}
+
+}  // namespace chambolle::baseline

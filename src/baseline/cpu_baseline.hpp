@@ -1,0 +1,37 @@
+// cpu_baseline.hpp — live software baselines measured on the host.
+//
+// The paper motivates the accelerator with a multithreaded x86 software
+// TV-L1 taking >15 s/frame; we measure our own scalar and tiled-parallel
+// Chambolle implementations on this machine so the comparison table always
+// carries at least one datapoint produced live rather than transcribed.
+#pragma once
+
+#include <string>
+
+#include "chambolle/params.hpp"
+#include "chambolle/tiled_solver.hpp"
+
+namespace chambolle::baseline {
+
+struct CpuMeasurement {
+  std::string label;
+  int width = 0;
+  int height = 0;
+  int iterations = 0;
+  double seconds_per_frame = 0.0;
+  double fps = 0.0;
+};
+
+/// Times the sequential reference solver on a rows x cols frame (both flow
+/// components, as the hardware computes both).  `repeats` > 1 reports the
+/// best run.
+[[nodiscard]] CpuMeasurement measure_scalar_chambolle(int rows, int cols,
+                                                      int iterations,
+                                                      int repeats = 1);
+
+/// Times the tiled parallel solver with the given options.
+[[nodiscard]] CpuMeasurement measure_tiled_chambolle(
+    int rows, int cols, int iterations, const TiledSolverOptions& options,
+    int repeats = 1);
+
+}  // namespace chambolle::baseline

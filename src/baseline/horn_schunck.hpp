@@ -1,0 +1,45 @@
+// horn_schunck.hpp — the classical variational baseline (Horn & Schunck
+// 1981, the paper's reference [7]).
+//
+// Minimizes  integral of (Ix*u + Iy*v + It)^2 + alpha^2 (|grad u|^2 +
+// |grad v|^2) — a QUADRATIC smoothness prior, solved by Jacobi iterations on
+// the Euler-Lagrange equations.  Contrast with TV-L1: the L2 prior
+// over-smooths motion discontinuities and the L2 data term is fragile under
+// brightness variation; the flow-quality bench quantifies both, which is the
+// paper's motivation for accelerating the TV-L1/Chambolle pipeline instead.
+// A coarse-to-fine pyramid with warping extends it to large motions, sharing
+// the TV-L1 machinery.
+#pragma once
+
+#include <stdexcept>
+
+#include "common/image.hpp"
+
+namespace chambolle::baseline {
+
+struct HornSchunckParams {
+  /// Smoothness weight (images are normalized to [0,1] internally).
+  float alpha = 0.02f;
+  /// Jacobi iterations per warp.
+  int iterations = 100;
+  /// Coarse-to-fine pyramid depth; 1 disables.
+  int pyramid_levels = 4;
+  /// Warping iterations per level.
+  int warps = 3;
+
+  void validate() const {
+    if (alpha <= 0.f) throw std::invalid_argument("HornSchunck: alpha <= 0");
+    if (iterations < 1)
+      throw std::invalid_argument("HornSchunck: iterations < 1");
+    if (pyramid_levels < 1)
+      throw std::invalid_argument("HornSchunck: pyramid_levels < 1");
+    if (warps < 1) throw std::invalid_argument("HornSchunck: warps < 1");
+  }
+};
+
+/// Estimates the optical flow from i0 to i1 with pyramidal Horn-Schunck.
+/// Frames must share a shape of at least 2x2; intensities on [0, 255].
+[[nodiscard]] FlowField horn_schunck_flow(const Image& i0, const Image& i1,
+                                          const HornSchunckParams& params);
+
+}  // namespace chambolle::baseline

@@ -1,0 +1,68 @@
+#include "baseline/published.hpp"
+
+#include <stdexcept>
+
+namespace chambolle::baseline {
+
+const std::vector<PublishedResult>& published_baselines() {
+  // Transcribed from Table II of the paper (fps of ranges like "1-2" are
+  // stored at the midpoint, with the range kept in the note).
+  static const std::vector<PublishedResult> rows = {
+      {"[13]", "GeForce 7800 GS", 50, 128, 128, 56.0, ""},
+      {"[13]", "GeForce 7800 GS", 100, 128, 128, 32.1, ""},
+      {"[13]", "GeForce 7800 GS", 200, 128, 128, 17.5, ""},
+      {"[13]", "GeForce 7800 GS", 50, 256, 256, 18.0, ""},
+      {"[13]", "GeForce 7800 GS", 100, 256, 256, 9.6, ""},
+      {"[13]", "GeForce 7800 GS", 200, 256, 256, 5.0, ""},
+      {"[13]", "GeForce 7800 GS", 50, 512, 512, 5.0, ""},
+      {"[13]", "GeForce 7800 GS", 100, 512, 512, 2.6, ""},
+      {"[13]", "GeForce 7800 GS", 200, 512, 512, 1.3, ""},
+      {"[13]", "GeForce Go 7900 GTX", 50, 128, 128, 95.0, ""},
+      {"[13]", "GeForce Go 7900 GTX", 100, 128, 128, 57.0, ""},
+      {"[13]", "GeForce Go 7900 GTX", 200, 128, 128, 30.9, ""},
+      {"[13]", "GeForce Go 7900 GTX", 50, 256, 256, 34.1, ""},
+      {"[13]", "GeForce Go 7900 GTX", 100, 256, 256, 17.5, ""},
+      {"[13]", "GeForce Go 7900 GTX", 200, 256, 256, 8.9, ""},
+      {"[13]", "GeForce Go 7900 GTX", 50, 512, 512, 9.3, ""},
+      {"[13]", "GeForce Go 7900 GTX", 100, 512, 512, 4.7, ""},
+      {"[13]", "GeForce Go 7900 GTX", 200, 512, 512, 2.3, ""},
+      {"[14]", "ATI Mobility Radeon HD3650", 100, 512, 512, 1.5,
+       "OpenCV+OpenGL, 1-2 fps"},
+      {"[14]", "ATI Mobility Radeon HD3650", 100, 512, 512, 3.5,
+       "OpenGL only, 3-4 fps"},
+      {"[14]", "NVIDIA GTX285", 100, 512, 512, 5.5, "OpenGL only, 5-6 fps"},
+  };
+  return rows;
+}
+
+const std::vector<PublishedResult>& paper_fpga_results() {
+  static const std::vector<PublishedResult> rows = {
+      {"paper", "Xilinx Virtex-5 XC5VLX110T", 200, 512, 512, 99.1,
+       "proposed approach"},
+      {"paper", "Xilinx Virtex-5 XC5VLX110T", 200, 1024, 768, 38.1,
+       "proposed approach"},
+  };
+  return rows;
+}
+
+std::vector<PublishedResult> baselines_for(int width, int height,
+                                           int iterations) {
+  std::vector<PublishedResult> out;
+  for (const PublishedResult& r : published_baselines())
+    if (r.width == width && r.height == height &&
+        (iterations == 0 || r.iterations == iterations))
+      out.push_back(r);
+  return out;
+}
+
+FpsRange fps_range(const std::vector<PublishedResult>& rows) {
+  if (rows.empty()) throw std::invalid_argument("fps_range: no rows");
+  FpsRange range{rows.front().fps, rows.front().fps};
+  for (const PublishedResult& r : rows) {
+    range.min_fps = std::min(range.min_fps, r.fps);
+    range.max_fps = std::max(range.max_fps, r.fps);
+  }
+  return range;
+}
+
+}  // namespace chambolle::baseline

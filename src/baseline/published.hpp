@@ -1,0 +1,42 @@
+// published.hpp — the state-of-the-art datapoints of Table II.
+//
+// The paper compares against PUBLISHED GPU results (Zach et al. [13] and
+// Weishaupt et al. [14]); it did not re-run them.  We record the same rows as
+// structured data so the comparison table can be regenerated, and the
+// speedup arithmetic (16.5x - 76x at 512x512) can be recomputed and audited.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace chambolle::baseline {
+
+struct PublishedResult {
+  std::string reference;  ///< citation key, e.g. "[13]"
+  std::string device;
+  int iterations = 0;
+  int width = 0;
+  int height = 0;
+  double fps = 0.0;       ///< midpoint when the source quotes a range
+  std::string note;       ///< e.g. "OpenCV+OpenGL", range annotations
+};
+
+/// All baseline rows of Table II (GPU implementations).
+[[nodiscard]] const std::vector<PublishedResult>& published_baselines();
+
+/// The paper's own two rows of Table II (proposed FPGA approach).
+[[nodiscard]] const std::vector<PublishedResult>& paper_fpga_results();
+
+/// Baselines filtered by resolution and iteration count.
+[[nodiscard]] std::vector<PublishedResult> baselines_for(int width, int height,
+                                                         int iterations);
+
+/// Min and max fps among the given rows; throws std::invalid_argument when
+/// empty.
+struct FpsRange {
+  double min_fps = 0.0;
+  double max_fps = 0.0;
+};
+[[nodiscard]] FpsRange fps_range(const std::vector<PublishedResult>& rows);
+
+}  // namespace chambolle::baseline

@@ -1,0 +1,53 @@
+#include "chambolle/adaptive.hpp"
+
+#include <stdexcept>
+
+namespace chambolle {
+
+void AdaptiveOptions::validate() const {
+  if (tolerance <= 0.f)
+    throw std::invalid_argument("AdaptiveOptions: tolerance <= 0");
+  if (max_iterations < 1)
+    throw std::invalid_argument("AdaptiveOptions: max_iterations < 1");
+  if (check_every < 1)
+    throw std::invalid_argument("AdaptiveOptions: check_every < 1");
+}
+
+AdaptiveResult solve_adaptive(const Matrix<float>& v,
+                              const ChambolleParams& params,
+                              const AdaptiveOptions& options) {
+  params.validate();
+  options.validate();
+
+  const int rows = v.rows(), cols = v.cols();
+  const RegionGeometry geom = RegionGeometry::full_frame(rows, cols);
+  AdaptiveResult out;
+  DualField p(rows, cols);
+  Matrix<float> scratch;
+  Matrix<float> prev_px(rows, cols), prev_py(rows, cols);
+
+  int done = 0;
+  while (done < options.max_iterations) {
+    prev_px = p.px;
+    prev_py = p.py;
+    const int burst = std::min(options.check_every,
+                               options.max_iterations - done);
+    iterate_region(p.px, p.py, v, geom, params, burst, scratch);
+    done += burst;
+
+    const float residual = static_cast<float>(
+        std::max(max_abs_diff(p.px, prev_px), max_abs_diff(p.py, prev_py)));
+    out.final_residual = residual;
+    if (residual < options.tolerance) {
+      out.converged = true;
+      break;
+    }
+  }
+
+  out.iterations_used = done;
+  out.solution.u = recover_u(v, p.px, p.py, geom, params.theta);
+  out.solution.p = std::move(p);
+  return out;
+}
+
+}  // namespace chambolle

@@ -1,0 +1,41 @@
+// adaptive.hpp — precision-driven stopping for the Chambolle iteration.
+//
+// The paper treats Niterations as an input "that determines the precision"
+// (Section II-A, Table II).  This module inverts the relationship: iterate
+// until the dual update falls below a tolerance and REPORT how many
+// iterations that took — the tool used to choose Table II's 50/100/200
+// budgets and by the convergence bench.
+#pragma once
+
+#include "chambolle/params.hpp"
+#include "chambolle/solver.hpp"
+#include "common/image.hpp"
+
+namespace chambolle {
+
+struct AdaptiveOptions {
+  /// Stop when max |p_{k+1} - p_k| over both components drops below this.
+  float tolerance = 1e-4f;
+  /// Hard cap on iterations.
+  int max_iterations = 2000;
+  /// Convergence is checked every `check_every` iterations (checking is as
+  /// expensive as an iteration, so batching amortizes it).
+  int check_every = 10;
+
+  void validate() const;
+};
+
+struct AdaptiveResult {
+  ChambolleResult solution;
+  int iterations_used = 0;
+  float final_residual = 0.f;  ///< max |dp| at the last check
+  bool converged = false;      ///< hit tolerance before the cap
+};
+
+/// Solves min TV(u) + ||u-v||^2/(2 theta) iterating until the dual state
+/// stabilizes.  params.iterations is ignored (the tolerance governs).
+[[nodiscard]] AdaptiveResult solve_adaptive(const Matrix<float>& v,
+                                            const ChambolleParams& params,
+                                            const AdaptiveOptions& options);
+
+}  // namespace chambolle

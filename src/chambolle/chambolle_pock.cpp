@@ -1,0 +1,73 @@
+#include "chambolle/chambolle_pock.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "grid/diff_ops.hpp"
+
+namespace chambolle {
+
+void ChambollePockParams::validate() const {
+  if (theta <= 0.f) throw std::invalid_argument("ChambollePock: theta <= 0");
+  if (tau_pd <= 0.f || sigma <= 0.f)
+    throw std::invalid_argument("ChambollePock: steps must be positive");
+  if (tau_pd * sigma * 8.f > 1.f + 1e-5f)
+    throw std::invalid_argument(
+        "ChambollePock: tau*sigma*L^2 > 1 breaks convergence (L^2 = 8)");
+  if (iterations < 0)
+    throw std::invalid_argument("ChambollePock: negative iterations");
+}
+
+ChambolleResult solve_chambolle_pock(const Matrix<float>& v,
+                                     const ChambollePockParams& params) {
+  params.validate();
+  const int rows = v.rows(), cols = v.cols();
+
+  Matrix<float> u = v;          // warm primal start at the data
+  Matrix<float> u_bar = v;
+  Matrix<float> yx(rows, cols), yy(rows, cols);
+  float tau = params.tau_pd;
+  float sigma = params.sigma;
+  const float gamma = 1.f / params.theta;  // strong-convexity modulus
+
+  for (int it = 0; it < params.iterations; ++it) {
+    // Dual ascent + projection onto the unit ball.
+    const Matrix<float> gx = grid::forward_x(u_bar);
+    const Matrix<float> gy = grid::forward_y(u_bar);
+    for (std::size_t i = 0; i < yx.size(); ++i) {
+      const float nx = yx.data()[i] + sigma * gx.data()[i];
+      const float ny = yy.data()[i] + sigma * gy.data()[i];
+      const float mag = std::sqrt(nx * nx + ny * ny);
+      const float scale = mag > 1.f ? 1.f / mag : 1.f;
+      yx.data()[i] = nx * scale;
+      yy.data()[i] = ny * scale;
+    }
+
+    // Primal proximal step for ||u - v||^2 / (2 theta).
+    const Matrix<float> div = grid::divergence(yx, yy);
+    const float w = tau / params.theta;
+    const Matrix<float> u_prev = u;
+    for (std::size_t i = 0; i < u.size(); ++i)
+      u.data()[i] = (u.data()[i] + tau * div.data()[i] + w * v.data()[i]) /
+                    (1.f + w);
+
+    float momentum = 1.f;
+    if (params.accelerate) {
+      const float accel = 1.f / std::sqrt(1.f + 2.f * gamma * tau);
+      momentum = accel;
+      tau *= accel;
+      sigma /= accel;
+    }
+    for (std::size_t i = 0; i < u.size(); ++i)
+      u_bar.data()[i] =
+          u.data()[i] + momentum * (u.data()[i] - u_prev.data()[i]);
+  }
+
+  ChambolleResult out;
+  out.u = std::move(u);
+  out.p.px = std::move(yx);
+  out.p.py = std::move(yy);
+  return out;
+}
+
+}  // namespace chambolle

@@ -1,0 +1,98 @@
+#include "chambolle/dependency.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "chambolle/solver.hpp"
+
+namespace chambolle {
+
+const std::vector<Offset>& dependency_stencil() {
+  // Derived in the header comment; matches Figure 1.a (7 elements).  The set
+  // happens to be symmetric under negation, so "what (i,j) depends on" and
+  // "who depends on (i,j)" coincide.
+  static const std::vector<Offset> stencil = {
+      {0, 0}, {0, -1}, {-1, 0}, {0, 1}, {-1, 1}, {1, 0}, {1, -1}};
+  return stencil;
+}
+
+std::set<Offset> dependency_cone(const std::set<Offset>& group, int depth) {
+  if (depth < 0) throw std::invalid_argument("dependency_cone: depth < 0");
+  std::set<Offset> cone = group;
+  for (int d = 0; d < depth; ++d) {
+    std::set<Offset> next;
+    for (const Offset& o : cone)
+      for (const Offset& s : dependency_stencil())
+        next.insert({o.dr + s.dr, o.dc + s.dc});
+    cone = std::move(next);
+  }
+  return cone;
+}
+
+DecompositionOverhead decomposition_overhead(int group_rows, int group_cols,
+                                             int depth) {
+  if (group_rows <= 0 || group_cols <= 0)
+    throw std::invalid_argument("decomposition_overhead: empty group");
+  std::set<Offset> group;
+  for (int r = 0; r < group_rows; ++r)
+    for (int c = 0; c < group_cols; ++c) group.insert({r, c});
+  const std::set<Offset> cone = dependency_cone(group, depth);
+  DecompositionOverhead out;
+  out.group_rows = group_rows;
+  out.group_cols = group_cols;
+  out.depth = depth;
+  out.group_elements = group_rows * group_cols;
+  out.cone_elements = static_cast<int>(cone.size());
+  out.per_element =
+      static_cast<double>(out.cone_elements) / out.group_elements;
+  return out;
+}
+
+int profitable_margin(int merged_iterations) {
+  if (merged_iterations < 0)
+    throw std::invalid_argument("profitable_margin: negative iterations");
+  // The stencil extends one cell in each of the four directions, so the
+  // dependency cone radius grows by exactly 1 per merged iteration.
+  return merged_iterations;
+}
+
+std::set<Offset> empirical_dependents(int grid) {
+  if (grid < 5 || grid % 2 == 0)
+    throw std::invalid_argument("empirical_dependents: grid must be odd >= 5");
+  const int mid = grid / 2;
+  ChambolleParams params;
+  params.iterations = 1;
+
+  // A smooth non-trivial v so no Term is accidentally zero.
+  Matrix<float> v(grid, grid);
+  for (int r = 0; r < grid; ++r)
+    for (int c = 0; c < grid; ++c)
+      v(r, c) = std::sin(0.7f * static_cast<float>(r)) +
+                0.5f * std::cos(0.9f * static_cast<float>(c));
+
+  const auto run = [&](float bump) {
+    DualField p(grid, grid);
+    for (int r = 0; r < grid; ++r)
+      for (int c = 0; c < grid; ++c) {
+        p.px(r, c) = 0.1f * std::sin(0.3f * static_cast<float>(r * grid + c));
+        p.py(r, c) = 0.1f * std::cos(0.2f * static_cast<float>(r * grid + c));
+      }
+    p.px(mid, mid) += bump;
+    p.py(mid, mid) += bump;
+    const RegionGeometry geom = RegionGeometry::full_frame(grid, grid);
+    Matrix<float> scratch;
+    iterate_region(p.px, p.py, v, geom, params, 1, scratch);
+    return p;
+  };
+
+  const DualField base = run(0.f);
+  const DualField bumped = run(0.05f);
+  std::set<Offset> changed;
+  for (int r = 0; r < grid; ++r)
+    for (int c = 0; c < grid; ++c)
+      if (base.px(r, c) != bumped.px(r, c) || base.py(r, c) != bumped.py(r, c))
+        changed.insert({r - mid, c - mid});
+  return changed;
+}
+
+}  // namespace chambolle

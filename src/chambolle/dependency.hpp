@@ -1,0 +1,64 @@
+// dependency.hpp — the data-dependency analysis of Section III / Figure 1.
+//
+// One Chambolle iteration updates p(i,j) from seven iteration-n elements:
+// expanding Algorithm 1, Term at (i,j), (i,j+1) and (i+1,j) must be formed,
+// and each Term(a,b) reads p at (a,b), (a,b-1) and (a-1,b).  The union is the
+// 7-point stencil of Figure 1.a.  Computing a GROUP of elements amortizes the
+// cone: the paper reports 14 iteration-n elements for a 2x2 group (3.5 per
+// element) and observes that square-ish groups minimize the overhead.  This
+// module computes those cones exactly, for any group shape and merge depth,
+// and derives the profitable-region margin used by the tiled solvers.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace chambolle {
+
+/// Grid offset (row, col) relative to the element being computed.
+struct Offset {
+  int dr = 0;
+  int dc = 0;
+  friend auto operator<=>(const Offset&, const Offset&) = default;
+};
+
+/// The 7 iteration-n elements one iteration-(n+1) element depends on
+/// (Figure 1.a).
+[[nodiscard]] const std::vector<Offset>& dependency_stencil();
+
+/// Iteration-n elements required to compute the given group of elements at
+/// iteration n + depth (repeated stencil expansion; Figure 1.b/1.c).
+[[nodiscard]] std::set<Offset> dependency_cone(const std::set<Offset>& group,
+                                               int depth);
+
+/// Overhead statistics for computing a gh x gw block of elements `depth`
+/// iterations ahead.
+struct DecompositionOverhead {
+  int group_rows = 0;
+  int group_cols = 0;
+  int depth = 0;
+  int group_elements = 0;   ///< gh * gw
+  int cone_elements = 0;    ///< |dependency cone|
+  double per_element = 0.;  ///< cone / group — 7.0 for 1x1 depth 1, 3.5 for 2x2
+};
+
+[[nodiscard]] DecompositionOverhead decomposition_overhead(int group_rows,
+                                                           int group_cols,
+                                                           int depth);
+
+/// Profitable margin: elements within `merged_iterations` cells of a tile
+/// edge that is NOT a frame border are non-profitable after locally merging
+/// that many iterations (the cone of radius `merged_iterations` leaves the
+/// tile).  Frame borders cost no margin — "the algorithm inherently treats
+/// them as special cases" (Section III-A).
+[[nodiscard]] int profitable_margin(int merged_iterations);
+
+/// Empirical stencil discovery: runs one float iteration on a small grid with
+/// and without a perturbation of p at the center and returns the offsets of
+/// the p-elements whose next-iteration value changed.  Used by tests to prove
+/// the analytical stencil matches the executable algorithm.
+[[nodiscard]] std::set<Offset> empirical_dependents(int grid = 11);
+
+}  // namespace chambolle

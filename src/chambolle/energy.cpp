@@ -1,0 +1,48 @@
+#include "chambolle/energy.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "grid/diff_ops.hpp"
+
+namespace chambolle {
+
+double total_variation(const Matrix<float>& u) {
+  const Matrix<float> gx = grid::forward_x(u);
+  const Matrix<float> gy = grid::forward_y(u);
+  double tv = 0.0;
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    const double a = gx.data()[i], b = gy.data()[i];
+    tv += std::sqrt(a * a + b * b);
+  }
+  return tv;
+}
+
+double l2_distance_sq(const Matrix<float>& u, const Matrix<float>& v) {
+  if (!u.same_shape(v)) throw std::invalid_argument("l2_distance_sq: shape");
+  double s = 0.0;
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    const double d = static_cast<double>(u.data()[i]) - v.data()[i];
+    s += d * d;
+  }
+  return s;
+}
+
+double rof_energy(const Matrix<float>& u, const Matrix<float>& v,
+                  float theta) {
+  if (theta <= 0.f) throw std::invalid_argument("rof_energy: theta <= 0");
+  return total_variation(u) + l2_distance_sq(u, v) / (2.0 * theta);
+}
+
+double max_dual_magnitude(const Matrix<float>& px, const Matrix<float>& py) {
+  if (!px.same_shape(py))
+    throw std::invalid_argument("max_dual_magnitude: shape");
+  double m = 0.0;
+  for (std::size_t i = 0; i < px.size(); ++i) {
+    const double a = px.data()[i], b = py.data()[i];
+    m = std::max(m, std::sqrt(a * a + b * b));
+  }
+  return m;
+}
+
+}  // namespace chambolle

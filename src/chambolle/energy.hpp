@@ -1,0 +1,31 @@
+// energy.hpp — the ROF objective the Chambolle iteration minimizes.
+//
+// For the sub-problem solved at each TV-L1 level (u given v):
+//     E(u) = TV(u) + 1/(2*theta) * ||u - v||^2
+// with TV(u) the discrete total variation under the same forward-difference
+// scheme as the solver.  Energy monotonicity along the iterates is one of the
+// library's primary correctness oracles.
+#pragma once
+
+#include "common/matrix.hpp"
+
+namespace chambolle {
+
+/// Discrete total variation: sum over the grid of |forward gradient|.
+[[nodiscard]] double total_variation(const Matrix<float>& u);
+
+/// Squared L2 distance sum (u - v)^2 over the grid.
+[[nodiscard]] double l2_distance_sq(const Matrix<float>& u,
+                                    const Matrix<float>& v);
+
+/// The ROF energy E(u) = TV(u) + 1/(2*theta)*||u - v||^2.
+[[nodiscard]] double rof_energy(const Matrix<float>& u, const Matrix<float>& v,
+                                float theta);
+
+/// Largest dual magnitude max_ij |(px, py)(i,j)|; the Chambolle iteration
+/// keeps this <= 1 (the projection onto the unit ball), which the 9-bit Q1.8
+/// hardware format relies on.
+[[nodiscard]] double max_dual_magnitude(const Matrix<float>& px,
+                                        const Matrix<float>& py);
+
+}  // namespace chambolle

@@ -1,0 +1,152 @@
+#include "chambolle/fixed_solver.hpp"
+
+#include <stdexcept>
+
+#include "fixedpoint/lut_sqrt.hpp"
+
+namespace chambolle {
+
+FixedParams FixedParams::from(const ChambolleParams& p) {
+  p.validate();
+  FixedParams f;
+  f.theta_q = fx::to_fixed(p.theta);
+  f.inv_theta_q = fx::to_fixed(1.0 / p.theta);
+  f.step_q = fx::to_fixed(static_cast<double>(p.tau) / p.theta);
+  f.iterations = p.iterations;
+  return f;
+}
+
+namespace fxdp {
+
+TermOut pe_t_op(std::int32_t c_px, std::int32_t l_px, std::int32_t c_py,
+                std::int32_t a_py, std::int32_t v, bool first_col,
+                bool last_col, bool first_row, bool last_row,
+                std::int32_t inv_theta_q) {
+  // BackwardX / BackwardY with the Chambolle border rules (Figure 6 wires
+  // the two subtractions in parallel before the Term adder).
+  const std::int32_t dx = first_col ? c_px : (last_col ? -l_px : c_px - l_px);
+  const std::int32_t dy = first_row ? c_py : (last_row ? -a_py : c_py - a_py);
+  TermOut out;
+  out.div_p = dx + dy;
+  out.term = out.div_p - fx::mul(v, inv_theta_q);
+  return out;
+}
+
+VOut pe_v_op(std::int32_t c_term, std::int32_t r_term, std::int32_t b_term,
+             bool last_col, bool last_row, std::int32_t c_px,
+             std::int32_t c_py, std::int32_t step_q) {
+  // ForwardX / ForwardY vanish on the far frame borders.
+  const std::int32_t term1 = last_col ? 0 : r_term - c_term;
+  const std::int32_t term2 = last_row ? 0 : b_term - c_term;
+  const std::int32_t mag_sq = fx::mul(term1, term1) + fx::mul(term2, term2);
+  const std::int32_t grad = fx::lut_sqrt(mag_sq);
+  const std::int32_t denom = fx::kOne + fx::mul(step_q, grad);
+  VOut out;
+  out.px = fx::saturate_bits(fx::div(c_px + fx::mul(step_q, term1), denom),
+                             fx::kPBits);
+  out.py = fx::saturate_bits(fx::div(c_py + fx::mul(step_q, term2), denom),
+                             fx::kPBits);
+  return out;
+}
+
+std::int32_t pe_u_op(std::int32_t v, std::int32_t div_p,
+                     std::int32_t theta_q) {
+  return fx::saturate_bits(v - fx::mul(theta_q, div_p), fx::kVBits);
+}
+
+}  // namespace fxdp
+
+FixedState make_fixed_state(const Matrix<float>& v) {
+  FixedState s(v.rows(), v.cols());
+  for (std::size_t i = 0; i < v.size(); ++i)
+    s.v.data()[i] = fx::saturate_bits(fx::to_fixed(v.data()[i]), fx::kVBits);
+  return s;
+}
+
+void fixed_iterate_region(FixedState& state, const RegionGeometry& geom,
+                          const FixedParams& params, int iterations,
+                          Matrix<std::int32_t>& term_scratch) {
+  const int rows = state.rows(), cols = state.cols();
+  if (!state.px.same_shape(state.v) || !state.py.same_shape(state.v))
+    throw std::invalid_argument("fixed_iterate_region: shape mismatch");
+  if (rows == 0 || cols == 0 || iterations == 0) return;
+  if (!term_scratch.same_shape(state.v)) term_scratch.resize(rows, cols);
+
+  for (int it = 0; it < iterations; ++it) {
+    for (int r = 0; r < rows; ++r) {
+      const int ar = geom.row0 + r;
+      for (int c = 0; c < cols; ++c) {
+        const int ac = geom.col0 + c;
+        const std::int32_t l_px = c > 0 ? state.px(r, c - 1) : 0;
+        const std::int32_t a_py = r > 0 ? state.py(r - 1, c) : 0;
+        term_scratch(r, c) =
+            fxdp::pe_t_op(state.px(r, c), l_px, state.py(r, c), a_py,
+                          state.v(r, c), ac == 0, ac == geom.frame_cols - 1,
+                          ar == 0, ar == geom.frame_rows - 1,
+                          params.inv_theta_q)
+                .term;
+      }
+    }
+    for (int r = 0; r < rows; ++r) {
+      const int ar = geom.row0 + r;
+      for (int c = 0; c < cols; ++c) {
+        const int ac = geom.col0 + c;
+        const bool last_col = ac == geom.frame_cols - 1 || c + 1 >= cols;
+        const bool last_row = ar == geom.frame_rows - 1 || r + 1 >= rows;
+        const std::int32_t r_term = last_col ? 0 : term_scratch(r, c + 1);
+        const std::int32_t b_term = last_row ? 0 : term_scratch(r + 1, c);
+        const fxdp::VOut out =
+            fxdp::pe_v_op(term_scratch(r, c), r_term, b_term, last_col,
+                          last_row, state.px(r, c), state.py(r, c),
+                          params.step_q);
+        state.px(r, c) = out.px;
+        state.py(r, c) = out.py;
+      }
+    }
+  }
+}
+
+Matrix<std::int32_t> fixed_recover_u(const FixedState& state,
+                                     const RegionGeometry& geom,
+                                     std::int32_t theta_q) {
+  const int rows = state.rows(), cols = state.cols();
+  Matrix<std::int32_t> u(rows, cols);
+  for (int r = 0; r < rows; ++r) {
+    const int ar = geom.row0 + r;
+    for (int c = 0; c < cols; ++c) {
+      const int ac = geom.col0 + c;
+      const std::int32_t l_px = c > 0 ? state.px(r, c - 1) : 0;
+      const std::int32_t a_py = r > 0 ? state.py(r - 1, c) : 0;
+      const std::int32_t inv_theta_unused = fx::kOne;  // div_p only
+      const fxdp::TermOut t =
+          fxdp::pe_t_op(state.px(r, c), l_px, state.py(r, c), a_py, 0,
+                        ac == 0, ac == geom.frame_cols - 1, ar == 0,
+                        ar == geom.frame_rows - 1, inv_theta_unused);
+      u(r, c) = fxdp::pe_u_op(state.v(r, c), t.div_p, theta_q);
+    }
+  }
+  return u;
+}
+
+ChambolleResult solve_fixed(const Matrix<float>& v,
+                            const ChambolleParams& params) {
+  const FixedParams fp = FixedParams::from(params);
+  FixedState state = make_fixed_state(v);
+  const RegionGeometry geom = RegionGeometry::full_frame(v.rows(), v.cols());
+  Matrix<std::int32_t> scratch;
+  fixed_iterate_region(state, geom, fp, fp.iterations, scratch);
+  ChambolleResult out;
+  out.u = dequantize(fixed_recover_u(state, geom, fp.theta_q));
+  out.p.px = dequantize(state.px);
+  out.p.py = dequantize(state.py);
+  return out;
+}
+
+Matrix<float> dequantize(const Matrix<std::int32_t>& raw) {
+  Matrix<float> out(raw.rows(), raw.cols());
+  for (std::size_t i = 0; i < raw.size(); ++i)
+    out.data()[i] = fx::to_float(raw.data()[i]);
+  return out;
+}
+
+}  // namespace chambolle

@@ -1,0 +1,105 @@
+// fixed_solver.hpp — bit-accurate software model of the hardware datapath.
+//
+// The FPGA stores v in Q5.8 (13 bits) and px/py in Q1.8 (9 bits) packed into
+// 32-bit BRAM words (Section V-B), computes in Q24.8, and takes square roots
+// through the 256-entry LUT (Section V-C).  This module implements exactly
+// that arithmetic as a plain software solver.  The cycle-level simulator in
+// src/hw reuses the per-element datapath functions below, so "simulator ==
+// fixed solver" tests verify that the PE-array operand ROUTING (forwarding
+// flip-flops, BRAM-Term bridging, vertical rotation) is correct, while
+// "fixed solver ~= float solver" tests bound the quantization error.
+#pragma once
+
+#include <cstdint>
+
+#include "chambolle/params.hpp"
+#include "chambolle/solver.hpp"
+#include "common/image.hpp"
+#include "fixedpoint/packed_word.hpp"
+#include "fixedpoint/qformat.hpp"
+
+namespace chambolle {
+
+/// Quantized solver constants (all Q24.8 raw).
+struct FixedParams {
+  std::int32_t theta_q = 0;      ///< theta
+  std::int32_t inv_theta_q = 0;  ///< 1/theta
+  std::int32_t step_q = 0;       ///< tau/theta (Algorithm 1, lines 7-8)
+  int iterations = 0;
+
+  [[nodiscard]] static FixedParams from(const ChambolleParams& p);
+};
+
+/// Dense fixed-point state: raw Q5.8 v and Q1.8 px/py (stored widened in
+/// int32 but always saturated to their BRAM widths after every update).
+struct FixedState {
+  Matrix<std::int32_t> v;
+  Matrix<std::int32_t> px;
+  Matrix<std::int32_t> py;
+
+  FixedState() = default;
+  FixedState(int rows, int cols) : v(rows, cols), px(rows, cols), py(rows, cols) {}
+  [[nodiscard]] int rows() const { return v.rows(); }
+  [[nodiscard]] int cols() const { return v.cols(); }
+};
+
+/// Per-element datapath stages, shared verbatim with the hw simulator.
+namespace fxdp {
+
+/// What a PE-T computes (Figure 6): div p, then Term = div p - v/theta.
+struct TermOut {
+  std::int32_t div_p = 0;
+  std::int32_t term = 0;
+};
+
+/// c_px/c_py are the element's own dual values, l_px the left neighbor's px,
+/// a_py the upper neighbor's py (the paper's operand names, Section V-A).
+[[nodiscard]] TermOut pe_t_op(std::int32_t c_px, std::int32_t l_px,
+                              std::int32_t c_py, std::int32_t a_py,
+                              std::int32_t v, bool first_col, bool last_col,
+                              bool first_row, bool last_row,
+                              std::int32_t inv_theta_q);
+
+/// What a PE-V computes (Figure 7): forward differences of Term (c_term =
+/// own, r_term = right neighbor, b_term = below neighbor), LUT sqrt of the
+/// gradient magnitude, and the projected dual update.  Results saturate to
+/// the 9-bit Q1.8 BRAM format.
+struct VOut {
+  std::int32_t px = 0;
+  std::int32_t py = 0;
+};
+
+[[nodiscard]] VOut pe_v_op(std::int32_t c_term, std::int32_t r_term,
+                           std::int32_t b_term, bool last_col, bool last_row,
+                           std::int32_t c_px, std::int32_t c_py,
+                           std::int32_t step_q);
+
+/// u = v - theta * div p, saturated to the 13-bit Q5.8 v format.
+[[nodiscard]] std::int32_t pe_u_op(std::int32_t v, std::int32_t div_p,
+                                   std::int32_t theta_q);
+
+}  // namespace fxdp
+
+/// Quantizes a float field into the fixed-point state (v saturated to Q5.8;
+/// px/py start at zero per Algorithm 1).
+[[nodiscard]] FixedState make_fixed_state(const Matrix<float>& v);
+
+/// Runs `iterations` fixed-point Chambolle iterations in place over a window
+/// (same region semantics as the float iterate_region).
+void fixed_iterate_region(FixedState& state, const RegionGeometry& geom,
+                          const FixedParams& params, int iterations,
+                          Matrix<std::int32_t>& term_scratch);
+
+/// u = v - theta*div p over the window, in the Q5.8 format.
+[[nodiscard]] Matrix<std::int32_t> fixed_recover_u(const FixedState& state,
+                                                   const RegionGeometry& geom,
+                                                   std::int32_t theta_q);
+
+/// Full solve returning a float u (dequantized), for accuracy comparisons.
+[[nodiscard]] ChambolleResult solve_fixed(const Matrix<float>& v,
+                                          const ChambolleParams& params);
+
+/// Dequantizes a raw Q*.8 matrix to float.
+[[nodiscard]] Matrix<float> dequantize(const Matrix<std::int32_t>& raw);
+
+}  // namespace chambolle

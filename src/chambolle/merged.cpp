@@ -1,0 +1,149 @@
+#include "chambolle/merged.hpp"
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "chambolle/dependency.hpp"
+
+namespace chambolle {
+namespace {
+
+using Coord = std::pair<int, int>;  // (row, col), absolute frame coordinates
+
+struct PVal {
+  float px = 0.f;
+  float py = 0.f;
+};
+
+// Expands a layer by the dependency stencil, clipped to the frame.
+std::map<Coord, PVal> expand_layer(const std::map<Coord, PVal>& layer,
+                                   int frame_rows, int frame_cols) {
+  std::map<Coord, PVal> out;
+  for (const auto& [coord, unused] : layer) {
+    (void)unused;
+    for (const Offset& s : dependency_stencil()) {
+      const int r = coord.first + s.dr;
+      const int c = coord.second + s.dc;
+      if (r >= 0 && r < frame_rows && c >= 0 && c < frame_cols)
+        out.emplace(Coord{r, c}, PVal{});
+    }
+  }
+  return out;
+}
+
+// div p at an absolute coordinate, reading neighbors from the layer map.
+// Every in-frame neighbor is guaranteed present by the cone construction.
+float div_p_at(const std::map<Coord, PVal>& layer, int r, int c,
+               int frame_rows, int frame_cols) {
+  const auto get = [&](int rr, int cc) -> const PVal& {
+    const auto it = layer.find({rr, cc});
+    if (it == layer.end())
+      throw std::logic_error("merged_update: cone is missing a dependency");
+    return it->second;
+  };
+  const PVal& center = get(r, c);
+  float dx;
+  if (c == 0)
+    dx = center.px;
+  else if (c == frame_cols - 1)
+    dx = -get(r, c - 1).px;
+  else
+    dx = center.px - get(r, c - 1).px;
+  float dy;
+  if (r == 0)
+    dy = center.py;
+  else if (r == frame_rows - 1)
+    dy = -get(r - 1, c).py;
+  else
+    dy = center.py - get(r - 1, c).py;
+  return dx + dy;
+}
+
+}  // namespace
+
+MergedResult merged_update(const Matrix<float>& px, const Matrix<float>& py,
+                           const Matrix<float>& v, int row0, int col0,
+                           int group_rows, int group_cols, int depth,
+                           const ChambolleParams& params) {
+  params.validate();
+  if (!px.same_shape(py) || !px.same_shape(v))
+    throw std::invalid_argument("merged_update: field shape mismatch");
+  if (depth < 0) throw std::invalid_argument("merged_update: depth < 0");
+  if (group_rows <= 0 || group_cols <= 0 || row0 < 0 || col0 < 0 ||
+      row0 + group_rows > v.rows() || col0 + group_cols > v.cols())
+    throw std::invalid_argument("merged_update: group outside frame");
+
+  const int R = v.rows(), C = v.cols();
+  const float inv_theta = 1.f / params.theta;
+  const float step = params.step();
+
+  // Layer sets: layers[0] is the target group, layers[j] the iteration-(n +
+  // depth - j) elements it transitively needs; layers[depth] is read from
+  // the iteration-n input.
+  std::vector<std::map<Coord, PVal>> layers(
+      static_cast<std::size_t>(depth) + 1);
+  for (int r = 0; r < group_rows; ++r)
+    for (int c = 0; c < group_cols; ++c)
+      layers[0].emplace(Coord{row0 + r, col0 + c}, PVal{});
+  for (int j = 0; j < depth; ++j)
+    layers[static_cast<std::size_t>(j) + 1] =
+        expand_layer(layers[static_cast<std::size_t>(j)], R, C);
+
+  MergedResult result;
+  result.stats.cone_reads = layers[static_cast<std::size_t>(depth)].size();
+
+  // Seed the deepest layer from the iteration-n state.
+  for (auto& [coord, val] : layers[static_cast<std::size_t>(depth)]) {
+    val.px = px(coord.first, coord.second);
+    val.py = py(coord.first, coord.second);
+  }
+
+  // Walk the cone inward: layer j is computed from layer j+1 with exactly the
+  // reference solver's arithmetic (Term cache avoids recomputing shared
+  // Terms, mirroring the PE arrays' operand forwarding).
+  for (int j = depth - 1; j >= 0; --j) {
+    const std::map<Coord, PVal>& deeper =
+        layers[static_cast<std::size_t>(j) + 1];
+    std::map<Coord, float> term_cache;
+    const auto term_at = [&](int r, int c) {
+      const auto it = term_cache.find({r, c});
+      if (it != term_cache.end()) return it->second;
+      const float t = div_p_at(deeper, r, c, R, C) - v(r, c) * inv_theta;
+      term_cache.emplace(Coord{r, c}, t);
+      ++result.stats.term_evals;
+      return t;
+    };
+    for (auto& [coord, val] : layers[static_cast<std::size_t>(j)]) {
+      const int r = coord.first, c = coord.second;
+      const float t = term_at(r, c);
+      const float term1 = c == C - 1 ? 0.f : term_at(r, c + 1) - t;
+      const float term2 = r == R - 1 ? 0.f : term_at(r + 1, c) - t;
+      const float grad = std::sqrt(term1 * term1 + term2 * term2);
+      const float denom = 1.f + step * grad;
+      const PVal& prev = deeper.at(coord);
+      val.px = (prev.px + step * term1) / denom;
+      val.py = (prev.py + step * term2) / denom;
+      ++result.stats.p_updates;
+    }
+  }
+
+  result.px.resize(group_rows, group_cols);
+  result.py.resize(group_rows, group_cols);
+  if (depth == 0) {
+    for (auto& [coord, val] : layers[0]) {
+      val.px = px(coord.first, coord.second);
+      val.py = py(coord.first, coord.second);
+    }
+    result.stats.cone_reads = layers[0].size();
+  }
+  for (const auto& [coord, val] : layers[0]) {
+    result.px(coord.first - row0, coord.second - col0) = val.px;
+    result.py(coord.first - row0, coord.second - col0) = val.py;
+  }
+  return result;
+}
+
+}  // namespace chambolle

@@ -1,0 +1,54 @@
+// merged.hpp — loop decomposition in its purest form (Section III-A).
+//
+// "our approach aims at directly computing each element of px and py at
+//  iteration n + x by finding a formula that employs the values available at
+//  iteration n."
+//
+// merged_update() computes the dual state of a GROUP of elements `depth`
+// iterations ahead straight from the iteration-n fields, materializing ONLY
+// the dependency cone of Figure 1 — no full-frame intermediate state.  It is
+// the executable counterpart of the cone arithmetic in dependency.hpp: the
+// work counters it returns equal the analytic cone sizes, and its outputs are
+// bit-identical to running the reference solver `depth` times (both facts
+// are asserted by the tests).  The sliding-window solvers are the
+// rectangular-buffer specialization of this kernel.
+#pragma once
+
+#include <cstddef>
+
+#include "chambolle/params.hpp"
+#include "common/image.hpp"
+
+namespace chambolle {
+
+/// Work accounting of one merged update.
+struct MergedStats {
+  /// p-elements read from the iteration-n state (== |dependency cone|,
+  /// clipped to the frame).
+  std::size_t cone_reads = 0;
+  /// Term evaluations performed across all intermediate layers.
+  std::size_t term_evals = 0;
+  /// Dual updates performed across all intermediate layers (including the
+  /// final group itself).
+  std::size_t p_updates = 0;
+};
+
+/// Result of a merged update of a group rectangle.
+struct MergedResult {
+  Matrix<float> px;  ///< group_rows x group_cols, iteration n+depth values
+  Matrix<float> py;
+  MergedStats stats;
+};
+
+/// Computes p^(n+depth) on the rectangle [row0, row0+group_rows) x
+/// [col0, col0+group_cols) of the frame, given the full iteration-n state
+/// (px, py, v).  depth == 0 returns the current values.  The rectangle must
+/// lie inside the frame.  Throws std::invalid_argument on bad geometry.
+[[nodiscard]] MergedResult merged_update(const Matrix<float>& px,
+                                         const Matrix<float>& py,
+                                         const Matrix<float>& v, int row0,
+                                         int col0, int group_rows,
+                                         int group_cols, int depth,
+                                         const ChambolleParams& params);
+
+}  // namespace chambolle

@@ -1,0 +1,130 @@
+#include "chambolle/row_parallel.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace chambolle {
+namespace {
+
+int resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+// Runs fn(strip_index) for every strip on a worker pool and joins — the
+// join IS the barrier of the schedule.
+template <typename Fn>
+void parallel_strips(int num_strips, int threads, Fn&& fn) {
+  if (threads <= 1 || num_strips <= 1) {
+    for (int i = 0; i < num_strips; ++i) fn(i);
+    return;
+  }
+  std::atomic<int> next{0};
+  const auto worker = [&] {
+    for (;;) {
+      const int i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= num_strips) return;
+      fn(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  const int n = std::min(threads, num_strips);
+  pool.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+}
+
+}  // namespace
+
+void RowParallelOptions::validate() const {
+  if (num_threads < 0)
+    throw std::invalid_argument("RowParallelOptions: negative num_threads");
+  if (rows_per_strip <= 0)
+    throw std::invalid_argument("RowParallelOptions: rows_per_strip <= 0");
+}
+
+ChambolleResult solve_row_parallel(const Matrix<float>& v,
+                                   const ChambolleParams& params,
+                                   const RowParallelOptions& options,
+                                   RowParallelStats* stats) {
+  params.validate();
+  options.validate();
+  const int rows = v.rows(), cols = v.cols();
+  const int threads = resolve_threads(options.num_threads);
+  const int strips = std::max((rows + options.rows_per_strip - 1) /
+                                  std::max(options.rows_per_strip, 1),
+                              1);
+  const float inv_theta = 1.f / params.theta;
+  const float step = params.step();
+
+  Matrix<float> px(rows, cols), py(rows, cols), term(rows, cols);
+  int barriers = 0;
+
+  const auto strip_range = [&](int s, int& r0, int& r1) {
+    r0 = s * options.rows_per_strip;
+    r1 = std::min(rows, r0 + options.rows_per_strip);
+  };
+
+  for (int it = 0; it < params.iterations; ++it) {
+    // Phase 1: Terms (reads p, writes term) — identical arithmetic to the
+    // reference solver so the result is bit-exact.
+    parallel_strips(strips, threads, [&](int s) {
+      int r0, r1;
+      strip_range(s, r0, r1);
+      for (int r = r0; r < r1; ++r)
+        for (int c = 0; c < cols; ++c) {
+          float dx;
+          if (c == 0)
+            dx = px(r, c);
+          else if (c == cols - 1)
+            dx = -px(r, c - 1);
+          else
+            dx = px(r, c) - px(r, c - 1);
+          float dy;
+          if (r == 0)
+            dy = py(r, c);
+          else if (r == rows - 1)
+            dy = -py(r - 1, c);
+          else
+            dy = py(r, c) - py(r - 1, c);
+          term(r, c) = (dx + dy) - v(r, c) * inv_theta;
+        }
+    });
+    ++barriers;
+
+    // Phase 2: dual updates (reads term, writes p).
+    parallel_strips(strips, threads, [&](int s) {
+      int r0, r1;
+      strip_range(s, r0, r1);
+      for (int r = r0; r < r1; ++r)
+        for (int c = 0; c < cols; ++c) {
+          const float t = term(r, c);
+          const float term1 = c == cols - 1 ? 0.f : term(r, c + 1) - t;
+          const float term2 = r == rows - 1 ? 0.f : term(r + 1, c) - t;
+          const float grad = std::sqrt(term1 * term1 + term2 * term2);
+          const float denom = 1.f + step * grad;
+          px(r, c) = (px(r, c) + step * term1) / denom;
+          py(r, c) = (py(r, c) + step * term2) / denom;
+        }
+    });
+    ++barriers;
+  }
+
+  if (stats != nullptr) {
+    stats->barriers = barriers;
+    stats->strips = static_cast<std::size_t>(strips);
+  }
+
+  ChambolleResult out;
+  out.u = recover_u(v, px, py, RegionGeometry::full_frame(rows, cols),
+                    params.theta);
+  out.p.px = std::move(px);
+  out.p.py = std::move(py);
+  return out;
+}
+
+}  // namespace chambolle

@@ -1,0 +1,124 @@
+#include "chambolle/solver.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace chambolle {
+namespace {
+
+void check_shapes(const Matrix<float>& px, const Matrix<float>& py,
+                  const Matrix<float>& v, const RegionGeometry& geom) {
+  if (!px.same_shape(py) || !px.same_shape(v))
+    throw std::invalid_argument("iterate_region: buffer shape mismatch");
+  if (geom.row0 < 0 || geom.col0 < 0 ||
+      geom.row0 + px.rows() > geom.frame_rows ||
+      geom.col0 + px.cols() > geom.frame_cols)
+    throw std::invalid_argument("iterate_region: window exceeds frame");
+}
+
+// div p at buffer cell (r, c).  Applies the Chambolle one-sided rules at true
+// frame borders; at buffer-internal edges that are NOT frame borders the
+// missing halo neighbor is read as 0 (the cell is non-profitable there, so
+// the value only has to be *defined*, not correct).
+inline float div_p_at(const Matrix<float>& px, const Matrix<float>& py, int r,
+                      int c, const RegionGeometry& g) {
+  const int ar = g.row0 + r;  // absolute frame coordinates
+  const int ac = g.col0 + c;
+  float dx;
+  if (ac == 0)
+    dx = px(r, c);
+  else if (ac == g.frame_cols - 1)
+    dx = -(c > 0 ? px(r, c - 1) : 0.f);
+  else
+    dx = px(r, c) - (c > 0 ? px(r, c - 1) : 0.f);
+  float dy;
+  if (ar == 0)
+    dy = py(r, c);
+  else if (ar == g.frame_rows - 1)
+    dy = -(r > 0 ? py(r - 1, c) : 0.f);
+  else
+    dy = py(r, c) - (r > 0 ? py(r - 1, c) : 0.f);
+  return dx + dy;
+}
+
+}  // namespace
+
+void iterate_region(Matrix<float>& px, Matrix<float>& py,
+                    const Matrix<float>& v, const RegionGeometry& geom,
+                    const ChambolleParams& params, int iterations,
+                    Matrix<float>& term_scratch) {
+  params.validate();
+  check_shapes(px, py, v, geom);
+  const int rows = v.rows(), cols = v.cols();
+  if (rows == 0 || cols == 0 || iterations == 0) return;
+  if (!term_scratch.same_shape(v)) term_scratch.resize(rows, cols);
+
+  const float inv_theta = 1.f / params.theta;
+  const float step = params.step();
+
+  for (int it = 0; it < iterations; ++it) {
+    // Phase 1 (Algorithm 1, lines 2-3): Term = div p - v / theta.
+    for (int r = 0; r < rows; ++r)
+      for (int c = 0; c < cols; ++c)
+        term_scratch(r, c) = div_p_at(px, py, r, c, geom) - v(r, c) * inv_theta;
+
+    // Phase 2 (lines 4-8): forward differences of Term, gradient magnitude,
+    // and the projected dual update.
+    for (int r = 0; r < rows; ++r) {
+      const int ar = geom.row0 + r;
+      for (int c = 0; c < cols; ++c) {
+        const int ac = geom.col0 + c;
+        // ForwardX/ForwardY are 0 on the far frame border; at a buffer edge
+        // that is not a frame border the element is non-profitable and 0 is
+        // as good a defined value as any.
+        const float t = term_scratch(r, c);
+        const float term1 =
+            (ac == geom.frame_cols - 1 || c + 1 >= cols)
+                ? 0.f
+                : term_scratch(r, c + 1) - t;
+        const float term2 =
+            (ar == geom.frame_rows - 1 || r + 1 >= rows)
+                ? 0.f
+                : term_scratch(r + 1, c) - t;
+        const float grad = std::sqrt(term1 * term1 + term2 * term2);
+        const float denom = 1.f + step * grad;
+        px(r, c) = (px(r, c) + step * term1) / denom;
+        py(r, c) = (py(r, c) + step * term2) / denom;
+      }
+    }
+  }
+}
+
+Matrix<float> recover_u(const Matrix<float>& v, const Matrix<float>& px,
+                        const Matrix<float>& py, const RegionGeometry& geom,
+                        float theta) {
+  Matrix<float> u(v.rows(), v.cols());
+  for (int r = 0; r < v.rows(); ++r)
+    for (int c = 0; c < v.cols(); ++c)
+      u(r, c) = v(r, c) - theta * div_p_at(px, py, r, c, geom);
+  return u;
+}
+
+ChambolleResult solve(const Matrix<float>& v, const ChambolleParams& params,
+                      const DualField* initial) {
+  params.validate();
+  ChambolleResult out;
+  out.p = initial != nullptr ? *initial : DualField(v.rows(), v.cols());
+  if (initial != nullptr && !initial->px.same_shape(v))
+    throw std::invalid_argument("solve: initial dual shape mismatch");
+  const RegionGeometry geom = RegionGeometry::full_frame(v.rows(), v.cols());
+  Matrix<float> scratch;
+  iterate_region(out.p.px, out.p.py, v, geom, params, params.iterations,
+                 scratch);
+  out.u = recover_u(v, out.p.px, out.p.py, geom, params.theta);
+  return out;
+}
+
+FlowField solve_flow(const FlowField& v, const ChambolleParams& params) {
+  FlowField out;
+  out.u1 = solve(v.u1, params).u;
+  out.u2 = solve(v.u2, params).u;
+  return out;
+}
+
+}  // namespace chambolle

@@ -1,0 +1,68 @@
+// solver.hpp — reference (scalar float) implementation of Algorithm 1.
+//
+// The solver is written around one primitive, iterate_region(), which runs
+// Chambolle iterations on a rectangular window of a notional frame:
+//
+//   * the full-frame reference solver is iterate_region() on the whole frame;
+//   * the tiled sliding-window solver (tiled_solver.hpp) calls it per tile.
+//
+// Because both paths execute the *same* per-element arithmetic, the paper's
+// claim that profitable tile elements equal the full-frame result is testable
+// bit-exactly, not merely within a tolerance.
+#pragma once
+
+#include "chambolle/params.hpp"
+#include "common/image.hpp"
+
+namespace chambolle {
+
+/// Result of a Chambolle solve for one flow component.
+struct ChambolleResult {
+  Matrix<float> u;  ///< primal output, u = v - theta * div p
+  DualField p;      ///< final dual state (px, py)
+};
+
+/// Geometry of a window into a frame: the buffer holds rows
+/// [row0, row0+rows) x [col0, col0+cols) of a frame_rows x frame_cols frame.
+/// Boundary special cases apply where the *absolute* coordinate touches the
+/// frame border; buffer-internal edges that are not frame borders read
+/// whatever halo data the buffer holds.
+struct RegionGeometry {
+  int row0 = 0;
+  int col0 = 0;
+  int frame_rows = 0;
+  int frame_cols = 0;
+
+  /// Geometry for a buffer that IS the whole frame.
+  static RegionGeometry full_frame(int rows, int cols) {
+    return {0, 0, rows, cols};
+  }
+};
+
+/// Runs `iterations` Chambolle iterations in place on (px, py) over the given
+/// window.  v, px, py must share the buffer shape.  `term_scratch` is resized
+/// as needed (pass a reused buffer to avoid per-call allocation).
+void iterate_region(Matrix<float>& px, Matrix<float>& py,
+                    const Matrix<float>& v, const RegionGeometry& geom,
+                    const ChambolleParams& params, int iterations,
+                    Matrix<float>& term_scratch);
+
+/// u = v - theta * div p (Algorithm 1, line 9) over a window.
+[[nodiscard]] Matrix<float> recover_u(const Matrix<float>& v,
+                                      const Matrix<float>& px,
+                                      const Matrix<float>& py,
+                                      const RegionGeometry& geom, float theta);
+
+/// Full-frame reference solve of one component.  When `initial` is non-null
+/// the dual state starts from it instead of zero (used by warm-started TV-L1
+/// outer iterations).
+[[nodiscard]] ChambolleResult solve(const Matrix<float>& v,
+                                    const ChambolleParams& params,
+                                    const DualField* initial = nullptr);
+
+/// Solves both components of a flow field (the hardware runs them on separate
+/// PE arrays; here they are sequential but independent).
+[[nodiscard]] FlowField solve_flow(const FlowField& v,
+                                   const ChambolleParams& params);
+
+}  // namespace chambolle

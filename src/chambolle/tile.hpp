@@ -1,0 +1,62 @@
+// tile.hpp — sliding-window tiling geometry (Section III-B).
+//
+// The frame is divided into overlapping sub-matrices ("sliding windows").
+// Each tile owns a PROFITABLE rectangle — elements whose dependency cone over
+// the merged iterations stays inside the tile buffer — and the profitable
+// rectangles of all tiles partition the frame exactly ("profitable areas are
+// contiguous").  Tile edges that coincide with frame borders need no halo,
+// because the algorithm's boundary rules make those elements inherently
+// correct (Section III-A).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace chambolle {
+
+/// One sliding-window tile, in frame coordinates.
+struct TileSpec {
+  // Buffer rectangle actually loaded into the window (profitable + halo).
+  int buf_row0 = 0;
+  int buf_col0 = 0;
+  int buf_rows = 0;
+  int buf_cols = 0;
+  // Profitable rectangle written back to the output.
+  int prof_row0 = 0;
+  int prof_col0 = 0;
+  int prof_rows = 0;
+  int prof_cols = 0;
+
+  [[nodiscard]] std::size_t buffer_elements() const {
+    return static_cast<std::size_t>(buf_rows) * buf_cols;
+  }
+  [[nodiscard]] std::size_t profitable_elements() const {
+    return static_cast<std::size_t>(prof_rows) * prof_cols;
+  }
+};
+
+/// A complete tiling of a frame.
+struct TilingPlan {
+  int frame_rows = 0;
+  int frame_cols = 0;
+  int halo = 0;
+  std::vector<TileSpec> tiles;
+
+  /// Sum of all buffer elements (includes replicated halo elements).
+  [[nodiscard]] std::size_t total_buffer_elements() const;
+  /// Sum of profitable elements; equals frame_rows*frame_cols by invariant.
+  [[nodiscard]] std::size_t total_profitable_elements() const;
+  /// Redundant work fraction: buffers/frame - 1 (the paper's "slight memory
+  /// overhead ... computation overhead"; 0 means no replication).
+  [[nodiscard]] double redundancy() const;
+};
+
+/// Builds the tiling: tile buffers are at most tile_rows x tile_cols (the
+/// paper's windows are 88 x 92); `halo` is the profitable margin, equal to
+/// the number of merged iterations.  Requires tile dims > 2*halo so every
+/// tile has a non-empty profitable core.  Throws std::invalid_argument
+/// otherwise.
+[[nodiscard]] TilingPlan make_tiling(int frame_rows, int frame_cols,
+                                     int tile_rows, int tile_cols, int halo);
+
+}  // namespace chambolle

@@ -1,0 +1,130 @@
+#include "chambolle/tiled_solver.hpp"
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace chambolle {
+namespace {
+
+int resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+// Processes one tile: copy buffer, iterate locally, write back profitable.
+void process_tile(const TileSpec& t, const Matrix<float>& px,
+                  const Matrix<float>& py, Matrix<float>& px_out,
+                  Matrix<float>& py_out, const Matrix<float>& v,
+                  const TilingPlan& plan, const ChambolleParams& params,
+                  int iterations, Matrix<float>& scratch) {
+  Matrix<float> bpx = px.block(t.buf_row0, t.buf_col0, t.buf_rows, t.buf_cols);
+  Matrix<float> bpy = py.block(t.buf_row0, t.buf_col0, t.buf_rows, t.buf_cols);
+  const Matrix<float> bv =
+      v.block(t.buf_row0, t.buf_col0, t.buf_rows, t.buf_cols);
+  const RegionGeometry geom{t.buf_row0, t.buf_col0, plan.frame_rows,
+                            plan.frame_cols};
+  iterate_region(bpx, bpy, bv, geom, params, iterations, scratch);
+  const int dr = t.prof_row0 - t.buf_row0;
+  const int dc = t.prof_col0 - t.buf_col0;
+  for (int r = 0; r < t.prof_rows; ++r)
+    for (int c = 0; c < t.prof_cols; ++c) {
+      px_out(t.prof_row0 + r, t.prof_col0 + c) = bpx(dr + r, dc + c);
+      py_out(t.prof_row0 + r, t.prof_col0 + c) = bpy(dr + r, dc + c);
+    }
+}
+
+}  // namespace
+
+void TiledSolverOptions::validate() const {
+  if (merge_iterations <= 0)
+    throw std::invalid_argument("TiledSolverOptions: merge_iterations <= 0");
+  if (tile_rows <= 2 * merge_iterations || tile_cols <= 2 * merge_iterations)
+    throw std::invalid_argument(
+        "TiledSolverOptions: tile must exceed twice the merge depth");
+  if (num_threads < 0)
+    throw std::invalid_argument("TiledSolverOptions: negative num_threads");
+}
+
+void run_tiled_pass(const Matrix<float>& px, const Matrix<float>& py,
+                    Matrix<float>& px_out, Matrix<float>& py_out,
+                    const Matrix<float>& v, const TilingPlan& plan,
+                    const ChambolleParams& params, int iterations_this_pass,
+                    int num_threads) {
+  if (iterations_this_pass <= 0 || iterations_this_pass > plan.halo)
+    throw std::invalid_argument("run_tiled_pass: iterations exceed halo");
+  if (!px.same_shape(py) || !px.same_shape(v) || !px_out.same_shape(px) ||
+      !py_out.same_shape(py))
+    throw std::invalid_argument("run_tiled_pass: shape mismatch");
+
+  const int threads = resolve_threads(num_threads);
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    Matrix<float> scratch;
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= plan.tiles.size()) return;
+      process_tile(plan.tiles[i], px, py, px_out, py_out, v, plan, params,
+                   iterations_this_pass, scratch);
+    }
+  };
+
+  if (threads == 1 || plan.tiles.size() <= 1) {
+    worker();
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) pool.emplace_back(worker);
+  for (std::thread& th : pool) th.join();
+}
+
+ChambolleResult solve_tiled(const Matrix<float>& v,
+                            const ChambolleParams& params,
+                            const TiledSolverOptions& options,
+                            TiledSolverStats* stats) {
+  params.validate();
+  options.validate();
+  const int rows = v.rows(), cols = v.cols();
+  const TilingPlan plan = make_tiling(rows, cols, options.tile_rows,
+                                      options.tile_cols,
+                                      options.merge_iterations);
+
+  Matrix<float> px(rows, cols), py(rows, cols);
+  Matrix<float> px_next(rows, cols), py_next(rows, cols);
+
+  int remaining = params.iterations;
+  int passes = 0;
+  std::size_t element_iterations = 0;
+  while (remaining > 0) {
+    const int k = std::min(remaining, options.merge_iterations);
+    run_tiled_pass(px, py, px_next, py_next, v, plan, params, k,
+                   options.num_threads);
+    std::swap(px, px_next);
+    std::swap(py, py_next);
+    remaining -= k;
+    ++passes;
+    element_iterations +=
+        plan.total_buffer_elements() * static_cast<std::size_t>(k);
+  }
+
+  if (stats != nullptr) {
+    stats->passes = passes;
+    stats->tiles_per_pass = plan.tiles.size();
+    stats->element_iterations = element_iterations;
+    stats->useful_element_iterations =
+        static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols) *
+        static_cast<std::size_t>(params.iterations);
+  }
+
+  ChambolleResult out;
+  const RegionGeometry geom = RegionGeometry::full_frame(rows, cols);
+  out.u = recover_u(v, px, py, geom, params.theta);
+  out.p.px = std::move(px);
+  out.p.py = std::move(py);
+  return out;
+}
+
+}  // namespace chambolle

@@ -1,0 +1,64 @@
+#include "common/flo_io.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+
+namespace chambolle::io {
+namespace {
+
+void write_raw(std::ofstream& out, const void* p, std::size_t n) {
+  out.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+}
+
+void read_raw(std::ifstream& in, void* p, std::size_t n) {
+  in.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
+  if (!in) throw std::runtime_error("read_flo: truncated file");
+}
+
+}  // namespace
+
+void write_flo(const std::string& path, const FlowField& flow) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("write_flo: cannot open " + path);
+  const float magic = kFloMagic;
+  const std::int32_t w = flow.cols();
+  const std::int32_t h = flow.rows();
+  write_raw(out, &magic, sizeof magic);
+  write_raw(out, &w, sizeof w);
+  write_raw(out, &h, sizeof h);
+  for (int r = 0; r < h; ++r)
+    for (int c = 0; c < w; ++c) {
+      const float u = flow.u1(r, c), v = flow.u2(r, c);
+      write_raw(out, &u, sizeof u);
+      write_raw(out, &v, sizeof v);
+    }
+  if (!out) throw std::runtime_error("write_flo: write failed for " + path);
+}
+
+FlowField read_flo(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_flo: cannot open " + path);
+  float magic = 0.f;
+  std::int32_t w = 0, h = 0;
+  read_raw(in, &magic, sizeof magic);
+  if (magic != kFloMagic)
+    throw std::runtime_error("read_flo: bad magic (not a .flo file)");
+  read_raw(in, &w, sizeof w);
+  read_raw(in, &h, sizeof h);
+  if (w <= 0 || h <= 0 || w > 1 << 16 || h > 1 << 16)
+    throw std::runtime_error("read_flo: implausible dimensions");
+  FlowField flow(h, w);
+  for (int r = 0; r < h; ++r)
+    for (int c = 0; c < w; ++c) {
+      float u = 0.f, v = 0.f;
+      read_raw(in, &u, sizeof u);
+      read_raw(in, &v, sizeof v);
+      flow.u1(r, c) = u;
+      flow.u2(r, c) = v;
+    }
+  return flow;
+}
+
+}  // namespace chambolle::io

@@ -1,0 +1,25 @@
+// flo_io.hpp — Middlebury .flo optical-flow file format.
+//
+// The de-facto interchange format for dense flow fields (Baker et al.,
+// "A Database and Evaluation Methodology for Optical Flow"): the magic float
+// 202021.25 ("PIEH"), int32 width/height, then row-major interleaved
+// (u, v) float pairs, all little-endian.  Lets results from this library be
+// consumed by standard evaluation tooling and vice versa.
+#pragma once
+
+#include <string>
+
+#include "common/image.hpp"
+
+namespace chambolle::io {
+
+/// The format's magic number (reads "PIEH" when viewed as bytes).
+inline constexpr float kFloMagic = 202021.25f;
+
+/// Writes a flow field as a .flo file. Throws std::runtime_error on failure.
+void write_flo(const std::string& path, const FlowField& flow);
+
+/// Reads a .flo file. Throws std::runtime_error on parse failure.
+[[nodiscard]] FlowField read_flo(const std::string& path);
+
+}  // namespace chambolle::io

@@ -1,0 +1,58 @@
+#include "common/flow_color.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace chambolle {
+namespace {
+
+constexpr float kPi = 3.14159265358979323846f;
+
+// HSV (h in [0,1)) to RGB bytes, full value.
+std::array<unsigned char, 3> hsv_to_rgb(float h, float s, float v) {
+  const float hh = (h - std::floor(h)) * 6.f;
+  const int sector = static_cast<int>(hh) % 6;
+  const float f = hh - std::floor(hh);
+  const float p = v * (1.f - s);
+  const float q = v * (1.f - s * f);
+  const float t = v * (1.f - s * (1.f - f));
+  float r = 0.f, g = 0.f, b = 0.f;
+  switch (sector) {
+    case 0: r = v; g = t; b = p; break;
+    case 1: r = q; g = v; b = p; break;
+    case 2: r = p; g = v; b = t; break;
+    case 3: r = p; g = q; b = v; break;
+    case 4: r = t; g = p; b = v; break;
+    default: r = v; g = p; b = q; break;
+  }
+  const auto to_byte = [](float x) {
+    return static_cast<unsigned char>(std::lround(std::clamp(x, 0.f, 1.f) * 255.f));
+  };
+  return {to_byte(r), to_byte(g), to_byte(b)};
+}
+
+}  // namespace
+
+float max_flow_magnitude(const FlowField& flow) {
+  float m = 0.f;
+  for (int r = 0; r < flow.rows(); ++r)
+    for (int c = 0; c < flow.cols(); ++c) m = std::max(m, flow.magnitude(r, c));
+  return m;
+}
+
+io::RgbImage colorize_flow(const FlowField& flow, float max_magnitude) {
+  float scale = max_magnitude > 0.f ? max_magnitude : max_flow_magnitude(flow);
+  if (scale <= 0.f) scale = 1.f;
+  io::RgbImage out(flow.rows(), flow.cols());
+  for (int r = 0; r < flow.rows(); ++r)
+    for (int c = 0; c < flow.cols(); ++c) {
+      const float fx = flow.u1(r, c), fy = flow.u2(r, c);
+      const float mag = std::min(std::sqrt(fx * fx + fy * fy) / scale, 1.f);
+      const float ang = std::atan2(-fy, -fx);  // Middlebury orientation
+      const float hue = (ang + kPi) / (2.f * kPi);
+      out.pixels(r, c) = hsv_to_rgb(hue, mag, 1.f);
+    }
+  return out;
+}
+
+}  // namespace chambolle

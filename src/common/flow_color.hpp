@@ -1,0 +1,20 @@
+// flow_color.hpp — Middlebury-style color coding of optical-flow fields.
+//
+// Direction maps to hue and magnitude to saturation, the de-facto standard
+// visualization for flow results; used by the example applications.
+#pragma once
+
+#include "common/image.hpp"
+#include "common/image_io.hpp"
+
+namespace chambolle {
+
+/// Renders a flow field as an RGB image.  Flow vectors are normalized by
+/// `max_magnitude`; pass 0 to auto-scale to the field's own maximum.
+[[nodiscard]] io::RgbImage colorize_flow(const FlowField& flow,
+                                         float max_magnitude = 0.f);
+
+/// Largest flow-vector magnitude in the field (0 for an empty field).
+[[nodiscard]] float max_flow_magnitude(const FlowField& flow);
+
+}  // namespace chambolle

@@ -1,0 +1,5 @@
+#include "common/image.hpp"
+
+// Header-only types; this translation unit anchors the library target and
+// hosts out-of-line helpers if they grow non-trivial.
+namespace chambolle {}  // namespace chambolle

@@ -1,0 +1,67 @@
+// image.hpp — grayscale image and 2-D vector-field types.
+//
+// Images are stored as float matrices with intensities nominally in [0, 255]
+// (the fixed-point hardware formats in Section V-B of the paper assume this
+// range).  A FlowField holds the optical-flow vector u = (u1, u2) as two
+// matrices, following the paper's component-wise treatment: the hardware
+// instantiates one PE array per component.
+#pragma once
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/matrix.hpp"
+
+namespace chambolle {
+
+using Image = Matrix<float>;
+
+/// Dense 2-D vector field u = (u1, u2); u1 is the horizontal (x, i.e. column)
+/// displacement and u2 the vertical (y, i.e. row) displacement.
+struct FlowField {
+  Matrix<float> u1;
+  Matrix<float> u2;
+
+  FlowField() = default;
+  FlowField(int rows, int cols) : u1(rows, cols), u2(rows, cols) {}
+
+  [[nodiscard]] int rows() const { return u1.rows(); }
+  [[nodiscard]] int cols() const { return u1.cols(); }
+  [[nodiscard]] bool same_shape(const FlowField& o) const {
+    return u1.same_shape(o.u1) && u2.same_shape(o.u2);
+  }
+
+  void fill(float x, float y) {
+    u1.fill(x);
+    u2.fill(y);
+  }
+
+  /// Magnitude of the flow vector at (r, c).
+  [[nodiscard]] float magnitude(int r, int c) const {
+    const float a = u1(r, c), b = u2(r, c);
+    return std::sqrt(a * a + b * b);
+  }
+};
+
+/// Dual variable of the Chambolle iteration for ONE flow component:
+/// p = (px, py), initialized at zero (Algorithm 1).
+struct DualField {
+  Matrix<float> px;
+  Matrix<float> py;
+
+  DualField() = default;
+  DualField(int rows, int cols) : px(rows, cols), py(rows, cols) {}
+
+  [[nodiscard]] int rows() const { return px.rows(); }
+  [[nodiscard]] int cols() const { return px.cols(); }
+  [[nodiscard]] bool same_shape(const DualField& o) const {
+    return px.same_shape(o.px) && py.same_shape(o.py);
+  }
+};
+
+/// Clamps v into [lo, hi].
+inline float clampf(float v, float lo, float hi) {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+}  // namespace chambolle

@@ -1,0 +1,108 @@
+#include "common/image_io.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+namespace chambolle::io {
+namespace {
+
+// Skips whitespace and '#' comment lines between PNM header tokens.
+void skip_pnm_separators(std::istream& in) {
+  int ch = in.peek();
+  while (ch != EOF) {
+    if (std::isspace(ch)) {
+      in.get();
+    } else if (ch == '#') {
+      std::string line;
+      std::getline(in, line);
+    } else {
+      break;
+    }
+    ch = in.peek();
+  }
+}
+
+int read_pnm_int(std::istream& in, const char* what) {
+  skip_pnm_separators(in);
+  int v = -1;
+  in >> v;
+  if (!in || v < 0) throw std::runtime_error(std::string("PNM: bad ") + what);
+  return v;
+}
+
+unsigned char to_byte(float v) {
+  const float c = v < 0.f ? 0.f : (v > 255.f ? 255.f : v);
+  return static_cast<unsigned char>(std::lround(c));
+}
+
+}  // namespace
+
+void write_pgm(const std::string& path, const Image& img) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("write_pgm: cannot open " + path);
+  out << "P5\n" << img.cols() << ' ' << img.rows() << "\n255\n";
+  for (int r = 0; r < img.rows(); ++r)
+    for (int c = 0; c < img.cols(); ++c) out.put(static_cast<char>(to_byte(img(r, c))));
+  if (!out) throw std::runtime_error("write_pgm: write failed for " + path);
+}
+
+Image read_pgm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_pgm: cannot open " + path);
+  std::string magic;
+  in >> magic;
+  if (magic != "P5") throw std::runtime_error("read_pgm: not a P5 file");
+  const int cols = read_pnm_int(in, "width");
+  const int rows = read_pnm_int(in, "height");
+  const int maxval = read_pnm_int(in, "maxval");
+  if (maxval <= 0 || maxval > 255)
+    throw std::runtime_error("read_pgm: unsupported maxval");
+  in.get();  // single separator byte before the raster
+  Image img(rows, cols);
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c) {
+      const int ch = in.get();
+      if (ch == EOF) throw std::runtime_error("read_pgm: truncated raster");
+      img(r, c) = static_cast<float>(ch);
+    }
+  return img;
+}
+
+void write_ppm(const std::string& path, const RgbImage& img) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("write_ppm: cannot open " + path);
+  out << "P6\n" << img.cols() << ' ' << img.rows() << "\n255\n";
+  for (int r = 0; r < img.rows(); ++r)
+    for (int c = 0; c < img.cols(); ++c)
+      for (unsigned char ch : img.pixels(r, c)) out.put(static_cast<char>(ch));
+  if (!out) throw std::runtime_error("write_ppm: write failed for " + path);
+}
+
+RgbImage read_ppm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_ppm: cannot open " + path);
+  std::string magic;
+  in >> magic;
+  if (magic != "P6") throw std::runtime_error("read_ppm: not a P6 file");
+  const int cols = read_pnm_int(in, "width");
+  const int rows = read_pnm_int(in, "height");
+  const int maxval = read_pnm_int(in, "maxval");
+  if (maxval <= 0 || maxval > 255)
+    throw std::runtime_error("read_ppm: unsupported maxval");
+  in.get();
+  RgbImage img(rows, cols);
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c)
+      for (int k = 0; k < 3; ++k) {
+        const int ch = in.get();
+        if (ch == EOF) throw std::runtime_error("read_ppm: truncated raster");
+        img.pixels(r, c)[static_cast<std::size_t>(k)] =
+            static_cast<unsigned char>(ch);
+      }
+  return img;
+}
+
+}  // namespace chambolle::io

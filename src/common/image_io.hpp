@@ -1,0 +1,37 @@
+// image_io.hpp — minimal binary PGM (P5) / PPM (P6) reader & writer.
+//
+// The examples emit flow visualizations and corrected frames as NetPBM files
+// so results can be inspected without any external image library.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "common/image.hpp"
+
+namespace chambolle::io {
+
+/// 8-bit RGB raster used for flow visualizations.
+struct RgbImage {
+  Matrix<std::array<unsigned char, 3>> pixels;
+
+  RgbImage() = default;
+  RgbImage(int rows, int cols) : pixels(rows, cols) {}
+  [[nodiscard]] int rows() const { return pixels.rows(); }
+  [[nodiscard]] int cols() const { return pixels.cols(); }
+};
+
+/// Writes a grayscale image as binary PGM (P5); intensities are clamped to
+/// [0, 255] and rounded. Throws std::runtime_error on I/O failure.
+void write_pgm(const std::string& path, const Image& img);
+
+/// Reads a binary PGM (P5) file. Throws std::runtime_error on parse failure.
+[[nodiscard]] Image read_pgm(const std::string& path);
+
+/// Writes an RGB image as binary PPM (P6).
+void write_ppm(const std::string& path, const RgbImage& img);
+
+/// Reads a binary PPM (P6) file.
+[[nodiscard]] RgbImage read_ppm(const std::string& path);
+
+}  // namespace chambolle::io

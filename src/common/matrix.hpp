@@ -1,0 +1,130 @@
+// matrix.hpp — dense row-major 2-D container used throughout the library.
+//
+// The Chambolle solver, the TV-L1 scheme and the hardware simulator all operate
+// on dense 2-D grids (images, dual fields, fixed-point state).  Matrix<T> is a
+// small value type with explicit (rows, cols) geometry; (r, c) indexing matches
+// the paper's (row, column) convention: Figure 4 indexes rows 0..87 and columns
+// 0..91 of an 88x92 sliding-window tile.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace chambolle {
+
+/// Dense row-major matrix with value semantics.
+///
+/// Invariants: data().size() == rows() * cols(); geometry is immutable after
+/// construction except via assignment / resize().
+template <typename T>
+class Matrix {
+ public:
+  using value_type = T;
+
+  Matrix() = default;
+
+  /// Creates a rows x cols matrix, value-initialized (zeros for arithmetic T).
+  Matrix(int rows, int cols, T init = T{})
+      : rows_(check_dim(rows)), cols_(check_dim(cols)),
+        data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+              init) {}
+
+  [[nodiscard]] int rows() const { return rows_; }
+  [[nodiscard]] int cols() const { return cols_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+  [[nodiscard]] bool same_shape(const Matrix& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_;
+  }
+
+  T& operator()(int r, int c) {
+    assert(in_bounds(r, c));
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+  const T& operator()(int r, int c) const {
+    assert(in_bounds(r, c));
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+
+  /// Bounds-checked access; throws std::out_of_range.
+  T& at(int r, int c) {
+    if (!in_bounds(r, c)) throw std::out_of_range("Matrix::at");
+    return (*this)(r, c);
+  }
+  const T& at(int r, int c) const {
+    if (!in_bounds(r, c)) throw std::out_of_range("Matrix::at");
+    return (*this)(r, c);
+  }
+
+  [[nodiscard]] bool in_bounds(int r, int c) const {
+    return r >= 0 && r < rows_ && c >= 0 && c < cols_;
+  }
+
+  std::vector<T>& data() { return data_; }
+  const std::vector<T>& data() const { return data_; }
+
+  auto begin() { return data_.begin(); }
+  auto end() { return data_.end(); }
+  auto begin() const { return data_.begin(); }
+  auto end() const { return data_.end(); }
+
+  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+  /// Re-shapes the matrix, discarding contents.
+  void resize(int rows, int cols, T init = T{}) {
+    rows_ = check_dim(rows);
+    cols_ = check_dim(cols);
+    data_.assign(static_cast<std::size_t>(rows) * cols, init);
+  }
+
+  /// Copies the rectangle [r0, r0+h) x [c0, c0+w) into a new matrix.
+  [[nodiscard]] Matrix block(int r0, int c0, int h, int w) const {
+    if (r0 < 0 || c0 < 0 || h < 0 || w < 0 || r0 + h > rows_ || c0 + w > cols_)
+      throw std::out_of_range("Matrix::block");
+    Matrix out(h, w);
+    for (int r = 0; r < h; ++r)
+      for (int c = 0; c < w; ++c) out(r, c) = (*this)(r0 + r, c0 + c);
+    return out;
+  }
+
+  /// Writes `src` into this matrix with its top-left corner at (r0, c0).
+  void paste(const Matrix& src, int r0, int c0) {
+    if (r0 < 0 || c0 < 0 || r0 + src.rows() > rows_ || c0 + src.cols() > cols_)
+      throw std::out_of_range("Matrix::paste");
+    for (int r = 0; r < src.rows(); ++r)
+      for (int c = 0; c < src.cols(); ++c) (*this)(r0 + r, c0 + c) = src(r, c);
+  }
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  static int check_dim(int d) {
+    if (d < 0) throw std::invalid_argument("Matrix: negative dimension");
+    return d;
+  }
+
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<T> data_;
+};
+
+/// Maximum absolute elementwise difference; matrices must have equal shape.
+template <typename T>
+[[nodiscard]] double max_abs_diff(const Matrix<T>& a, const Matrix<T>& b) {
+  if (!a.same_shape(b)) throw std::invalid_argument("max_abs_diff: shape");
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a.data()[i]) -
+                     static_cast<double>(b.data()[i]);
+    m = std::max(m, d < 0 ? -d : d);
+  }
+  return m;
+}
+
+}  // namespace chambolle

@@ -1,0 +1,27 @@
+// stopwatch.hpp — wall-clock timing for the benchmark harness.
+#pragma once
+
+#include <chrono>
+
+namespace chambolle {
+
+/// Monotonic wall-clock stopwatch. Started on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace chambolle

@@ -1,0 +1,40 @@
+// text_table.hpp — fixed-width ASCII table rendering for the bench harness.
+//
+// Every bench binary that regenerates a paper table prints it through this
+// formatter so the output is uniform and diff-able across runs.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace chambolle {
+
+/// Accumulates rows of strings and renders them as an aligned ASCII table
+/// with a header rule, e.g.
+///
+///   Device            | Iterations | Frame Rate (fps)
+///   ------------------+------------+-----------------
+///   GeForce 7800 GS   | 50         | 56.0
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats a double with the given precision.
+  static std::string num(double v, int precision = 1);
+
+  void render(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace chambolle

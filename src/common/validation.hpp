@@ -1,0 +1,30 @@
+// validation.hpp — input sanity helpers for the public entry points.
+//
+// Non-finite pixels (NaN/Inf from a failed capture or a broken upstream
+// stage) silently poison every iterative solver; the public pipelines reject
+// them at the door with a clear message instead.
+#pragma once
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "common/matrix.hpp"
+
+namespace chambolle {
+
+/// True when any element is NaN or infinite.
+inline bool has_nonfinite(const Matrix<float>& m) {
+  for (float v : m)
+    if (!std::isfinite(v)) return true;
+  return false;
+}
+
+/// Throws std::invalid_argument naming `what` when the matrix has
+/// non-finite entries.
+inline void require_finite(const Matrix<float>& m, const std::string& what) {
+  if (has_nonfinite(m))
+    throw std::invalid_argument(what + ": non-finite pixel values");
+}
+
+}  // namespace chambolle

@@ -1,0 +1,73 @@
+// fixed.hpp — typed fixed-point value with compile-time format.
+//
+// A light wrapper over the raw Q-arithmetic in qformat.hpp for code that
+// benefits from type safety (tests, examples).  The hardware datapath itself
+// operates on raw std::int32_t via chambolle::fx to mirror Verilog semantics.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+#include "fixedpoint/qformat.hpp"
+
+namespace chambolle::fx {
+
+/// Fixed-point number with `IntBits` integer bits (including sign) and
+/// `FracBits` fractional bits, stored in 32 bits.  Arithmetic saturates to the
+/// declared width, mirroring the hardware registers.
+template <int IntBits, int FracBits>
+class Fixed {
+  static_assert(IntBits >= 1 && FracBits >= 0 && IntBits + FracBits <= 32);
+
+ public:
+  static constexpr int kTotalBits = IntBits + FracBits;
+
+  constexpr Fixed() = default;
+
+  /// Constructs from a real value (rounded, saturated to the format).
+  static constexpr Fixed from_real(double v) {
+    const double scaled = v * (std::int64_t{1} << FracBits);
+    const double rounded = scaled >= 0 ? scaled + 0.5 : scaled - 0.5;
+    return from_raw_saturated(static_cast<std::int64_t>(rounded));
+  }
+
+  /// Constructs from an already-scaled raw integer (saturated).
+  static constexpr Fixed from_raw_saturated(std::int64_t raw) {
+    Fixed f;
+    f.raw_ = saturate_bits(raw, kTotalBits);
+    return f;
+  }
+
+  [[nodiscard]] constexpr std::int32_t raw() const { return raw_; }
+  [[nodiscard]] constexpr double to_real() const {
+    return static_cast<double>(raw_) / (std::int64_t{1} << FracBits);
+  }
+
+  friend constexpr Fixed operator+(Fixed a, Fixed b) {
+    return from_raw_saturated(std::int64_t{a.raw_} + b.raw_);
+  }
+  friend constexpr Fixed operator-(Fixed a, Fixed b) {
+    return from_raw_saturated(std::int64_t{a.raw_} - b.raw_);
+  }
+  friend constexpr Fixed operator*(Fixed a, Fixed b) {
+    return from_raw_saturated(
+        (static_cast<std::int64_t>(a.raw_) * b.raw_) >> FracBits);
+  }
+  friend constexpr Fixed operator-(Fixed a) {
+    return from_raw_saturated(-std::int64_t{a.raw_});
+  }
+
+  friend constexpr auto operator<=>(Fixed a, Fixed b) = default;
+
+ private:
+  std::int32_t raw_ = 0;
+};
+
+/// The dual-variable storage format: 9 bits total (Section V-B), Q1.8, i.e.
+/// range [-1, 255/256] — sufficient because Chambolle keeps |p| <= 1.
+using DualFx = Fixed<1, 8>;
+
+/// The v storage format: 13 bits (Section V-B), Q5.8, range [-16, 16).
+using VFx = Fixed<5, 8>;
+
+}  // namespace chambolle::fx

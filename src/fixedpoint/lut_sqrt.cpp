@@ -1,0 +1,53 @@
+#include "fixedpoint/lut_sqrt.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "fixedpoint/qformat.hpp"
+
+namespace chambolle::fx {
+
+const std::array<std::uint8_t, 256>& sqrt_table() {
+  static const std::array<std::uint8_t, 256> table = [] {
+    std::array<std::uint8_t, 256> t{};
+    for (int m = 0; m < 256; ++m)
+      t[static_cast<std::size_t>(m)] =
+          static_cast<std::uint8_t>(std::lround(std::sqrt(double(m)) * 16.0));
+    return t;
+  }();
+  return table;
+}
+
+SqrtWindow select_sqrt_window(std::uint32_t raw) {
+  SqrtWindow w;
+  if (raw < 256) {  // the whole value fits the window; no shift needed
+    w.m = raw;
+    w.k = 0;
+    return w;
+  }
+  const int msb = bit_width_u32(raw) - 1;  // position of first non-zero bit
+  int lo = msb - 7;                        // lowest bit covered by the window
+  // The window must end on an even position so the discarded tail is a clean
+  // factor of 2^(2k); if it does not, widen upward (leading zero in the
+  // window), exactly the paper's odd/even alignment rule.
+  if (lo % 2 != 0) ++lo;
+  w.m = (raw >> lo) & 0xFFu;
+  w.k = lo / 2;
+  return w;
+}
+
+std::int32_t lut_sqrt(std::int32_t raw) {
+  if (raw < 0) throw std::domain_error("lut_sqrt: negative input");
+  const SqrtWindow w = select_sqrt_window(static_cast<std::uint32_t>(raw));
+  const std::uint32_t entry = sqrt_table()[w.m];
+  // entry ~ sqrt(m) * 2^4; result raw = sqrt(m) * 2^(k+4) = entry << k.
+  return static_cast<std::int32_t>(entry << w.k);
+}
+
+std::int32_t exact_sqrt_q(std::int32_t raw) {
+  if (raw < 0) throw std::domain_error("exact_sqrt_q: negative input");
+  const double real = static_cast<double>(raw) / kOne;
+  return static_cast<std::int32_t>(std::lround(std::sqrt(real) * kOne));
+}
+
+}  // namespace chambolle::fx

@@ -1,0 +1,45 @@
+// lut_sqrt.hpp — the paper's look-up-table square root (Section V-C).
+//
+// The PE-V needs sqrt(Term1^2 + Term2^2) (Algorithm 1, line 6).  The paper
+// uses one 256-entry table instead of four chained tables:
+//
+//   "we take the 8 most significant bits of the input value ... The 8-bit
+//    block we use starts in an odd position and finishes in an even one: if
+//    the first non-zero bit is located in the n-th position, where n is even,
+//    then the 8 bit block will start from the zero bit at position n-1.  In
+//    this way, if the decimal value of the 8 bit block is equal to m, and if
+//    the rightmost bit of the block is in position 2k, then the number is
+//    equal to m * 2^2k, and its square root can be computed by accessing the
+//    table with value m, and by left-shifting the output by k positions."
+//
+// Input format: Q24.8 (24 integer + 8 fractional bits).  With x = m * 2^(2k)
+// in raw units, sqrt(x_real) in raw units is sqrt(m) * 2^(k+4); the table
+// therefore stores round(sqrt(m) * 16), whose maximum round(sqrt(255)*16)=255
+// exactly fits the 8-bit entries quoted in the paper.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace chambolle::fx {
+
+/// The 256-entry, 8-bit-per-entry square-root table (70 LUTs on the FPGA).
+[[nodiscard]] const std::array<std::uint8_t, 256>& sqrt_table();
+
+/// Decomposition of a raw input into (m, k) with x ~= m * 2^(2k); exposed for
+/// the unit tests of the odd-alignment rule.
+struct SqrtWindow {
+  std::uint32_t m = 0;  ///< 8-bit table index
+  int k = 0;            ///< half the window offset (result left-shift)
+};
+
+/// Selects the even-aligned 8-bit window of the paper.  x must be >= 0 raw.
+[[nodiscard]] SqrtWindow select_sqrt_window(std::uint32_t raw);
+
+/// sqrt of a non-negative Q24.8 value, returned in Q24.8, via the LUT scheme.
+[[nodiscard]] std::int32_t lut_sqrt(std::int32_t raw);
+
+/// Reference: double-precision sqrt of a Q24.8 value, rounded back to Q24.8.
+[[nodiscard]] std::int32_t exact_sqrt_q(std::int32_t raw);
+
+}  // namespace chambolle::fx

@@ -1,0 +1,35 @@
+#include "fixedpoint/nonrestoring_sqrt.hpp"
+
+#include <stdexcept>
+
+#include "fixedpoint/qformat.hpp"
+
+namespace chambolle::fx {
+
+std::uint32_t isqrt_u64(std::uint64_t v) {
+  // Digit-by-digit (non-restoring) method: one result bit per iteration,
+  // exactly the structure a pipelined FPGA implementation unrolls.
+  std::uint64_t root = 0;
+  std::uint64_t bit = std::uint64_t{1} << 62;
+  while (bit > v) bit >>= 2;
+  while (bit != 0) {
+    if (v >= root + bit) {
+      v -= root + bit;
+      root = (root >> 1) + bit;
+    } else {
+      root >>= 1;
+    }
+    bit >>= 2;
+  }
+  return static_cast<std::uint32_t>(root);
+}
+
+std::int32_t nonrestoring_sqrt_q(std::int32_t raw) {
+  if (raw < 0) throw std::domain_error("nonrestoring_sqrt_q: negative input");
+  // sqrt(raw / 2^8) * 2^8 = sqrt(raw * 2^8): shift by kFracBits first so the
+  // result lands back in Q24.8.
+  return static_cast<std::int32_t>(
+      isqrt_u64(static_cast<std::uint64_t>(raw) << kFracBits));
+}
+
+}  // namespace chambolle::fx

@@ -1,0 +1,22 @@
+// nonrestoring_sqrt.hpp — iterative fixed-point square root.
+//
+// Section V-C contrasts two hardware sqrt families: iterative techniques
+// ("better precision") and look-up tables ("faster"); the paper picks the LUT.
+// We implement the iterative alternative too — the classic non-restoring
+// algorithm of Sajid et al. [17] — both as the high-precision baseline the
+// ablation benches compare against and as a correct integer sqrt in its own
+// right.
+#pragma once
+
+#include <cstdint>
+
+namespace chambolle::fx {
+
+/// floor(sqrt(v)) for a 64-bit unsigned integer, non-restoring iteration.
+[[nodiscard]] std::uint32_t isqrt_u64(std::uint64_t v);
+
+/// sqrt of a non-negative Q24.8 value, returned in Q24.8, exact to the format
+/// (floor of the true root): computed as isqrt(raw << 8).
+[[nodiscard]] std::int32_t nonrestoring_sqrt_q(std::int32_t raw);
+
+}  // namespace chambolle::fx

@@ -1,0 +1,59 @@
+// packed_word.hpp — the 32-bit BRAM word layout of Section V-B.
+//
+// "The 32 bits encode v, which requires 13 bits, followed by c_px and c_py,
+//  which require 9 bits each."
+//
+// Layout (bit 31 .. bit 0):   [ v : 13 ][ px : 9 ][ py : 9 ][ pad : 1 ]
+// All three fields are signed two's-complement; v is Q5.8, px/py are Q1.8.
+#pragma once
+
+#include <cstdint>
+
+#include "fixedpoint/qformat.hpp"
+
+namespace chambolle::fx {
+
+inline constexpr int kVBits = 13;
+inline constexpr int kPBits = 9;
+
+/// Unpacked contents of one BRAM word, as raw Q*.8 integers.
+struct BramFields {
+  std::int32_t v = 0;   ///< Q5.8, 13 significant bits
+  std::int32_t px = 0;  ///< Q1.8, 9 significant bits
+  std::int32_t py = 0;  ///< Q1.8, 9 significant bits
+
+  friend bool operator==(const BramFields&, const BramFields&) = default;
+};
+
+/// Packs (v, px, py) into a 32-bit word, saturating each field to its width.
+[[nodiscard]] constexpr std::uint32_t pack_word(const BramFields& f) {
+  const std::uint32_t v = static_cast<std::uint32_t>(
+                              saturate_bits(f.v, kVBits)) &
+                          ((1u << kVBits) - 1);
+  const std::uint32_t px = static_cast<std::uint32_t>(
+                               saturate_bits(f.px, kPBits)) &
+                           ((1u << kPBits) - 1);
+  const std::uint32_t py = static_cast<std::uint32_t>(
+                               saturate_bits(f.py, kPBits)) &
+                           ((1u << kPBits) - 1);
+  return (v << 19) | (px << 10) | (py << 1);
+}
+
+/// Sign-extends the low `bits` of `v`.
+[[nodiscard]] constexpr std::int32_t sign_extend(std::uint32_t v, int bits) {
+  const std::uint32_t mask = (1u << bits) - 1;
+  const std::uint32_t sign = 1u << (bits - 1);
+  const std::uint32_t low = v & mask;
+  return static_cast<std::int32_t>((low ^ sign)) - static_cast<std::int32_t>(sign);
+}
+
+/// Inverse of pack_word.
+[[nodiscard]] constexpr BramFields unpack_word(std::uint32_t w) {
+  BramFields f;
+  f.v = sign_extend(w >> 19, kVBits);
+  f.px = sign_extend(w >> 10, kPBits);
+  f.py = sign_extend(w >> 1, kPBits);
+  return f;
+}
+
+}  // namespace chambolle::fx

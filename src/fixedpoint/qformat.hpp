@@ -1,0 +1,74 @@
+// qformat.hpp — fixed-point primitives for the hardware datapath.
+//
+// Section V-B of the paper fixes the storage formats: each 32-bit BRAM word
+// packs v (13 bits), px (9 bits) and py (9 bits).  The datapath operates on
+// 32-bit fixed-point values with 24 integer and 8 fractional bits (the format
+// quoted for the square-root input in Section V-C).  This header provides the
+// raw-integer Q-arithmetic all fixed-point code shares, so the software
+// fixed-point solver and the cycle-level PE models are bit-identical by
+// construction.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace chambolle::fx {
+
+/// Fractional bits of the datapath format (Q24.8, Section V-C).
+inline constexpr int kFracBits = 8;
+/// Raw representation of 1.0 in Q24.8.
+inline constexpr std::int32_t kOne = 1 << kFracBits;
+
+/// Signed saturation to `bits` total bits (two's complement).
+[[nodiscard]] constexpr std::int32_t saturate_bits(std::int64_t v, int bits) {
+  const std::int64_t hi = (std::int64_t{1} << (bits - 1)) - 1;
+  const std::int64_t lo = -(std::int64_t{1} << (bits - 1));
+  if (v > hi) return static_cast<std::int32_t>(hi);
+  if (v < lo) return static_cast<std::int32_t>(lo);
+  return static_cast<std::int32_t>(v);
+}
+
+/// float -> Q24.8 raw with round-to-nearest (ties away from zero).
+[[nodiscard]] constexpr std::int32_t to_fixed(double v) {
+  const double scaled = v * kOne;
+  const double rounded = scaled >= 0 ? scaled + 0.5 : scaled - 0.5;
+  // Saturate instead of invoking UB on overflow.
+  if (rounded >= static_cast<double>(std::numeric_limits<std::int32_t>::max()))
+    return std::numeric_limits<std::int32_t>::max();
+  if (rounded <= static_cast<double>(std::numeric_limits<std::int32_t>::min()))
+    return std::numeric_limits<std::int32_t>::min();
+  return static_cast<std::int32_t>(rounded);
+}
+
+/// Q24.8 raw -> float.
+[[nodiscard]] constexpr float to_float(std::int32_t raw) {
+  return static_cast<float>(raw) / static_cast<float>(kOne);
+}
+
+/// Fixed-point multiply: (a * b) >> 8, truncating toward negative infinity
+/// (an arithmetic right shift, as a hardware multiplier-plus-wire would).
+[[nodiscard]] constexpr std::int32_t mul(std::int32_t a, std::int32_t b) {
+  return static_cast<std::int32_t>(
+      (static_cast<std::int64_t>(a) * static_cast<std::int64_t>(b)) >>
+      kFracBits);
+}
+
+/// Fixed-point divide: (a << 8) / b with C++ truncation-toward-zero.
+/// b must be non-zero; the Chambolle denominator 1 + (tau/theta)|grad| is
+/// always >= 1 in Q24.8 so the solvers never divide by zero.
+[[nodiscard]] constexpr std::int32_t div(std::int32_t a, std::int32_t b) {
+  return static_cast<std::int32_t>(
+      (static_cast<std::int64_t>(a) << kFracBits) / b);
+}
+
+/// Number of bits needed to represent `v` (position of the MSB + 1; 0 for 0).
+[[nodiscard]] constexpr int bit_width_u32(std::uint32_t v) {
+  int w = 0;
+  while (v != 0) {
+    ++w;
+    v >>= 1;
+  }
+  return w;
+}
+
+}  // namespace chambolle::fx

@@ -1,0 +1,170 @@
+#include "hw/accelerator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace chambolle::hw {
+
+ChambolleAccelerator::ChambolleAccelerator(const ArchConfig& config)
+    : config_(config) {
+  config_.validate();
+}
+
+std::uint64_t ChambolleAccelerator::tile_cycles(const TileSpec& tile,
+                                                int k) const {
+  const int regions = (tile.buf_rows + config_.pe_lanes - 1) / config_.pe_lanes;
+  // Per iteration: `regions` column sweeps plus the flush sweep, each costing
+  // buf_cols + 1 steps plus the pipeline fill (must match PeArray exactly).
+  const std::uint64_t per_iter =
+      static_cast<std::uint64_t>(regions + 1) *
+      static_cast<std::uint64_t>(tile.buf_cols + 1 + config_.pipeline_fill);
+  std::uint64_t cycles = per_iter * static_cast<std::uint64_t>(k);
+  if (config_.model_tile_io) {
+    cycles += static_cast<std::uint64_t>(
+        (tile.buf_rows * tile.buf_cols + config_.num_brams - 1) /
+        config_.num_brams);
+    cycles += static_cast<std::uint64_t>(
+        (tile.prof_rows * tile.prof_cols + config_.num_brams - 1) /
+        config_.num_brams);
+  }
+  return cycles;
+}
+
+namespace {
+
+void seed_dual(FixedState& state, const Matrix<float>* px,
+               const Matrix<float>* py) {
+  if (px == nullptr && py == nullptr) return;
+  if (px == nullptr || py == nullptr || px->rows() != state.v.rows() ||
+      px->cols() != state.v.cols() || !px->same_shape(*py))
+    throw std::invalid_argument("accelerator: initial dual shape mismatch");
+  for (std::size_t i = 0; i < state.px.size(); ++i) {
+    state.px.data()[i] =
+        fx::saturate_bits(fx::to_fixed(px->data()[i]), fx::kPBits);
+    state.py.data()[i] =
+        fx::saturate_bits(fx::to_fixed(py->data()[i]), fx::kPBits);
+  }
+}
+
+}  // namespace
+
+ChambolleAccelerator::Result ChambolleAccelerator::solve(
+    const FlowField& v, const ChambolleParams& params,
+    const InitialDual& initial) {
+  params.validate();
+  if (!v.u1.same_shape(v.u2))
+    throw std::invalid_argument("accelerator: component shape mismatch");
+  const int rows = v.rows(), cols = v.cols();
+  const TilingPlan plan = make_tiling(rows, cols, config_.tile_rows,
+                                      config_.tile_cols,
+                                      config_.merge_iterations);
+  const FixedParams fp = FixedParams::from(params);
+
+  FrameState state_a(rows, cols);
+  state_a.u1 = make_fixed_state(v.u1);
+  state_a.u2 = make_fixed_state(v.u2);
+  seed_dual(state_a.u1, initial.u1_px, initial.u1_py);
+  seed_dual(state_a.u2, initial.u2_px, initial.u2_py);
+  FrameState state_b = state_a;
+
+  std::vector<SlidingWindowEngine> engines;
+  engines.reserve(static_cast<std::size_t>(config_.num_sliding_windows));
+  for (int i = 0; i < config_.num_sliding_windows; ++i)
+    engines.emplace_back(config_);
+
+  Result result;
+  FrameState* src = &state_a;
+  FrameState* dst = &state_b;
+  int remaining = params.iterations;
+  while (remaining > 0) {
+    const int k = std::min(remaining, config_.merge_iterations);
+    std::vector<std::uint64_t> engine_start(engines.size());
+    for (std::size_t e = 0; e < engines.size(); ++e)
+      engine_start[e] = engines[e].stats().cycles;
+    for (std::size_t t = 0; t < plan.tiles.size(); ++t)
+      engines[t % engines.size()].process_tile(*src, *dst, plan.tiles[t], fp,
+                                               k);
+    std::uint64_t pass_cycles = 0;
+    for (std::size_t e = 0; e < engines.size(); ++e)
+      pass_cycles =
+          std::max(pass_cycles, engines[e].stats().cycles - engine_start[e]);
+    result.stats.total_cycles += pass_cycles;
+    std::swap(src, dst);
+    remaining -= k;
+    ++result.stats.passes;
+  }
+
+  for (const SlidingWindowEngine& e : engines) {
+    result.stats.load_store_cycles += e.stats().load_store_cycles;
+    result.stats.elements_updated += e.array_stats_u1().elements_updated +
+                                     e.array_stats_u2().elements_updated;
+    result.stats.bram_word_reads += e.array_stats_u1().bram_word_reads +
+                                    e.array_stats_u2().bram_word_reads;
+    result.stats.bram_word_writes += e.array_stats_u1().bram_word_writes +
+                                     e.array_stats_u2().bram_word_writes;
+  }
+  result.stats.tiles_per_pass = plan.tiles.size();
+  result.stats.tiling_redundancy = plan.redundancy();
+
+  const RegionGeometry geom = RegionGeometry::full_frame(rows, cols);
+  result.u.u1 = dequantize(fixed_recover_u(src->u1, geom, fp.theta_q));
+  result.u.u2 = dequantize(fixed_recover_u(src->u2, geom, fp.theta_q));
+  result.dual_u1.u1 = dequantize(src->u1.px);
+  result.dual_u1.u2 = dequantize(src->u1.py);
+  result.dual_u2.u1 = dequantize(src->u2.px);
+  result.dual_u2.u2 = dequantize(src->u2.py);
+  result.fps = result.stats.fps(config_.clock_mhz);
+  return result;
+}
+
+std::uint64_t ChambolleAccelerator::estimate_frame_cycles(
+    int rows, int cols, int iterations) const {
+  const TilingPlan plan = make_tiling(rows, cols, config_.tile_rows,
+                                      config_.tile_cols,
+                                      config_.merge_iterations);
+  const std::size_t engines =
+      static_cast<std::size_t>(config_.num_sliding_windows);
+  std::uint64_t total = 0;
+  int remaining = iterations;
+  while (remaining > 0) {
+    const int k = std::min(remaining, config_.merge_iterations);
+    std::vector<std::uint64_t> engine_cycles(engines, 0);
+    for (std::size_t t = 0; t < plan.tiles.size(); ++t)
+      engine_cycles[t % engines] += tile_cycles(plan.tiles[t], k);
+    total += *std::max_element(engine_cycles.begin(), engine_cycles.end());
+    remaining -= k;
+  }
+  return total;
+}
+
+double ChambolleAccelerator::estimate_fps(int rows, int cols,
+                                          int iterations) const {
+  const std::uint64_t cycles = estimate_frame_cycles(rows, cols, iterations);
+  return cycles == 0 ? 0.0
+                     : config_.clock_mhz * 1e6 / static_cast<double>(cycles);
+}
+
+std::uint64_t ChambolleAccelerator::estimate_pyramid_cycles(
+    int rows, int cols, int iterations, int levels) const {
+  if (levels <= 0)
+    throw std::invalid_argument("estimate_pyramid_cycles: levels <= 0");
+  const int per_level = std::max(iterations / levels, 1);
+  std::uint64_t total = 0;
+  for (int l = 0; l < levels; ++l) {
+    const int r = std::max(rows >> l, 2 * config_.merge_iterations + 1);
+    const int c = std::max(cols >> l, 2 * config_.merge_iterations + 1);
+    total += estimate_frame_cycles(r, c, per_level);
+  }
+  return total;
+}
+
+double ChambolleAccelerator::estimate_pyramid_fps(int rows, int cols,
+                                                  int iterations,
+                                                  int levels) const {
+  const std::uint64_t cycles =
+      estimate_pyramid_cycles(rows, cols, iterations, levels);
+  return cycles == 0 ? 0.0
+                     : config_.clock_mhz * 1e6 / static_cast<double>(cycles);
+}
+
+}  // namespace chambolle::hw

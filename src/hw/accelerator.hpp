@@ -1,0 +1,102 @@
+// accelerator.hpp — the complete Chambolle accelerator (Figure 2).
+//
+// Two sliding-window engines process the frame's tiles concurrently, each
+// updating both components of u.  The frame-level schedule mirrors the tiled
+// CPU solver: iterations are merged in groups of ArchConfig::merge_iterations
+// per tile residency, and the frame state ping-pongs between passes so all
+// tiles of one pass observe the same pre-pass state.  The per-frame cycle
+// count is the max over the two engines, pass by pass (they run in parallel).
+//
+// The simulator is numerically bit-identical to the software fixed-point
+// solver (chambolle/fixed_solver.hpp) restricted to profitable elements, and
+// its cycle counts are exactly reproduced by the analytic model in
+// estimate_frame_cycles() — both facts are asserted by the test suite.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chambolle/params.hpp"
+#include "common/image.hpp"
+#include "hw/sliding_window.hpp"
+
+namespace chambolle::hw {
+
+struct AcceleratorStats {
+  std::uint64_t total_cycles = 0;
+  std::uint64_t load_store_cycles = 0;
+  std::uint64_t elements_updated = 0;   ///< across both components
+  std::uint64_t bram_word_reads = 0;    ///< across all four PE arrays
+  std::uint64_t bram_word_writes = 0;
+  int passes = 0;
+  std::size_t tiles_per_pass = 0;
+  double tiling_redundancy = 0.0;  ///< replicated-work fraction of the plan
+
+  [[nodiscard]] double seconds(double clock_mhz) const {
+    return static_cast<double>(total_cycles) / (clock_mhz * 1e6);
+  }
+  [[nodiscard]] double fps(double clock_mhz) const {
+    const double s = seconds(clock_mhz);
+    return s > 0 ? 1.0 / s : 0.0;
+  }
+};
+
+/// Optional warm start for ChambolleAccelerator::solve: initial dual state
+/// for both components, quantized to the Q1.8 format on entry.  All four
+/// pointers of a component must be set together and match the frame shape.
+/// Video pipelines exploit temporal coherence this way: re-using the
+/// previous frame's dual state cuts the iterations needed for equal quality.
+struct AcceleratorInitialDual {
+  const Matrix<float>* u1_px = nullptr;
+  const Matrix<float>* u1_py = nullptr;
+  const Matrix<float>* u2_px = nullptr;
+  const Matrix<float>* u2_py = nullptr;
+};
+
+class ChambolleAccelerator {
+ public:
+  explicit ChambolleAccelerator(const ArchConfig& config = {});
+
+  struct Result {
+    FlowField u;             ///< dequantized output flow
+    FlowField dual_u1;       ///< final (px, py) of component u1, dequantized
+    FlowField dual_u2;       ///< final (px, py) of component u2, dequantized
+    AcceleratorStats stats;
+    double fps = 0.0;        ///< frames/second at the configured clock
+  };
+
+  using InitialDual = AcceleratorInitialDual;
+
+  /// Runs the accelerator on the support fields v = (v1, v2) (Algorithm 1's
+  /// input, produced by the TV-L1 thresholding step).
+  [[nodiscard]] Result solve(const FlowField& v, const ChambolleParams& params,
+                             const InitialDual& initial = InitialDual());
+
+  /// Analytic cycle count for a rows x cols frame at the given iteration
+  /// count — the same schedule arithmetic as the simulator, without data.
+  [[nodiscard]] std::uint64_t estimate_frame_cycles(int rows, int cols,
+                                                    int iterations) const;
+  [[nodiscard]] double estimate_fps(int rows, int cols, int iterations) const;
+
+  /// Cycle count when the iteration budget is spread across a TV-L1 pyramid:
+  /// `iterations / levels` Chambolle iterations at each of `levels` scales
+  /// (full resolution, 1/2, 1/4, ...).  The GPU baselines of Table II run
+  /// the complete pyramidal TV-L1 scheme, so this is the interpretation of
+  /// "Iterations" under which the paper's 99.1 fps figure is reachable from
+  /// the stated 28-PE architecture (see EXPERIMENTS.md, experiment E2).
+  [[nodiscard]] std::uint64_t estimate_pyramid_cycles(int rows, int cols,
+                                                      int iterations,
+                                                      int levels = 4) const;
+  [[nodiscard]] double estimate_pyramid_fps(int rows, int cols, int iterations,
+                                            int levels = 4) const;
+
+  [[nodiscard]] const ArchConfig& config() const { return config_; }
+
+ private:
+  /// Cycles one engine spends on one tile processed for k iterations.
+  [[nodiscard]] std::uint64_t tile_cycles(const TileSpec& tile, int k) const;
+
+  ArchConfig config_;
+};
+
+}  // namespace chambolle::hw

@@ -1,0 +1,84 @@
+#include "hw/bram.hpp"
+
+#include <set>
+
+namespace chambolle::hw {
+
+BramBank::BramBank(int tile_rows, int tile_cols, int num_brams)
+    : tile_rows_(tile_rows), tile_cols_(tile_cols) {
+  if (tile_rows <= 0 || tile_cols <= 0 || num_brams <= 0)
+    throw std::invalid_argument("BramBank: bad geometry");
+  const int depth =
+      ((tile_rows + num_brams - 1) / num_brams) * tile_cols;
+  brams_.reserve(static_cast<std::size_t>(num_brams));
+  for (int i = 0; i < num_brams; ++i) brams_.emplace_back(depth);
+}
+
+void BramBank::check_coords(int row, int col) const {
+  if (row < 0 || row >= tile_rows_ || col < 0 || col >= tile_cols_)
+    throw std::out_of_range("BramBank: coordinates");
+}
+
+fx::BramFields BramBank::read_fields(int row, int col) {
+  check_coords(row, col);
+  const int b = bram_index_for_row(row, num_brams());
+  const int a = bram_addr_for(row, col, tile_cols_, num_brams());
+  return fx::unpack_word(brams_[static_cast<std::size_t>(b)].read(a));
+}
+
+void BramBank::write_fields(int row, int col, const fx::BramFields& f) {
+  check_coords(row, col);
+  const int b = bram_index_for_row(row, num_brams());
+  const int a = bram_addr_for(row, col, tile_cols_, num_brams());
+  brams_[static_cast<std::size_t>(b)].write(a, fx::pack_word(f));
+}
+
+void BramBank::load_fields(int row, int col, const fx::BramFields& f) {
+  check_coords(row, col);
+  const int b = bram_index_for_row(row, num_brams());
+  const int a = bram_addr_for(row, col, tile_cols_, num_brams());
+  brams_[static_cast<std::size_t>(b)].poke(a, fx::pack_word(f));
+}
+
+fx::BramFields BramBank::peek_fields(int row, int col) const {
+  check_coords(row, col);
+  const int b = bram_index_for_row(row, num_brams());
+  const int a = bram_addr_for(row, col, tile_cols_, num_brams());
+  return fx::unpack_word(brams_[static_cast<std::size_t>(b)].peek(a));
+}
+
+std::uint64_t BramBank::total_reads() const {
+  std::uint64_t s = 0;
+  for (const Bram& b : brams_) s += b.reads();
+  return s;
+}
+
+std::uint64_t BramBank::total_writes() const {
+  std::uint64_t s = 0;
+  for (const Bram& b : brams_) s += b.writes();
+  return s;
+}
+
+void BramBank::reset_counters() {
+  for (Bram& b : brams_) b.reset_counters();
+}
+
+void BramBank::check_conflict_free(const std::vector<int>& rows) const {
+  std::set<int> seen;
+  for (int r : rows)
+    if (!seen.insert(bram_index_for_row(r, num_brams())).second)
+      throw std::logic_error("BramBank: same-cycle BRAM port conflict");
+}
+
+RotatorRoute rotator_route(int region_first_row, int lane, int tile_cols,
+                           int num_brams) {
+  if (region_first_row < 0 || lane < 0)
+    throw std::invalid_argument("rotator_route: negative inputs");
+  const int row = region_first_row + lane;
+  RotatorRoute route;
+  route.bram = bram_index_for_row(row, num_brams);
+  route.base_addr = bram_addr_for(row, 0, tile_cols, num_brams);
+  return route;
+}
+
+}  // namespace chambolle::hw

@@ -1,0 +1,117 @@
+// bram.hpp — on-chip memory models: single BRAM, the 8-BRAM row-striped bank,
+// and the vertical rotator (Section V-B, Figures 3-4).
+//
+// Each PE array keeps its tile state (packed v/px/py words) striped across 8
+// dual-port BRAMs: row r of the tile lives in BRAM r % 8 at address
+// (r / 8) * tile_cols + col.  During a region change the PE lanes shift down
+// by 7 rows, which rotates the lane -> BRAM assignment by -1 (mod 8) and bumps
+// the in-BRAM address by one row (the paper's "offset of 92"); the vertical
+// rotator implements that re-routing.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "fixedpoint/packed_word.hpp"
+
+namespace chambolle::hw {
+
+/// One dual-port BRAM storing 32-bit words, with access counters.
+class Bram {
+ public:
+  explicit Bram(int depth) : data_(check_depth(depth)) {}
+
+  [[nodiscard]] int depth() const { return static_cast<int>(data_.size()); }
+
+  [[nodiscard]] std::uint32_t read(int addr) {
+    ++reads_;
+    return data_.at(static_cast<std::size_t>(addr));
+  }
+  void write(int addr, std::uint32_t word) {
+    ++writes_;
+    data_.at(static_cast<std::size_t>(addr)) = word;
+  }
+
+  /// Direct (non-counted) access for test inspection and initialization.
+  [[nodiscard]] std::uint32_t peek(int addr) const {
+    return data_.at(static_cast<std::size_t>(addr));
+  }
+  void poke(int addr, std::uint32_t word) {
+    data_.at(static_cast<std::size_t>(addr)) = word;
+  }
+
+  [[nodiscard]] std::uint64_t reads() const { return reads_; }
+  [[nodiscard]] std::uint64_t writes() const { return writes_; }
+  void reset_counters() { reads_ = writes_ = 0; }
+
+ private:
+  static std::size_t check_depth(int depth) {
+    if (depth <= 0) throw std::invalid_argument("Bram: depth <= 0");
+    return static_cast<std::size_t>(depth);
+  }
+  std::vector<std::uint32_t> data_;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+};
+
+/// Maps a tile row to its BRAM index (row % num_brams): the vertical
+/// rotator's steady-state routing function.
+[[nodiscard]] constexpr int bram_index_for_row(int row, int num_brams) {
+  return row % num_brams;
+}
+
+/// In-BRAM address of (row, col): (row / num_brams) * tile_cols + col.
+[[nodiscard]] constexpr int bram_addr_for(int row, int col, int tile_cols,
+                                          int num_brams) {
+  return (row / num_brams) * tile_cols + col;
+}
+
+/// The row-striped bank of one PE array: 8 BRAMs holding packed words for an
+/// up to tile_rows x tile_cols tile.
+class BramBank {
+ public:
+  BramBank(int tile_rows, int tile_cols, int num_brams);
+
+  [[nodiscard]] int tile_rows() const { return tile_rows_; }
+  [[nodiscard]] int tile_cols() const { return tile_cols_; }
+  [[nodiscard]] int num_brams() const { return static_cast<int>(brams_.size()); }
+
+  /// Counted read/write of the packed word of (row, col).
+  [[nodiscard]] fx::BramFields read_fields(int row, int col);
+  void write_fields(int row, int col, const fx::BramFields& f);
+
+  /// Uncounted whole-tile initialization / readback (the paper performs the
+  /// initial load through the FPGA input pins, outside the compute loop).
+  void load_fields(int row, int col, const fx::BramFields& f);
+  [[nodiscard]] fx::BramFields peek_fields(int row, int col) const;
+
+  [[nodiscard]] std::uint64_t total_reads() const;
+  [[nodiscard]] std::uint64_t total_writes() const;
+  void reset_counters();
+
+  /// Asserts that the given rows hit pairwise-distinct BRAMs (the schedule's
+  /// conflict-freedom invariant); throws std::logic_error on conflict.
+  void check_conflict_free(const std::vector<int>& rows) const;
+
+ private:
+  void check_coords(int row, int col) const;
+
+  int tile_rows_;
+  int tile_cols_;
+  std::vector<Bram> brams_;
+};
+
+/// The vertical rotator: given the first row of the active region, yields the
+/// lane -> (bram, base address) routing.  Advancing by one region rotates the
+/// assignment by pe_lanes mod num_brams (i.e. by -1 when num_brams = lanes+1)
+/// and advances the base address by tile_cols for wrapped lanes.
+struct RotatorRoute {
+  int bram = 0;
+  int base_addr = 0;  ///< address of (row, col=0)
+};
+
+[[nodiscard]] RotatorRoute rotator_route(int region_first_row, int lane,
+                                         int tile_cols, int num_brams);
+
+}  // namespace chambolle::hw

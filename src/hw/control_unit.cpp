@@ -1,0 +1,181 @@
+#include "hw/control_unit.hpp"
+
+#include <stdexcept>
+
+#include "hw/bram.hpp"
+
+namespace chambolle::hw {
+
+ControlUnit::ControlUnit(const ArchConfig& config, int buf_rows, int buf_cols,
+                         int iterations, int pe_latency)
+    : config_(config),
+      buf_rows_(buf_rows),
+      buf_cols_(buf_cols),
+      iterations_(iterations),
+      pe_latency_(pe_latency) {
+  config_.validate();
+  if (buf_rows <= 0 || buf_rows > config.tile_rows || buf_cols <= 0 ||
+      buf_cols > config.tile_cols)
+    throw std::invalid_argument("ControlUnit: buffer exceeds tile");
+  if (iterations <= 0) throw std::invalid_argument("ControlUnit: iterations");
+  if (pe_latency < 1) throw std::invalid_argument("ControlUnit: latency");
+  if (config_.pe_lanes - 1 + pe_latency > config_.pipeline_fill + 1)
+    throw std::invalid_argument(
+        "ControlUnit: skew + latency exceeds the sweep window; lower "
+        "pe_latency or raise pipeline_fill");
+  sweep_len_ = buf_cols_ + 1 + config_.pipeline_fill;
+  build_plan();
+  if (iterations_ == 0) done_ = true;
+}
+
+void ControlUnit::build_plan() {
+  const int lanes = config_.pe_lanes;
+  const int regions = (buf_rows_ + lanes - 1) / lanes;
+  for (int g = 0; g < regions; ++g) {
+    SweepPlan sweep;
+    sweep.first_row = g * lanes;
+    sweep.active = std::min(lanes, buf_rows_ - sweep.first_row);
+    sweeps_.push_back(sweep);
+  }
+  SweepPlan flush;
+  flush.first_row = buf_rows_ - 1;
+  flush.active = 1;
+  flush.is_flush = true;
+  sweeps_.push_back(flush);
+}
+
+std::uint64_t ControlUnit::total_cycles() const {
+  return static_cast<std::uint64_t>(iterations_) * sweeps_.size() *
+         static_cast<std::uint64_t>(sweep_len_);
+}
+
+ControlSignals ControlUnit::signals_for(const SweepPlan& sweep,
+                                        int local_cycle) const {
+  ControlSignals out;
+  out.row_start = local_cycle == 0;
+
+  // Columns whose PE-T reads issue this cycle, per the ladder skew: lane i
+  // reads column local_cycle - i while 0 <= column < buf_cols.
+  if (sweep.is_flush) {
+    const int row = sweep.first_row;
+    const int col = local_cycle;
+    if (col < buf_cols_) {
+      BramAccess read;
+      read.cycle = local_cycle;
+      read.row = row;
+      read.col = col;
+      read.bram = bram_index_for_row(row, config_.num_brams);
+      read.addr = bram_addr_for(row, col, config_.tile_cols, config_.num_brams);
+      read.lane = 0;
+      out.bram.push_back(read);
+      out.term_bram_read = true;
+      out.term_bram_read_addr = col;
+    }
+    const int wcol = local_cycle - pe_latency_;
+    if (wcol >= 0 && wcol < buf_cols_) {
+      BramAccess write;
+      write.cycle = local_cycle;
+      write.is_write = true;
+      write.row = sweep.first_row;
+      write.col = wcol;
+      write.bram = bram_index_for_row(write.row, config_.num_brams);
+      write.addr =
+          bram_addr_for(write.row, wcol, config_.tile_cols, config_.num_brams);
+      write.lane = 0;
+      out.bram.push_back(write);
+    }
+    return out;
+  }
+
+  const bool has_above = sweep.first_row > 0;
+  for (int i = 0; i < sweep.active; ++i) {
+    const int col = local_cycle - i;
+    if (col < 0 || col >= buf_cols_) continue;
+    const int row = sweep.first_row + i;
+    BramAccess read;
+    read.cycle = local_cycle;
+    read.row = row;
+    read.col = col;
+    read.lane = i;
+    read.bram = bram_index_for_row(row, config_.num_brams);
+    read.addr = bram_addr_for(row, col, config_.tile_cols, config_.num_brams);
+    out.bram.push_back(read);
+  }
+  if (has_above && local_cycle < buf_cols_) {
+    BramAccess read;
+    read.cycle = local_cycle;
+    read.row = sweep.first_row - 1;
+    read.col = local_cycle;
+    read.lane = -1;
+    read.bram = bram_index_for_row(read.row, config_.num_brams);
+    read.addr = bram_addr_for(read.row, local_cycle, config_.tile_cols,
+                              config_.num_brams);
+    out.bram.push_back(read);
+    out.term_bram_read = true;
+    out.term_bram_read_addr = local_cycle;
+  }
+  // The last active lane's Term stream enters BRAM-Term as it is produced.
+  {
+    const int col = local_cycle - (sweep.active - 1);
+    if (col >= 0 && col < buf_cols_) {
+      out.term_bram_write = true;
+      out.term_bram_write_addr = col;
+    }
+  }
+  // PE-V write-backs: lanes 0..active-2 retire rows first_row..+active-2,
+  // pe_latency cycles behind their reads; the deferred row rides lane -1.
+  for (int i = 0; i + 1 < sweep.active; ++i) {
+    const int col = local_cycle - i - pe_latency_;
+    if (col < 0 || col >= buf_cols_) continue;
+    const int row = sweep.first_row + i;
+    BramAccess write;
+    write.cycle = local_cycle;
+    write.is_write = true;
+    write.row = row;
+    write.col = col;
+    write.lane = i;
+    write.bram = bram_index_for_row(row, config_.num_brams);
+    write.addr = bram_addr_for(row, col, config_.tile_cols, config_.num_brams);
+    out.bram.push_back(write);
+  }
+  if (has_above) {
+    const int col = local_cycle - pe_latency_;
+    if (col >= 0 && col < buf_cols_) {
+      BramAccess write;
+      write.cycle = local_cycle;
+      write.is_write = true;
+      write.row = sweep.first_row - 1;
+      write.col = col;
+      write.lane = -1;
+      write.bram = bram_index_for_row(write.row, config_.num_brams);
+      write.addr = bram_addr_for(write.row, col, config_.tile_cols,
+                                 config_.num_brams);
+      out.bram.push_back(write);
+    }
+  }
+  return out;
+}
+
+ControlSignals ControlUnit::step() {
+  if (done_) {
+    ControlSignals idle;
+    idle.done = true;
+    return idle;
+  }
+  ControlSignals out = signals_for(sweeps_[sweep_index_], local_cycle_);
+  ++cycle_;
+  ++local_cycle_;
+  if (local_cycle_ >= sweep_len_) {
+    local_cycle_ = 0;
+    ++sweep_index_;
+    if (sweep_index_ >= sweeps_.size()) {
+      sweep_index_ = 0;
+      ++iteration_;
+      if (iteration_ >= iterations_) done_ = true;
+    }
+  }
+  out.done = done_;
+  return out;
+}
+
+}  // namespace chambolle::hw

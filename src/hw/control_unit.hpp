@@ -1,0 +1,82 @@
+// control_unit.hpp — the CONTROL UNIT of Figures 2-3 as a cycle-stepped FSM.
+//
+// "all of them [BRAMs] are controlled by the control unit" — it sequences
+// regions and columns, generates the read/write addresses for the 8 packed-
+// word BRAMs and BRAM-Term, applies the vertical-rotator re-routing at
+// region changes (+92 address offsets), counts down Niterations, and raises
+// `done`.  PeArray models the data movement at column granularity; this FSM
+// models the SEQUENCING at cycle granularity.  Consistency tests pin the two
+// together: the FSM's per-region access stream equals schedule_region()'s,
+// and its total cycle count equals the PeArray / analytic formula.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/device.hpp"
+#include "hw/schedule.hpp"
+
+namespace chambolle::hw {
+
+/// Commands the control unit issues in one cycle.
+struct ControlSignals {
+  std::vector<BramAccess> bram;       ///< packed-word BRAM ops this cycle
+  bool term_bram_read = false;        ///< BRAM-Term port A
+  bool term_bram_write = false;       ///< BRAM-Term port B
+  int term_bram_read_addr = 0;
+  int term_bram_write_addr = 0;
+  bool row_start = false;             ///< resets the lanes' l_px flip-flops
+  bool done = false;                  ///< all iterations retired
+};
+
+/// FSM state: (iteration, phase, region, column-within-sweep).
+class ControlUnit {
+ public:
+  /// Sequences `iterations` Chambolle iterations over a buf_rows x buf_cols
+  /// tile.  `pe_latency` is the modeled write-back lag; the non-overlapped
+  /// sweep model requires (pe_lanes - 1) + pe_latency <= pipeline_fill + 1
+  /// so every sweep's last write retires inside its own window (in real
+  /// hardware the drain overlaps the next sweep's fill, which the BRAM
+  /// row-striping keeps conflict-free; the conservative model keeps the
+  /// same total cycle count as PeArray).
+  ControlUnit(const ArchConfig& config, int buf_rows, int buf_cols,
+              int iterations, int pe_latency = 12);
+
+  /// Advances one clock cycle and returns the signals for that cycle.
+  ControlSignals step();
+
+  [[nodiscard]] bool done() const { return done_; }
+  [[nodiscard]] std::uint64_t cycles_elapsed() const { return cycle_; }
+
+  /// Cycles one full run takes: iterations * (regions + flush) * sweep_len,
+  /// where sweep_len = buf_cols + 1 + pipeline_fill — the same arithmetic as
+  /// PeArray and ChambolleAccelerator::tile_cycles.
+  [[nodiscard]] std::uint64_t total_cycles() const;
+
+ private:
+  struct SweepPlan {
+    int first_row = 0;   ///< r0 of the region; -1 tags the flush sweep
+    int active = 0;      ///< lanes participating
+    bool is_flush = false;
+  };
+
+  void build_plan();
+  [[nodiscard]] ControlSignals signals_for(const SweepPlan& sweep,
+                                           int local_cycle) const;
+
+  ArchConfig config_;
+  int buf_rows_;
+  int buf_cols_;
+  int iterations_;
+  int pe_latency_;
+  int sweep_len_;  ///< cycles per sweep: buf_cols + 1 + pipeline_fill
+
+  std::vector<SweepPlan> sweeps_;  ///< one iteration's sweep sequence
+  std::uint64_t cycle_ = 0;
+  int iteration_ = 0;
+  std::size_t sweep_index_ = 0;
+  int local_cycle_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace chambolle::hw

@@ -1,0 +1,68 @@
+#include "hw/datasheet.hpp"
+
+#include <sstream>
+
+#include "common/text_table.hpp"
+#include "hw/accelerator.hpp"
+
+namespace chambolle::hw {
+
+Datasheet make_datasheet(const ArchConfig& config, const DramConfig& dram) {
+  config.validate();
+  dram.validate();
+
+  Datasheet d;
+  d.config = config;
+  d.area = estimate_resources(config);
+  d.dram = dram;
+  d.fits = d.area.flipflops <= d.device.flipflops &&
+           d.area.luts <= d.device.luts && d.area.brams <= d.device.brams &&
+           d.area.dsps <= d.device.dsps;
+  d.total_pes = 2 * 2 * config.num_sliding_windows * config.pe_lanes;
+  d.cycles_per_element_latency = config.pipeline_fill;
+
+  const ChambolleAccelerator accel(config);
+  const int workloads[][3] = {
+      {256, 256, 200}, {512, 512, 200}, {1024, 768, 200}};
+  for (const auto& w : workloads) {
+    WorkloadRating r;
+    r.width = w[0];
+    r.height = w[1];
+    r.iterations = w[2];
+    r.fps = accel.estimate_fps(r.height, r.width, r.iterations);
+    r.fps_streaming =
+        estimate_traffic(config, r.height, r.width, r.iterations, dram)
+            .overlapped_fps();
+    d.ratings.push_back(r);
+  }
+  return d;
+}
+
+std::string Datasheet::to_string() const {
+  std::ostringstream os;
+  os << "Chambolle accelerator datasheet\n";
+  os << "  architecture : " << config.num_sliding_windows
+     << " sliding windows x " << config.pe_lanes << " lanes ("
+     << total_pes << " PEs), tile " << config.tile_rows << "x"
+     << config.tile_cols << ", merge depth " << config.merge_iterations
+     << "\n";
+  os << "  clock        : " << config.clock_mhz
+     << " MHz, element latency " << cycles_per_element_latency
+     << " cycles\n";
+  os << "  resources    : " << area.flipflops << " FF / " << area.luts
+     << " LUT / " << area.brams << " BRAM / " << area.dsps << " DSP  ("
+     << (fits ? "fits " : "DOES NOT FIT ") << "the XC5VLX110T)\n";
+  os << "  off-chip     : " << dram.bytes_per_second / 1e9
+     << " GB/s assumed\n\n";
+
+  TextTable table({"Workload", "Iterations", "fps (pre-loaded)",
+                   "fps (streaming)"});
+  for (const WorkloadRating& r : ratings)
+    table.add_row({std::to_string(r.width) + "x" + std::to_string(r.height),
+                   std::to_string(r.iterations), TextTable::num(r.fps, 1),
+                   TextTable::num(r.fps_streaming, 1)});
+  os << table.to_string();
+  return os.str();
+}
+
+}  // namespace chambolle::hw

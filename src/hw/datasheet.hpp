@@ -1,0 +1,43 @@
+// datasheet.hpp — the one-page summary of a configuration.
+//
+// Collects what the separate models say about an ArchConfig — resources
+// (Table I), throughput at reference workloads (Table II), memory traffic,
+// and schedule facts — into one structure with a text rendering: the
+// "datasheet" a design review would circulate.
+#pragma once
+
+#include <string>
+
+#include "hw/device.hpp"
+#include "hw/dram_model.hpp"
+#include "hw/resource_model.hpp"
+
+namespace chambolle::hw {
+
+struct WorkloadRating {
+  int width = 0;
+  int height = 0;
+  int iterations = 0;
+  double fps = 0.0;          ///< compute-only (pre-loaded frames)
+  double fps_streaming = 0.0;///< with overlapped off-chip transfers
+};
+
+struct Datasheet {
+  ArchConfig config;
+  ResourceReport area;
+  Virtex5Spec device;
+  DramConfig dram;
+  std::vector<WorkloadRating> ratings;
+  bool fits = false;
+  int total_pes = 0;      ///< PE-T + PE-V across all arrays
+  int cycles_per_element_latency = 0;  ///< the paper's 18
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Builds the datasheet; ratings cover the paper's Table II workloads plus
+/// 256x256 at 200 iterations.
+[[nodiscard]] Datasheet make_datasheet(const ArchConfig& config,
+                                       const DramConfig& dram = {});
+
+}  // namespace chambolle::hw

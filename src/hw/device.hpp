@@ -1,0 +1,76 @@
+// device.hpp — target-device constants and architecture configuration.
+//
+// The paper targets a Xilinx Virtex-5 XC5VLX110T at 221 MHz post-P&R
+// (Section VI, Table I).  ArchConfig captures every architectural parameter
+// of Sections IV-V so the simulator, the cycle model and the resource model
+// share one source of truth.
+#pragma once
+
+#include <stdexcept>
+
+namespace chambolle::hw {
+
+/// Resource totals of the XC5VLX110T (Table I, "Total" row).
+struct Virtex5Spec {
+  int flipflops = 69120;
+  int luts = 69120;
+  int brams = 128;
+  int dsps = 64;
+};
+
+struct ArchConfig {
+  /// Sliding-window tile dimensions (Section IV: 88 x 92; the row count must
+  /// be a multiple of the BRAM count so rows stripe evenly across the 8
+  /// BRAMs: 88 rows = 8 BRAMs x 11 rows of 92 words = 1012 addresses).
+  int tile_rows = 88;
+  int tile_cols = 92;
+  /// PE-Ts (= PE-Vs) per array; a "region" is this many rows (Figure 4).
+  int pe_lanes = 7;
+  /// Row-striping factor: row r lives in BRAM r % num_brams (Figure 4).
+  int num_brams = 8;
+  /// Concurrent sliding windows, each with one PE array per flow component.
+  int num_sliding_windows = 2;
+  /// Chambolle iterations merged per tile residency (the loop-decomposition
+  /// depth x of Section III-A); equals the sliding-window halo.
+  int merge_iterations = 4;
+  /// Element latency: 1 control + 1 BRAM synchronous read + 1 vertical
+  /// rotator + 15 PE array stages (Section IV).
+  int pipeline_fill = 18;
+  /// Post-place-and-route clock (Section VI).
+  double clock_mhz = 221.0;
+  /// When true, tile load/store transfers are included in the cycle counts
+  /// (the paper assumes frames pre-loaded in device memory, so this models
+  /// only the on-chip BRAM initialization through the input pins).
+  bool model_tile_io = true;
+
+  void validate() const {
+    if (tile_rows <= 0 || tile_cols <= 0)
+      throw std::invalid_argument("ArchConfig: empty tile");
+    if (pe_lanes <= 0) throw std::invalid_argument("ArchConfig: pe_lanes");
+    if (num_brams != pe_lanes + 1)
+      throw std::invalid_argument(
+          "ArchConfig: row striping requires num_brams == pe_lanes + 1 so a "
+          "region plus the row above it touch distinct BRAMs");
+    if (tile_rows % num_brams != 0)
+      throw std::invalid_argument(
+          "ArchConfig: the tile length (row count) must be a multiple of the "
+          "BRAM count so rows stripe evenly (Section V-B: 88 = 8 * 11)");
+    if (num_sliding_windows <= 0)
+      throw std::invalid_argument("ArchConfig: num_sliding_windows");
+    if (merge_iterations <= 0)
+      throw std::invalid_argument("ArchConfig: merge_iterations");
+    if (tile_rows <= 2 * merge_iterations ||
+        tile_cols <= 2 * merge_iterations)
+      throw std::invalid_argument("ArchConfig: tile must exceed 2*halo");
+    if (pipeline_fill < 0) throw std::invalid_argument("ArchConfig: fill");
+    if (clock_mhz <= 0) throw std::invalid_argument("ArchConfig: clock");
+  }
+
+  /// Words per BRAM for one tile: ceil(rows*cols / num_brams); 1012 for the
+  /// paper's 88 x 92 tile ("indexed using 1012 addresses", Section V-B).
+  [[nodiscard]] int bram_depth() const {
+    return (tile_rows * tile_cols + num_brams - 1) / num_brams;
+  }
+};
+
+}  // namespace chambolle::hw

@@ -1,0 +1,40 @@
+#include "hw/dram_model.hpp"
+
+#include "chambolle/tile.hpp"
+#include "hw/accelerator.hpp"
+
+namespace chambolle::hw {
+
+TrafficReport estimate_traffic(const ArchConfig& arch, int rows, int cols,
+                               int iterations, const DramConfig& dram) {
+  arch.validate();
+  dram.validate();
+
+  const TilingPlan plan =
+      make_tiling(rows, cols, arch.tile_rows, arch.tile_cols,
+                  arch.merge_iterations);
+  // Both flow components move as 32-bit packed (v, px, py) words.
+  constexpr std::uint64_t kBytesPerElementPerComponent = 4;
+  constexpr std::uint64_t kComponents = 2;
+
+  const int passes =
+      (iterations + arch.merge_iterations - 1) / arch.merge_iterations;
+
+  TrafficReport report;
+  report.bytes_loaded = static_cast<std::uint64_t>(passes) *
+                        plan.total_buffer_elements() *
+                        kBytesPerElementPerComponent * kComponents;
+  report.bytes_stored = static_cast<std::uint64_t>(passes) *
+                        plan.total_profitable_elements() *
+                        kBytesPerElementPerComponent * kComponents;
+
+  const ChambolleAccelerator accel(arch);
+  report.compute_seconds =
+      static_cast<double>(accel.estimate_frame_cycles(rows, cols, iterations)) /
+      (arch.clock_mhz * 1e6);
+  report.transfer_seconds =
+      static_cast<double>(report.total_bytes()) / dram.bytes_per_second;
+  return report;
+}
+
+}  // namespace chambolle::hw

@@ -1,0 +1,66 @@
+// dram_model.hpp — off-chip transfer volume and bandwidth-limited frame rate.
+//
+// Table II "assumed that the images to be processed are pre-loaded in the
+// device memory, in order to focus the measures on the Chambolle algorithm
+// itself."  This model quantifies what that assumption hides: every pass,
+// each tile's packed words (32 bits per element per flow component) stream
+// from device memory into the window BRAMs and the profitable rectangle
+// streams back.  With double buffering the transfers overlap compute, so the
+// achievable frame rate is min(compute-bound fps, bandwidth-bound fps); the
+// ablation bench sweeps the available bandwidth to find where the knee sits.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "hw/device.hpp"
+
+namespace chambolle::hw {
+
+struct DramConfig {
+  /// Usable bandwidth in bytes/second (e.g. a single 32-bit DDR2-400
+  /// interface of the paper's era delivers ~1.6e9 with typical efficiency).
+  double bytes_per_second = 1.6e9;
+
+  void validate() const {
+    if (bytes_per_second <= 0)
+      throw std::invalid_argument("DramConfig: bandwidth <= 0");
+  }
+};
+
+struct TrafficReport {
+  std::uint64_t bytes_loaded = 0;  ///< per frame solve, all passes
+  std::uint64_t bytes_stored = 0;
+  double compute_seconds = 0.0;   ///< from the cycle model at the arch clock
+  double transfer_seconds = 0.0;  ///< total bytes / bandwidth
+
+  [[nodiscard]] std::uint64_t total_bytes() const {
+    return bytes_loaded + bytes_stored;
+  }
+  /// Frame rate with transfers fully overlapped behind compute (double
+  /// buffering): the slower of the two pipelines dominates.
+  [[nodiscard]] double overlapped_fps() const {
+    const double bound = compute_seconds > transfer_seconds
+                             ? compute_seconds
+                             : transfer_seconds;
+    return bound > 0 ? 1.0 / bound : 0.0;
+  }
+  /// Frame rate with serialized load-compute-store phases.
+  [[nodiscard]] double serialized_fps() const {
+    const double total = compute_seconds + transfer_seconds;
+    return total > 0 ? 1.0 / total : 0.0;
+  }
+  /// True when compute hides all transfers (the pre-loaded assumption is
+  /// then performance-neutral).
+  [[nodiscard]] bool compute_bound() const {
+    return compute_seconds >= transfer_seconds;
+  }
+};
+
+/// Estimates per-frame off-chip traffic and timing for the accelerator
+/// schedule on a rows x cols frame.
+[[nodiscard]] TrafficReport estimate_traffic(const ArchConfig& arch, int rows,
+                                             int cols, int iterations,
+                                             const DramConfig& dram);
+
+}  // namespace chambolle::hw

@@ -1,0 +1,86 @@
+#include "hw/dse.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "hw/accelerator.hpp"
+
+namespace chambolle::hw {
+
+void DseOptions::validate() const {
+  if (frame_rows <= 0 || frame_cols <= 0)
+    throw std::invalid_argument("DseOptions: empty frame");
+  if (iterations <= 0) throw std::invalid_argument("DseOptions: iterations");
+  if (window_counts.empty() || lane_counts.empty() ||
+      tile_cols_options.empty() || merge_options.empty())
+    throw std::invalid_argument("DseOptions: empty candidate grid");
+}
+
+std::vector<DesignPoint> explore(const DseOptions& options) {
+  options.validate();
+  std::vector<DesignPoint> points;
+
+  for (const int windows : options.window_counts)
+    for (const int lanes : options.lane_counts)
+      for (const int tile_cols : options.tile_cols_options)
+        for (const int merge : options.merge_options) {
+          ArchConfig cfg;
+          cfg.num_sliding_windows = windows;
+          cfg.pe_lanes = lanes;
+          cfg.num_brams = lanes + 1;
+          // Keep the tile footprint near the paper's (~8100 words/array):
+          // rows = the largest stripe-aligned count fitting the budget.
+          const int budget_rows = 8096 / tile_cols;
+          cfg.tile_rows =
+              std::max((budget_rows / cfg.num_brams) * cfg.num_brams,
+                       cfg.num_brams);
+          cfg.tile_cols = tile_cols;
+          cfg.merge_iterations = merge;
+          if (cfg.tile_rows <= 2 * merge || cfg.tile_cols <= 2 * merge)
+            continue;  // no profitable core: not a valid design
+          try {
+            cfg.validate();
+          } catch (const std::invalid_argument&) {
+            continue;
+          }
+
+          DesignPoint p;
+          p.config = cfg;
+          p.area = estimate_resources(cfg);
+          p.fps = ChambolleAccelerator(cfg).estimate_fps(
+              options.frame_rows, options.frame_cols, options.iterations);
+          p.fits = p.area.flipflops <= options.device.flipflops &&
+                   p.area.luts <= options.device.luts &&
+                   p.area.brams <= options.device.brams &&
+                   p.area.dsps <= options.device.dsps;
+          points.push_back(p);
+        }
+
+  std::sort(points.begin(), points.end(),
+            [](const DesignPoint& a, const DesignPoint& b) {
+              return a.fps > b.fps;
+            });
+
+  // Pareto frontier among fitting points, fps (max) vs LUTs (min): walking
+  // in descending fps order, a point is dominated iff some already-kept
+  // point uses no more LUTs.
+  int best_luts = std::numeric_limits<int>::max();
+  for (DesignPoint& p : points) {
+    if (!p.fits) continue;
+    if (p.area.luts < best_luts) {
+      p.pareto = true;
+      best_luts = p.area.luts;
+    }
+  }
+  return points;
+}
+
+DesignPoint best_fitting(const DseOptions& options) {
+  const std::vector<DesignPoint> points = explore(options);
+  for (const DesignPoint& p : points)
+    if (p.fits) return p;
+  throw std::runtime_error("best_fitting: no configuration fits the device");
+}
+
+}  // namespace chambolle::hw

@@ -1,0 +1,53 @@
+// dse.hpp — design-space exploration over the architecture knobs.
+//
+// The paper reports ONE design point (2 sliding windows x 7 lanes, 88x92
+// tiles, 221 MHz, Table I/II).  The models in this library make the
+// surrounding design space cheap to query: this module enumerates candidate
+// configurations (window count, ladder depth, tile size, merge depth),
+// rejects those that do not fit the target device, evaluates frame rate and
+// area for each survivor, and extracts the Pareto frontier — the analysis a
+// design team runs before committing RTL.  The tests verify frontier
+// invariants and that the paper's configuration is (near-)Pareto-optimal
+// under its own models.
+#pragma once
+
+#include <vector>
+
+#include "hw/device.hpp"
+#include "hw/resource_model.hpp"
+
+namespace chambolle::hw {
+
+/// One evaluated design point.
+struct DesignPoint {
+  ArchConfig config;
+  ResourceReport area;
+  double fps = 0.0;      ///< at the evaluation workload
+  bool fits = false;     ///< within the device budget
+  bool pareto = false;   ///< on the fps-vs-LUT frontier among fitting points
+};
+
+struct DseOptions {
+  /// Workload the fps metric is evaluated on.
+  int frame_rows = 512;
+  int frame_cols = 512;
+  int iterations = 200;
+  /// Candidate grids.
+  std::vector<int> window_counts{1, 2, 3};
+  std::vector<int> lane_counts{3, 5, 7, 9, 11};
+  std::vector<int> tile_cols_options{64, 92, 128};
+  std::vector<int> merge_options{2, 4, 8};
+  Virtex5Spec device{};
+
+  void validate() const;
+};
+
+/// Enumerates and evaluates the space; points come back sorted by fps
+/// (descending) with Pareto flags set among the fitting points.
+[[nodiscard]] std::vector<DesignPoint> explore(const DseOptions& options);
+
+/// Convenience: the fitting point with the highest fps (throws
+/// std::runtime_error when nothing fits).
+[[nodiscard]] DesignPoint best_fitting(const DseOptions& options);
+
+}  // namespace chambolle::hw

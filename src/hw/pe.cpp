@@ -1,0 +1,5 @@
+#include "hw/pe.hpp"
+
+// PE behaviour is header-only (it delegates to chambolle::fxdp); this TU
+// anchors the build target.
+namespace chambolle::hw {}  // namespace chambolle::hw

@@ -1,0 +1,66 @@
+// pe.hpp — the two processing-element types (Section V-C, Figures 6-7).
+//
+// PE-T computes Term = div p - v/theta (and u = v - theta*div p, line 9 of
+// Algorithm 1); PE-V computes the projected dual update of px/py, taking its
+// three Term operands from neighboring PE-Ts through forwarding registers
+// rather than memory.  The arithmetic itself lives in chambolle::fxdp so the
+// plain fixed-point solver and this simulator are bit-identical; these
+// classes add the register state (the forwarding flip-flops of Figure 5).
+#pragma once
+
+#include "chambolle/fixed_solver.hpp"
+
+namespace chambolle::hw {
+
+/// One PE-T lane.  Holds the l_px forwarding flip-flop: "PE-T3 takes the
+/// l_px vector from the flip-flop that stores the c_px vector processed in
+/// previous cycle" (Section V-A).
+class PeT {
+ public:
+  struct Out {
+    std::int32_t term = 0;
+    std::int32_t div_p = 0;
+    std::int32_t u = 0;
+  };
+
+  /// Processes one element: `word` is this element's BRAM word, `a_py` the
+  /// upper neighbor's py (forwarded from the lane above or read from the
+  /// extra BRAM port for the top lane).  Advances the l_px flip-flop.
+  Out step(const fx::BramFields& word, std::int32_t a_py, bool first_col,
+           bool last_col, bool first_row, bool last_row,
+           const FixedParams& params) {
+    const fxdp::TermOut t =
+        fxdp::pe_t_op(word.px, l_px_ff_, word.py, a_py, word.v, first_col,
+                      last_col, first_row, last_row, params.inv_theta_q);
+    l_px_ff_ = word.px;
+    Out out;
+    out.term = t.term;
+    out.div_p = t.div_p;
+    out.u = fxdp::pe_u_op(word.v, t.div_p, params.theta_q);
+    return out;
+  }
+
+  /// Clears the l_px flip-flop at the start of a row sweep (column 0 has no
+  /// left neighbor in the buffer).
+  void reset_row() { l_px_ff_ = 0; }
+
+ private:
+  std::int32_t l_px_ff_ = 0;
+};
+
+/// One PE-V lane (stateless: all operands arrive through the array's
+/// forwarding registers).
+class PeV {
+ public:
+  [[nodiscard]] static fxdp::VOut compute(std::int32_t c_term,
+                                          std::int32_t r_term,
+                                          std::int32_t b_term, bool last_col,
+                                          bool last_row, std::int32_t c_px,
+                                          std::int32_t c_py,
+                                          const FixedParams& params) {
+    return fxdp::pe_v_op(c_term, r_term, b_term, last_col, last_row, c_px,
+                         c_py, params.step_q);
+  }
+};
+
+}  // namespace chambolle::hw

@@ -1,0 +1,180 @@
+#include "hw/pe_array.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "hw/pe.hpp"
+
+namespace chambolle::hw {
+namespace {
+
+std::int32_t as_term(std::uint32_t w) { return static_cast<std::int32_t>(w); }
+std::uint32_t term_word(std::int32_t t) { return static_cast<std::uint32_t>(t); }
+
+}  // namespace
+
+PeArray::PeArray(const ArchConfig& config)
+    : config_(config), term_bram_(config.tile_cols) {
+  config_.validate();
+}
+
+void PeArray::run(BramBank& bank, int buf_rows, int buf_cols,
+                  const RegionGeometry& geom, const FixedParams& params,
+                  int iterations) {
+  if (buf_rows <= 0 || buf_cols <= 0 || buf_rows > bank.tile_rows() ||
+      buf_cols > bank.tile_cols())
+    throw std::invalid_argument("PeArray::run: buffer exceeds bank");
+  if (geom.row0 < 0 || geom.col0 < 0 ||
+      geom.row0 + buf_rows > geom.frame_rows ||
+      geom.col0 + buf_cols > geom.frame_cols)
+    throw std::invalid_argument("PeArray::run: window exceeds frame");
+  for (int it = 0; it < iterations; ++it)
+    run_one_iteration(bank, buf_rows, buf_cols, geom, params);
+}
+
+void PeArray::run_one_iteration(BramBank& bank, int buf_rows, int buf_cols,
+                                const RegionGeometry& geom,
+                                const FixedParams& params) {
+  const int lanes = config_.pe_lanes;
+  const int W = buf_cols;
+  const int regions = (buf_rows + lanes - 1) / lanes;
+
+  std::vector<PeT> pe_t(static_cast<std::size_t>(lanes));
+  std::vector<std::int32_t> term_prev(static_cast<std::size_t>(lanes)),
+      term_cur(static_cast<std::size_t>(lanes));
+  std::vector<fx::BramFields> word_prev(static_cast<std::size_t>(lanes)),
+      word_cur(static_cast<std::size_t>(lanes));
+
+  for (int g = 0; g < regions; ++g) {
+    const int r0 = g * lanes;
+    const int active = std::min(lanes, buf_rows - r0);
+    const bool has_above = r0 > 0;  // deferred PE-V1 row exists
+
+    for (int i = 0; i < active; ++i) pe_t[static_cast<std::size_t>(i)].reset_row();
+    fx::BramFields above_word_prev{}, above_word_cur{};
+    std::int32_t term_above_prev = 0, term_above_cur = 0;
+
+    // Column sweep; step c == W is the epilogue that retires column W-1.
+    for (int c = 0; c <= W; ++c) {
+      if (c < W) {
+        const int ac = geom.col0 + c;
+        const bool first_col = ac == 0;
+        const bool last_col_t = ac == geom.frame_cols - 1;
+
+        std::vector<int> rows_touched;
+        if (has_above) {
+          // One extra read serves both PE-T1's a_py and the old px/py the
+          // deferred PE-V1 needs; BRAM-Term is read before it is rewritten
+          // (dual-port read-first).
+          term_above_cur = as_term(term_bram_.read(c));
+          ++stats_.term_bram_reads;
+          above_word_cur = bank.read_fields(r0 - 1, c);
+          ++stats_.bram_word_reads;
+          rows_touched.push_back(r0 - 1);
+        }
+        for (int i = 0; i < active; ++i) {
+          word_cur[static_cast<std::size_t>(i)] = bank.read_fields(r0 + i, c);
+          ++stats_.bram_word_reads;
+          rows_touched.push_back(r0 + i);
+        }
+        bank.check_conflict_free(rows_touched);
+
+        for (int i = 0; i < active; ++i) {
+          const int af = geom.row0 + r0 + i;
+          const std::int32_t a_py =
+              i > 0 ? word_cur[static_cast<std::size_t>(i - 1)].py
+                    : (has_above ? above_word_cur.py : 0);
+          const PeT::Out out = pe_t[static_cast<std::size_t>(i)].step(
+              word_cur[static_cast<std::size_t>(i)], a_py, first_col,
+              last_col_t, af == 0, af == geom.frame_rows - 1, params);
+          term_cur[static_cast<std::size_t>(i)] = out.term;
+        }
+        // The last active lane's Term stream bridges into the next region
+        // (or the flush sweep) through BRAM-Term.
+        term_bram_.write(c, term_word(term_cur[static_cast<std::size_t>(active - 1)]));
+        ++stats_.term_bram_writes;
+      }
+
+      if (c >= 1) {
+        const int ce = c - 1;
+        const int ace = geom.col0 + ce;
+        const bool last_col_v = ace == geom.frame_cols - 1 || c >= W;
+
+        // PE-Vs 2..active: rows r0 .. r0+active-2, straight from PE-T regs.
+        for (int i = 0; i + 1 < active; ++i) {
+          const int row = r0 + i;
+          const int af = geom.row0 + row;
+          const std::int32_t r_term =
+              c < W ? term_cur[static_cast<std::size_t>(i)] : 0;
+          const fxdp::VOut out = PeV::compute(
+              term_prev[static_cast<std::size_t>(i)], r_term,
+              term_prev[static_cast<std::size_t>(i + 1)], last_col_v,
+              af == geom.frame_rows - 1,
+              word_prev[static_cast<std::size_t>(i)].px,
+              word_prev[static_cast<std::size_t>(i)].py, params);
+          bank.write_fields(row, ce,
+                            {word_prev[static_cast<std::size_t>(i)].v, out.px,
+                             out.py});
+          ++stats_.bram_word_writes;
+          ++stats_.elements_updated;
+        }
+        // Deferred PE-V1: retires the previous region's last row using the
+        // BRAM-Term replay plus the freshly computed row-r0 Terms as b_term.
+        if (has_above) {
+          const int row = r0 - 1;
+          const int af = geom.row0 + row;
+          const std::int32_t r_term = c < W ? term_above_cur : 0;
+          const fxdp::VOut out = PeV::compute(
+              term_above_prev, r_term, term_prev[0], last_col_v,
+              af == geom.frame_rows - 1, above_word_prev.px,
+              above_word_prev.py, params);
+          bank.write_fields(row, ce, {above_word_prev.v, out.px, out.py});
+          ++stats_.bram_word_writes;
+          ++stats_.elements_updated;
+        }
+      }
+
+      term_prev = term_cur;
+      word_prev = word_cur;
+      term_above_prev = term_above_cur;
+      above_word_prev = above_word_cur;
+    }
+    stats_.cycles += static_cast<std::uint64_t>(W + 1 + config_.pipeline_fill);
+  }
+
+  // Flush sweep: the tile's last row was deferred out of the final region;
+  // replay its Terms from BRAM-Term.  ForwardY vanishes here by the border /
+  // buffer-edge rule, so no b_term is needed.
+  {
+    const int row = buf_rows - 1;
+    fx::BramFields word_prev_f{};
+    std::int32_t term_prev_f = 0, term_cur_f = 0;
+    fx::BramFields word_cur_f{};
+    for (int c = 0; c <= W; ++c) {
+      if (c < W) {
+        term_cur_f = as_term(term_bram_.read(c));
+        ++stats_.term_bram_reads;
+        word_cur_f = bank.read_fields(row, c);
+        ++stats_.bram_word_reads;
+      }
+      if (c >= 1) {
+        const int ce = c - 1;
+        const int ace = geom.col0 + ce;
+        const bool last_col_v = ace == geom.frame_cols - 1 || c >= W;
+        const std::int32_t r_term = c < W ? term_cur_f : 0;
+        const fxdp::VOut out =
+            PeV::compute(term_prev_f, r_term, /*b_term=*/0, last_col_v,
+                         /*last_row=*/true, word_prev_f.px, word_prev_f.py,
+                         params);
+        bank.write_fields(row, ce, {word_prev_f.v, out.px, out.py});
+        ++stats_.bram_word_writes;
+        ++stats_.elements_updated;
+      }
+      term_prev_f = term_cur_f;
+      word_prev_f = word_cur_f;
+    }
+    stats_.cycles += static_cast<std::uint64_t>(W + 1 + config_.pipeline_fill);
+  }
+}
+
+}  // namespace chambolle::hw

@@ -1,0 +1,71 @@
+// pe_array.hpp — the ladder of 7 PE-Ts + 7 PE-Vs (Section V-A, Figures 4-5).
+//
+// A region is pe_lanes (7) consecutive tile rows.  Within a region the array
+// sweeps columns left to right, one column per cycle in steady state:
+//
+//   * each PE-T lane reads its element's packed word from its BRAM (the
+//     vertical rotator routes lane -> BRAM = row % 8);
+//   * l_px comes from the lane's own flip-flop (previous column's c_px);
+//   * a_py comes from the lane above (its c_py, one cycle delayed by the
+//     ladder skew); the TOP lane instead reads the row-above word from the
+//     8th BRAM — the same read also supplies the old px/py that the deferred
+//     PE-V1 update of that row needs;
+//   * PE-Vs 2..7 update rows r0..r0+5 one column behind the PE-Ts, consuming
+//     c/r/b Term operands straight from the PE-T outputs and pipeline
+//     registers — no BRAM access;
+//   * the LAST lane's Term stream is written to BRAM-Term; PE-V1 replays it
+//     in the NEXT region to update the previous region's last row (Section
+//     V-B: "the Term values of row 6 are stored in a dual-port BRAM, and
+//     they are read back when PE-T1 computes the Term values of row 7");
+//   * after the last region a flush sweep updates the tile's final row.
+//
+// All writes trail the reads of the same row by at least one column, so every
+// operand is a pre-iteration (Jacobi) value and the array's output is
+// bit-identical to fixed_iterate_region — which the tests assert.
+#pragma once
+
+#include <cstdint>
+
+#include "chambolle/fixed_solver.hpp"
+#include "chambolle/solver.hpp"
+#include "hw/bram.hpp"
+#include "hw/device.hpp"
+
+namespace chambolle::hw {
+
+/// Access / cycle statistics of PE-array executions.
+struct PeArrayStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t elements_updated = 0;
+  std::uint64_t bram_word_reads = 0;   ///< packed-word reads (main bank)
+  std::uint64_t bram_word_writes = 0;  ///< packed-word writes (main bank)
+  std::uint64_t term_bram_reads = 0;
+  std::uint64_t term_bram_writes = 0;
+};
+
+/// One PE array: processes one flow component of one sliding window.
+class PeArray {
+ public:
+  explicit PeArray(const ArchConfig& config);
+
+  /// Runs `iterations` Chambolle iterations over the buf_rows x buf_cols tile
+  /// held in `bank`.  `geom` places the buffer inside the frame (border
+  /// rules).  Statistics accumulate across calls.
+  void run(BramBank& bank, int buf_rows, int buf_cols,
+           const RegionGeometry& geom, const FixedParams& params,
+           int iterations);
+
+  [[nodiscard]] const PeArrayStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  void run_one_iteration(BramBank& bank, int buf_rows, int buf_cols,
+                         const RegionGeometry& geom,
+                         const FixedParams& params);
+
+  ArchConfig config_;
+  Bram term_bram_;  ///< BRAM-Term: one Term word per column
+  PeArrayStats stats_;
+};
+
+}  // namespace chambolle::hw

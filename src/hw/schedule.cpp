@@ -1,0 +1,131 @@
+#include "hw/schedule.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "hw/bram.hpp"
+
+namespace chambolle::hw {
+
+RegionSchedule schedule_region(const ArchConfig& config, int r0,
+                               int active_lanes, int cols, int pe_latency) {
+  config.validate();
+  if (r0 < 0 || active_lanes <= 0 || active_lanes > config.pe_lanes ||
+      cols <= 0 || pe_latency < 1)
+    throw std::invalid_argument("schedule_region: bad arguments");
+
+  RegionSchedule sched;
+  const bool has_above = r0 > 0;
+
+  for (int c = 0; c < cols; ++c) {
+    // Lane i processes column c at cycle c + i (the ladder skew); its packed
+    // word read issues then.
+    for (int i = 0; i < active_lanes; ++i) {
+      const int row = r0 + i;
+      BramAccess read;
+      read.cycle = c + i;
+      read.bram = bram_index_for_row(row, config.num_brams);
+      read.addr = bram_addr_for(row, c, config.tile_cols, config.num_brams);
+      read.is_write = false;
+      read.lane = i;
+      read.row = row;
+      read.col = c;
+      sched.accesses.push_back(read);
+    }
+    // The row-above helper read rides with lane 0 (it feeds both PE-T1's
+    // a_py and the deferred PE-V1's old px/py).
+    if (has_above) {
+      BramAccess read;
+      read.cycle = c;
+      read.bram = bram_index_for_row(r0 - 1, config.num_brams);
+      read.addr = bram_addr_for(r0 - 1, c, config.tile_cols, config.num_brams);
+      read.is_write = false;
+      read.lane = -1;
+      read.row = r0 - 1;
+      read.col = c;
+      sched.accesses.push_back(read);
+    }
+    // PE-V write-backs: lanes 2..active update rows r0..r0+active-2, each
+    // pe_latency cycles after the lane's read of the SAME column; the
+    // deferred row (r0-1) writes with lane-0 timing.
+    for (int i = 0; i + 1 < active_lanes; ++i) {
+      const int row = r0 + i;
+      BramAccess write;
+      write.cycle = c + i + pe_latency;
+      write.bram = bram_index_for_row(row, config.num_brams);
+      write.addr = bram_addr_for(row, c, config.tile_cols, config.num_brams);
+      write.is_write = true;
+      write.lane = i;
+      write.row = row;
+      write.col = c;
+      sched.accesses.push_back(write);
+    }
+    if (has_above) {
+      BramAccess write;
+      write.cycle = c + pe_latency;
+      write.bram = bram_index_for_row(r0 - 1, config.num_brams);
+      write.addr = bram_addr_for(r0 - 1, c, config.tile_cols, config.num_brams);
+      write.is_write = true;
+      write.lane = -1;
+      write.row = r0 - 1;
+      write.col = c;
+      sched.accesses.push_back(write);
+    }
+  }
+
+  sched.first_cycle = 0;
+  sched.last_cycle = 0;
+  for (const BramAccess& a : sched.accesses)
+    sched.last_cycle = std::max(sched.last_cycle, a.cycle);
+  return sched;
+}
+
+int count_port_conflicts(const RegionSchedule& schedule) {
+  // (cycle, bram) -> (reads, writes)
+  std::map<std::pair<int, int>, std::pair<int, int>> usage;
+  for (const BramAccess& a : schedule.accesses) {
+    auto& slot = usage[{a.cycle, a.bram}];
+    if (a.is_write)
+      ++slot.second;
+    else
+      ++slot.first;
+  }
+  int violations = 0;
+  for (const auto& [key, counts] : usage) {
+    (void)key;
+    if (counts.first > 1) violations += counts.first - 1;
+    if (counts.second > 1) violations += counts.second - 1;
+  }
+  return violations;
+}
+
+std::string render_timeline(const RegionSchedule& schedule, int max_cycles) {
+  // One row per BRAM, one column per cycle; 'R' read, 'W' write, 'B' both.
+  int max_bram = 0;
+  for (const BramAccess& a : schedule.accesses)
+    max_bram = std::max(max_bram, a.bram);
+  const int cycles = std::min(schedule.last_cycle + 1, max_cycles);
+
+  std::vector<std::string> rows(static_cast<std::size_t>(max_bram) + 1,
+                                std::string(static_cast<std::size_t>(cycles),
+                                            '.'));
+  for (const BramAccess& a : schedule.accesses) {
+    if (a.cycle >= cycles) continue;
+    char& cell = rows[static_cast<std::size_t>(a.bram)]
+                     [static_cast<std::size_t>(a.cycle)];
+    const char mark = a.is_write ? 'W' : 'R';
+    cell = (cell == '.' || cell == mark) ? mark : 'B';
+  }
+
+  std::ostringstream os;
+  os << "cycle     ";
+  for (int c = 0; c < cycles; ++c) os << (c % 10);
+  os << '\n';
+  for (int b = 0; b <= max_bram; ++b)
+    os << "BRAM " << b << "    " << rows[static_cast<std::size_t>(b)] << '\n';
+  return os.str();
+}
+
+}  // namespace chambolle::hw

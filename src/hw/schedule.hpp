@@ -1,0 +1,60 @@
+// schedule.hpp — explicit cycle timing of the ladder schedule (Figure 5).
+//
+// PeArray simulates the array at column-step granularity; this model spells
+// out the per-cycle timing the paper describes, with the ladder SKEW made
+// explicit: lane i runs one column (= one cycle) behind lane i-1, which is
+// why "PE-T3 takes the l_px vector from the flip-flop that stores the c_px
+// vector processed in previous cycle" and why the a_py forwarding crosses
+// lanes with a single-cycle register.  The model generates every BRAM access
+// of a region sweep with its issue cycle, and the checker proves the
+// schedule honours the dual-port budget (at most one read and one write per
+// BRAM per cycle) — the property the row-striping (rows mod 8) exists to
+// guarantee.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/device.hpp"
+
+namespace chambolle::hw {
+
+/// One scheduled BRAM access.
+struct BramAccess {
+  int cycle = 0;
+  int bram = 0;
+  int addr = 0;
+  bool is_write = false;
+  int lane = -1;  ///< issuing PE lane; -1 for the row-above helper read
+  int row = 0;    ///< tile row being accessed
+  int col = 0;    ///< tile column being accessed
+};
+
+/// All accesses of one region sweep (rows r0 .. r0+active-1 over `cols`
+/// columns), with the ladder skew applied.  `pe_latency` is the PE-array
+/// depth (the paper's 15 stages): PE-V write-back of column c issues
+/// pe_latency cycles after the corresponding PE-T read.
+struct RegionSchedule {
+  std::vector<BramAccess> accesses;
+  int first_cycle = 0;
+  int last_cycle = 0;
+
+  /// Cycles from first issued read to last retired write.
+  [[nodiscard]] int span() const { return last_cycle - first_cycle + 1; }
+};
+
+[[nodiscard]] RegionSchedule schedule_region(const ArchConfig& config, int r0,
+                                             int active_lanes, int cols,
+                                             int pe_latency = 15);
+
+/// Port-conflict check: at most one read and one write per BRAM per cycle.
+/// Returns the number of violations (0 for a correct schedule).
+[[nodiscard]] int count_port_conflicts(const RegionSchedule& schedule);
+
+/// Renders the first `max_cycles` cycles as an ASCII lane/BRAM timeline
+/// (used by the hw_accelerator example for inspection).
+[[nodiscard]] std::string render_timeline(const RegionSchedule& schedule,
+                                          int max_cycles = 24);
+
+}  // namespace chambolle::hw

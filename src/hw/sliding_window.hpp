@@ -1,0 +1,74 @@
+// sliding_window.hpp — one sliding-window engine (SW1 / SW2 of Figure 2).
+//
+// A sliding window owns two PE arrays — one per flow component u1/u2 — and
+// their BRAM banks (8 packed-word BRAMs + 1 BRAM-Term each, 9 per array,
+// 18 per window, 36 across both windows: exactly Table I's BRAM count).  It
+// loads a tile of the frame-resident fixed-point state, runs the merged
+// Chambolle iterations on both components in lockstep, and writes the
+// profitable rectangle back.
+#pragma once
+
+#include <cstdint>
+
+#include "chambolle/fixed_solver.hpp"
+#include "chambolle/tile.hpp"
+#include "hw/pe_array.hpp"
+
+namespace chambolle::hw {
+
+/// Frame-resident fixed-point state for both flow components (the "device
+/// memory" the paper assumes frames are pre-loaded into).
+struct FrameState {
+  FixedState u1;
+  FixedState u2;
+
+  FrameState() = default;
+  FrameState(int rows, int cols) : u1(rows, cols), u2(rows, cols) {}
+  [[nodiscard]] int rows() const { return u1.rows(); }
+  [[nodiscard]] int cols() const { return u1.cols(); }
+};
+
+struct SlidingWindowStats {
+  std::uint64_t cycles = 0;  ///< includes tile load/store when modeled
+  std::uint64_t tiles_processed = 0;
+  std::uint64_t load_store_cycles = 0;
+};
+
+class SlidingWindowEngine {
+ public:
+  explicit SlidingWindowEngine(const ArchConfig& config);
+
+  /// Processes one tile: loads (v, px, py) of both components from `src`,
+  /// runs `iterations` merged Chambolle iterations, stores the profitable
+  /// rectangle into `dst` (ping-pong frame buffering keeps tiles of the same
+  /// pass independent, matching the Jacobi semantics of Algorithm 1).  The
+  /// two component arrays run in parallel in hardware, so the cycle cost is
+  /// charged once.
+  void process_tile(const FrameState& src, FrameState& dst,
+                    const TileSpec& tile, const FixedParams& params,
+                    int iterations);
+
+  [[nodiscard]] const SlidingWindowStats& stats() const { return stats_; }
+  [[nodiscard]] const PeArrayStats& array_stats_u1() const {
+    return array_u1_.stats();
+  }
+  [[nodiscard]] const PeArrayStats& array_stats_u2() const {
+    return array_u2_.stats();
+  }
+  void reset_stats();
+
+ private:
+  void load_tile(const FixedState& comp, BramBank& bank,
+                 const TileSpec& tile);
+  void store_tile(FixedState& comp, const BramBank& bank,
+                  const TileSpec& tile);
+
+  ArchConfig config_;
+  BramBank bank_u1_;
+  BramBank bank_u2_;
+  PeArray array_u1_;
+  PeArray array_u2_;
+  SlidingWindowStats stats_;
+};
+
+}  // namespace chambolle::hw

@@ -1,0 +1,390 @@
+#include "hw/verilog_export.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "chambolle/fixed_solver.hpp"
+#include "common/rng.hpp"
+#include "fixedpoint/lut_sqrt.hpp"
+
+namespace chambolle::hw {
+namespace {
+
+std::string banner(const std::string& title) {
+  return "// ------------------------------------------------------------\n"
+         "// " + title + "\n"
+         "// ------------------------------------------------------------\n";
+}
+
+}  // namespace
+
+std::string emit_sqrt_rom() {
+  std::ostringstream os;
+  os << banner("sqrt_rom: 256 x 8-bit entries, round(sqrt(m)*16)  (Sec. V-C)");
+  os << "module sqrt_rom (\n"
+        "    input  wire [7:0] m,\n"
+        "    output reg  [7:0] root\n"
+        ");\n"
+        "  always @* begin\n"
+        "    case (m)\n";
+  const auto& table = fx::sqrt_table();
+  for (int i = 0; i < 256; ++i)
+    os << "      8'd" << i << ": root = 8'd"
+       << static_cast<int>(table[static_cast<std::size_t>(i)]) << ";\n";
+  os << "      default: root = 8'd0;\n"
+        "    endcase\n"
+        "  end\n"
+        "endmodule\n\n";
+  return os.str();
+}
+
+std::string emit_sqrt_unit() {
+  std::ostringstream os;
+  os << banner("sqrt_unit: odd-aligned 8-bit window + ROM + shift (Sec. V-C)");
+  os << R"(module sqrt_unit (
+    input  wire [31:0] x,     // Q24.8, non-negative
+    output wire [31:0] root   // Q24.8
+);
+  // Leading-one position (priority encoder).
+  function automatic [5:0] msb_pos(input [31:0] v);
+    integer i;
+    begin
+      msb_pos = 6'd0;
+      for (i = 0; i < 32; i = i + 1)
+        if (v[i]) msb_pos = i[5:0];
+    end
+  endfunction
+
+  wire [5:0] p = msb_pos(x);
+  // Window low bit: p-7, bumped up to the next even position when odd —
+  // the paper's "starts in an odd position and finishes in an even one".
+  wire [5:0] lo_raw = (p >= 6'd7) ? (p - 6'd7) : 6'd0;
+  wire [5:0] lo     = lo_raw[0] ? (lo_raw + 6'd1) : lo_raw;
+  wire [7:0] m      = (x < 32'd256) ? x[7:0] : ((x >> lo) & 32'hFF);
+  wire [4:0] k      = (x < 32'd256) ? 5'd0 : lo[5:1];
+
+  wire [7:0] entry;
+  sqrt_rom rom (.m(m), .root(entry));
+
+  // entry ~ sqrt(m) * 2^4; root = entry << k lands back in Q24.8.
+  assign root = {24'd0, entry} << k;
+endmodule
+
+)";
+  return os.str();
+}
+
+std::string emit_packed_word() {
+  std::ostringstream os;
+  os << banner("BRAM word layout: [v:13][px:9][py:9][pad:1]  (Sec. V-B)");
+  os << R"(// Field extraction / insertion for the 32-bit packed state word.
+`define WORD_V(w)   $signed(w[31:19])
+`define WORD_PX(w)  $signed(w[18:10])
+`define WORD_PY(w)  $signed(w[9:1])
+`define PACK_WORD(v, px, py) {v[12:0], px[8:0], py[8:0], 1'b0}
+
+)";
+  return os.str();
+}
+
+std::string emit_pe_t(const VerilogParams& params) {
+  std::ostringstream os;
+  os << banner("pe_t: backward differences, Term, u  (Fig. 6)");
+  os << "module pe_t (\n"
+        "    input  wire signed [8:0]  c_px,\n"
+        "    input  wire signed [8:0]  l_px,\n"
+        "    input  wire signed [8:0]  c_py,\n"
+        "    input  wire signed [8:0]  a_py,\n"
+        "    input  wire signed [12:0] v,\n"
+        "    input  wire               first_col, last_col,\n"
+        "    input  wire               first_row, last_row,\n"
+        "    output wire signed [31:0] term,\n"
+        "    output wire signed [31:0] div_p,\n"
+        "    output wire signed [12:0] u\n"
+        ");\n"
+        "  localparam signed [31:0] INV_THETA_Q = 32'sd"
+     << params.inv_theta_q << ";  // 1/theta, Q24.8\n"
+        "  localparam signed [31:0] THETA_Q     = 32'sd"
+     << params.theta_q << ";  // theta, Q24.8\n";
+  os << R"(
+  // Backward differences with the Chambolle border rules.
+  wire signed [31:0] dx = first_col ? {{23{c_px[8]}}, c_px} :
+                          last_col  ? -{{23{l_px[8]}}, l_px} :
+                          {{23{c_px[8]}}, c_px} - {{23{l_px[8]}}, l_px};
+  wire signed [31:0] dy = first_row ? {{23{c_py[8]}}, c_py} :
+                          last_row  ? -{{23{a_py[8]}}, a_py} :
+                          {{23{c_py[8]}}, c_py} - {{23{a_py[8]}}, a_py};
+  assign div_p = dx + dy;
+
+  // Term = div_p - v / theta  (constant multiply, LUT-mapped on the device).
+  wire signed [63:0] v_scaled = $signed({{19{v[12]}}, v}) * INV_THETA_Q;
+  assign term = div_p - v_scaled[39:8];
+
+  // u = v - theta * div_p, saturated to the 13-bit Q5.8 format.
+  wire signed [63:0] du = THETA_Q * div_p;
+  wire signed [31:0] u_wide = $signed({{19{v[12]}}, v}) - du[39:8];
+  assign u = (u_wide >  32'sd4095) ? 13'sd4095 :
+             (u_wide < -32'sd4096) ? -13'sd4096 : u_wide[12:0];
+endmodule
+
+)";
+  return os.str();
+}
+
+std::string emit_pe_v(const VerilogParams& params) {
+  std::ostringstream os;
+  os << banner("pe_v: forward differences, |grad| via LUT sqrt, update (Fig. 7)");
+  os << "module pe_v (\n"
+        "    input  wire signed [31:0] c_term,\n"
+        "    input  wire signed [31:0] r_term,\n"
+        "    input  wire signed [31:0] b_term,\n"
+        "    input  wire               last_col, last_row,\n"
+        "    input  wire signed [8:0]  c_px,\n"
+        "    input  wire signed [8:0]  c_py,\n"
+        "    output wire signed [8:0]  new_px,\n"
+        "    output wire signed [8:0]  new_py\n"
+        ");\n"
+        "  localparam signed [31:0] STEP_Q = 32'sd" << params.step_q
+     << ";  // tau/theta, Q24.8\n";
+  os << R"(
+  wire signed [31:0] term1 = last_col ? 32'sd0 : (r_term - c_term);
+  wire signed [31:0] term2 = last_row ? 32'sd0 : (b_term - c_term);
+
+  // |grad|^2 in Q24.8 (the two squarings are the PE-V's DSP blocks).
+  wire signed [63:0] sq1 = term1 * term1;
+  wire signed [63:0] sq2 = term2 * term2;
+  wire        [31:0] mag_sq = sq1[39:8] + sq2[39:8];
+
+  wire [31:0] grad;
+  sqrt_unit su (.x(mag_sq), .root(grad));
+
+  wire signed [63:0] sg    = STEP_Q * $signed({1'b0, grad});
+  wire signed [31:0] denom = 32'sd256 + sg[39:8];
+
+  wire signed [63:0] st1 = STEP_Q * term1;
+  wire signed [63:0] st2 = STEP_Q * term2;
+  wire signed [39:0] numx = ({{31{c_px[8]}}, c_px} + st1[39:8]) <<< 8;
+  wire signed [39:0] numy = ({{31{c_py[8]}}, c_py} + st2[39:8]) <<< 8;
+  wire signed [39:0] qx = numx / denom;
+  wire signed [39:0] qy = numy / denom;
+
+  assign new_px = (qx >  40'sd255) ? 9'sd255 :
+                  (qx < -40'sd256) ? -9'sd256 : qx[8:0];
+  assign new_py = (qy >  40'sd255) ? 9'sd255 :
+                  (qy < -40'sd256) ? -9'sd256 : qy[8:0];
+endmodule
+
+)";
+  return os.str();
+}
+
+std::string emit_pe_array(const ArchConfig& config,
+                          const VerilogParams& params) {
+  (void)params;
+  std::ostringstream os;
+  const int lanes = config.pe_lanes;
+  os << banner("pe_array: ladder of " + std::to_string(lanes) +
+               " PE-T / PE-V pairs with forwarding (Figs. 4-5)");
+  os << "module pe_array (\n"
+        "    input  wire clk,\n"
+        "    input  wire rst,\n"
+        "    input  wire row_start,              // column 0 of a row sweep\n"
+        "    input  wire [" << lanes << "*32-1:0] bram_word, // packed words, one per lane\n"
+        "    input  wire [31:0] above_word,      // row above (helper port)\n"
+        "    input  wire [" << lanes << "-1:0]  first_col, last_col,\n"
+        "    input  wire [" << lanes << "-1:0]  first_row, last_row,\n"
+        "    output wire [" << lanes << "*32-1:0] term_out,\n"
+        "    output wire [" << lanes << "*18-1:0] pv_out    // {px, py} per PE-V\n"
+        ");\n"
+        "  genvar i;\n"
+        "  // l_px forwarding flip-flops: each lane keeps its previous\n"
+        "  // column's c_px (Sec. V-A).\n"
+        "  reg signed [8:0] l_px_ff [" << lanes - 1 << ":0];\n"
+        "  // a_py crosses lanes through one register (the ladder skew).\n"
+        "  reg signed [8:0] a_py_ff [" << lanes - 1 << ":0];\n"
+        "  generate\n"
+        "    for (i = 0; i < " << lanes << "; i = i + 1) begin : lane\n"
+        "      wire [31:0] word = bram_word[i*32 +: 32];\n"
+        "      wire signed [8:0] a_py_in = (i == 0) ? `WORD_PY(above_word)\n"
+        "                                           : a_py_ff[(i == 0) ? 0 : i-1];\n"
+        "      pe_t t (\n"
+        "        .c_px(`WORD_PX(word)), .l_px(l_px_ff[i]),\n"
+        "        .c_py(`WORD_PY(word)), .a_py(a_py_in),\n"
+        "        .v(`WORD_V(word)),\n"
+        "        .first_col(first_col[i]), .last_col(last_col[i]),\n"
+        "        .first_row(first_row[i]), .last_row(last_row[i]),\n"
+        "        .term(term_out[i*32 +: 32]), .div_p(), .u());\n"
+        "      always @(posedge clk) begin\n"
+        "        if (rst || row_start) l_px_ff[i] <= 9'sd0;\n"
+        "        else                  l_px_ff[i] <= `WORD_PX(word);\n"
+        "        a_py_ff[i] <= `WORD_PY(word);\n"
+        "      end\n"
+        "    end\n"
+        "  endgenerate\n"
+        "  // PE-Vs consume c/r/b Terms through the pipeline registers the\n"
+        "  // control unit sequences; shown here as combinational taps.\n"
+        "  generate\n"
+        "    for (i = 0; i + 1 < " << lanes << "; i = i + 1) begin : vlane\n"
+        "      pe_v v (\n"
+        "        .c_term(term_out[i*32 +: 32]),\n"
+        "        .r_term(term_out[i*32 +: 32]),   // previous-column tap\n"
+        "        .b_term(term_out[(i+1)*32 +: 32]),\n"
+        "        .last_col(last_col[i]), .last_row(last_row[i]),\n"
+        "        .c_px(9'sd0), .c_py(9'sd0),      // wired by the control unit\n"
+        "        .new_px(pv_out[i*18 +: 9]), .new_py(pv_out[i*18+9 +: 9]));\n"
+        "    end\n"
+        "  endgenerate\n"
+        "endmodule\n\n";
+  return os.str();
+}
+
+std::string emit_design(const ArchConfig& config, const VerilogParams& params) {
+  config.validate();
+  std::ostringstream os;
+  os << "// Generated by chambolle-parallel (DATE 2011 reproduction).\n"
+     << "// Configuration: " << config.num_sliding_windows
+     << " sliding windows, " << config.pe_lanes << " PE lanes/array, tile "
+     << config.tile_rows << "x" << config.tile_cols << ", "
+     << config.num_brams << " BRAMs/array (depth " << config.bram_depth()
+     << "), clock target " << config.clock_mhz << " MHz.\n"
+     << "// Golden model: the chambolle::fxdp datapath (bit-identical).\n\n";
+  os << emit_packed_word();
+  os << emit_sqrt_rom();
+  os << emit_sqrt_unit();
+  os << emit_pe_t(params);
+  os << emit_pe_v(params);
+  os << emit_pe_array(config, params);
+  return os.str();
+}
+
+std::string emit_pe_t_testbench(const VerilogParams& params, int vectors,
+                                std::uint64_t seed) {
+  if (vectors < 1)
+    throw std::invalid_argument("emit_pe_t_testbench: vectors < 1");
+  Rng rng(seed);
+  const FixedParams fp{params.theta_q, params.inv_theta_q, params.step_q, 1};
+
+  std::ostringstream os;
+  os << banner("pe_t_tb: self-checking bench, golden vectors from the C++ "
+               "model");
+  os << "`timescale 1ns/1ps\n"
+        "module pe_t_tb;\n"
+        "  reg signed [8:0]  c_px, l_px, c_py, a_py;\n"
+        "  reg signed [12:0] v;\n"
+        "  reg first_col, last_col, first_row, last_row;\n"
+        "  wire signed [31:0] term, div_p;\n"
+        "  wire signed [12:0] u;\n"
+        "  integer errors = 0;\n"
+        "  pe_t dut (.c_px(c_px), .l_px(l_px), .c_py(c_py), .a_py(a_py),\n"
+        "            .v(v), .first_col(first_col), .last_col(last_col),\n"
+        "            .first_row(first_row), .last_row(last_row),\n"
+        "            .term(term), .div_p(div_p), .u(u));\n"
+        "  task check(input signed [31:0] want_term,\n"
+        "             input signed [12:0] want_u);\n"
+        "    begin\n"
+        "      #1;\n"
+        "      if (term !== want_term || u !== want_u) begin\n"
+        "        $display(\"FAIL term=%0d (want %0d) u=%0d (want %0d)\",\n"
+        "                 term, want_term, u, want_u);\n"
+        "        errors = errors + 1;\n"
+        "      end\n"
+        "    end\n"
+        "  endtask\n"
+        "  initial begin\n";
+  for (int i = 0; i < vectors; ++i) {
+    const std::int32_t c_px = rng.uniform_int(-256, 255);
+    const std::int32_t l_px = rng.uniform_int(-256, 255);
+    const std::int32_t c_py = rng.uniform_int(-256, 255);
+    const std::int32_t a_py = rng.uniform_int(-256, 255);
+    const std::int32_t v = rng.uniform_int(-4096, 4095);
+    const bool fc = rng.uniform_int(0, 7) == 0;
+    const bool lc = !fc && rng.uniform_int(0, 7) == 0;
+    const bool fr = rng.uniform_int(0, 7) == 0;
+    const bool lr = !fr && rng.uniform_int(0, 7) == 0;
+    const fxdp::TermOut t =
+        fxdp::pe_t_op(c_px, l_px, c_py, a_py, v, fc, lc, fr, lr,
+                      params.inv_theta_q);
+    const std::int32_t u = fxdp::pe_u_op(v, t.div_p, params.theta_q);
+    os << "    c_px = " << c_px << "; l_px = " << l_px << "; c_py = " << c_py
+       << "; a_py = " << a_py << "; v = " << v << ";\n"
+       << "    first_col = " << fc << "; last_col = " << lc
+       << "; first_row = " << fr << "; last_row = " << lr << ";\n"
+       << "    check(" << t.term << ", " << u << ");\n";
+  }
+  os << "    if (errors == 0) $display(\"PASS: all " << vectors
+     << " pe_t vectors\");\n"
+        "    else $display(\"FAIL: %0d errors\", errors);\n"
+        "    $finish;\n"
+        "  end\n"
+        "endmodule\n";
+  (void)fp;
+  return os.str();
+}
+
+std::string emit_pe_v_testbench(const VerilogParams& params, int vectors,
+                                std::uint64_t seed) {
+  if (vectors < 1)
+    throw std::invalid_argument("emit_pe_v_testbench: vectors < 1");
+  Rng rng(seed);
+
+  std::ostringstream os;
+  os << banner("pe_v_tb: self-checking bench (exercises the LUT sqrt path)");
+  os << "`timescale 1ns/1ps\n"
+        "module pe_v_tb;\n"
+        "  reg signed [31:0] c_term, r_term, b_term;\n"
+        "  reg last_col, last_row;\n"
+        "  reg signed [8:0] c_px, c_py;\n"
+        "  wire signed [8:0] new_px, new_py;\n"
+        "  integer errors = 0;\n"
+        "  pe_v dut (.c_term(c_term), .r_term(r_term), .b_term(b_term),\n"
+        "            .last_col(last_col), .last_row(last_row),\n"
+        "            .c_px(c_px), .c_py(c_py),\n"
+        "            .new_px(new_px), .new_py(new_py));\n"
+        "  task check(input signed [8:0] want_px,\n"
+        "             input signed [8:0] want_py);\n"
+        "    begin\n"
+        "      #1;\n"
+        "      if (new_px !== want_px || new_py !== want_py) begin\n"
+        "        $display(\"FAIL px=%0d (want %0d) py=%0d (want %0d)\",\n"
+        "                 new_px, want_px, new_py, want_py);\n"
+        "        errors = errors + 1;\n"
+        "      end\n"
+        "    end\n"
+        "  endtask\n"
+        "  initial begin\n";
+  for (int i = 0; i < vectors; ++i) {
+    // Terms in a realistic dynamic range (a few Q24.8 units).
+    const std::int32_t c_term = rng.uniform_int(-4000, 4000);
+    const std::int32_t r_term = rng.uniform_int(-4000, 4000);
+    const std::int32_t b_term = rng.uniform_int(-4000, 4000);
+    const std::int32_t c_px = rng.uniform_int(-256, 255);
+    const std::int32_t c_py = rng.uniform_int(-256, 255);
+    const bool lc = rng.uniform_int(0, 7) == 0;
+    const bool lr = rng.uniform_int(0, 7) == 0;
+    const fxdp::VOut out = fxdp::pe_v_op(c_term, r_term, b_term, lc, lr, c_px,
+                                         c_py, params.step_q);
+    os << "    c_term = " << c_term << "; r_term = " << r_term
+       << "; b_term = " << b_term << "; last_col = " << lc
+       << "; last_row = " << lr << "; c_px = " << c_px << "; c_py = " << c_py
+       << ";\n"
+       << "    check(" << out.px << ", " << out.py << ");\n";
+  }
+  os << "    if (errors == 0) $display(\"PASS: all " << vectors
+     << " pe_v vectors\");\n"
+        "    else $display(\"FAIL: %0d errors\", errors);\n"
+        "    $finish;\n"
+        "  end\n"
+        "endmodule\n";
+  return os.str();
+}
+
+void write_verilog(const std::string& path, const ArchConfig& config,
+                   const VerilogParams& params) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_verilog: cannot open " + path);
+  out << emit_design(config, params);
+  if (!out) throw std::runtime_error("write_verilog: write failed");
+}
+
+}  // namespace chambolle::hw

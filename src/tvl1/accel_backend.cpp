@@ -1,0 +1,70 @@
+#include "tvl1/accel_backend.hpp"
+
+#include <stdexcept>
+
+#include "tvl1/median_filter.hpp"
+#include "tvl1/pyramid.hpp"
+#include "tvl1/threshold.hpp"
+#include "tvl1/warp.hpp"
+
+namespace chambolle::tvl1 {
+namespace {
+
+Image normalize(const Image& img) {
+  Image out = img;
+  for (float& v : out) v *= (1.f / 255.f);
+  return out;
+}
+
+}  // namespace
+
+FlowField compute_flow_accelerated(const Image& i0, const Image& i1,
+                                   const Tvl1Params& params,
+                                   hw::ChambolleAccelerator& accelerator,
+                                   AccelTvl1Stats* stats) {
+  params.validate();
+  if (!i0.same_shape(i1))
+    throw std::invalid_argument("compute_flow_accelerated: shape mismatch");
+  if (i0.rows() < 2 || i0.cols() < 2)
+    throw std::invalid_argument("compute_flow_accelerated: frames >= 2x2");
+
+  std::uint64_t device_cycles = 0;
+  int solves = 0;
+
+  const Pyramid p0(normalize(i0), params.pyramid_levels);
+  const Pyramid p1(normalize(i1), params.pyramid_levels);
+  const int levels = std::min(p0.levels(), p1.levels());
+
+  FlowField u;
+  for (int level = levels - 1; level >= 0; --level) {
+    const Image& l0 = p0.level(level);
+    const Image& l1 = p1.level(level);
+    if (level == levels - 1)
+      u = FlowField(l0.rows(), l0.cols());
+    else
+      u = upsample_flow(u, l0.rows(), l0.cols());
+
+    for (int w = 0; w < params.warps; ++w) {
+      const FlowField u0 = u;
+      const WarpResult wr = warp_with_gradients(l1, u0);
+      const ThresholdInputs in{l0,   wr.warped,     wr.grad, u0,
+                               u,    params.lambda, params.chambolle.theta};
+      const FlowField v = threshold_step(in);
+
+      const auto result = accelerator.solve(v, params.chambolle);
+      u = result.u;
+      device_cycles += result.stats.total_cycles;
+      ++solves;
+
+      if (params.median_filtering) u = median_filter_flow(u);
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->device_cycles = device_cycles;
+    stats->solves = solves;
+  }
+  return u;
+}
+
+}  // namespace chambolle::tvl1

@@ -1,0 +1,51 @@
+#include "tvl1/consistency.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tvl1/warp.hpp"
+
+namespace chambolle::tvl1 {
+
+ConsistencyResult check_consistency(const FlowField& forward,
+                                    const FlowField& backward,
+                                    float threshold) {
+  if (!forward.same_shape(backward))
+    throw std::invalid_argument("check_consistency: shape mismatch");
+  if (threshold <= 0.f)
+    throw std::invalid_argument("check_consistency: threshold <= 0");
+
+  const int rows = forward.rows(), cols = forward.cols();
+  ConsistencyResult out;
+  out.mismatch.resize(rows, cols);
+  out.occluded.resize(rows, cols);
+  long long flagged = 0;
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c) {
+      const float fx = forward.u1(r, c), fy = forward.u2(r, c);
+      // Backward flow sampled where the forward flow lands.
+      const float bx = sample_bilinear(backward.u1, static_cast<float>(r) + fy,
+                                       static_cast<float>(c) + fx);
+      const float by = sample_bilinear(backward.u2, static_cast<float>(r) + fy,
+                                       static_cast<float>(c) + fx);
+      const float ex = fx + bx, ey = fy + by;  // should cancel
+      const float m = std::sqrt(ex * ex + ey * ey);
+      out.mismatch(r, c) = m;
+      const bool bad = m > threshold;
+      out.occluded(r, c) = bad ? 1 : 0;
+      if (bad) ++flagged;
+    }
+  out.occluded_fraction =
+      static_cast<double>(flagged) / (static_cast<double>(rows) * cols);
+  return out;
+}
+
+ConsistencyResult bidirectional_check(const Image& i0, const Image& i1,
+                                      const Tvl1Params& params,
+                                      float threshold) {
+  const FlowField fwd = compute_flow(i0, i1, params);
+  const FlowField bwd = compute_flow(i1, i0, params);
+  return check_consistency(fwd, bwd, threshold);
+}
+
+}  // namespace chambolle::tvl1

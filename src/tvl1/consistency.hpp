@@ -1,0 +1,35 @@
+// consistency.hpp — forward-backward consistency and occlusion masking.
+//
+// A flow estimate cannot be trusted where the scene point is occluded in the
+// second frame.  The standard detector: compute the backward flow too, warp
+// it to the first frame, and flag pixels where forward + warped-backward
+// does not cancel.  Downstream applications (rolling-shutter correction,
+// motion compensation) skip or in-fill flagged pixels.
+#pragma once
+
+#include "common/image.hpp"
+#include "tvl1/tvl1.hpp"
+
+namespace chambolle::tvl1 {
+
+struct ConsistencyResult {
+  /// |forward(x) + backward(x + forward(x))| per pixel.
+  Matrix<float> mismatch;
+  /// mismatch > threshold (1 = inconsistent / likely occluded).
+  Matrix<unsigned char> occluded;
+  /// Fraction of flagged pixels.
+  double occluded_fraction = 0.0;
+};
+
+/// Checks a forward/backward flow pair; `threshold` is in pixels.
+[[nodiscard]] ConsistencyResult check_consistency(const FlowField& forward,
+                                                  const FlowField& backward,
+                                                  float threshold = 0.75f);
+
+/// Convenience: estimates both directions with TV-L1 and runs the check.
+[[nodiscard]] ConsistencyResult bidirectional_check(const Image& i0,
+                                                    const Image& i1,
+                                                    const Tvl1Params& params,
+                                                    float threshold = 0.75f);
+
+}  // namespace chambolle::tvl1

@@ -1,0 +1,55 @@
+#include "tvl1/fixed_threshold.hpp"
+
+#include "fixedpoint/qformat.hpp"
+
+namespace chambolle::tvl1 {
+
+FixedThresholdOut fixed_threshold_point(std::int32_t rho, std::int32_t gx,
+                                        std::int32_t gy, std::int32_t lt) {
+  FixedThresholdOut out;
+  const std::int32_t g2 = fx::mul(gx, gx) + fx::mul(gy, gy);
+  if (g2 == 0) return out;  // textureless: every branch degenerates to 0
+  const std::int32_t lim = fx::mul(lt, g2);
+  if (rho < -lim) {
+    out.branch = -1;
+    out.dx = fx::mul(lt, gx);
+    out.dy = fx::mul(lt, gy);
+  } else if (rho > lim) {
+    out.branch = 1;
+    out.dx = -fx::mul(lt, gx);
+    out.dy = -fx::mul(lt, gy);
+  } else {
+    out.branch = 0;
+    // -rho * g / |g|^2: one divide, like the PE-V's projection divide.
+    out.dx = -fx::mul(fx::div(rho, g2), gx);
+    out.dy = -fx::mul(fx::div(rho, g2), gy);
+  }
+  return out;
+}
+
+FlowField fixed_threshold_step(const ThresholdInputs& in) {
+  // On chip, rho and the gradients arrive in NATIVE 8-bit intensity units
+  // (the TV-L1 host code normalizes to [0,1], which would waste the Q24.8
+  // fractional bits); rescaling by 255 here and dividing lambda*theta by the
+  // same factor leaves the step mathematically identical while keeping every
+  // operand in the format's sweet spot.  The middle branch's rho*g/|g|^2 is
+  // scale-invariant, so only the saturation limit needs the compensation.
+  constexpr float kScale = 255.f;
+  const Matrix<float> rho = residual(in);
+  const std::int32_t lt = fx::to_fixed(static_cast<double>(in.lambda) *
+                                       static_cast<double>(in.theta) /
+                                       static_cast<double>(kScale));
+  FlowField v(in.i0.rows(), in.i0.cols());
+  for (int r = 0; r < v.rows(); ++r)
+    for (int c = 0; c < v.cols(); ++c) {
+      const FixedThresholdOut out = fixed_threshold_point(
+          fx::to_fixed(rho(r, c) * kScale),
+          fx::to_fixed(in.grad.gx(r, c) * kScale),
+          fx::to_fixed(in.grad.gy(r, c) * kScale), lt);
+      v.u1(r, c) = in.u.u1(r, c) + fx::to_float(out.dx);
+      v.u2(r, c) = in.u.u2(r, c) + fx::to_float(out.dy);
+    }
+  return v;
+}
+
+}  // namespace chambolle::tvl1

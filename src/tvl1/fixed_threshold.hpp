@@ -1,0 +1,39 @@
+// fixed_threshold.hpp — the thresholding step in hardware arithmetic.
+//
+// The paper keeps TV-L1's outer loop (warping, thresholding) off the
+// accelerator; putting the THRESHOLDING on chip is the obvious next
+// integration step ("the outermost loop ... does not require any complex
+// matrix operation", Section I), since it is pointwise and branch-select —
+// ideal PE material.  This module implements the v-step in the same Q24.8
+// fixed-point discipline as the Chambolle datapath (division-free in the
+// saturation branches; one divide in the middle branch, like the PE-V), so
+// its hardware cost and accuracy can be evaluated: the tests bound its
+// deviation from the float step and prove branch agreement.
+#pragma once
+
+#include <cstdint>
+
+#include "common/image.hpp"
+#include "tvl1/threshold.hpp"
+
+namespace chambolle::tvl1 {
+
+/// Pointwise fixed-point thresholding.  All inputs/outputs are raw Q24.8.
+/// Returns the v update delta (dx, dy) added to u, and the branch taken
+/// (-1: rho below -lt|g|^2, +1: above +lt|g|^2, 0: middle, 2: textureless).
+struct FixedThresholdOut {
+  std::int32_t dx = 0;
+  std::int32_t dy = 0;
+  int branch = 2;
+};
+
+[[nodiscard]] FixedThresholdOut fixed_threshold_point(std::int32_t rho,
+                                                      std::int32_t gx,
+                                                      std::int32_t gy,
+                                                      std::int32_t lt);
+
+/// Whole-field fixed-point thresholding step, mirroring threshold_step():
+/// quantizes the float inputs, runs the pointwise kernel, dequantizes.
+[[nodiscard]] FlowField fixed_threshold_step(const ThresholdInputs& in);
+
+}  // namespace chambolle::tvl1

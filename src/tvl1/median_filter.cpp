@@ -1,0 +1,34 @@
+#include "tvl1/median_filter.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace chambolle::tvl1 {
+
+Matrix<float> median3x3(const Matrix<float>& in) {
+  const int rows = in.rows(), cols = in.cols();
+  Matrix<float> out(rows, cols);
+  std::array<float, 9> window;
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c) {
+      int k = 0;
+      for (int dr = -1; dr <= 1; ++dr)
+        for (int dc = -1; dc <= 1; ++dc) {
+          const int rr = std::clamp(r + dr, 0, rows - 1);
+          const int cc = std::clamp(c + dc, 0, cols - 1);
+          window[static_cast<std::size_t>(k++)] = in(rr, cc);
+        }
+      std::nth_element(window.begin(), window.begin() + 4, window.end());
+      out(r, c) = window[4];
+    }
+  return out;
+}
+
+FlowField median_filter_flow(const FlowField& flow) {
+  FlowField out;
+  out.u1 = median3x3(flow.u1);
+  out.u2 = median3x3(flow.u2);
+  return out;
+}
+
+}  // namespace chambolle::tvl1

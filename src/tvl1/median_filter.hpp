@@ -1,0 +1,20 @@
+// median_filter.hpp — 3x3 median filtering of intermediate flow fields.
+//
+// An established refinement of the TV-L1 scheme (Wedel et al., "An improved
+// algorithm for TV-L1 optical flow", 2009): median-filtering u between warps
+// suppresses outliers introduced by the pointwise thresholding step without
+// blurring motion boundaries.  Offered as an option of Tvl1Params — the
+// paper's pipeline corresponds to the filter disabled.
+#pragma once
+
+#include "common/image.hpp"
+
+namespace chambolle::tvl1 {
+
+/// 3x3 median filter with clamp-to-border addressing.
+[[nodiscard]] Matrix<float> median3x3(const Matrix<float>& in);
+
+/// Applies median3x3 to both flow components.
+[[nodiscard]] FlowField median_filter_flow(const FlowField& flow);
+
+}  // namespace chambolle::tvl1

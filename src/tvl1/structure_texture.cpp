@@ -1,0 +1,36 @@
+#include "tvl1/structure_texture.hpp"
+
+#include "chambolle/solver.hpp"
+
+namespace chambolle::tvl1 {
+
+StructureTexture decompose_structure_texture(
+    const Image& img, const StructureTextureParams& params) {
+  params.validate();
+  ChambolleParams rof;
+  rof.theta = params.theta;
+  rof.tau = params.theta / 4.f;  // tau/theta = 1/4, the stability bound
+  rof.iterations = params.iterations;
+
+  StructureTexture out;
+  out.structure = solve(img, rof).u;
+  out.texture.resize(img.rows(), img.cols());
+  for (int r = 0; r < img.rows(); ++r)
+    for (int c = 0; c < img.cols(); ++c)
+      // Re-center on mid-gray so the texture image is a valid [0,255] frame.
+      out.texture(r, c) = img(r, c) - out.structure(r, c) + 128.f;
+  return out;
+}
+
+Image texture_component(const Image& img,
+                        const StructureTextureParams& params) {
+  const StructureTexture st = decompose_structure_texture(img, params);
+  Image out(img.rows(), img.cols());
+  for (int r = 0; r < img.rows(); ++r)
+    for (int c = 0; c < img.cols(); ++c)
+      out(r, c) = st.texture(r, c) +
+                  params.blend * (st.structure(r, c) - 128.f);
+  return out;
+}
+
+}  // namespace chambolle::tvl1

@@ -1,0 +1,51 @@
+// structure_texture.hpp — structure-texture decomposition preprocessing.
+//
+// A standard hardening of TV-L1 against illumination changes (Wedel et al.
+// 2009): split each frame into a smooth STRUCTURE part (which absorbs
+// lighting and shading) and an oscillatory TEXTURE part (which carries the
+// trackable detail), then estimate flow on a blend dominated by texture.
+// The structure part is exactly an ROF denoising — computed here by this
+// library's own Chambolle solver, so the accelerated kernel serves its own
+// preprocessing (the paper's Section I lists this dual use of Chambolle).
+#pragma once
+
+#include <stdexcept>
+
+#include "common/image.hpp"
+
+namespace chambolle::tvl1 {
+
+struct StructureTextureParams {
+  /// ROF coupling for the structure extraction; larger = smoother structure.
+  float theta = 8.f;
+  /// Chambolle iterations for the structure solve.
+  int iterations = 40;
+  /// Output = texture + blend * structure; 0 keeps pure texture,
+  /// 1 reproduces the input.
+  float blend = 0.05f;
+
+  void validate() const {
+    if (theta <= 0.f)
+      throw std::invalid_argument("StructureTexture: theta <= 0");
+    if (iterations < 1)
+      throw std::invalid_argument("StructureTexture: iterations < 1");
+    if (blend < 0.f || blend > 1.f)
+      throw std::invalid_argument("StructureTexture: blend outside [0,1]");
+  }
+};
+
+struct StructureTexture {
+  Image structure;  ///< ROF-smooth component
+  Image texture;    ///< input - structure, re-centered to mid-gray
+};
+
+/// Decomposes an image (intensities on [0, 255]).
+[[nodiscard]] StructureTexture decompose_structure_texture(
+    const Image& img, const StructureTextureParams& params);
+
+/// Convenience: the flow-ready preprocessed frame
+/// texture + blend*structure (+ mid-gray recentering is already applied).
+[[nodiscard]] Image texture_component(const Image& img,
+                                      const StructureTextureParams& params);
+
+}  // namespace chambolle::tvl1

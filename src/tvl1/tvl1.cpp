@@ -1,0 +1,104 @@
+#include "tvl1/tvl1.hpp"
+
+#include <stdexcept>
+
+#include "chambolle/fixed_solver.hpp"
+#include "chambolle/solver.hpp"
+#include "common/stopwatch.hpp"
+#include "common/validation.hpp"
+#include "tvl1/median_filter.hpp"
+#include "tvl1/pyramid.hpp"
+#include "tvl1/threshold.hpp"
+#include "tvl1/warp.hpp"
+
+namespace chambolle::tvl1 {
+namespace {
+
+Image normalize(const Image& img) {
+  Image out = img;
+  for (float& v : out) v *= (1.f / 255.f);
+  return out;
+}
+
+// One Chambolle solve of a single component through the selected backend.
+Matrix<float> inner_solve(const Matrix<float>& v, const Tvl1Params& params) {
+  switch (params.solver) {
+    case InnerSolver::kReference:
+      return solve(v, params.chambolle).u;
+    case InnerSolver::kTiled:
+      return solve_tiled(v, params.chambolle, params.tiled).u;
+    case InnerSolver::kFixed: {
+      // The 13-bit Q5.8 v-format spans [-16,16); flow components at any
+      // pyramid level stay well inside it for the supported image sizes.
+      return solve_fixed(v, params.chambolle).u;
+    }
+  }
+  throw std::logic_error("inner_solve: unknown solver");
+}
+
+}  // namespace
+
+void Tvl1Params::validate() const {
+  if (lambda <= 0.f) throw std::invalid_argument("Tvl1Params: lambda <= 0");
+  if (pyramid_levels < 1)
+    throw std::invalid_argument("Tvl1Params: pyramid_levels < 1");
+  if (warps < 1) throw std::invalid_argument("Tvl1Params: warps < 1");
+  chambolle.validate();
+  if (solver == InnerSolver::kTiled) tiled.validate();
+}
+
+FlowField compute_flow(const Image& i0, const Image& i1,
+                       const Tvl1Params& params, Tvl1Stats* stats) {
+  params.validate();
+  if (!i0.same_shape(i1))
+    throw std::invalid_argument("compute_flow: frame shape mismatch");
+  if (i0.rows() < 2 || i0.cols() < 2)
+    throw std::invalid_argument("compute_flow: frames must be at least 2x2");
+  require_finite(i0, "compute_flow: frame0");
+  require_finite(i1, "compute_flow: frame1");
+
+  const Stopwatch total_clock;
+  double chambolle_seconds = 0.0;
+  long long inner_iters = 0;
+
+  const Pyramid p0(normalize(i0), params.pyramid_levels);
+  const Pyramid p1(normalize(i1), params.pyramid_levels);
+  const int levels = std::min(p0.levels(), p1.levels());
+
+  FlowField u;
+  for (int level = levels - 1; level >= 0; --level) {
+    const Image& l0 = p0.level(level);
+    const Image& l1 = p1.level(level);
+    if (level == levels - 1) {
+      u = FlowField(l0.rows(), l0.cols());
+    } else {
+      u = upsample_flow(u, l0.rows(), l0.cols());
+    }
+
+    for (int w = 0; w < params.warps; ++w) {
+      const FlowField u0 = u;
+      const WarpResult wr = warp_with_gradients(l1, u0);
+      const ThresholdInputs in{l0,   wr.warped,     wr.grad, u0,
+                               u,    params.lambda, params.chambolle.theta};
+      const FlowField v = threshold_step(in);
+
+      const Stopwatch inner_clock;
+      u.u1 = inner_solve(v.u1, params);
+      u.u2 = inner_solve(v.u2, params);
+      chambolle_seconds += inner_clock.seconds();
+      inner_iters += 2LL * params.chambolle.iterations;
+
+      if (params.median_filtering) u = median_filter_flow(u);
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->total_seconds = total_clock.seconds();
+    stats->chambolle_seconds = chambolle_seconds;
+    stats->chambolle_inner_iterations = inner_iters;
+    stats->levels_processed = levels;
+  }
+  return u;
+}
+
+}  // namespace chambolle::tvl1

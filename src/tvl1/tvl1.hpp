@@ -1,0 +1,62 @@
+// tvl1.hpp — the complete TV-L1 optical-flow pipeline (Zach et al. 2007),
+// the numerical scheme whose inner Chambolle solver the paper accelerates.
+//
+// Structure: coarse-to-fine pyramid; per level, several warping iterations;
+// per warp, a thresholding step producing the support field v followed by a
+// Chambolle solve producing u from v (Section II-A).  The inner solver is
+// pluggable: the sequential float reference, the tiled parallel solver
+// (Section III), or the bit-accurate fixed-point model of the hardware.
+#pragma once
+
+#include "chambolle/params.hpp"
+#include "chambolle/tiled_solver.hpp"
+#include "common/image.hpp"
+
+namespace chambolle::tvl1 {
+
+enum class InnerSolver {
+  kReference,  ///< sequential full-frame float solver
+  kTiled,      ///< loop-decomposition + sliding-window parallel solver
+  kFixed,      ///< bit-accurate fixed-point model of the FPGA datapath
+};
+
+struct Tvl1Params {
+  /// Data-term weight (images are normalized to [0,1] internally, so this is
+  /// in the customary range of the literature).
+  float lambda = 25.f;
+  /// Pyramid depth; 1 disables coarse-to-fine.
+  int pyramid_levels = 4;
+  /// Warping (outer) iterations per pyramid level.
+  int warps = 5;
+  /// Inner Chambolle configuration (theta, tau, iterations per warp).
+  ChambolleParams chambolle{0.25f, 0.0625f, 30};
+  InnerSolver solver = InnerSolver::kReference;
+  /// Tiled-solver options, used when solver == kTiled.
+  TiledSolverOptions tiled{};
+  /// Median-filter the flow between warps (Wedel et al. 2009 refinement;
+  /// false reproduces the paper's pipeline).
+  bool median_filtering = false;
+
+  void validate() const;
+};
+
+/// Phase timing of one compute_flow call; reproduces the paper's profiling
+/// observation that ~90% of TV-L1 time is spent inside Chambolle.
+struct Tvl1Stats {
+  double total_seconds = 0.0;
+  double chambolle_seconds = 0.0;
+  long long chambolle_inner_iterations = 0;  ///< summed over warps & levels
+  int levels_processed = 0;
+
+  [[nodiscard]] double chambolle_fraction() const {
+    return total_seconds > 0.0 ? chambolle_seconds / total_seconds : 0.0;
+  }
+};
+
+/// Estimates the optical flow from i0 to i1.  Images must share a shape with
+/// at least 2x2 pixels; intensities are interpreted on [0, 255].
+[[nodiscard]] FlowField compute_flow(const Image& i0, const Image& i1,
+                                     const Tvl1Params& params,
+                                     Tvl1Stats* stats = nullptr);
+
+}  // namespace chambolle::tvl1

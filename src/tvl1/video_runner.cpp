@@ -1,0 +1,101 @@
+#include "tvl1/video_runner.hpp"
+
+#include <stdexcept>
+
+#include "tvl1/median_filter.hpp"
+#include "tvl1/pyramid.hpp"
+#include "tvl1/threshold.hpp"
+#include "tvl1/warp.hpp"
+
+namespace chambolle::tvl1 {
+namespace {
+
+Image normalize(const Image& img) {
+  Image out = img;
+  for (float& v : out) v *= (1.f / 255.f);
+  return out;
+}
+
+struct DualPair {
+  FlowField u1;  ///< (px, py) of component u1
+  FlowField u2;
+  bool valid = false;
+};
+
+}  // namespace
+
+void VideoRunnerOptions::validate() const {
+  tvl1.validate();
+  arch.validate();
+}
+
+VideoRunnerResult run_video(const std::vector<Image>& frames,
+                            const VideoRunnerOptions& options) {
+  options.validate();
+  if (frames.size() < 2)
+    throw std::invalid_argument("run_video: need at least two frames");
+  for (const Image& f : frames)
+    if (!f.same_shape(frames.front()) || f.rows() < 2 || f.cols() < 2)
+      throw std::invalid_argument("run_video: inconsistent frame shapes");
+
+  hw::ChambolleAccelerator accel(options.arch);
+  VideoRunnerResult result;
+  DualPair carry;  // finest-level dual state carried across warps and frames
+
+  for (std::size_t pair = 0; pair + 1 < frames.size(); ++pair) {
+    const Pyramid p0(normalize(frames[pair]), options.tvl1.pyramid_levels);
+    const Pyramid p1(normalize(frames[pair + 1]),
+                     options.tvl1.pyramid_levels);
+    const int levels = std::min(p0.levels(), p1.levels());
+
+    FlowField u;
+    for (int level = levels - 1; level >= 0; --level) {
+      const Image& l0 = p0.level(level);
+      const Image& l1 = p1.level(level);
+      if (level == levels - 1)
+        u = FlowField(l0.rows(), l0.cols());
+      else
+        u = upsample_flow(u, l0.rows(), l0.cols());
+
+      for (int w = 0; w < options.tvl1.warps; ++w) {
+        const FlowField u0 = u;
+        const WarpResult wr = warp_with_gradients(l1, u0);
+        const ThresholdInputs in{l0,
+                                 wr.warped,
+                                 wr.grad,
+                                 u0,
+                                 u,
+                                 options.tvl1.lambda,
+                                 options.tvl1.chambolle.theta};
+        const FlowField v = threshold_step(in);
+
+        // Warm start: the FIRST finest-level solve of a pair reuses the
+        // PREVIOUS pair's final dual state (temporal coherence); within a
+        // pair the semantics stay identical to the cold pipeline.
+        hw::AcceleratorInitialDual init;
+        if (options.warm_start && level == 0 && w == 0 && carry.valid &&
+            carry.u1.rows() == l0.rows() && carry.u1.cols() == l0.cols()) {
+          init.u1_px = &carry.u1.u1;
+          init.u1_py = &carry.u1.u2;
+          init.u2_px = &carry.u2.u1;
+          init.u2_py = &carry.u2.u2;
+        }
+        const auto solved = accel.solve(v, options.tvl1.chambolle, init);
+        u = solved.u;
+        result.device_cycles += solved.stats.total_cycles;
+        ++result.solves;
+
+        if (level == 0 && w == options.tvl1.warps - 1) {
+          carry.u1 = solved.dual_u1;
+          carry.u2 = solved.dual_u2;
+          carry.valid = true;
+        }
+        if (options.tvl1.median_filtering) u = median_filter_flow(u);
+      }
+    }
+    result.flows.push_back(std::move(u));
+  }
+  return result;
+}
+
+}  // namespace chambolle::tvl1

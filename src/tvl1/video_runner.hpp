@@ -1,0 +1,46 @@
+// video_runner.hpp — video-rate optical flow on the simulated accelerator.
+//
+// The product-level composition the paper's fps numbers imply: a stream of
+// frames enters, the host runs the TV-L1 outer loop, every Chambolle solve
+// goes through the two-window accelerator, and the dual state is warm-
+// started from the previous frame (temporal coherence; see bench/warm_start)
+// so the per-frame iteration budget can be cut without losing quality.
+// Reports per-pair flows plus the aggregate device-cycle budget.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/accelerator.hpp"
+#include "tvl1/tvl1.hpp"
+
+namespace chambolle::tvl1 {
+
+struct VideoRunnerOptions {
+  Tvl1Params tvl1{};
+  hw::ArchConfig arch{};
+  /// Re-seed each frame's finest-level dual state from the previous frame.
+  bool warm_start = true;
+
+  void validate() const;
+};
+
+struct VideoRunnerResult {
+  std::vector<FlowField> flows;      ///< one per consecutive frame pair
+  std::uint64_t device_cycles = 0;   ///< total accelerator cycles
+  int solves = 0;                    ///< Chambolle solves dispatched
+
+  /// Sustained flow fields per second at the configured clock.
+  [[nodiscard]] double device_fps(double clock_mhz) const {
+    if (flows.empty() || device_cycles == 0) return 0.0;
+    const double seconds =
+        static_cast<double>(device_cycles) / (clock_mhz * 1e6);
+    return static_cast<double>(flows.size()) / seconds;
+  }
+};
+
+/// Processes consecutive pairs of `frames` (size >= 2, uniform shape).
+[[nodiscard]] VideoRunnerResult run_video(const std::vector<Image>& frames,
+                                          const VideoRunnerOptions& options);
+
+}  // namespace chambolle::tvl1

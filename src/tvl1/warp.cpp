@@ -1,0 +1,65 @@
+#include "tvl1/warp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace chambolle::tvl1 {
+
+float sample_bilinear(const Image& img, float fr, float fc) {
+  const int r0 = static_cast<int>(std::floor(fr));
+  const int c0 = static_cast<int>(std::floor(fc));
+  const float wr = fr - static_cast<float>(r0);
+  const float wc = fc - static_cast<float>(c0);
+  const auto px = [&](int r, int c) {
+    r = std::clamp(r, 0, img.rows() - 1);
+    c = std::clamp(c, 0, img.cols() - 1);
+    return img(r, c);
+  };
+  return (1.f - wr) * ((1.f - wc) * px(r0, c0) + wc * px(r0, c0 + 1)) +
+         wr * ((1.f - wc) * px(r0 + 1, c0) + wc * px(r0 + 1, c0 + 1));
+}
+
+Image warp(const Image& img, const FlowField& flow) {
+  if (flow.rows() != img.rows() || flow.cols() != img.cols())
+    throw std::invalid_argument("warp: flow/image shape mismatch");
+  Image out(img.rows(), img.cols());
+  for (int r = 0; r < img.rows(); ++r)
+    for (int c = 0; c < img.cols(); ++c)
+      out(r, c) = sample_bilinear(img, static_cast<float>(r) + flow.u2(r, c),
+                                  static_cast<float>(c) + flow.u1(r, c));
+  return out;
+}
+
+Gradients gradients(const Image& img) {
+  Gradients g{Matrix<float>(img.rows(), img.cols()),
+              Matrix<float>(img.rows(), img.cols())};
+  const int R = img.rows(), C = img.cols();
+  for (int r = 0; r < R; ++r)
+    for (int c = 0; c < C; ++c) {
+      const int cl = std::max(c - 1, 0), cr = std::min(c + 1, C - 1);
+      const int ru = std::max(r - 1, 0), rd = std::min(r + 1, R - 1);
+      // One-sided at the borders (divisor matches the actual span).
+      g.gx(r, c) = (img(r, cr) - img(r, cl)) / static_cast<float>(cr - cl == 0 ? 1 : cr - cl);
+      g.gy(r, c) = (img(rd, c) - img(ru, c)) / static_cast<float>(rd - ru == 0 ? 1 : rd - ru);
+    }
+  return g;
+}
+
+WarpResult warp_with_gradients(const Image& img, const FlowField& flow) {
+  WarpResult out;
+  out.warped = warp(img, flow);
+  const Gradients src = gradients(img);
+  out.grad.gx.resize(img.rows(), img.cols());
+  out.grad.gy.resize(img.rows(), img.cols());
+  for (int r = 0; r < img.rows(); ++r)
+    for (int c = 0; c < img.cols(); ++c) {
+      const float fr = static_cast<float>(r) + flow.u2(r, c);
+      const float fc = static_cast<float>(c) + flow.u1(r, c);
+      out.grad.gx(r, c) = sample_bilinear(src.gx, fr, fc);
+      out.grad.gy(r, c) = sample_bilinear(src.gy, fr, fc);
+    }
+  return out;
+}
+
+}  // namespace chambolle::tvl1

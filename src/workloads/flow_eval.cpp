@@ -1,0 +1,72 @@
+#include "workloads/flow_eval.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace chambolle::workloads {
+
+FlowErrorStats evaluate_flow(const FlowField& estimate, const FlowField& truth,
+                             int margin) {
+  if (!estimate.same_shape(truth))
+    throw std::invalid_argument("evaluate_flow: shape mismatch");
+  if (margin < 0) throw std::invalid_argument("evaluate_flow: margin < 0");
+
+  std::vector<double> errors;
+  errors.reserve(static_cast<std::size_t>(estimate.rows()) *
+                 static_cast<std::size_t>(estimate.cols()));
+  for (int r = margin; r < estimate.rows() - margin; ++r)
+    for (int c = margin; c < estimate.cols() - margin; ++c) {
+      const double dx = static_cast<double>(estimate.u1(r, c)) - truth.u1(r, c);
+      const double dy = static_cast<double>(estimate.u2(r, c)) - truth.u2(r, c);
+      errors.push_back(std::sqrt(dx * dx + dy * dy));
+    }
+
+  FlowErrorStats stats;
+  stats.pixels = static_cast<long long>(errors.size());
+  if (errors.empty()) return stats;
+
+  double sum = 0.0;
+  for (double e : errors) {
+    sum += e;
+    stats.max = std::max(stats.max, e);
+    if (e > 0.5) stats.r05 += 1.0;
+    if (e > 1.0) stats.r10 += 1.0;
+    if (e > 2.0) stats.r20 += 1.0;
+    const int bin = std::min(static_cast<int>(e / 0.25), 15);
+    ++stats.histogram[static_cast<std::size_t>(bin)];
+  }
+  const double n = static_cast<double>(errors.size());
+  stats.mean = sum / n;
+  stats.r05 /= n;
+  stats.r10 /= n;
+  stats.r20 /= n;
+
+  std::sort(errors.begin(), errors.end());
+  const auto pct = [&](double q) {
+    const std::size_t i = static_cast<std::size_t>(
+        q * static_cast<double>(errors.size() - 1));
+    return errors[i];
+  };
+  stats.median = pct(0.5);
+  stats.p90 = pct(0.9);
+  stats.p99 = pct(0.99);
+  return stats;
+}
+
+std::string histogram_sparkline(const FlowErrorStats& stats) {
+  static const char* const kLevels[] = {" ", ".", ":", "-", "=", "+", "*",
+                                        "#"};
+  long long peak = 1;
+  for (long long b : stats.histogram) peak = std::max(peak, b);
+  std::string out;
+  for (long long b : stats.histogram) {
+    const int level = static_cast<int>(
+        std::round(7.0 * static_cast<double>(b) / static_cast<double>(peak)));
+    out += kLevels[level];
+  }
+  return out;
+}
+
+}  // namespace chambolle::workloads

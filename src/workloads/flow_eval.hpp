@@ -1,0 +1,40 @@
+// flow_eval.hpp — detailed flow-error statistics beyond the mean.
+//
+// Middlebury-style robustness measures: the fraction of pixels whose
+// endpoint error exceeds 0.5 / 1.0 / 2.0 px (RX), error percentiles, and a
+// coarse histogram.  Averages hide exactly the failure modes the paper's
+// motivation cares about (motion boundaries, noise); these don't.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/image.hpp"
+
+namespace chambolle::workloads {
+
+struct FlowErrorStats {
+  double mean = 0.0;
+  double median = 0.0;
+  double p90 = 0.0;   ///< 90th percentile endpoint error
+  double p99 = 0.0;
+  double max = 0.0;
+  double r05 = 0.0;   ///< fraction of pixels with error > 0.5 px
+  double r10 = 0.0;   ///< > 1.0 px
+  double r20 = 0.0;   ///< > 2.0 px
+  long long pixels = 0;
+
+  /// 16-bin histogram of endpoint errors over [0, 4) px (last bin catches
+  /// everything above).
+  std::array<long long, 16> histogram{};
+};
+
+/// Computes the statistics over the interior (margin cropped on each side).
+[[nodiscard]] FlowErrorStats evaluate_flow(const FlowField& estimate,
+                                           const FlowField& truth,
+                                           int margin = 0);
+
+/// Renders the histogram as a one-line ASCII sparkline (for bench output).
+[[nodiscard]] std::string histogram_sparkline(const FlowErrorStats& stats);
+
+}  // namespace chambolle::workloads

@@ -1,0 +1,69 @@
+#include "workloads/metrics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace chambolle::workloads {
+namespace {
+
+constexpr double kRadToDeg = 57.29577951308232;
+
+void check_shapes(const FlowField& a, const FlowField& b) {
+  if (!a.same_shape(b))
+    throw std::invalid_argument("flow metrics: shape mismatch");
+}
+
+}  // namespace
+
+double average_endpoint_error(const FlowField& estimate,
+                              const FlowField& truth) {
+  return interior_endpoint_error(estimate, truth, 0);
+}
+
+double interior_endpoint_error(const FlowField& estimate,
+                               const FlowField& truth, int margin) {
+  check_shapes(estimate, truth);
+  if (margin < 0) throw std::invalid_argument("interior_endpoint_error");
+  double sum = 0.0;
+  long long n = 0;
+  for (int r = margin; r < estimate.rows() - margin; ++r)
+    for (int c = margin; c < estimate.cols() - margin; ++c) {
+      const double dx = static_cast<double>(estimate.u1(r, c)) - truth.u1(r, c);
+      const double dy = static_cast<double>(estimate.u2(r, c)) - truth.u2(r, c);
+      sum += std::sqrt(dx * dx + dy * dy);
+      ++n;
+    }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+double average_angular_error_deg(const FlowField& estimate,
+                                 const FlowField& truth) {
+  check_shapes(estimate, truth);
+  double sum = 0.0;
+  long long n = 0;
+  for (int r = 0; r < estimate.rows(); ++r)
+    for (int c = 0; c < estimate.cols(); ++c) {
+      const double ex = estimate.u1(r, c), ey = estimate.u2(r, c);
+      const double tx = truth.u1(r, c), ty = truth.u2(r, c);
+      const double num = ex * tx + ey * ty + 1.0;
+      const double den =
+          std::sqrt(ex * ex + ey * ey + 1.0) * std::sqrt(tx * tx + ty * ty + 1.0);
+      const double cosang = std::min(1.0, std::max(-1.0, num / den));
+      sum += std::acos(cosang) * kRadToDeg;
+      ++n;
+    }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+double rms_diff(const Image& a, const Image& b) {
+  if (!a.same_shape(b)) throw std::invalid_argument("rms_diff: shape");
+  if (a.size() == 0) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a.data()[i]) - b.data()[i];
+    s += d * d;
+  }
+  return std::sqrt(s / static_cast<double>(a.size()));
+}
+
+}  // namespace chambolle::workloads

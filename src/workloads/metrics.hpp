@@ -1,0 +1,30 @@
+// metrics.hpp — optical-flow accuracy metrics.
+//
+// Average endpoint error (AEE) and average angular error (AAE) are the
+// standard Middlebury measures; they turn the paper's qualitative "the flow
+// is correct" into assertable numbers for every solver backend.
+#pragma once
+
+#include "common/image.hpp"
+
+namespace chambolle::workloads {
+
+/// Mean Euclidean distance between estimated and true flow vectors.
+[[nodiscard]] double average_endpoint_error(const FlowField& estimate,
+                                            const FlowField& truth);
+
+/// Mean angular error (degrees) in the space-time sense of Barron et al.:
+/// angle between (u1, u2, 1) vectors.
+[[nodiscard]] double average_angular_error_deg(const FlowField& estimate,
+                                               const FlowField& truth);
+
+/// AEE restricted to the interior (ignoring a border of `margin` pixels,
+/// where warping-based estimators are inherently uninformed).
+[[nodiscard]] double interior_endpoint_error(const FlowField& estimate,
+                                             const FlowField& truth,
+                                             int margin);
+
+/// Root-mean-square intensity difference between two images.
+[[nodiscard]] double rms_diff(const Image& a, const Image& b);
+
+}  // namespace chambolle::workloads

@@ -1,0 +1,67 @@
+#include "workloads/rolling_shutter.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tvl1/warp.hpp"
+
+namespace chambolle::workloads {
+
+Image rolling_shutter_capture(const Image& scene, float vel_x, float vel_y) {
+  if (scene.rows() < 1) throw std::invalid_argument("rolling_shutter_capture");
+  Image out(scene.rows(), scene.cols());
+  const float inv_rows = 1.f / static_cast<float>(scene.rows());
+  for (int r = 0; r < scene.rows(); ++r) {
+    const float t = static_cast<float>(r) * inv_rows;  // exposure instant
+    for (int c = 0; c < scene.cols(); ++c)
+      // The scene content has moved by +velocity*t when row r is exposed, so
+      // the sensor samples the original scene at position - velocity*t.
+      out(r, c) = tvl1::sample_bilinear(scene, static_cast<float>(r) - vel_y * t,
+                                        static_cast<float>(c) - vel_x * t);
+  }
+  return out;
+}
+
+Image rolling_shutter_correct(const Image& captured, const FlowField& flow) {
+  if (flow.rows() != captured.rows() || flow.cols() != captured.cols())
+    throw std::invalid_argument("rolling_shutter_correct: shape mismatch");
+  Image out(captured.rows(), captured.cols());
+  const float inv_rows = 1.f / static_cast<float>(captured.rows());
+  for (int r = 0; r < captured.rows(); ++r) {
+    const float t = static_cast<float>(r) * inv_rows;
+    for (int c = 0; c < captured.cols(); ++c)
+      // The pixel was exposed `t` of a frame late; the flow tells how far the
+      // scene moved per frame, so walking t*flow along the motion recovers
+      // the global-shutter sample.
+      out(r, c) = tvl1::sample_bilinear(
+          captured, static_cast<float>(r) + flow.u2(r, c) * t,
+          static_cast<float>(c) + flow.u1(r, c) * t);
+  }
+  return out;
+}
+
+double mean_row_shift(const Image& img, const Image& reference) {
+  if (!img.same_shape(reference))
+    throw std::invalid_argument("mean_row_shift: shape mismatch");
+  // Per row, find the integer column shift minimizing the SAD against the
+  // reference row, then average the |shift| over all rows.
+  const int max_shift = std::min(16, img.cols() / 4);
+  double total = 0.0;
+  for (int r = 0; r < img.rows(); ++r) {
+    int best_shift = 0;
+    double best_sad = -1.0;
+    for (int s = -max_shift; s <= max_shift; ++s) {
+      double sad = 0.0;
+      for (int c = max_shift; c < img.cols() - max_shift; ++c)
+        sad += std::abs(static_cast<double>(img(r, c)) - reference(r, c + s));
+      if (best_sad < 0 || sad < best_sad) {
+        best_sad = sad;
+        best_shift = s;
+      }
+    }
+    total += std::abs(best_shift);
+  }
+  return img.rows() > 0 ? total / img.rows() : 0.0;
+}
+
+}  // namespace chambolle::workloads

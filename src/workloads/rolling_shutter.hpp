@@ -1,0 +1,31 @@
+// rolling_shutter.hpp — the rolling-shutter correction application the
+// paper's introduction motivates (Section I, ref [6]).
+//
+// A rolling-shutter sensor exposes rows at successive times; under camera
+// motion, row r of the captured frame samples the scene at time r/rows of
+// the frame interval, producing the familiar skew/wobble.  Given the optical
+// flow between two frames, each row can be re-sampled back to a common
+// exposure instant.
+#pragma once
+
+#include "common/image.hpp"
+
+namespace chambolle::workloads {
+
+/// Simulates a rolling-shutter capture of a scene translating at a constant
+/// velocity (pixels/frame).  Row r of the output samples the scene displaced
+/// by velocity * (r / rows).
+[[nodiscard]] Image rolling_shutter_capture(const Image& scene, float vel_x,
+                                            float vel_y);
+
+/// Corrects a rolling-shutter frame given the per-pixel inter-frame flow:
+/// row r is shifted back by flow * (r / rows), undoing the skew (to first
+/// order in the motion).
+[[nodiscard]] Image rolling_shutter_correct(const Image& captured,
+                                            const FlowField& flow);
+
+/// The mean absolute horizontal skew of an image of vertical edges: a simple
+/// distortion score used to verify that correction reduces the artifact.
+[[nodiscard]] double mean_row_shift(const Image& img, const Image& reference);
+
+}  // namespace chambolle::workloads

@@ -1,0 +1,71 @@
+#include "workloads/sequence.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace chambolle::workloads {
+
+void SequenceParams::validate() const {
+  if (frames < 2) throw std::invalid_argument("SequenceParams: frames < 2");
+  if (kind == MotionKind::kZoom && rate <= -1.f)
+    throw std::invalid_argument("SequenceParams: zoom rate <= -1");
+}
+
+VideoSequence make_sequence(int rows, int cols, const SequenceParams& params) {
+  params.validate();
+  VideoSequence seq;
+  seq.frames.reserve(static_cast<std::size_t>(params.frames));
+
+  // Each frame is rendered analytically from the cumulative motion at time
+  // k, so inter-frame consistency is exact (no resampling accumulation).
+  for (int k = 0; k < params.frames; ++k) {
+    switch (params.kind) {
+      case MotionKind::kPan: {
+        const FlowWorkload wl = translating_scene(
+            rows, cols, params.rate_x * static_cast<float>(k),
+            params.rate_y * static_cast<float>(k), params.seed);
+        seq.frames.push_back(k == 0 ? wl.frame0 : wl.frame1);
+        break;
+      }
+      case MotionKind::kRotate: {
+        const FlowWorkload wl = rotating_scene(
+            rows, cols, params.rate * static_cast<float>(k), params.seed);
+        seq.frames.push_back(k == 0 ? wl.frame0 : wl.frame1);
+        break;
+      }
+      case MotionKind::kZoom: {
+        const float scale = std::pow(1.f + params.rate, static_cast<float>(k));
+        const FlowWorkload wl = zooming_scene(rows, cols, scale, params.seed);
+        seq.frames.push_back(k == 0 ? wl.frame0 : wl.frame1);
+        break;
+      }
+    }
+  }
+
+  // Per-pair ground truth.  Pan and zoom steps are spatially self-similar;
+  // a rotation step's flow field is texture-independent, so one template
+  // serves every pair.
+  seq.truth.reserve(static_cast<std::size_t>(params.frames) - 1);
+  for (int k = 0; k + 1 < params.frames; ++k) {
+    switch (params.kind) {
+      case MotionKind::kPan: {
+        FlowField f(rows, cols);
+        f.fill(params.rate_x, params.rate_y);
+        seq.truth.push_back(std::move(f));
+        break;
+      }
+      case MotionKind::kRotate:
+        seq.truth.push_back(
+            rotating_scene(rows, cols, params.rate, params.seed).ground_truth);
+        break;
+      case MotionKind::kZoom:
+        seq.truth.push_back(
+            zooming_scene(rows, cols, 1.f + params.rate, params.seed)
+                .ground_truth);
+        break;
+    }
+  }
+  return seq;
+}
+
+}  // namespace chambolle::workloads

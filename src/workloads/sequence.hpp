@@ -1,0 +1,44 @@
+// sequence.hpp — multi-frame synthetic video generation.
+//
+// The paper's headline metric is FRAMES per second; a frame-pair generator
+// only exercises one solve.  This module renders N-frame sequences under a
+// time-parametrized motion model (constant pan, rotation about the center,
+// or zoom), with per-pair analytic ground truth, so video-rate pipelines can
+// be driven and their per-frame accuracy tracked over time.
+#pragma once
+
+#include <vector>
+
+#include "common/image.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace chambolle::workloads {
+
+enum class MotionKind { kPan, kRotate, kZoom };
+
+struct SequenceParams {
+  MotionKind kind = MotionKind::kPan;
+  int frames = 8;
+  /// Per-frame motion magnitude: pixels for pan (applied to both axes
+  /// scaled by direction), radians for rotate, scale factor for zoom.
+  float rate_x = 1.5f;  ///< pan only: horizontal pixels/frame
+  float rate_y = 0.5f;  ///< pan only: vertical pixels/frame
+  float rate = 0.02f;   ///< rotate: rad/frame; zoom: (scale-1)/frame
+  std::uint64_t seed = 42;
+
+  void validate() const;
+};
+
+/// A generated sequence: frames[k] is the scene at time k; truth[k] is the
+/// ground-truth flow from frames[k] to frames[k+1] (size frames-1).
+struct VideoSequence {
+  std::vector<Image> frames;
+  std::vector<FlowField> truth;
+};
+
+/// Renders the sequence analytically (every frame sampled from the
+/// continuous texture, so no resampling error accumulates across frames).
+[[nodiscard]] VideoSequence make_sequence(int rows, int cols,
+                                          const SequenceParams& params);
+
+}  // namespace chambolle::workloads

@@ -1,0 +1,160 @@
+#include "workloads/synthetic.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace chambolle::workloads {
+namespace {
+
+constexpr float kTwoPi = 6.28318530717958647692f;
+
+struct Wave {
+  float fr, fc, phase, amp;
+};
+
+std::vector<Wave> make_waves(std::uint64_t seed, int components) {
+  Rng rng(seed);
+  std::vector<Wave> waves;
+  waves.reserve(static_cast<std::size_t>(components));
+  for (int i = 0; i < components; ++i) {
+    Wave w{};
+    // Low spatial frequencies: wavelengths of roughly 12-80 pixels.
+    w.fr = rng.uniform(-0.08f, 0.08f);
+    w.fc = rng.uniform(-0.08f, 0.08f);
+    w.phase = rng.uniform(0.f, kTwoPi);
+    w.amp = rng.uniform(10.f, 30.f);
+    waves.push_back(w);
+  }
+  return waves;
+}
+
+float eval_waves(const std::vector<Wave>& waves, float r, float c) {
+  float v = 128.f;
+  for (const Wave& w : waves)
+    v += w.amp * std::sin(kTwoPi * (w.fr * r + w.fc * c) + w.phase);
+  return v;
+}
+
+// Renders the analytic texture sampled at inverse-mapped coordinates.
+Image render(const std::vector<Wave>& waves, int rows, int cols,
+             float (*map_r)(float, float, const float*),
+             float (*map_c)(float, float, const float*), const float* args) {
+  Image img(rows, cols);
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c) {
+      const float fr = static_cast<float>(r), fc = static_cast<float>(c);
+      img(r, c) = eval_waves(waves, map_r(fr, fc, args), map_c(fr, fc, args));
+    }
+  return img;
+}
+
+float id_r(float r, float, const float*) { return r; }
+float id_c(float, float c, const float*) { return c; }
+
+}  // namespace
+
+Image smooth_texture(int rows, int cols, std::uint64_t seed, int components) {
+  if (rows <= 0 || cols <= 0)
+    throw std::invalid_argument("smooth_texture: empty image");
+  return render(make_waves(seed, components), rows, cols, id_r, id_c,
+                nullptr);
+}
+
+FlowWorkload translating_scene(int rows, int cols, float dx, float dy,
+                               std::uint64_t seed) {
+  const std::vector<Wave> waves = make_waves(seed, 6);
+  FlowWorkload wl;
+  wl.frame0 = render(waves, rows, cols, id_r, id_c, nullptr);
+  const float args[2] = {dy, dx};
+  wl.frame1 = render(
+      waves, rows, cols,
+      [](float r, float, const float* a) { return r - a[0]; },
+      [](float, float c, const float* a) { return c - a[1]; }, args);
+  wl.ground_truth = FlowField(rows, cols);
+  wl.ground_truth.fill(dx, dy);
+  return wl;
+}
+
+FlowWorkload rotating_scene(int rows, int cols, float radians,
+                            std::uint64_t seed) {
+  const std::vector<Wave> waves = make_waves(seed, 6);
+  const float cr = static_cast<float>(rows - 1) / 2.f;
+  const float cc = static_cast<float>(cols - 1) / 2.f;
+  const float args[4] = {cr, cc, std::cos(radians), std::sin(radians)};
+  FlowWorkload wl;
+  wl.frame0 = render(waves, rows, cols, id_r, id_c, nullptr);
+  // frame1(x) = frame0(R^{-1} (x - center) + center)
+  wl.frame1 = render(
+      waves, rows, cols,
+      [](float r, float c, const float* a) {
+        return a[0] + (-(c - a[1]) * a[3] + (r - a[0]) * a[2]);
+      },
+      [](float r, float c, const float* a) {
+        return a[1] + ((c - a[1]) * a[2] + (r - a[0]) * a[3]);
+      },
+      args);
+  wl.ground_truth = FlowField(rows, cols);
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c) {
+      const float y = static_cast<float>(r) - cr;
+      const float x = static_cast<float>(c) - cc;
+      // Forward motion of the point over one frame.
+      wl.ground_truth.u1(r, c) = x * std::cos(radians) - y * std::sin(radians) - x;
+      wl.ground_truth.u2(r, c) = x * std::sin(radians) + y * std::cos(radians) - y;
+    }
+  return wl;
+}
+
+FlowWorkload zooming_scene(int rows, int cols, float scale,
+                           std::uint64_t seed) {
+  if (scale <= 0.f) throw std::invalid_argument("zooming_scene: scale <= 0");
+  const std::vector<Wave> waves = make_waves(seed, 6);
+  const float cr = static_cast<float>(rows - 1) / 2.f;
+  const float cc = static_cast<float>(cols - 1) / 2.f;
+  const float args[3] = {cr, cc, 1.f / scale};
+  FlowWorkload wl;
+  wl.frame0 = render(waves, rows, cols, id_r, id_c, nullptr);
+  wl.frame1 = render(
+      waves, rows, cols,
+      [](float r, float, const float* a) { return a[0] + (r - a[0]) * a[2]; },
+      [](float, float c, const float* a) { return a[1] + (c - a[1]) * a[2]; },
+      args);
+  wl.ground_truth = FlowField(rows, cols);
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c) {
+      wl.ground_truth.u1(r, c) = (static_cast<float>(c) - cc) * (scale - 1.f);
+      wl.ground_truth.u2(r, c) = (static_cast<float>(r) - cr) * (scale - 1.f);
+    }
+  return wl;
+}
+
+FlowWorkload moving_square(int rows, int cols, int square, int dx, int dy) {
+  if (square <= 0 || square >= std::min(rows, cols))
+    throw std::invalid_argument("moving_square: bad square size");
+  FlowWorkload wl;
+  wl.frame0 = Image(rows, cols, 40.f);
+  wl.frame1 = Image(rows, cols, 40.f);
+  wl.ground_truth = FlowField(rows, cols);
+  const int r0 = (rows - square) / 2 - dy / 2;
+  const int c0 = (cols - square) / 2 - dx / 2;
+  for (int r = 0; r < square; ++r)
+    for (int c = 0; c < square; ++c) {
+      if (wl.frame0.in_bounds(r0 + r, c0 + c)) {
+        wl.frame0(r0 + r, c0 + c) = 220.f;
+        wl.ground_truth.u1(r0 + r, c0 + c) = static_cast<float>(dx);
+        wl.ground_truth.u2(r0 + r, c0 + c) = static_cast<float>(dy);
+      }
+      if (wl.frame1.in_bounds(r0 + r + dy, c0 + c + dx))
+        wl.frame1(r0 + r + dy, c0 + c + dx) = 220.f;
+    }
+  return wl;
+}
+
+void corrupt(FlowWorkload& wl, float noise_stddev, std::uint64_t seed) {
+  Rng rng(seed);
+  add_gaussian_noise(rng, wl.frame0, noise_stddev);
+  add_gaussian_noise(rng, wl.frame1, noise_stddev);
+}
+
+}  // namespace chambolle::workloads

@@ -1,0 +1,92 @@
+#include "baseline/published.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/cpu_baseline.hpp"
+
+namespace chambolle::baseline {
+namespace {
+
+TEST(Published, TableTwoRowCount) {
+  // Table II: 18 Zach et al. rows + 3 Weishaupt rows.
+  EXPECT_EQ(published_baselines().size(), 21u);
+  EXPECT_EQ(paper_fpga_results().size(), 2u);
+}
+
+TEST(Published, AllRowsAreWellFormed) {
+  for (const PublishedResult& r : published_baselines()) {
+    EXPECT_FALSE(r.device.empty());
+    EXPECT_GT(r.fps, 0.0);
+    EXPECT_GT(r.iterations, 0);
+    EXPECT_GT(r.width, 0);
+    EXPECT_GT(r.height, 0);
+  }
+}
+
+TEST(Published, FilterByResolutionAndIterations) {
+  const auto rows = baselines_for(512, 512, 200);
+  ASSERT_EQ(rows.size(), 2u);  // 7800 GS and 7900 GTX at 200 iterations
+  for (const auto& r : rows) {
+    EXPECT_EQ(r.width, 512);
+    EXPECT_EQ(r.iterations, 200);
+  }
+}
+
+TEST(Published, FilterWithZeroIterationsMatchesAll) {
+  // At 512x512 there are 6 Zach rows + 3 Weishaupt rows.
+  EXPECT_EQ(baselines_for(512, 512, 0).size(), 9u);
+}
+
+TEST(Published, SpeedupHeadlineReproduced) {
+  // "The estimated speedup ... ranges from 16.5x to 76x w.r.t. images with a
+  // resolution of 512x512": 99.1/6 = 16.5 and 99.1/1.3 = 76.
+  const double fpga_fps = paper_fpga_results()[0].fps;
+  const auto rows = baselines_for(512, 512, 0);
+  const FpsRange range = fps_range(rows);
+  // Weishaupt's GTX285 upper bound is 6 fps (range midpoint stored as 5.5).
+  const double slowest = range.min_fps;
+  const double fastest = 6.0;
+  EXPECT_NEAR(fpga_fps / slowest, 76.0, 0.5);
+  EXPECT_NEAR(fpga_fps / fastest, 16.5, 0.2);
+}
+
+TEST(Published, FpsRangeThrowsOnEmpty) {
+  EXPECT_THROW((void)fps_range({}), std::invalid_argument);
+}
+
+TEST(Published, GpuFpsDropsWithIterations) {
+  for (const char* device : {"GeForce 7800 GS", "GeForce Go 7900 GTX"}) {
+    for (const int size : {128, 256, 512}) {
+      double prev = 1e9;
+      for (const int iters : {50, 100, 200}) {
+        for (const auto& r : baselines_for(size, size, iters))
+          if (r.device == device) {
+            EXPECT_LT(r.fps, prev) << device << " " << size << " " << iters;
+            prev = r.fps;
+          }
+      }
+    }
+  }
+}
+
+TEST(CpuBaseline, MeasuresPositiveThroughput) {
+  const CpuMeasurement m = measure_scalar_chambolle(64, 64, 10);
+  EXPECT_GT(m.seconds_per_frame, 0.0);
+  EXPECT_GT(m.fps, 0.0);
+  EXPECT_NEAR(m.fps * m.seconds_per_frame, 1.0, 1e-9);
+  EXPECT_EQ(m.width, 64);
+  EXPECT_EQ(m.iterations, 10);
+}
+
+TEST(CpuBaseline, TiledMeasurementRuns) {
+  TiledSolverOptions opt;
+  opt.tile_rows = 40;
+  opt.tile_cols = 40;
+  opt.merge_iterations = 2;
+  const CpuMeasurement m = measure_tiled_chambolle(64, 64, 8, opt);
+  EXPECT_GT(m.fps, 0.0);
+  EXPECT_EQ(m.label, "CPU tiled (this host)");
+}
+
+}  // namespace
+}  // namespace chambolle::baseline

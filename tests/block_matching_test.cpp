@@ -1,0 +1,88 @@
+#include "baseline/block_matching.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/flow_color.hpp"
+#include "workloads/metrics.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace chambolle::baseline {
+namespace {
+
+TEST(BlockMatching, Validation) {
+  BlockMatchingParams p;
+  EXPECT_NO_THROW(p.validate());
+  p.block_size = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = {};
+  p.search_radius = -1;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(BlockMatching, RejectsMismatchedFrames) {
+  EXPECT_THROW(
+      (void)block_matching_flow(Image(8, 8), Image(8, 9), BlockMatchingParams{}),
+      std::invalid_argument);
+}
+
+TEST(BlockMatching, IdenticalFramesGiveZeroFlow) {
+  const Image img = workloads::smooth_texture(32, 32, 5);
+  const FlowField u = block_matching_flow(img, img, BlockMatchingParams{});
+  EXPECT_FLOAT_EQ(max_flow_magnitude(u), 0.f);
+}
+
+TEST(BlockMatching, RecoversIntegerTranslationExactly) {
+  const auto wl = workloads::translating_scene(64, 64, 3.f, -2.f, 91);
+  const FlowField u =
+      block_matching_flow(wl.frame0, wl.frame1, BlockMatchingParams{});
+  // Away from the borders every block should lock onto (3, -2) exactly.
+  EXPECT_LT(workloads::interior_endpoint_error(u, wl.ground_truth, 12), 0.2);
+}
+
+TEST(BlockMatching, QuantizesSubpixelMotion) {
+  // The class limitation: a 0.5-pixel pan cannot be represented, so the
+  // error is ~0.5 px no matter the parameters.
+  const auto wl = workloads::translating_scene(64, 64, 0.5f, 0.f, 93);
+  const FlowField u =
+      block_matching_flow(wl.frame0, wl.frame1, BlockMatchingParams{});
+  for (int r = 0; r < 64; ++r)
+    for (int c = 0; c < 64; ++c) {
+      const float frac = u.u1(r, c) - std::floor(u.u1(r, c));
+      EXPECT_FLOAT_EQ(frac, 0.f);  // integer-valued everywhere
+    }
+  EXPECT_GT(workloads::interior_endpoint_error(u, wl.ground_truth, 12), 0.3);
+}
+
+TEST(BlockMatching, MotionBeyondSearchRadiusIsLost) {
+  const auto wl = workloads::translating_scene(64, 64, 6.f, 0.f, 95);
+  BlockMatchingParams p;
+  p.search_radius = 3;  // smaller than the true motion
+  const FlowField u = block_matching_flow(wl.frame0, wl.frame1, p);
+  EXPECT_GT(workloads::interior_endpoint_error(u, wl.ground_truth, 12), 2.0);
+}
+
+TEST(BlockMatching, TexturelessGuardSuppressesNoiseMatches) {
+  auto wl = workloads::translating_scene(48, 48, 0.f, 0.f, 97);
+  // Flat frames plus faint noise: without the guard, SAD noise produces
+  // random vectors; with it, the flow stays zero.
+  wl.frame0 = Image(48, 48, 100.f);
+  wl.frame1 = Image(48, 48, 100.f);
+  workloads::corrupt(wl, 0.3f);
+  BlockMatchingParams p;
+  p.min_texture_sad = 1.0f;
+  const FlowField u = block_matching_flow(wl.frame0, wl.frame1, p);
+  EXPECT_FLOAT_EQ(max_flow_magnitude(u), 0.f);
+}
+
+TEST(BlockMatching, PartialEdgeBlocksAreHandled) {
+  // 50x50 frame with 8-px blocks leaves 2-px slivers; must not crash and
+  // must still fill every pixel.
+  const auto wl = workloads::translating_scene(50, 50, 1.f, 1.f, 99);
+  const FlowField u =
+      block_matching_flow(wl.frame0, wl.frame1, BlockMatchingParams{});
+  EXPECT_EQ(u.rows(), 50);
+  EXPECT_EQ(u.cols(), 50);
+}
+
+}  // namespace
+}  // namespace chambolle::baseline

@@ -1,0 +1,122 @@
+#include "chambolle/chambolle_pock.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chambolle/energy.hpp"
+#include "common/rng.hpp"
+
+namespace chambolle {
+namespace {
+
+TEST(ChambollePock, Validation) {
+  ChambollePockParams p;
+  EXPECT_NO_THROW(p.validate());
+  p.tau_pd = 1.f;  // tau*sigma*8 = 4 > 1
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = {};
+  p.theta = 0.f;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = {};
+  p.iterations = -1;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(ChambollePock, ConstantInputIsFixed) {
+  const Matrix<float> v(12, 12, 3.f);
+  ChambollePockParams p;
+  p.iterations = 60;
+  const ChambolleResult r = solve_chambolle_pock(v, p);
+  for (float u : r.u) EXPECT_NEAR(u, 3.f, 1e-5f);
+}
+
+TEST(ChambollePock, DualStaysInUnitBall) {
+  Rng rng(5);
+  const Matrix<float> v = random_image(rng, 16, 16, -4.f, 4.f);
+  ChambollePockParams p;
+  p.iterations = 100;
+  const ChambolleResult r = solve_chambolle_pock(v, p);
+  EXPECT_LE(max_dual_magnitude(r.p.px, r.p.py), 1.0 + 1e-5);
+}
+
+TEST(ChambollePock, ConvergesToTheSameMinimizerAsChambolle) {
+  // Both algorithms minimize the same strictly convex ROF objective, so the
+  // converged solutions must agree.
+  Rng rng(7);
+  const Matrix<float> v = random_image(rng, 20, 20, -2.f, 2.f);
+
+  ChambolleParams classic;
+  classic.iterations = 3000;
+  const ChambolleResult a = solve(v, classic);
+
+  ChambollePockParams pd;
+  pd.iterations = 1500;
+  const ChambolleResult b = solve_chambolle_pock(v, pd);
+
+  EXPECT_LT(max_abs_diff(a.u, b.u), 2e-3);
+}
+
+TEST(ChambollePock, ReducesTheRofEnergy) {
+  Rng rng(9);
+  const Matrix<float> v = random_image(rng, 24, 24, -2.f, 2.f);
+  ChambollePockParams p;
+  p.iterations = 100;
+  const ChambolleResult r = solve_chambolle_pock(v, p);
+  EXPECT_LT(rof_energy(r.u, v, p.theta), rof_energy(v, v, p.theta));
+}
+
+TEST(ChambollePock, AcceleratedVariantConverges) {
+  // The accelerated schedule shrinks the primal step aggressively and, on a
+  // warm-started ROF sub-problem of this size, trails the theta=1 variant in
+  // early iterations (see bench/convergence); it must still converge
+  // monotonically in the energy gap.
+  Rng rng(11);
+  const Matrix<float> v = random_image(rng, 24, 24, -2.f, 2.f);
+
+  ChambolleParams deep;
+  deep.iterations = 5000;
+  const double e_star = rof_energy(solve(v, deep).u, v, deep.theta);
+
+  double prev_gap = 1e9;
+  for (const int iters : {50, 100, 200, 400}) {
+    ChambollePockParams accel;
+    accel.iterations = iters;
+    accel.accelerate = true;
+    const double gap =
+        rof_energy(solve_chambolle_pock(v, accel).u, v, accel.theta) - e_star;
+    EXPECT_LT(gap, prev_gap) << iters;
+    prev_gap = gap;
+  }
+  EXPECT_LT(prev_gap, 1e-3);
+}
+
+TEST(ChambollePock, PlainVariantBeatsClassicChambolle) {
+  // The algorithmic-ablation result: at equal iteration budgets, the theta=1
+  // primal-dual scheme reaches a smaller energy gap than the 2004 fixed
+  // point the paper accelerates — the candidate upgrade for a future
+  // accelerator generation.
+  Rng rng(13);
+  const Matrix<float> v = random_image(rng, 24, 24, -2.f, 2.f);
+
+  ChambolleParams deep;
+  deep.iterations = 5000;
+  const double e_star = rof_energy(solve(v, deep).u, v, deep.theta);
+
+  // The rate advantage is asymptotic: at small budgets the two trade wins
+  // depending on the instance; by 200 iterations the primal-dual scheme
+  // leads consistently (verified across seeds; see bench/convergence).
+  ChambollePockParams pd;
+  pd.iterations = 200;
+  pd.accelerate = false;
+  const double gap_pd =
+      rof_energy(solve_chambolle_pock(v, pd).u, v, pd.theta) - e_star;
+
+  ChambolleParams classic;
+  classic.iterations = 200;
+  const double gap_classic =
+      rof_energy(solve(v, classic).u, v, classic.theta) - e_star;
+
+  EXPECT_LT(gap_pd, gap_classic);
+}
+
+}  // namespace
+}  // namespace chambolle

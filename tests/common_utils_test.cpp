@@ -1,0 +1,89 @@
+// common_utils_test.cpp — the small shared utilities (RNG, stopwatch).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+
+namespace chambolle {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next_u64();
+    EXPECT_EQ(va, b.next_u64());
+    (void)c.next_u64();
+  }
+  Rng a2(42), c2(43);
+  EXPECT_NE(a2.next_u64(), c2.next_u64());
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = rng.uniform(-2.f, 3.f);
+    EXPECT_GE(v, -2.f);
+    EXPECT_LT(v, 3.f);
+    const int n = rng.uniform_int(5, 9);
+    EXPECT_GE(n, 5);
+    EXPECT_LE(n, 9);
+  }
+}
+
+TEST(Rng, UniformIntCoversTheWholeRange) {
+  Rng rng(11);
+  std::set<int> seen;
+  for (int i = 0; i < 400; ++i) seen.insert(rng.uniform_int(0, 7));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, GaussianHasRoughlyTheRequestedMoments) {
+  Rng rng(13);
+  double sum = 0, sum2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.gaussian(5.f, 2.f);
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Rng, RandomImageShapeAndRange) {
+  Rng rng(17);
+  const Image img = random_image(rng, 6, 9, 10.f, 20.f);
+  EXPECT_EQ(img.rows(), 6);
+  EXPECT_EQ(img.cols(), 9);
+  for (float v : img) {
+    EXPECT_GE(v, 10.f);
+    EXPECT_LT(v, 20.f);
+  }
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch w;
+  // Burn a little CPU deterministically.
+  volatile double x = 0;
+  for (int i = 0; i < 200000; ++i) x += static_cast<double>(i) * 1e-9;
+  const double s = w.seconds();
+  EXPECT_GT(s, 0.0);
+  EXPECT_LT(s, 10.0);
+  EXPECT_NEAR(w.milliseconds(), w.seconds() * 1e3, w.seconds() * 20);
+}
+
+TEST(Stopwatch, ResetRestartsTheClock) {
+  Stopwatch w;
+  volatile double x = 0;
+  for (int i = 0; i < 200000; ++i) x += static_cast<double>(i) * 1e-9;
+  const double before = w.seconds();
+  w.reset();
+  EXPECT_LT(w.seconds(), before + 1e-3);
+}
+
+}  // namespace
+}  // namespace chambolle

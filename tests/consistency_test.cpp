@@ -1,0 +1,71 @@
+#include "tvl1/consistency.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workloads/synthetic.hpp"
+
+namespace chambolle::tvl1 {
+namespace {
+
+TEST(Consistency, PerfectlyInverseFlowsAreConsistent) {
+  FlowField fwd(16, 16), bwd(16, 16);
+  fwd.fill(2.f, -1.f);
+  bwd.fill(-2.f, 1.f);
+  const ConsistencyResult r = check_consistency(fwd, bwd);
+  EXPECT_DOUBLE_EQ(r.occluded_fraction, 0.0);
+  for (float m : r.mismatch) EXPECT_LT(m, 1e-5f);
+}
+
+TEST(Consistency, ContradictoryFlowsAreFlagged) {
+  FlowField fwd(16, 16), bwd(16, 16);
+  fwd.fill(2.f, 0.f);
+  bwd.fill(2.f, 0.f);  // should be -2 to cancel
+  const ConsistencyResult r = check_consistency(fwd, bwd, 0.75f);
+  EXPECT_DOUBLE_EQ(r.occluded_fraction, 1.0);
+  for (float m : r.mismatch) EXPECT_NEAR(m, 4.f, 1e-5f);
+}
+
+TEST(Consistency, ThresholdControlsTheMask) {
+  FlowField fwd(8, 8), bwd(8, 8);
+  fwd.fill(0.5f, 0.f);
+  bwd.fill(0.f, 0.f);  // mismatch 0.5 everywhere
+  EXPECT_DOUBLE_EQ(check_consistency(fwd, bwd, 0.75f).occluded_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(check_consistency(fwd, bwd, 0.25f).occluded_fraction, 1.0);
+  EXPECT_THROW((void)check_consistency(fwd, bwd, 0.f), std::invalid_argument);
+  EXPECT_THROW((void)check_consistency(fwd, FlowField(4, 4)),
+               std::invalid_argument);
+}
+
+TEST(Consistency, SmoothSceneIsMostlyConsistent) {
+  // A fully visible translating scene: forward/backward TV-L1 flows should
+  // agree almost everywhere.
+  const auto wl = workloads::translating_scene(48, 48, 1.5f, 0.5f, 141);
+  Tvl1Params params;
+  params.pyramid_levels = 3;
+  params.warps = 4;
+  params.chambolle.iterations = 25;
+  const ConsistencyResult r =
+      bidirectional_check(wl.frame0, wl.frame1, params);
+  EXPECT_LT(r.occluded_fraction, 0.10);
+}
+
+TEST(Consistency, OcclusionRegionIsDetected) {
+  // A moving square occludes background on its leading edge; the flagged
+  // fraction must clearly exceed the fully-visible case's.
+  const auto occluding = workloads::moving_square(64, 64, 20, 5, 0);
+  const auto visible = workloads::translating_scene(64, 64, 1.f, 0.f, 143);
+  Tvl1Params params;
+  params.pyramid_levels = 3;
+  params.warps = 4;
+  params.chambolle.iterations = 25;
+  const double occ =
+      bidirectional_check(occluding.frame0, occluding.frame1, params)
+          .occluded_fraction;
+  const double vis =
+      bidirectional_check(visible.frame0, visible.frame1, params)
+          .occluded_fraction;
+  EXPECT_GT(occ, vis);
+}
+
+}  // namespace
+}  // namespace chambolle::tvl1

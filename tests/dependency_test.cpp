@@ -1,0 +1,117 @@
+#include "chambolle/dependency.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chambolle {
+namespace {
+
+TEST(Dependency, StencilHasSevenElements) {
+  // Figure 1.a: 7 elements at iteration n for one element at n+1.
+  EXPECT_EQ(dependency_stencil().size(), 7u);
+}
+
+TEST(Dependency, StencilIsSymmetricUnderNegation) {
+  std::set<Offset> s(dependency_stencil().begin(), dependency_stencil().end());
+  for (const Offset& o : s)
+    EXPECT_TRUE(s.count(Offset{-o.dr, -o.dc})) << o.dr << "," << o.dc;
+}
+
+TEST(Dependency, ConeDepthZeroIsGroup) {
+  const std::set<Offset> group = {{0, 0}, {0, 1}};
+  EXPECT_EQ(dependency_cone(group, 0), group);
+}
+
+TEST(Dependency, SingleElementSingleIteration) {
+  const DecompositionOverhead o = decomposition_overhead(1, 1, 1);
+  EXPECT_EQ(o.cone_elements, 7);
+  EXPECT_DOUBLE_EQ(o.per_element, 7.0);
+}
+
+TEST(Dependency, TwoByTwoGroupMatchesFigure1b) {
+  // "14 elements at iteration n are required to generate four elements at
+  //  n+1, thus reducing the overhead to 3.5".
+  const DecompositionOverhead o = decomposition_overhead(2, 2, 1);
+  EXPECT_EQ(o.group_elements, 4);
+  EXPECT_EQ(o.cone_elements, 14);
+  EXPECT_DOUBLE_EQ(o.per_element, 3.5);
+}
+
+TEST(Dependency, OverheadShrinksWithGroupSize) {
+  const double o1 = decomposition_overhead(1, 1, 1).per_element;
+  const double o2 = decomposition_overhead(2, 2, 1).per_element;
+  const double o4 = decomposition_overhead(4, 4, 1).per_element;
+  const double o8 = decomposition_overhead(8, 8, 1).per_element;
+  EXPECT_GT(o1, o2);
+  EXPECT_GT(o2, o4);
+  EXPECT_GT(o4, o8);
+}
+
+TEST(Dependency, SquareGroupsBeatElongatedOnes) {
+  // Section III-A: "the overhead can be reduced if the group of elements ...
+  // are disposed on a squared shape."  Same area, different aspect ratios.
+  const double square = decomposition_overhead(4, 4, 1).per_element;
+  const double wide = decomposition_overhead(2, 8, 1).per_element;
+  const double line = decomposition_overhead(1, 16, 1).per_element;
+  EXPECT_LT(square, wide);
+  EXPECT_LT(wide, line);
+}
+
+TEST(Dependency, ConeGrowsLinearlyWithDepth) {
+  // The stencil has radius 1 in all four directions, so the cone of a single
+  // element after depth d is contained in the L1-ish ball of radius d.
+  for (int d = 1; d <= 5; ++d) {
+    const std::set<Offset> cone = dependency_cone({{0, 0}}, d);
+    for (const Offset& o : cone) {
+      EXPECT_LE(std::abs(o.dr), d);
+      EXPECT_LE(std::abs(o.dc), d);
+    }
+    // It must touch the boundary of that box in all four axis directions.
+    bool up = false, down = false, left = false, right = false;
+    for (const Offset& o : cone) {
+      up |= o.dr == -d;
+      down |= o.dr == d;
+      left |= o.dc == -d;
+      right |= o.dc == d;
+    }
+    EXPECT_TRUE(up && down && left && right) << "depth " << d;
+  }
+}
+
+TEST(Dependency, DeeperMergeCostsMorePerElement) {
+  const double d1 = decomposition_overhead(1, 1, 1).per_element;
+  const double d2 = decomposition_overhead(1, 1, 2).per_element;
+  const double d3 = decomposition_overhead(1, 1, 3).per_element;
+  EXPECT_LT(d1, d2);
+  EXPECT_LT(d2, d3);
+}
+
+TEST(Dependency, NegativeDepthThrows) {
+  EXPECT_THROW(dependency_cone({{0, 0}}, -1), std::invalid_argument);
+  EXPECT_THROW((void)decomposition_overhead(0, 1, 1), std::invalid_argument);
+}
+
+TEST(Dependency, ProfitableMarginEqualsMergeDepth) {
+  EXPECT_EQ(profitable_margin(0), 0);
+  EXPECT_EQ(profitable_margin(4), 4);
+  EXPECT_EQ(profitable_margin(200), 200);
+  EXPECT_THROW((void)profitable_margin(-1), std::invalid_argument);
+}
+
+TEST(Dependency, EmpiricalDependentsMatchAnalyticalStencil) {
+  // Perturb p at one site, run one real iteration, observe which sites
+  // change: the executable algorithm must agree with Figure 1.a.
+  const std::set<Offset> empirical = empirical_dependents(11);
+  const std::set<Offset> analytical(dependency_stencil().begin(),
+                                    dependency_stencil().end());
+  EXPECT_EQ(empirical, analytical);
+}
+
+TEST(Dependency, ConeOfDepthTwoMatchesIteratedStencil) {
+  const std::set<Offset> once = dependency_cone({{0, 0}}, 1);
+  const std::set<Offset> twice_direct = dependency_cone({{0, 0}}, 2);
+  const std::set<Offset> twice_iterated = dependency_cone(once, 1);
+  EXPECT_EQ(twice_direct, twice_iterated);
+}
+
+}  // namespace
+}  // namespace chambolle

@@ -1,0 +1,116 @@
+#include "grid/diff_ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace chambolle::grid {
+namespace {
+
+TEST(DiffOps, ForwardXDefinition) {
+  Matrix<float> z(1, 4);
+  z(0, 0) = 1.f;
+  z(0, 1) = 4.f;
+  z(0, 2) = 9.f;
+  z(0, 3) = 16.f;
+  const Matrix<float> d = forward_x(z);
+  EXPECT_FLOAT_EQ(d(0, 0), 3.f);
+  EXPECT_FLOAT_EQ(d(0, 1), 5.f);
+  EXPECT_FLOAT_EQ(d(0, 2), 7.f);
+  EXPECT_FLOAT_EQ(d(0, 3), 0.f);  // zero on the far border
+}
+
+TEST(DiffOps, ForwardYDefinition) {
+  Matrix<float> z(3, 1);
+  z(0, 0) = 2.f;
+  z(1, 0) = 5.f;
+  z(2, 0) = 11.f;
+  const Matrix<float> d = forward_y(z);
+  EXPECT_FLOAT_EQ(d(0, 0), 3.f);
+  EXPECT_FLOAT_EQ(d(1, 0), 6.f);
+  EXPECT_FLOAT_EQ(d(2, 0), 0.f);
+}
+
+TEST(DiffOps, BackwardXBoundaryRules) {
+  Matrix<float> p(1, 3);
+  p(0, 0) = 2.f;
+  p(0, 1) = 5.f;
+  p(0, 2) = 11.f;
+  const Matrix<float> d = backward_x(p);
+  EXPECT_FLOAT_EQ(d(0, 0), 2.f);    // first column: p itself
+  EXPECT_FLOAT_EQ(d(0, 1), 3.f);    // interior: p - left
+  EXPECT_FLOAT_EQ(d(0, 2), -5.f);   // last column: -left
+}
+
+TEST(DiffOps, BackwardYBoundaryRules) {
+  Matrix<float> p(3, 1);
+  p(0, 0) = 1.f;
+  p(1, 0) = 4.f;
+  p(2, 0) = 9.f;
+  const Matrix<float> d = backward_y(p);
+  EXPECT_FLOAT_EQ(d(0, 0), 1.f);
+  EXPECT_FLOAT_EQ(d(1, 0), 3.f);
+  EXPECT_FLOAT_EQ(d(2, 0), -4.f);
+}
+
+TEST(DiffOps, ForwardOfConstantIsZero) {
+  Matrix<float> z(5, 6, 3.7f);
+  for (float v : forward_x(z)) EXPECT_FLOAT_EQ(v, 0.f);
+  for (float v : forward_y(z)) EXPECT_FLOAT_EQ(v, 0.f);
+}
+
+TEST(DiffOps, DivergenceSumIsZero) {
+  // Telescoping: the Chambolle boundary rules make the divergence sum vanish
+  // for ANY p — the discrete analogue of the divergence theorem with no flux.
+  Rng rng(11);
+  const Matrix<float> px = random_image(rng, 7, 9, -1.f, 1.f);
+  const Matrix<float> py = random_image(rng, 7, 9, -1.f, 1.f);
+  const Matrix<float> div = divergence(px, py);
+  double sum = 0.0;
+  for (float v : div) sum += v;
+  EXPECT_NEAR(sum, 0.0, 1e-4);
+}
+
+TEST(DiffOps, DivergenceShapeMismatchThrows) {
+  EXPECT_THROW(divergence(Matrix<float>(2, 2), Matrix<float>(2, 3)),
+               std::invalid_argument);
+}
+
+TEST(DiffOps, BackwardDiffScalarRules) {
+  EXPECT_FLOAT_EQ(backward_diff(5.f, 2.f, true, false), 5.f);
+  EXPECT_FLOAT_EQ(backward_diff(5.f, 2.f, false, false), 3.f);
+  EXPECT_FLOAT_EQ(backward_diff(5.f, 2.f, false, true), -2.f);
+}
+
+TEST(DiffOps, DotProduct) {
+  Matrix<float> a(1, 3), b(1, 3);
+  a(0, 0) = 1.f; a(0, 1) = 2.f; a(0, 2) = 3.f;
+  b(0, 0) = 4.f; b(0, 1) = 5.f; b(0, 2) = 6.f;
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+}
+
+// Adjointness property: <grad u, p> = -<u, div p> for random fields across a
+// sweep of grid sizes — the identity the dual algorithm is built on.
+class AdjointnessTest : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(AdjointnessTest, GradientAndDivergenceAreAdjoint) {
+  const auto [rows, cols] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(rows * 1000 + cols));
+  const Matrix<float> u = random_image(rng, rows, cols, -10.f, 10.f);
+  const Matrix<float> px = random_image(rng, rows, cols, -1.f, 1.f);
+  const Matrix<float> py = random_image(rng, rows, cols, -1.f, 1.f);
+
+  const double lhs = dot(forward_x(u), px) + dot(forward_y(u), py);
+  const double rhs = -dot(u, divergence(px, py));
+  EXPECT_NEAR(lhs, rhs, 1e-2 * (std::abs(lhs) + 1.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, AdjointnessTest,
+    ::testing::Values(std::pair{1, 1}, std::pair{1, 8}, std::pair{8, 1},
+                      std::pair{2, 2}, std::pair{3, 5}, std::pair{16, 16},
+                      std::pair{7, 13}, std::pair{31, 17},
+                      std::pair{64, 48}));
+
+}  // namespace
+}  // namespace chambolle::grid

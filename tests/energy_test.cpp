@@ -1,0 +1,65 @@
+#include "chambolle/energy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace chambolle {
+namespace {
+
+TEST(Energy, TotalVariationOfConstantIsZero) {
+  EXPECT_DOUBLE_EQ(total_variation(Matrix<float>(8, 8, 5.f)), 0.0);
+}
+
+TEST(Energy, TotalVariationOfRamp) {
+  // u(r,c) = c: forward-x gradient is 1 everywhere except the last column.
+  Matrix<float> u(4, 5);
+  for (int r = 0; r < 4; ++r)
+    for (int c = 0; c < 5; ++c) u(r, c) = static_cast<float>(c);
+  EXPECT_DOUBLE_EQ(total_variation(u), 4.0 * 4.0);
+}
+
+TEST(Energy, TotalVariationOfStep) {
+  // One vertical jump of height h spanning `rows` rows: TV = rows * h.
+  Matrix<float> u(6, 8, 0.f);
+  for (int r = 0; r < 6; ++r)
+    for (int c = 4; c < 8; ++c) u(r, c) = 3.f;
+  EXPECT_DOUBLE_EQ(total_variation(u), 6.0 * 3.0);
+}
+
+TEST(Energy, TvIsScaleHomogeneous) {
+  Rng rng(1);
+  Matrix<float> u = random_image(rng, 10, 10, -1.f, 1.f);
+  const double tv1 = total_variation(u);
+  for (float& v : u) v *= 2.f;
+  EXPECT_NEAR(total_variation(u), 2.0 * tv1, 1e-6 * tv1);
+}
+
+TEST(Energy, L2Distance) {
+  Matrix<float> a(2, 2, 1.f), b(2, 2, 3.f);
+  EXPECT_DOUBLE_EQ(l2_distance_sq(a, b), 4.0 * 4.0);
+  EXPECT_DOUBLE_EQ(l2_distance_sq(a, a), 0.0);
+  EXPECT_THROW((void)l2_distance_sq(a, Matrix<float>(1, 1)), std::invalid_argument);
+}
+
+TEST(Energy, RofEnergyCombinesTerms) {
+  Matrix<float> u(2, 2, 1.f), v(2, 2, 2.f);
+  // TV(u)=0, ||u-v||^2 = 4; E = 4 / (2*theta).
+  EXPECT_DOUBLE_EQ(rof_energy(u, v, 0.5f), 4.0);
+  EXPECT_DOUBLE_EQ(rof_energy(u, v, 0.25f), 8.0);
+  EXPECT_THROW((void)rof_energy(u, v, 0.f), std::invalid_argument);
+}
+
+TEST(Energy, MaxDualMagnitude) {
+  Matrix<float> px(2, 2, 0.f), py(2, 2, 0.f);
+  px(0, 1) = 0.6f;
+  py(0, 1) = 0.8f;
+  EXPECT_NEAR(max_dual_magnitude(px, py), 1.0, 1e-7);
+  EXPECT_THROW((void)max_dual_magnitude(px, Matrix<float>(1, 1)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chambolle

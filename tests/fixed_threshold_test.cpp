@@ -1,0 +1,104 @@
+#include "tvl1/fixed_threshold.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "fixedpoint/qformat.hpp"
+#include "workloads/synthetic.hpp"
+#include "tvl1/warp.hpp"
+
+namespace chambolle::tvl1 {
+namespace {
+
+TEST(FixedThreshold, BranchSelection) {
+  const std::int32_t g = fx::to_fixed(2.0);   // gx = 2
+  const std::int32_t lt = fx::to_fixed(1.0);  // lambda*theta = 1 -> lim = 4
+  EXPECT_EQ(fixed_threshold_point(fx::to_fixed(-10.0), g, 0, lt).branch, -1);
+  EXPECT_EQ(fixed_threshold_point(fx::to_fixed(10.0), g, 0, lt).branch, 1);
+  EXPECT_EQ(fixed_threshold_point(fx::to_fixed(2.0), g, 0, lt).branch, 0);
+  EXPECT_EQ(fixed_threshold_point(fx::to_fixed(5.0), 0, 0, lt).branch, 2);
+}
+
+TEST(FixedThreshold, SaturationBranchesAreExactConstantMultiples) {
+  const std::int32_t gx = fx::to_fixed(2.0), gy = fx::to_fixed(-1.0);
+  const std::int32_t lt = fx::to_fixed(0.5);
+  const FixedThresholdOut lo =
+      fixed_threshold_point(fx::to_fixed(-100.0), gx, gy, lt);
+  EXPECT_EQ(lo.dx, fx::to_fixed(1.0));    // lt*gx = 0.5*2
+  EXPECT_EQ(lo.dy, fx::to_fixed(-0.5));   // lt*gy
+  const FixedThresholdOut hi =
+      fixed_threshold_point(fx::to_fixed(100.0), gx, gy, lt);
+  EXPECT_EQ(hi.dx, -lo.dx);
+  EXPECT_EQ(hi.dy, -lo.dy);
+}
+
+TEST(FixedThreshold, MiddleBranchCancelsTheResidual) {
+  // dx = -rho*gx/|g|^2: the linearized residual after the step is ~0.
+  const std::int32_t gx = fx::to_fixed(2.0), gy = 0;
+  const std::int32_t lt = fx::to_fixed(1.0);
+  const std::int32_t rho = fx::to_fixed(2.0);
+  const FixedThresholdOut out = fixed_threshold_point(rho, gx, gy, lt);
+  // rho + gx*dx ~ 0 within a couple of Q24.8 LSBs.
+  const std::int32_t residual_after = rho + fx::mul(gx, out.dx);
+  EXPECT_LE(std::abs(residual_after), 4);
+}
+
+TEST(FixedThreshold, PointwiseAgreesWithFloatStep) {
+  // Random operands: the fixed-point kernel must select the same branch as
+  // the float arithmetic away from the decision boundary, and produce deltas
+  // within fixed-point tolerance.
+  Rng rng(71);
+  int checked = 0;
+  for (int i = 0; i < 3000; ++i) {
+    const float gx = rng.uniform(-3.f, 3.f);
+    const float gy = rng.uniform(-3.f, 3.f);
+    const float rho = rng.uniform(-6.f, 6.f);
+    const float lt = 0.8f;
+    const float g2 = gx * gx + gy * gy;
+    const float lim = lt * g2;
+    // Skip points near the branch boundary (quantization may legally flip).
+    if (std::abs(std::abs(rho) - lim) < 0.05f || g2 < 0.05f) continue;
+    ++checked;
+
+    float fdx, fdy;
+    if (rho < -lim) {
+      fdx = lt * gx;
+      fdy = lt * gy;
+    } else if (rho > lim) {
+      fdx = -lt * gx;
+      fdy = -lt * gy;
+    } else {
+      fdx = -rho * gx / g2;
+      fdy = -rho * gy / g2;
+    }
+    const FixedThresholdOut out = fixed_threshold_point(
+        fx::to_fixed(rho), fx::to_fixed(gx), fx::to_fixed(gy),
+        fx::to_fixed(lt));
+    EXPECT_NEAR(fx::to_float(out.dx), fdx, 0.05f)
+        << "rho=" << rho << " g=(" << gx << "," << gy << ")";
+    EXPECT_NEAR(fx::to_float(out.dy), fdy, 0.05f);
+  }
+  EXPECT_GT(checked, 2000);
+}
+
+TEST(FixedThreshold, FieldStepTracksFloatStep) {
+  const auto wl = workloads::translating_scene(32, 32, 1.f, 0.f, 131);
+  Image i0 = wl.frame0, i1 = wl.frame1;
+  for (float& x : i0) x /= 255.f;
+  for (float& x : i1) x /= 255.f;
+  const FlowField u0(32, 32);
+  const WarpResult wr = warp_with_gradients(i1, u0);
+  const ThresholdInputs in{i0, wr.warped, wr.grad, u0, u0, 25.f, 0.25f};
+
+  const FlowField ref = threshold_step(in);
+  const FlowField fixed = fixed_threshold_step(in);
+  // Same field up to quantization and near-boundary branch flips.
+  double total = 0;
+  for (int r = 0; r < 32; ++r)
+    for (int c = 0; c < 32; ++c)
+      total += std::abs(ref.u1(r, c) - fixed.u1(r, c));
+  EXPECT_LT(total / (32 * 32), 0.05);
+}
+
+}  // namespace
+}  // namespace chambolle::tvl1

@@ -1,0 +1,59 @@
+#include "fixedpoint/fixed.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chambolle::fx {
+namespace {
+
+TEST(FixedType, FromRealRoundTrip) {
+  const auto f = Fixed<8, 8>::from_real(3.25);
+  EXPECT_DOUBLE_EQ(f.to_real(), 3.25);
+}
+
+TEST(FixedType, SaturatesToDeclaredWidth) {
+  // Q1.8 (DualFx): 9 bits total, range [-1, 255/256].
+  EXPECT_DOUBLE_EQ(DualFx::from_real(2.0).to_real(), 255.0 / 256.0);
+  EXPECT_DOUBLE_EQ(DualFx::from_real(-2.0).to_real(), -1.0);
+  EXPECT_DOUBLE_EQ(DualFx::from_real(0.5).to_real(), 0.5);
+}
+
+TEST(FixedType, VFxRange) {
+  // Q5.8: 13 bits, range [-16, 16).
+  EXPECT_DOUBLE_EQ(VFx::from_real(100.0).to_real(), 4095.0 / 256.0);
+  EXPECT_DOUBLE_EQ(VFx::from_real(-100.0).to_real(), -16.0);
+}
+
+TEST(FixedType, AdditionSaturates) {
+  const auto a = DualFx::from_real(0.75);
+  const auto sum = a + a;  // 1.5 saturates to the format max
+  EXPECT_DOUBLE_EQ(sum.to_real(), 255.0 / 256.0);
+}
+
+TEST(FixedType, SubtractionAndNegation) {
+  const auto a = VFx::from_real(2.5);
+  const auto b = VFx::from_real(1.0);
+  EXPECT_DOUBLE_EQ((a - b).to_real(), 1.5);
+  EXPECT_DOUBLE_EQ((-a).to_real(), -2.5);
+}
+
+TEST(FixedType, Multiplication) {
+  const auto a = VFx::from_real(1.5);
+  const auto b = VFx::from_real(2.0);
+  EXPECT_DOUBLE_EQ((a * b).to_real(), 3.0);
+}
+
+TEST(FixedType, ComparisonOperators) {
+  const auto a = VFx::from_real(1.0);
+  const auto b = VFx::from_real(2.0);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a, VFx::from_real(1.0));
+  EXPECT_GT(b, a);
+}
+
+TEST(FixedType, RawAccess) {
+  EXPECT_EQ(VFx::from_real(1.0).raw(), 256);
+  EXPECT_EQ(DualFx::from_real(-1.0).raw(), -256);
+}
+
+}  // namespace
+}  // namespace chambolle::fx

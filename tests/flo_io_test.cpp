@@ -1,0 +1,78 @@
+#include "common/flo_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/rng.hpp"
+
+namespace chambolle::io {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(FloIo, RoundTripPreservesEveryValue) {
+  Rng rng(3);
+  FlowField flow(7, 9);
+  for (int r = 0; r < 7; ++r)
+    for (int c = 0; c < 9; ++c) {
+      flow.u1(r, c) = rng.uniform(-30.f, 30.f);
+      flow.u2(r, c) = rng.uniform(-30.f, 30.f);
+    }
+  const std::string path = temp_path("chb_roundtrip.flo");
+  write_flo(path, flow);
+  const FlowField back = read_flo(path);
+  ASSERT_EQ(back.rows(), 7);
+  ASSERT_EQ(back.cols(), 9);
+  EXPECT_EQ(back.u1, flow.u1);  // bit-exact: floats pass through unscaled
+  EXPECT_EQ(back.u2, flow.u2);
+  std::remove(path.c_str());
+}
+
+TEST(FloIo, HeaderLayoutIsMiddleburyCompatible) {
+  FlowField flow(2, 3);
+  flow.u1(0, 0) = 1.5f;
+  const std::string path = temp_path("chb_header.flo");
+  write_flo(path, flow);
+  std::ifstream in(path, std::ios::binary);
+  char magic[4];
+  in.read(magic, 4);
+  EXPECT_EQ(std::string(magic, 4), "PIEH");  // 202021.25f little-endian
+  std::int32_t w = 0, h = 0;
+  in.read(reinterpret_cast<char*>(&w), 4);
+  in.read(reinterpret_cast<char*>(&h), 4);
+  EXPECT_EQ(w, 3);
+  EXPECT_EQ(h, 2);
+  float first_u = 0.f;
+  in.read(reinterpret_cast<char*>(&first_u), 4);
+  EXPECT_FLOAT_EQ(first_u, 1.5f);
+  std::remove(path.c_str());
+}
+
+TEST(FloIo, RejectsBadMagic) {
+  const std::string path = temp_path("chb_badmagic.flo");
+  std::ofstream(path, std::ios::binary) << "JUNKJUNKJUNKJUNK";
+  EXPECT_THROW((void)read_flo(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(FloIo, RejectsTruncatedPayload) {
+  FlowField flow(4, 4);
+  const std::string path = temp_path("chb_trunc.flo");
+  write_flo(path, flow);
+  std::filesystem::resize_file(path, 20);  // header + half a vector
+  EXPECT_THROW((void)read_flo(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(FloIo, MissingFileThrows) {
+  EXPECT_THROW((void)read_flo(temp_path("chb_missing.flo")),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace chambolle::io

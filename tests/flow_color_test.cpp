@@ -1,0 +1,55 @@
+#include "common/flow_color.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chambolle {
+namespace {
+
+TEST(FlowColor, ZeroFlowRendersWhite) {
+  FlowField flow(4, 4);
+  const io::RgbImage img = colorize_flow(flow);
+  // Zero magnitude => zero saturation => white at full value.
+  for (int r = 0; r < 4; ++r)
+    for (int c = 0; c < 4; ++c) {
+      EXPECT_EQ(img.pixels(r, c)[0], 255);
+      EXPECT_EQ(img.pixels(r, c)[1], 255);
+      EXPECT_EQ(img.pixels(r, c)[2], 255);
+    }
+}
+
+TEST(FlowColor, OppositeDirectionsGetDifferentColors) {
+  FlowField flow(1, 2);
+  flow.u1(0, 0) = 1.f;
+  flow.u1(0, 1) = -1.f;
+  const io::RgbImage img = colorize_flow(flow);
+  EXPECT_NE(img.pixels(0, 0), img.pixels(0, 1));
+}
+
+TEST(FlowColor, MagnitudeControlsSaturation) {
+  FlowField flow(1, 2);
+  flow.u1(0, 0) = 0.1f;
+  flow.u1(0, 1) = 1.f;
+  const io::RgbImage img = colorize_flow(flow, 1.f);
+  // The weaker vector is closer to white: its min channel is higher.
+  const auto min3 = [](const std::array<unsigned char, 3>& p) {
+    return std::min({p[0], p[1], p[2]});
+  };
+  EXPECT_GT(min3(img.pixels(0, 0)), min3(img.pixels(0, 1)));
+}
+
+TEST(FlowColor, MaxMagnitude) {
+  FlowField flow(2, 2);
+  flow.u1(1, 1) = 3.f;
+  flow.u2(1, 1) = 4.f;
+  EXPECT_FLOAT_EQ(max_flow_magnitude(flow), 5.f);
+}
+
+TEST(FlowColor, OutputShapeMatchesInput) {
+  FlowField flow(5, 7);
+  const io::RgbImage img = colorize_flow(flow);
+  EXPECT_EQ(img.rows(), 5);
+  EXPECT_EQ(img.cols(), 7);
+}
+
+}  // namespace
+}  // namespace chambolle

@@ -1,0 +1,79 @@
+#include "workloads/flow_eval.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace chambolle::workloads {
+namespace {
+
+TEST(FlowEval, PerfectFlowIsAllZeros) {
+  FlowField a(8, 8), b(8, 8);
+  a.fill(1.f, -1.f);
+  b.fill(1.f, -1.f);
+  const FlowErrorStats s = evaluate_flow(a, b);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+  EXPECT_DOUBLE_EQ(s.r05, 0.0);
+  EXPECT_EQ(s.pixels, 64);
+  EXPECT_EQ(s.histogram[0], 64);
+}
+
+TEST(FlowEval, UniformErrorLandsInOneBin) {
+  FlowField a(10, 10), b(10, 10);
+  a.fill(1.3f, 0.f);  // endpoint error 1.3 everywhere
+  const FlowErrorStats s = evaluate_flow(a, b);
+  EXPECT_NEAR(s.mean, 1.3, 1e-6);
+  EXPECT_NEAR(s.median, 1.3, 1e-6);
+  EXPECT_NEAR(s.p99, 1.3, 1e-6);
+  EXPECT_DOUBLE_EQ(s.r10, 1.0);
+  EXPECT_DOUBLE_EQ(s.r20, 0.0);
+  EXPECT_EQ(s.histogram[5], 100);  // 1.3 / 0.25 = 5.2 -> bin 5
+}
+
+TEST(FlowEval, PercentilesOrdered) {
+  Rng rng(3);
+  FlowField a(32, 32), b(32, 32);
+  for (float& v : a.u1) v = rng.uniform(0.f, 3.f);
+  const FlowErrorStats s = evaluate_flow(a, b);
+  EXPECT_LE(s.median, s.p90);
+  EXPECT_LE(s.p90, s.p99);
+  EXPECT_LE(s.p99, s.max);
+  EXPECT_GE(s.r05, s.r10);
+  EXPECT_GE(s.r10, s.r20);
+}
+
+TEST(FlowEval, MarginCropsOutliers) {
+  FlowField a(10, 10), b(10, 10);
+  a.u1(0, 0) = 100.f;  // border outlier
+  const FlowErrorStats inner = evaluate_flow(a, b, 1);
+  EXPECT_DOUBLE_EQ(inner.max, 0.0);
+  EXPECT_EQ(inner.pixels, 64);
+  const FlowErrorStats full = evaluate_flow(a, b, 0);
+  EXPECT_DOUBLE_EQ(full.max, 100.0);
+}
+
+TEST(FlowEval, OverflowBinCatchesLargeErrors) {
+  FlowField a(4, 4), b(4, 4);
+  a.fill(50.f, 0.f);
+  const FlowErrorStats s = evaluate_flow(a, b);
+  EXPECT_EQ(s.histogram[15], 16);
+}
+
+TEST(FlowEval, SparklineHasSixteenCells) {
+  FlowField a(6, 6), b(6, 6);
+  const FlowErrorStats s = evaluate_flow(a, b);
+  EXPECT_EQ(histogram_sparkline(s).size(), 16u);
+  // The all-in-bin-0 case renders a peak first cell.
+  EXPECT_EQ(histogram_sparkline(s)[0], '#');
+}
+
+TEST(FlowEval, ShapeMismatchThrows) {
+  EXPECT_THROW((void)evaluate_flow(FlowField(2, 2), FlowField(3, 3)),
+               std::invalid_argument);
+  EXPECT_THROW((void)evaluate_flow(FlowField(2, 2), FlowField(2, 2), -1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chambolle::workloads

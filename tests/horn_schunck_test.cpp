@@ -1,0 +1,95 @@
+#include "baseline/horn_schunck.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/flow_color.hpp"
+#include "tvl1/tvl1.hpp"
+#include "workloads/metrics.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace chambolle::baseline {
+namespace {
+
+HornSchunckParams fast_params() {
+  HornSchunckParams p;
+  p.pyramid_levels = 3;
+  p.warps = 3;
+  p.iterations = 60;
+  return p;
+}
+
+TEST(HornSchunck, Validation) {
+  HornSchunckParams p;
+  EXPECT_NO_THROW(p.validate());
+  p.alpha = 0.f;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = {};
+  p.iterations = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = {};
+  p.warps = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(HornSchunck, RejectsMismatchedFrames) {
+  EXPECT_THROW(
+      (void)horn_schunck_flow(Image(8, 8), Image(8, 9), fast_params()),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)horn_schunck_flow(Image(1, 8), Image(1, 8), fast_params()),
+      std::invalid_argument);
+}
+
+TEST(HornSchunck, IdenticalFramesGiveZeroFlow) {
+  const Image img = workloads::smooth_texture(40, 40, 3);
+  const FlowField u = horn_schunck_flow(img, img, fast_params());
+  EXPECT_LT(max_flow_magnitude(u), 0.05f);
+}
+
+TEST(HornSchunck, RecoversTranslation) {
+  const auto wl = workloads::translating_scene(64, 64, 2.f, 1.f, 81);
+  const FlowField u = horn_schunck_flow(wl.frame0, wl.frame1, fast_params());
+  EXPECT_LT(workloads::interior_endpoint_error(u, wl.ground_truth, 8), 0.6);
+}
+
+TEST(HornSchunck, RecoversRotation) {
+  const auto wl = workloads::rotating_scene(64, 64, 0.03f, 83);
+  const FlowField u = horn_schunck_flow(wl.frame0, wl.frame1, fast_params());
+  EXPECT_LT(workloads::interior_endpoint_error(u, wl.ground_truth, 8), 0.6);
+}
+
+TEST(HornSchunck, OverSmoothsMotionDiscontinuities) {
+  // The quadratic prior's signature failure mode, and the reason the paper
+  // targets TV-L1: on a moving square over a static background, TV-L1 keeps
+  // the motion boundary sharper than Horn-Schunck.
+  const auto wl = workloads::moving_square(64, 64, 20, 3, 0);
+  const FlowField hs = horn_schunck_flow(wl.frame0, wl.frame1, fast_params());
+
+  tvl1::Tvl1Params tv;
+  tv.pyramid_levels = 3;
+  tv.warps = 5;
+  tv.chambolle.iterations = 40;
+  const FlowField tvl1_flow = tvl1::compute_flow(wl.frame0, wl.frame1, tv);
+
+  const double e_hs =
+      workloads::interior_endpoint_error(hs, wl.ground_truth, 6);
+  const double e_tv =
+      workloads::interior_endpoint_error(tvl1_flow, wl.ground_truth, 6);
+  EXPECT_LT(e_tv, e_hs);
+}
+
+TEST(HornSchunck, LargerAlphaSmoothsMore) {
+  const auto wl = workloads::moving_square(48, 48, 16, 2, 0);
+  HornSchunckParams soft = fast_params();
+  soft.alpha = 0.005f;
+  HornSchunckParams stiff = fast_params();
+  stiff.alpha = 0.3f;
+  const FlowField u_soft = horn_schunck_flow(wl.frame0, wl.frame1, soft);
+  const FlowField u_stiff = horn_schunck_flow(wl.frame0, wl.frame1, stiff);
+  // A stiffer prior spreads motion into the background: its peak magnitude
+  // inside the square drops.
+  EXPECT_GT(max_flow_magnitude(u_soft), max_flow_magnitude(u_stiff));
+}
+
+}  // namespace
+}  // namespace chambolle::baseline

@@ -1,0 +1,161 @@
+#include "hw/accelerator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chambolle/solver.hpp"
+#include "common/rng.hpp"
+
+namespace chambolle::hw {
+namespace {
+
+ArchConfig small_config() {
+  ArchConfig cfg;
+  cfg.tile_rows = 40;
+  cfg.tile_cols = 40;
+  cfg.merge_iterations = 4;
+  return cfg;
+}
+
+ChambolleParams params_with(int iterations) {
+  ChambolleParams p;
+  p.iterations = iterations;
+  return p;
+}
+
+FlowField random_v(int rows, int cols, std::uint64_t seed) {
+  Rng rng(seed);
+  FlowField v(rows, cols);
+  v.u1 = random_image(rng, rows, cols, -3.f, 3.f);
+  v.u2 = random_image(rng, rows, cols, -3.f, 3.f);
+  return v;
+}
+
+// End-to-end numerical equivalence: the full multi-tile, multi-pass,
+// two-engine accelerator equals the plain software fixed-point solver.
+struct AccelCase {
+  int rows, cols, iterations;
+};
+
+class AcceleratorMatchesFixedSolver
+    : public ::testing::TestWithParam<AccelCase> {};
+
+TEST_P(AcceleratorMatchesFixedSolver, BitExact) {
+  const AccelCase& ac = GetParam();
+  const FlowField v = random_v(ac.rows, ac.cols, 100 + ac.rows);
+  const ChambolleParams params = params_with(ac.iterations);
+
+  ChambolleAccelerator accel(small_config());
+  const auto result = accel.solve(v, params);
+
+  const ChambolleResult ref1 = solve_fixed(v.u1, params);
+  const ChambolleResult ref2 = solve_fixed(v.u2, params);
+  EXPECT_EQ(result.u.u1, ref1.u);
+  EXPECT_EQ(result.u.u2, ref2.u);
+  EXPECT_EQ(result.dual_u1.u1, ref1.p.px);
+  EXPECT_EQ(result.dual_u1.u2, ref1.p.py);
+  EXPECT_EQ(result.dual_u2.u1, ref2.p.px);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AcceleratorMatchesFixedSolver,
+    ::testing::Values(AccelCase{32, 32, 8},     // single tile
+                      AccelCase{64, 64, 8},     // 2x2-ish tiling
+                      AccelCase{64, 64, 10},    // remainder pass (10 = 4+4+2)
+                      AccelCase{96, 56, 12},    // asymmetric tiling
+                      AccelCase{41, 97, 6}));   // odd sizes
+
+TEST(Accelerator, AnalyticCycleModelMatchesSimulator) {
+  for (const AccelCase ac :
+       {AccelCase{64, 64, 8}, AccelCase{96, 56, 10}, AccelCase{41, 97, 6}}) {
+    ChambolleAccelerator accel(small_config());
+    const auto result = accel.solve(random_v(ac.rows, ac.cols, 7),
+                                    params_with(ac.iterations));
+    EXPECT_EQ(result.stats.total_cycles,
+              accel.estimate_frame_cycles(ac.rows, ac.cols, ac.iterations))
+        << ac.rows << "x" << ac.cols;
+  }
+}
+
+TEST(Accelerator, FpsDerivesFromClockAndCycles) {
+  ChambolleAccelerator accel(small_config());
+  const auto result = accel.solve(random_v(48, 48, 9), params_with(8));
+  const double expected =
+      221e6 / static_cast<double>(result.stats.total_cycles);
+  EXPECT_NEAR(result.fps, expected, 1e-9 * expected);
+}
+
+TEST(Accelerator, TwoWindowsBeatOneWindow) {
+  ArchConfig one = small_config();
+  one.num_sliding_windows = 1;
+  ArchConfig two = small_config();
+  two.num_sliding_windows = 2;
+  const std::uint64_t c1 =
+      ChambolleAccelerator(one).estimate_frame_cycles(128, 128, 16);
+  const std::uint64_t c2 =
+      ChambolleAccelerator(two).estimate_frame_cycles(128, 128, 16);
+  EXPECT_LT(c2, c1);
+  EXPECT_GT(static_cast<double>(c1) / c2, 1.6);  // near-linear scaling
+}
+
+TEST(Accelerator, PassCountAndTileAccounting) {
+  ChambolleAccelerator accel(small_config());
+  const auto result = accel.solve(random_v(64, 64, 11), params_with(10));
+  EXPECT_EQ(result.stats.passes, 3);  // 4 + 4 + 2
+  EXPECT_GT(result.stats.tiles_per_pass, 1u);
+  EXPECT_GT(result.stats.tiling_redundancy, 0.0);
+  // Element updates = buffer elements * iterations * 2 components.
+  EXPECT_GT(result.stats.elements_updated,
+            2u * 64u * 64u * 10u);  // more than useful work (halo redundancy)
+}
+
+TEST(Accelerator, LargerFramesAreMoreEfficientPerPixel) {
+  // Fixed halo per tile costs relatively less on larger frames — the effect
+  // visible in Table II (1024x768 closer to its ideal bound than 512x512).
+  ChambolleAccelerator accel{ArchConfig{}};
+  const double fps256 = accel.estimate_fps(256, 256, 50);
+  const double fps1024 = accel.estimate_fps(1024, 1024, 50);
+  const double cycles_per_pixel_256 = 221e6 / fps256 / (256.0 * 256.0);
+  const double cycles_per_pixel_1024 = 221e6 / fps1024 / (1024.0 * 1024.0);
+  EXPECT_LT(cycles_per_pixel_1024, cycles_per_pixel_256);
+}
+
+TEST(Accelerator, PyramidEstimateSumsLevelCosts) {
+  ChambolleAccelerator accel{ArchConfig{}};
+  const std::uint64_t direct = accel.estimate_pyramid_cycles(512, 512, 200, 4);
+  std::uint64_t manual = 0;
+  for (int l = 0; l < 4; ++l)
+    manual += accel.estimate_frame_cycles(512 >> l, 512 >> l, 50);
+  EXPECT_EQ(direct, manual);
+  EXPECT_THROW((void)accel.estimate_pyramid_cycles(64, 64, 10, 0),
+               std::invalid_argument);
+}
+
+TEST(Accelerator, PyramidFasterThanFlat) {
+  // Spreading the iteration budget over a pyramid does strictly less work
+  // than spending it all at full resolution.
+  ChambolleAccelerator accel{ArchConfig{}};
+  EXPECT_GT(accel.estimate_pyramid_fps(512, 512, 200),
+            accel.estimate_fps(512, 512, 200));
+  // With the pyramid interpretation the architecture lands in the paper's
+  // performance class at 512x512 (paper: 99.1 fps).
+  EXPECT_GT(accel.estimate_pyramid_fps(512, 512, 200), 60.0);
+}
+
+TEST(Accelerator, RejectsMismatchedComponents) {
+  ChambolleAccelerator accel(small_config());
+  FlowField v;
+  v.u1 = Matrix<float>(8, 8);
+  v.u2 = Matrix<float>(8, 9);
+  EXPECT_THROW(accel.solve(v, params_with(4)), std::invalid_argument);
+}
+
+TEST(Accelerator, ZeroInputGivesZeroFlow) {
+  ChambolleAccelerator accel(small_config());
+  const FlowField v(48, 48);
+  const auto result = accel.solve(v, params_with(8));
+  for (float x : result.u.u1) EXPECT_FLOAT_EQ(x, 0.f);
+  for (float x : result.u.u2) EXPECT_FLOAT_EQ(x, 0.f);
+}
+
+}  // namespace
+}  // namespace chambolle::hw

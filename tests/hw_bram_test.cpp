@@ -1,0 +1,114 @@
+#include "hw/bram.hpp"
+
+#include "hw/device.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chambolle::hw {
+namespace {
+
+TEST(Bram, ReadWriteAndCounters) {
+  Bram b(16);
+  b.write(3, 0xDEADBEEFu);
+  EXPECT_EQ(b.read(3), 0xDEADBEEFu);
+  EXPECT_EQ(b.reads(), 1u);
+  EXPECT_EQ(b.writes(), 1u);
+  b.reset_counters();
+  EXPECT_EQ(b.reads(), 0u);
+}
+
+TEST(Bram, PeekPokeDoNotCount) {
+  Bram b(4);
+  b.poke(1, 42u);
+  EXPECT_EQ(b.peek(1), 42u);
+  EXPECT_EQ(b.reads(), 0u);
+  EXPECT_EQ(b.writes(), 0u);
+}
+
+TEST(Bram, OutOfRangeThrows) {
+  Bram b(4);
+  EXPECT_THROW((void)b.read(4), std::out_of_range);
+  EXPECT_THROW(b.write(-1, 0), std::out_of_range);
+  EXPECT_THROW(Bram(0), std::invalid_argument);
+}
+
+TEST(BramAddressing, RowStriping) {
+  // Figure 4: row r lives in BRAM r % 8.
+  EXPECT_EQ(bram_index_for_row(0, 8), 0);
+  EXPECT_EQ(bram_index_for_row(7, 8), 7);
+  EXPECT_EQ(bram_index_for_row(8, 8), 0);
+  EXPECT_EQ(bram_index_for_row(13, 8), 5);
+  EXPECT_EQ(bram_index_for_row(87, 8), 7);
+}
+
+TEST(BramAddressing, InBramAddresses) {
+  // Address advances by one row length (92) every 8 rows — the paper's
+  // "offset of 92" applied by the vertical rotator at region changes.
+  EXPECT_EQ(bram_addr_for(0, 0, 92, 8), 0);
+  EXPECT_EQ(bram_addr_for(0, 91, 92, 8), 91);
+  EXPECT_EQ(bram_addr_for(8, 0, 92, 8), 92);
+  EXPECT_EQ(bram_addr_for(16, 5, 92, 8), 2 * 92 + 5);
+  EXPECT_EQ(bram_addr_for(87, 91, 92, 8), 1011);  // last of 1012 addresses
+}
+
+TEST(BramAddressing, PaperDepthIs1012) {
+  ArchConfig cfg;
+  EXPECT_EQ(cfg.bram_depth(), 1012);  // Section V-B
+}
+
+TEST(BramBank, FieldsRoundTrip) {
+  BramBank bank(88, 92, 8);
+  const fx::BramFields f{100, -5, 77};
+  bank.write_fields(13, 45, f);
+  EXPECT_EQ(bank.read_fields(13, 45), f);
+  EXPECT_EQ(bank.total_reads(), 1u);
+  EXPECT_EQ(bank.total_writes(), 1u);
+}
+
+TEST(BramBank, LoadAndPeekAreUncounted) {
+  BramBank bank(16, 16, 8);
+  bank.load_fields(3, 3, {1, 2, 3});
+  EXPECT_EQ(bank.peek_fields(3, 3), (fx::BramFields{1, 2, 3}));
+  EXPECT_EQ(bank.total_reads(), 0u);
+  EXPECT_EQ(bank.total_writes(), 0u);
+}
+
+TEST(BramBank, DistinctRowsDistinctBrams) {
+  BramBank bank(88, 92, 8);
+  // 8 consecutive rows (a region plus the row above) never conflict.
+  EXPECT_NO_THROW(bank.check_conflict_free({6, 7, 8, 9, 10, 11, 12, 13}));
+  // Rows 8 apart share a BRAM.
+  EXPECT_THROW(bank.check_conflict_free({0, 8}), std::logic_error);
+}
+
+TEST(BramBank, CoordinateChecks) {
+  BramBank bank(8, 8, 8);
+  EXPECT_THROW((void)bank.read_fields(8, 0), std::out_of_range);
+  EXPECT_THROW(bank.write_fields(0, 8, {}), std::out_of_range);
+}
+
+TEST(VerticalRotator, RotatesByMinusOnePerRegion) {
+  // With 7 lanes and 8 BRAMs, advancing one region (7 rows) maps lane i from
+  // BRAM (r0+i)%8 to BRAM (r0+7+i)%8 — a rotation by -1 (mod 8).
+  for (int region = 0; region < 13; ++region) {
+    const int r0 = region * 7;
+    for (int lane = 0; lane < 7; ++lane) {
+      const RotatorRoute route = rotator_route(r0, lane, 92, 8);
+      EXPECT_EQ(route.bram, (r0 + lane) % 8);
+      EXPECT_EQ(route.base_addr, ((r0 + lane) / 8) * 92);
+    }
+  }
+}
+
+TEST(VerticalRotator, RegionAdvanceAddsRowOffset) {
+  // Moving from region 0 to region 1, lane 1 goes from row 1 (BRAM 1, addr 0)
+  // to row 8 (BRAM 0, addr 92): the documented +92 offset.
+  const RotatorRoute before = rotator_route(0, 1, 92, 8);
+  const RotatorRoute after = rotator_route(7, 1, 92, 8);
+  EXPECT_EQ(before.base_addr, 0);
+  EXPECT_EQ(after.bram, 0);
+  EXPECT_EQ(after.base_addr, 92);
+}
+
+}  // namespace
+}  // namespace chambolle::hw

@@ -1,0 +1,151 @@
+#include "hw/control_unit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+namespace chambolle::hw {
+namespace {
+
+ArchConfig small_config() {
+  ArchConfig cfg;
+  cfg.tile_rows = 40;
+  cfg.tile_cols = 40;
+  cfg.merge_iterations = 4;
+  return cfg;
+}
+
+// Runs the FSM to completion, collecting every BRAM access.
+std::vector<BramAccess> drain(ControlUnit& cu) {
+  std::vector<BramAccess> all;
+  std::uint64_t guard = cu.total_cycles() + 8;
+  while (!cu.done() && guard-- > 0) {
+    const ControlSignals sig = cu.step();
+    for (const BramAccess& a : sig.bram) all.push_back(a);
+  }
+  EXPECT_TRUE(cu.done());
+  return all;
+}
+
+TEST(ControlUnit, TotalCyclesMatchTheAnalyticFormula) {
+  // Must equal PeArray's accounting: iterations * (regions + 1 flush) *
+  // (cols + 1 + fill).
+  ControlUnit cu(small_config(), 21, 40, 3);
+  EXPECT_EQ(cu.total_cycles(), 3u * 4u * (40u + 1u + 18u));
+  ControlUnit cu2(ArchConfig{}, 88, 92, 1);
+  EXPECT_EQ(cu2.total_cycles(), 1u * 14u * (92u + 1u + 18u));
+}
+
+TEST(ControlUnit, StepsExactlyTotalCycles) {
+  ControlUnit cu(small_config(), 16, 24, 2);
+  std::uint64_t steps = 0;
+  while (!cu.done()) {
+    (void)cu.step();
+    ++steps;
+  }
+  EXPECT_EQ(steps, cu.total_cycles());
+  EXPECT_EQ(cu.cycles_elapsed(), steps);
+  // Further steps are idle and flagged done.
+  EXPECT_TRUE(cu.step().done);
+}
+
+TEST(ControlUnit, RegionAccessStreamMatchesScheduleModel) {
+  // For each non-flush region sweep, the FSM's access set must equal
+  // schedule_region()'s (ignoring the cycle offset between sweeps).
+  const ArchConfig cfg = small_config();
+  ControlUnit cu(cfg, 21, 24, 1);
+  // Collect per-sweep: sweeps are fixed-length, so bucket by global cycle.
+  const int sweep_len = 24 + 1 + cfg.pipeline_fill;
+  std::map<int, std::vector<BramAccess>> by_sweep;
+  std::uint64_t cycle = 0;
+  while (!cu.done()) {
+    const ControlSignals sig = cu.step();
+    for (BramAccess a : sig.bram) {
+      a.cycle = static_cast<int>(cycle) % sweep_len;
+      by_sweep[static_cast<int>(cycle) / sweep_len].push_back(a);
+    }
+    ++cycle;
+  }
+  // Regions: rows {0..6}, {7..13}, {14..20}; sweep 3 is the flush.
+  for (int g = 0; g < 3; ++g) {
+    const RegionSchedule ref = schedule_region(cfg, g * 7, 7, 24,
+                                               /*pe_latency=*/12);
+    auto key = [](const BramAccess& a) {
+      return std::tuple(a.cycle, a.bram, a.addr, a.is_write);
+    };
+    std::vector<std::tuple<int, int, int, bool>> got, want;
+    for (const BramAccess& a : by_sweep[g]) got.push_back(key(a));
+    for (const BramAccess& a : ref.accesses) want.push_back(key(a));
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want) << "region " << g;
+  }
+}
+
+TEST(ControlUnit, EveryCycleIsPortConflictFree) {
+  ControlUnit cu(small_config(), 21, 24, 2);
+  while (!cu.done()) {
+    const ControlSignals sig = cu.step();
+    std::map<int, std::pair<int, int>> usage;  // bram -> (reads, writes)
+    for (const BramAccess& a : sig.bram) {
+      auto& slot = usage[a.bram];
+      if (a.is_write)
+        ++slot.second;
+      else
+        ++slot.first;
+    }
+    for (const auto& [bram, counts] : usage) {
+      EXPECT_LE(counts.first, 1) << "double read on BRAM " << bram;
+      EXPECT_LE(counts.second, 1) << "double write on BRAM " << bram;
+    }
+    EXPECT_LE(sig.term_bram_read + sig.term_bram_write, 2);
+  }
+}
+
+TEST(ControlUnit, EveryElementReadAndWrittenOncePerIteration) {
+  ControlUnit cu(small_config(), 15, 16, 1);
+  const std::vector<BramAccess> all = drain(cu);
+  std::map<std::pair<int, int>, std::pair<int, int>> per_element;
+  for (const BramAccess& a : all) {
+    auto& slot = per_element[{a.row, a.col}];
+    if (a.is_write)
+      ++slot.second;
+    else
+      ++slot.first;
+  }
+  int write_once = 0;
+  for (int r = 0; r < 15; ++r)
+    for (int c = 0; c < 16; ++c) {
+      const auto it = per_element.find({r, c});
+      ASSERT_NE(it, per_element.end()) << r << "," << c;
+      EXPECT_GE(it->second.first, 1) << "no read at " << r << "," << c;
+      EXPECT_EQ(it->second.second, 1) << "writes at " << r << "," << c;
+      ++write_once;
+    }
+  EXPECT_EQ(write_once, 15 * 16);
+}
+
+TEST(ControlUnit, RowStartPulsesOncePerSweep) {
+  ControlUnit cu(small_config(), 14, 16, 2);
+  int pulses = 0;
+  while (!cu.done())
+    if (cu.step().row_start) ++pulses;
+  // 2 regions + 1 flush per iteration, 2 iterations.
+  EXPECT_EQ(pulses, 2 * 3);
+}
+
+TEST(ControlUnit, RejectsBadArguments) {
+  EXPECT_THROW(ControlUnit(small_config(), 0, 16, 1), std::invalid_argument);
+  EXPECT_THROW(ControlUnit(small_config(), 16, 80, 1), std::invalid_argument);
+  EXPECT_THROW(ControlUnit(small_config(), 16, 16, 0), std::invalid_argument);
+  EXPECT_THROW(ControlUnit(small_config(), 16, 16, 1, 0),
+               std::invalid_argument);
+  // Skew + latency must fit the sweep window (fill 18, lanes 7 -> max 13).
+  EXPECT_THROW(ControlUnit(small_config(), 16, 16, 1, 14),
+               std::invalid_argument);
+  EXPECT_NO_THROW(ControlUnit(small_config(), 16, 16, 1, 13));
+}
+
+}  // namespace
+}  // namespace chambolle::hw

@@ -1,0 +1,60 @@
+#include "hw/datasheet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/accelerator.hpp"
+
+namespace chambolle::hw {
+namespace {
+
+TEST(Datasheet, PaperConfigurationFits) {
+  const Datasheet d = make_datasheet(ArchConfig{});
+  EXPECT_TRUE(d.fits);
+  EXPECT_EQ(d.total_pes, 56);  // 28 PE-T + 28 PE-V
+  EXPECT_EQ(d.cycles_per_element_latency, 18);
+  ASSERT_EQ(d.ratings.size(), 3u);
+}
+
+TEST(Datasheet, RatingsMatchTheCycleModel) {
+  const ArchConfig cfg;
+  const Datasheet d = make_datasheet(cfg);
+  const ChambolleAccelerator accel(cfg);
+  for (const WorkloadRating& r : d.ratings) {
+    EXPECT_DOUBLE_EQ(r.fps,
+                     accel.estimate_fps(r.height, r.width, r.iterations));
+    EXPECT_LE(r.fps_streaming, r.fps + 1e-9);  // streaming never faster
+  }
+}
+
+TEST(Datasheet, TextRenderingCarriesTheKeyNumbers) {
+  const Datasheet d = make_datasheet(ArchConfig{});
+  const std::string text = d.to_string();
+  EXPECT_NE(text.find("2 sliding windows x 7 lanes (56 PEs)"),
+            std::string::npos);
+  EXPECT_NE(text.find("221"), std::string::npos);
+  EXPECT_NE(text.find("36 BRAM"), std::string::npos);
+  EXPECT_NE(text.find("62 DSP"), std::string::npos);
+  EXPECT_NE(text.find("fits"), std::string::npos);
+  EXPECT_NE(text.find("512x512"), std::string::npos);
+}
+
+TEST(Datasheet, OversizedConfigReportsNotFitting) {
+  ArchConfig big;
+  big.num_sliding_windows = 4;
+  const Datasheet d = make_datasheet(big);
+  EXPECT_FALSE(d.fits);
+  EXPECT_NE(d.to_string().find("DOES NOT FIT"), std::string::npos);
+}
+
+TEST(Datasheet, RejectsInvalidInputs) {
+  ArchConfig bad;
+  bad.tile_rows = 90;
+  EXPECT_THROW((void)make_datasheet(bad), std::invalid_argument);
+  DramConfig nodram;
+  nodram.bytes_per_second = 0;
+  EXPECT_THROW((void)make_datasheet(ArchConfig{}, nodram),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chambolle::hw

@@ -1,0 +1,118 @@
+#include "hw/dse.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chambolle::hw {
+namespace {
+
+DseOptions quick_options() {
+  DseOptions o;
+  // A small workload keeps the cycle model evaluations cheap.
+  o.frame_rows = 128;
+  o.frame_cols = 128;
+  o.iterations = 50;
+  return o;
+}
+
+TEST(Dse, Validation) {
+  DseOptions o = quick_options();
+  o.window_counts.clear();
+  EXPECT_THROW(o.validate(), std::invalid_argument);
+  o = quick_options();
+  o.iterations = 0;
+  EXPECT_THROW(o.validate(), std::invalid_argument);
+}
+
+TEST(Dse, EnumeratesAndSortsByFps) {
+  const auto points = explore(quick_options());
+  ASSERT_GT(points.size(), 10u);
+  for (std::size_t i = 1; i < points.size(); ++i)
+    EXPECT_GE(points[i - 1].fps, points[i].fps);
+}
+
+TEST(Dse, EveryPointHasConsistentModels) {
+  for (const DesignPoint& p : explore(quick_options())) {
+    EXPECT_NO_THROW(p.config.validate());
+    EXPECT_GT(p.fps, 0.0);
+    EXPECT_GT(p.area.luts, 0);
+    EXPECT_EQ(p.area.brams,
+              2 * p.config.num_sliding_windows * (p.config.num_brams + 1));
+  }
+}
+
+TEST(Dse, ParetoPointsAreMutuallyNonDominated) {
+  const auto points = explore(quick_options());
+  std::vector<DesignPoint> frontier;
+  for (const DesignPoint& p : points)
+    if (p.pareto) frontier.push_back(p);
+  ASSERT_GE(frontier.size(), 2u);
+  for (const DesignPoint& a : frontier)
+    for (const DesignPoint& b : frontier) {
+      if (&a == &b) continue;
+      const bool dominates =
+          a.fps >= b.fps && a.area.luts <= b.area.luts &&
+          (a.fps > b.fps || a.area.luts < b.area.luts);
+      EXPECT_FALSE(dominates);
+    }
+}
+
+TEST(Dse, ParetoPointsFitTheDevice) {
+  for (const DesignPoint& p : explore(quick_options()))
+    if (p.pareto) {
+      EXPECT_TRUE(p.fits);
+    }
+}
+
+TEST(Dse, DominatedPointsAreExcludedFromTheFrontier) {
+  const auto points = explore(quick_options());
+  for (const DesignPoint& p : points) {
+    if (!p.fits || p.pareto) continue;
+    // Every non-frontier fitting point must be dominated by someone.
+    bool dominated = false;
+    for (const DesignPoint& q : points)
+      if (q.pareto && q.fps >= p.fps && q.area.luts <= p.area.luts)
+        dominated = true;
+    EXPECT_TRUE(dominated);
+  }
+}
+
+TEST(Dse, BestFittingIsTheFastestFittingPoint) {
+  const DseOptions o = quick_options();
+  const DesignPoint best = best_fitting(o);
+  EXPECT_TRUE(best.fits);
+  for (const DesignPoint& p : explore(o))
+    if (p.fits) {
+      EXPECT_LE(p.fps, best.fps + 1e-9);
+    }
+}
+
+TEST(Dse, NothingFitsOnATinyDevice) {
+  DseOptions o = quick_options();
+  o.device.dsps = 1;
+  o.device.luts = 100;
+  EXPECT_THROW((void)best_fitting(o), std::runtime_error);
+}
+
+TEST(Dse, PaperClassConfigurationIsNearTheFrontier) {
+  // Among 2-window / 7-lane / 92-column candidates, the paper's design class
+  // must fit and be Pareto or within 10% fps of a frontier point with no
+  // fewer LUTs — i.e. the published design point is defensible under our
+  // own models.
+  const auto points = explore(quick_options());
+  const DesignPoint* paper_class = nullptr;
+  for (const DesignPoint& p : points)
+    if (p.config.num_sliding_windows == 2 && p.config.pe_lanes == 7 &&
+        p.config.tile_cols == 92 && p.config.merge_iterations == 4)
+      paper_class = &p;
+  ASSERT_NE(paper_class, nullptr);
+  EXPECT_TRUE(paper_class->fits);
+  bool defensible = paper_class->pareto;
+  for (const DesignPoint& q : points)
+    if (q.pareto && q.area.luts <= paper_class->area.luts &&
+        q.fps <= paper_class->fps * 1.10)
+      defensible = true;
+  EXPECT_TRUE(defensible);
+}
+
+}  // namespace
+}  // namespace chambolle::hw

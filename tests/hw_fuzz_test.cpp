@@ -1,0 +1,70 @@
+// hw_fuzz_test.cpp — randomized configuration sweep of the full accelerator.
+//
+// The strongest robustness statement the simulator can make: for RANDOM
+// architecture configurations (ladder depth, tile geometry, window count,
+// merge depth), random frame sizes and random inputs, the accelerator stays
+// bit-identical to the software fixed-point solver and its measured cycles
+// equal the analytic model.  Seeded, so failures reproduce.
+#include <gtest/gtest.h>
+
+#include "chambolle/fixed_solver.hpp"
+#include "common/rng.hpp"
+#include "hw/accelerator.hpp"
+
+namespace chambolle::hw {
+namespace {
+
+ArchConfig random_config(Rng& rng) {
+  ArchConfig cfg;
+  // Ladder depth and the matching BRAM count.
+  const int lanes_choices[] = {3, 5, 7};
+  cfg.pe_lanes = lanes_choices[rng.uniform_int(0, 2)];
+  cfg.num_brams = cfg.pe_lanes + 1;
+  // Tile rows must stripe evenly; keep everything comfortably sized.
+  cfg.tile_rows = cfg.num_brams * rng.uniform_int(4, 10);
+  cfg.tile_cols = 8 * rng.uniform_int(3, 10);
+  cfg.num_sliding_windows = rng.uniform_int(1, 3);
+  const int max_merge =
+      std::min(cfg.tile_rows, cfg.tile_cols) / 2 - 1;
+  cfg.merge_iterations = rng.uniform_int(1, std::min(max_merge, 6));
+  cfg.model_tile_io = rng.uniform_int(0, 1) == 1;
+  return cfg;
+}
+
+class AcceleratorFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(AcceleratorFuzz, RandomConfigStaysBitExactAndCycleExact) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919u + 13u);
+  const ArchConfig cfg = random_config(rng);
+  ASSERT_NO_THROW(cfg.validate());
+
+  const int rows = rng.uniform_int(9, 70);
+  const int cols = rng.uniform_int(9, 70);
+  const int iterations = rng.uniform_int(1, 9);
+
+  FlowField v(rows, cols);
+  v.u1 = random_image(rng, rows, cols, -3.f, 3.f);
+  v.u2 = random_image(rng, rows, cols, -3.f, 3.f);
+  ChambolleParams params;
+  params.iterations = iterations;
+
+  ChambolleAccelerator accel(cfg);
+  const auto result = accel.solve(v, params);
+
+  const ChambolleResult ref1 = solve_fixed(v.u1, params);
+  const ChambolleResult ref2 = solve_fixed(v.u2, params);
+  ASSERT_EQ(result.u.u1, ref1.u)
+      << "lanes=" << cfg.pe_lanes << " tile=" << cfg.tile_rows << "x"
+      << cfg.tile_cols << " merge=" << cfg.merge_iterations << " frame="
+      << rows << "x" << cols << " iters=" << iterations;
+  ASSERT_EQ(result.u.u2, ref2.u);
+  ASSERT_EQ(result.dual_u1.u1, ref1.p.px);
+  ASSERT_EQ(result.dual_u2.u2, ref2.p.py);
+  EXPECT_EQ(result.stats.total_cycles,
+            accel.estimate_frame_cycles(rows, cols, iterations));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AcceleratorFuzz, ::testing::Range(0, 24));
+
+}  // namespace
+}  // namespace chambolle::hw

@@ -1,0 +1,78 @@
+#include "hw/resource_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chambolle::hw {
+namespace {
+
+TEST(ResourceModel, BramCountIsStructurallyExact) {
+  // 4 PE arrays x (8 packed-word BRAMs + 1 BRAM-Term) = 36 — Table I.
+  const ResourceReport r = estimate_resources(ArchConfig{});
+  EXPECT_EQ(r.brams, 36);
+  EXPECT_EQ(r.brams, PaperTable1{}.brams);
+}
+
+TEST(ResourceModel, DspCountMatchesTableOne) {
+  // 28 PE-Vs x 2 squaring DSPs + 6 for control/address generation = 62.
+  const ResourceReport r = estimate_resources(ArchConfig{});
+  EXPECT_EQ(r.dsps, 62);
+  EXPECT_EQ(r.dsps, PaperTable1{}.dsps);
+}
+
+TEST(ResourceModel, FlipFlopsAndLutsWithinCalibrationTolerance) {
+  const ResourceReport r = estimate_resources(ArchConfig{});
+  const PaperTable1 paper;
+  EXPECT_NEAR(r.flipflops, paper.flipflops, 0.05 * paper.flipflops);
+  EXPECT_NEAR(r.luts, paper.luts, 0.05 * paper.luts);
+}
+
+TEST(ResourceModel, FitsTheTargetDevice) {
+  const ResourceReport r = estimate_resources(ArchConfig{});
+  const Virtex5Spec device;
+  EXPECT_LE(r.flipflops, device.flipflops);
+  EXPECT_LE(r.luts, device.luts);
+  EXPECT_LE(r.brams, device.brams);
+  EXPECT_LE(r.dsps, device.dsps);
+  // "it occupies less than half of the slices" (Section VII).
+  EXPECT_LT(r.lut_pct(device), 50.0);
+  EXPECT_LT(r.flipflop_pct(device), 50.0);
+}
+
+TEST(ResourceModel, PercentagesMatchTableOne) {
+  // Table I: 33% FF, 47% LUT, 28% BRAM, 96.8% DSP.
+  const ResourceReport r = estimate_resources(ArchConfig{});
+  const Virtex5Spec device;
+  EXPECT_NEAR(r.flipflop_pct(device), 33.0, 2.5);
+  EXPECT_NEAR(r.lut_pct(device), 47.0, 2.5);
+  EXPECT_NEAR(r.bram_pct(device), 28.0, 0.5);
+  EXPECT_NEAR(r.dsp_pct(device), 96.8, 0.3);
+}
+
+TEST(ResourceModel, ScalesWithWindowCount) {
+  ArchConfig one;
+  one.num_sliding_windows = 1;
+  ArchConfig two;
+  const ResourceReport r1 = estimate_resources(one);
+  const ResourceReport r2 = estimate_resources(two);
+  EXPECT_EQ(r1.brams, 18);
+  EXPECT_LT(r1.dsps, r2.dsps);
+  EXPECT_LT(r1.luts, r2.luts);
+}
+
+TEST(ResourceModel, ModuleTotalsAreConsistent) {
+  const ResourceReport r = estimate_resources(ArchConfig{});
+  int ff = 0, lut = 0, bram = 0, dsp = 0;
+  for (const ModuleArea& m : r.modules) {
+    ff += m.instances * m.flipflops_each;
+    lut += m.instances * m.luts_each;
+    bram += m.instances * m.brams_each;
+    dsp += m.instances * m.dsps_each;
+  }
+  EXPECT_EQ(ff, r.flipflops);
+  EXPECT_EQ(lut, r.luts);
+  EXPECT_EQ(bram, r.brams);
+  EXPECT_EQ(dsp, r.dsps);
+}
+
+}  // namespace
+}  // namespace chambolle::hw

@@ -1,0 +1,112 @@
+#include "hw/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace chambolle::hw {
+namespace {
+
+RegionSchedule paper_region(int r0 = 7, int cols = 92) {
+  return schedule_region(ArchConfig{}, r0, 7, cols);
+}
+
+TEST(Schedule, LaneSkewIsOneCyclePerLane) {
+  const RegionSchedule s = paper_region();
+  // For every read of lane i at column c, issue cycle must be c + i.
+  for (const BramAccess& a : s.accesses)
+    if (!a.is_write && a.lane >= 0) {
+      EXPECT_EQ(a.cycle, a.col + a.lane);
+    }
+}
+
+TEST(Schedule, AbovRowReadRidesWithLaneZero) {
+  const RegionSchedule s = paper_region();
+  for (const BramAccess& a : s.accesses)
+    if (!a.is_write && a.lane == -1) {
+      EXPECT_EQ(a.cycle, a.col);
+      EXPECT_EQ(a.row, 6);  // region starting at row 7: helper reads row 6
+    }
+}
+
+TEST(Schedule, NoPortConflictsInThePaperConfiguration) {
+  for (int region = 0; region < 13; ++region)
+    EXPECT_EQ(count_port_conflicts(paper_region(region * 7)), 0)
+        << "region " << region;
+}
+
+TEST(Schedule, FirstRegionHasNoAboveRowTraffic) {
+  const RegionSchedule s = schedule_region(ArchConfig{}, 0, 7, 92);
+  for (const BramAccess& a : s.accesses) EXPECT_GE(a.lane, 0);
+}
+
+TEST(Schedule, AccessCountsPerColumn) {
+  // Interior region: 7 lane reads + 1 helper read + 6 lane writes + 1
+  // deferred write per column.
+  const RegionSchedule s = paper_region();
+  EXPECT_EQ(s.accesses.size(), 92u * (7u + 1u + 6u + 1u));
+}
+
+TEST(Schedule, WriteTrailsReadByPipelineLatency) {
+  const RegionSchedule s = paper_region();
+  for (const BramAccess& a : s.accesses)
+    if (a.is_write && a.lane >= 0) {
+      EXPECT_EQ(a.cycle, a.col + a.lane + 15);
+    }
+}
+
+TEST(Schedule, ReadsOfARowPrecedeItsWrites) {
+  // Jacobi safety at the cycle level: for every (row, col) pair, the read
+  // issues strictly before the write.
+  const RegionSchedule s = paper_region();
+  std::map<std::pair<int, int>, std::pair<int, int>> cycles;  // (read, write)
+  for (const BramAccess& a : s.accesses) {
+    auto& slot = cycles[{a.row, a.col}];
+    if (a.is_write)
+      slot.second = a.cycle;
+    else
+      slot.first = a.cycle;
+  }
+  for (const auto& [key, rw] : cycles) {
+    (void)key;
+    if (rw.second != 0) {
+      EXPECT_LT(rw.first, rw.second);
+    }
+  }
+}
+
+TEST(Schedule, SpanCoversFillPlusColumns) {
+  const RegionSchedule s = paper_region();
+  // Last write: column 91, lane 5 -> cycle 91 + 5 + 15 = 111.
+  EXPECT_EQ(s.last_cycle, 111);
+}
+
+TEST(Schedule, ConflictInjectionIsDetected) {
+  RegionSchedule s = paper_region();
+  // Clone an access onto the same (cycle, bram) pair.
+  BramAccess dup = s.accesses.front();
+  s.accesses.push_back(dup);
+  EXPECT_GT(count_port_conflicts(s), 0);
+}
+
+TEST(Schedule, TimelineRendersEveryBram) {
+  const std::string timeline = render_timeline(paper_region(), 20);
+  EXPECT_NE(timeline.find("BRAM 0"), std::string::npos);
+  EXPECT_NE(timeline.find("BRAM 7"), std::string::npos);
+  EXPECT_NE(timeline.find('R'), std::string::npos);
+  // Once the pipeline fills, every write lands on a cycle where the same
+  // BRAM also serves a read ('B'): dual-port operation made visible.
+  EXPECT_NE(timeline.find('B'), std::string::npos);
+}
+
+TEST(Schedule, RejectsBadArguments) {
+  EXPECT_THROW((void)schedule_region(ArchConfig{}, -1, 7, 92),
+               std::invalid_argument);
+  EXPECT_THROW((void)schedule_region(ArchConfig{}, 0, 8, 92),
+               std::invalid_argument);
+  EXPECT_THROW((void)schedule_region(ArchConfig{}, 0, 7, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chambolle::hw

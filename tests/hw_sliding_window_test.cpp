@@ -1,0 +1,173 @@
+#include "hw/sliding_window.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace chambolle::hw {
+namespace {
+
+FixedParams default_fp() {
+  ChambolleParams p;
+  return FixedParams::from(p);
+}
+
+ArchConfig small_config() {
+  ArchConfig cfg;
+  cfg.tile_rows = 40;
+  cfg.tile_cols = 40;
+  cfg.merge_iterations = 3;
+  return cfg;
+}
+
+FrameState make_frame(int rows, int cols, std::uint64_t seed) {
+  Rng rng(seed);
+  FrameState f(rows, cols);
+  f.u1 = make_fixed_state(random_image(rng, rows, cols, -3.f, 3.f));
+  f.u2 = make_fixed_state(random_image(rng, rows, cols, -3.f, 3.f));
+  return f;
+}
+
+TEST(SlidingWindow, SingleTileMatchesFixedSolver) {
+  const ArchConfig cfg = small_config();
+  SlidingWindowEngine engine(cfg);
+  const FrameState src = make_frame(32, 32, 1);
+  FrameState dst = src;
+
+  TileSpec tile;
+  tile.buf_rows = tile.prof_rows = 32;
+  tile.buf_cols = tile.prof_cols = 32;
+  engine.process_tile(src, dst, tile, default_fp(), 3);
+
+  FixedState ref1 = src.u1;
+  FixedState ref2 = src.u2;
+  Matrix<std::int32_t> scratch;
+  const RegionGeometry geom = RegionGeometry::full_frame(32, 32);
+  fixed_iterate_region(ref1, geom, default_fp(), 3, scratch);
+  fixed_iterate_region(ref2, geom, default_fp(), 3, scratch);
+
+  EXPECT_EQ(dst.u1.px, ref1.px);
+  EXPECT_EQ(dst.u1.py, ref1.py);
+  EXPECT_EQ(dst.u2.px, ref2.px);
+  EXPECT_EQ(dst.u2.py, ref2.py);
+}
+
+TEST(SlidingWindow, WritesOnlyTheProfitableRegion) {
+  const ArchConfig cfg = small_config();
+  SlidingWindowEngine engine(cfg);
+  const FrameState src = make_frame(64, 64, 2);
+  FrameState dst = src;
+
+  TileSpec tile;  // interior tile: buffer 20x20, profitable core 14x14
+  tile.buf_row0 = 10;
+  tile.buf_col0 = 10;
+  tile.buf_rows = 20;
+  tile.buf_cols = 20;
+  tile.prof_row0 = 13;
+  tile.prof_col0 = 13;
+  tile.prof_rows = 14;
+  tile.prof_cols = 14;
+  engine.process_tile(src, dst, tile, default_fp(), 3);
+
+  int changed_outside = 0;
+  for (int r = 0; r < 64; ++r)
+    for (int c = 0; c < 64; ++c) {
+      const bool inside = r >= 13 && r < 27 && c >= 13 && c < 27;
+      if (!inside && (dst.u1.px(r, c) != src.u1.px(r, c) ||
+                      dst.u1.py(r, c) != src.u1.py(r, c)))
+        ++changed_outside;
+    }
+  EXPECT_EQ(changed_outside, 0);
+}
+
+TEST(SlidingWindow, ProfitableElementsMatchFullFrameSolve) {
+  // An interior tile with halo == iterations reproduces the full-frame
+  // result on its profitable core — the sliding-window guarantee at the
+  // hardware level.
+  const ArchConfig cfg = small_config();
+  SlidingWindowEngine engine(cfg);
+  const FrameState src = make_frame(64, 64, 3);
+  FrameState dst = src;
+
+  const int K = 3;
+  TileSpec tile;
+  tile.buf_row0 = 8;
+  tile.buf_col0 = 16;
+  tile.buf_rows = 30;
+  tile.buf_cols = 24;
+  tile.prof_row0 = 8 + K;
+  tile.prof_col0 = 16 + K;
+  tile.prof_rows = 30 - 2 * K;
+  tile.prof_cols = 24 - 2 * K;
+  engine.process_tile(src, dst, tile, default_fp(), K);
+
+  FixedState ref = src.u1;
+  Matrix<std::int32_t> scratch;
+  fixed_iterate_region(ref, RegionGeometry::full_frame(64, 64), default_fp(),
+                       K, scratch);
+  for (int r = tile.prof_row0; r < tile.prof_row0 + tile.prof_rows; ++r)
+    for (int c = tile.prof_col0; c < tile.prof_col0 + tile.prof_cols; ++c) {
+      ASSERT_EQ(dst.u1.px(r, c), ref.px(r, c)) << r << "," << c;
+      ASSERT_EQ(dst.u1.py(r, c), ref.py(r, c)) << r << "," << c;
+    }
+}
+
+TEST(SlidingWindow, CycleCostChargedOncePerComponentPair) {
+  ArchConfig cfg = small_config();
+  cfg.model_tile_io = false;
+  SlidingWindowEngine engine(cfg);
+  const FrameState src = make_frame(21, 24, 4);
+  FrameState dst = src;
+  TileSpec tile;
+  tile.buf_rows = tile.prof_rows = 21;
+  tile.buf_cols = tile.prof_cols = 24;
+  engine.process_tile(src, dst, tile, default_fp(), 2);
+  // Both arrays consumed the same cycles; the engine charges them once:
+  // 2 iterations * (3 regions + flush) * (24 + 1 + 18).
+  EXPECT_EQ(engine.stats().cycles, 2u * 4u * 43u);
+  EXPECT_EQ(engine.array_stats_u1().cycles, engine.array_stats_u2().cycles);
+  EXPECT_EQ(engine.stats().tiles_processed, 1u);
+}
+
+TEST(SlidingWindow, TileIoCyclesModeled) {
+  ArchConfig cfg = small_config();
+  cfg.model_tile_io = true;
+  SlidingWindowEngine engine(cfg);
+  const FrameState src = make_frame(16, 16, 5);
+  FrameState dst = src;
+  TileSpec tile;
+  tile.buf_rows = tile.prof_rows = 16;
+  tile.buf_cols = tile.prof_cols = 16;
+  engine.process_tile(src, dst, tile, default_fp(), 1);
+  // load = ceil(256/8) = 32, store = 32.
+  EXPECT_EQ(engine.stats().load_store_cycles, 64u);
+}
+
+TEST(SlidingWindow, RejectsOversizedTiles) {
+  const ArchConfig cfg = small_config();
+  SlidingWindowEngine engine(cfg);
+  const FrameState src = make_frame(64, 64, 6);
+  FrameState dst = src;
+  TileSpec tile;
+  tile.buf_rows = 41;  // exceeds the 40-row window buffer
+  tile.buf_cols = 40;
+  EXPECT_THROW(engine.process_tile(src, dst, tile, default_fp(), 1),
+               std::invalid_argument);
+}
+
+TEST(SlidingWindow, ResetStatsClearsEverything) {
+  const ArchConfig cfg = small_config();
+  SlidingWindowEngine engine(cfg);
+  const FrameState src = make_frame(16, 16, 7);
+  FrameState dst = src;
+  TileSpec tile;
+  tile.buf_rows = tile.prof_rows = 16;
+  tile.buf_cols = tile.prof_cols = 16;
+  engine.process_tile(src, dst, tile, default_fp(), 1);
+  engine.reset_stats();
+  EXPECT_EQ(engine.stats().cycles, 0u);
+  EXPECT_EQ(engine.array_stats_u1().cycles, 0u);
+}
+
+}  // namespace
+}  // namespace chambolle::hw

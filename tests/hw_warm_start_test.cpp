@@ -1,0 +1,104 @@
+// hw_warm_start_test.cpp — warm-starting the accelerator's dual state.
+#include <gtest/gtest.h>
+
+#include "chambolle/fixed_solver.hpp"
+#include "common/rng.hpp"
+#include "hw/accelerator.hpp"
+
+namespace chambolle::hw {
+namespace {
+
+ArchConfig small_config() {
+  ArchConfig cfg;
+  cfg.tile_rows = 40;
+  cfg.tile_cols = 40;
+  cfg.merge_iterations = 4;
+  return cfg;
+}
+
+FlowField random_v(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  FlowField v(n, n);
+  v.u1 = random_image(rng, n, n, -2.f, 2.f);
+  v.u2 = random_image(rng, n, n, -2.f, 2.f);
+  return v;
+}
+
+ChambolleParams params_with(int iterations) {
+  ChambolleParams p;
+  p.iterations = iterations;
+  return p;
+}
+
+TEST(AcceleratorWarmStart, ResumingEqualsOneLongRun) {
+  // Solving 4 iterations, then 4 more seeded with the resulting dual, must
+  // equal one 8-iteration run (the dual values round-trip the Q1.8 format
+  // losslessly because they come FROM that format).
+  const FlowField v = random_v(48, 121);
+  ChambolleAccelerator accel(small_config());
+
+  const auto full = accel.solve(v, params_with(8));
+
+  const auto half = accel.solve(v, params_with(4));
+  ChambolleAccelerator::InitialDual resume;
+  resume.u1_px = &half.dual_u1.u1;
+  resume.u1_py = &half.dual_u1.u2;
+  resume.u2_px = &half.dual_u2.u1;
+  resume.u2_py = &half.dual_u2.u2;
+  const auto resumed = accel.solve(v, params_with(4), resume);
+
+  EXPECT_EQ(resumed.u.u1, full.u.u1);
+  EXPECT_EQ(resumed.u.u2, full.u.u2);
+  EXPECT_EQ(resumed.dual_u1.u1, full.dual_u1.u1);
+}
+
+TEST(AcceleratorWarmStart, MatchesWarmStartedFixedSolver) {
+  const FlowField v = random_v(40, 123);
+  ChambolleAccelerator accel(small_config());
+  const ChambolleParams params = params_with(5);
+
+  // Seed with an arbitrary (format-representable) dual state.
+  Rng rng(7);
+  Matrix<float> px(40, 40), py(40, 40);
+  for (float& x : px) x = static_cast<float>(rng.uniform_int(-200, 200)) / 256.f;
+  for (float& x : py) x = static_cast<float>(rng.uniform_int(-200, 200)) / 256.f;
+
+  ChambolleAccelerator::InitialDual init;
+  init.u1_px = &px;
+  init.u1_py = &py;
+  init.u2_px = &px;
+  init.u2_py = &py;
+  const auto got = accel.solve(v, params, init);
+
+  FixedState ref = make_fixed_state(v.u1);
+  for (std::size_t i = 0; i < ref.px.size(); ++i) {
+    ref.px.data()[i] = fx::saturate_bits(fx::to_fixed(px.data()[i]), fx::kPBits);
+    ref.py.data()[i] = fx::saturate_bits(fx::to_fixed(py.data()[i]), fx::kPBits);
+  }
+  Matrix<std::int32_t> scratch;
+  const FixedParams fp = FixedParams::from(params);
+  fixed_iterate_region(ref, RegionGeometry::full_frame(40, 40), fp,
+                       params.iterations, scratch);
+  EXPECT_EQ(got.dual_u1.u1, dequantize(ref.px));
+  EXPECT_EQ(got.dual_u1.u2, dequantize(ref.py));
+}
+
+TEST(AcceleratorWarmStart, RejectsMismatchedShapes) {
+  const FlowField v = random_v(40, 125);
+  ChambolleAccelerator accel(small_config());
+  Matrix<float> wrong(8, 8);
+  ChambolleAccelerator::InitialDual init;
+  init.u1_px = &wrong;
+  init.u1_py = &wrong;
+  EXPECT_THROW((void)accel.solve(v, params_with(2), init),
+               std::invalid_argument);
+  // px without py is also malformed.
+  Matrix<float> ok(40, 40);
+  init = {};
+  init.u1_px = &ok;
+  EXPECT_THROW((void)accel.solve(v, params_with(2), init),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chambolle::hw

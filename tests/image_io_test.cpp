@@ -1,0 +1,106 @@
+#include "common/image_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace chambolle::io {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(ImageIo, PgmRoundTrip) {
+  Image img(3, 5);
+  for (int r = 0; r < 3; ++r)
+    for (int c = 0; c < 5; ++c) img(r, c) = static_cast<float>(10 * r + c);
+  const std::string path = temp_path("chb_io_roundtrip.pgm");
+  write_pgm(path, img);
+  const Image back = read_pgm(path);
+  ASSERT_EQ(back.rows(), 3);
+  ASSERT_EQ(back.cols(), 5);
+  for (int r = 0; r < 3; ++r)
+    for (int c = 0; c < 5; ++c) EXPECT_FLOAT_EQ(back(r, c), img(r, c));
+  std::remove(path.c_str());
+}
+
+TEST(ImageIo, PgmClampsOutOfRangeIntensities) {
+  Image img(1, 3);
+  img(0, 0) = -5.f;
+  img(0, 1) = 300.f;
+  img(0, 2) = 127.4f;
+  const std::string path = temp_path("chb_io_clamp.pgm");
+  write_pgm(path, img);
+  const Image back = read_pgm(path);
+  EXPECT_FLOAT_EQ(back(0, 0), 0.f);
+  EXPECT_FLOAT_EQ(back(0, 1), 255.f);
+  EXPECT_FLOAT_EQ(back(0, 2), 127.f);
+  std::remove(path.c_str());
+}
+
+TEST(ImageIo, PgmRejectsWrongMagic) {
+  const std::string path = temp_path("chb_io_magic.pgm");
+  std::ofstream(path) << "P2\n1 1\n255\n0\n";
+  EXPECT_THROW(read_pgm(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(ImageIo, PgmRejectsTruncatedRaster) {
+  const std::string path = temp_path("chb_io_trunc.pgm");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "P5\n4 4\n255\n";
+    out.put('x');  // only 1 of 16 bytes
+  }
+  EXPECT_THROW(read_pgm(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(ImageIo, PgmSkipsComments) {
+  const std::string path = temp_path("chb_io_comment.pgm");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "P5\n# a comment line\n2 1\n# another\n255\n";
+    out.put(static_cast<char>(42));
+    out.put(static_cast<char>(43));
+  }
+  const Image img = read_pgm(path);
+  EXPECT_FLOAT_EQ(img(0, 0), 42.f);
+  EXPECT_FLOAT_EQ(img(0, 1), 43.f);
+  std::remove(path.c_str());
+}
+
+TEST(ImageIo, ReadMissingFileThrows) {
+  EXPECT_THROW(read_pgm(temp_path("chb_does_not_exist.pgm")),
+               std::runtime_error);
+}
+
+TEST(ImageIo, PpmRoundTrip) {
+  RgbImage img(2, 2);
+  img.pixels(0, 0) = {1, 2, 3};
+  img.pixels(0, 1) = {4, 5, 6};
+  img.pixels(1, 0) = {7, 8, 9};
+  img.pixels(1, 1) = {250, 251, 252};
+  const std::string path = temp_path("chb_io_roundtrip.ppm");
+  write_ppm(path, img);
+  const RgbImage back = read_ppm(path);
+  ASSERT_EQ(back.rows(), 2);
+  ASSERT_EQ(back.cols(), 2);
+  for (int r = 0; r < 2; ++r)
+    for (int c = 0; c < 2; ++c) EXPECT_EQ(back.pixels(r, c), img.pixels(r, c));
+  std::remove(path.c_str());
+}
+
+TEST(ImageIo, PpmRejectsP5) {
+  const std::string path = temp_path("chb_io_p5_as_ppm.ppm");
+  std::ofstream(path, std::ios::binary) << "P5\n1 1\n255\nx";
+  EXPECT_THROW(read_ppm(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace chambolle::io

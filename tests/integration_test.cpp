@@ -1,0 +1,153 @@
+// integration_test.cpp — cross-module end-to-end scenarios.
+#include <gtest/gtest.h>
+
+#include "chambolle/solver.hpp"
+#include "chambolle/tiled_solver.hpp"
+#include "common/rng.hpp"
+#include "hw/accelerator.hpp"
+#include "hw/resource_model.hpp"
+#include "tvl1/threshold.hpp"
+#include "tvl1/tvl1.hpp"
+#include "tvl1/warp.hpp"
+#include "workloads/metrics.hpp"
+#include "workloads/rolling_shutter.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace chambolle {
+namespace {
+
+// TV-L1 flow computed through the ACCELERATOR SIMULATOR as the inner solver:
+// the full paper pipeline, hardware-in-the-loop.
+TEST(Integration, AcceleratorDrivenTvl1RecoversTranslation) {
+  const auto wl = workloads::translating_scene(48, 48, 0.9f, -0.6f, 51);
+
+  hw::ArchConfig cfg;
+  cfg.tile_rows = 40;
+  cfg.tile_cols = 40;
+  cfg.merge_iterations = 4;
+  hw::ChambolleAccelerator accel(cfg);
+
+  // Hand-rolled TV-L1 outer loop (single level, small motion) with the
+  // accelerator as the u-solver.
+  tvl1::Tvl1Params p;
+  p.pyramid_levels = 1;
+  ChambolleParams cp;
+  cp.iterations = 24;
+
+  const Image i0n = [&] {
+    Image im = wl.frame0;
+    for (float& x : im) x /= 255.f;
+    return im;
+  }();
+  const Image i1n = [&] {
+    Image im = wl.frame1;
+    for (float& x : im) x /= 255.f;
+    return im;
+  }();
+
+  FlowField u(48, 48);
+  std::uint64_t total_cycles = 0;
+  for (int w = 0; w < 10; ++w) {
+    const FlowField u0 = u;
+    const tvl1::WarpResult wr = tvl1::warp_with_gradients(i1n, u0);
+    const tvl1::ThresholdInputs in{i0n, wr.warped, wr.grad, u0, u,
+                                   p.lambda, cp.theta};
+    const FlowField v = tvl1::threshold_step(in);
+    const auto result = accel.solve(v, cp);
+    u = result.u;
+    total_cycles += result.stats.total_cycles;
+  }
+
+  EXPECT_LT(workloads::interior_endpoint_error(u, wl.ground_truth, 5), 0.4);
+  EXPECT_GT(total_cycles, 0u);
+}
+
+// End-to-end rolling-shutter correction using flow estimated by TV-L1
+// (the motivating application of Section I).
+TEST(Integration, RollingShutterCorrectionViaEstimatedFlow) {
+  const Image scene = workloads::smooth_texture(64, 64, 53);
+  const float vx = 4.f;
+  // Two consecutive rolling-shutter frames of a scene translating at vx:
+  // frame k captures the scene displaced by k*vx (plus the row-time skew).
+  const Image frame0 = workloads::rolling_shutter_capture(scene, vx, 0.f);
+  Image scene_next(64, 64);
+  for (int r = 0; r < 64; ++r)
+    for (int c = 0; c < 64; ++c)
+      scene_next(r, c) = tvl1::sample_bilinear(
+          scene, static_cast<float>(r), static_cast<float>(c) - vx);
+  const Image frame1 = workloads::rolling_shutter_capture(scene_next, vx, 0.f);
+
+  tvl1::Tvl1Params p;
+  p.pyramid_levels = 3;
+  p.warps = 5;
+  p.chambolle.iterations = 30;
+  const FlowField flow = tvl1::compute_flow(frame0, frame1, p);
+
+  const Image corrected = workloads::rolling_shutter_correct(frame0, flow);
+  double err_before = 0, err_after = 0;
+  for (int r = 8; r < 56; ++r)
+    for (int c = 8; c < 56; ++c) {
+      err_before += std::abs(frame0(r, c) - scene(r, c));
+      err_after += std::abs(corrected(r, c) - scene(r, c));
+    }
+  EXPECT_LT(err_after, 0.6 * err_before);
+}
+
+// All four solver backends agree on the same problem within tolerances:
+// reference == tiled (exactly), fixed ~ reference, accelerator == fixed.
+TEST(Integration, AllBackendsAgree) {
+  Rng rng(55);
+  const Matrix<float> v1 = random_image(rng, 60, 60, -2.f, 2.f);
+  ChambolleParams params;
+  params.iterations = 20;
+
+  const ChambolleResult ref = solve(v1, params);
+
+  TiledSolverOptions topt;
+  topt.tile_rows = 24;
+  topt.tile_cols = 24;
+  topt.merge_iterations = 4;
+  const ChambolleResult tiled = solve_tiled(v1, params, topt);
+  EXPECT_EQ(tiled.u, ref.u);
+
+  const ChambolleResult fixed = solve_fixed(v1, params);
+  EXPECT_LT(max_abs_diff(fixed.u, ref.u), 0.1);
+
+  hw::ArchConfig cfg;
+  cfg.tile_rows = 40;
+  cfg.tile_cols = 40;
+  cfg.merge_iterations = 4;
+  FlowField v(60, 60);
+  v.u1 = v1;
+  v.u2 = v1;
+  const auto accel = hw::ChambolleAccelerator(cfg).solve(v, params);
+  EXPECT_EQ(accel.u.u1, fixed.u);
+}
+
+// The headline comparison shape: the accelerator model is faster than every
+// published GPU baseline at 512x512/200 iterations, by at least an order of
+// magnitude against the slowest.
+TEST(Integration, AcceleratorBeatsAllPublishedBaselines) {
+  hw::ChambolleAccelerator accel{hw::ArchConfig{}};
+  const double fpga_fps = accel.estimate_fps(512, 512, 200);
+  EXPECT_GT(fpga_fps, 20.0);
+  EXPECT_GT(fpga_fps / 1.3, 10.0);  // vs slowest published 512x512 baseline
+  // Real-time at high resolution (the paper's second headline: > 30 fps at
+  // 1024x768 is reported; our measured cycle model must at least sustain
+  // real-time-class rates there with 50-iteration solves).
+  EXPECT_GT(accel.estimate_fps(768, 1024, 50), 24.0);
+}
+
+// Resource + performance co-sanity: the configuration that fits the device
+// is the same one whose cycle model beats the baselines.
+TEST(Integration, ConfiguredDesignFitsAndPerforms) {
+  const hw::ArchConfig cfg;
+  const hw::ResourceReport area = hw::estimate_resources(cfg);
+  const hw::Virtex5Spec device;
+  EXPECT_LE(area.dsps, device.dsps);
+  EXPECT_LE(area.brams, device.brams);
+  EXPECT_GT(hw::ChambolleAccelerator(cfg).estimate_fps(512, 512, 200), 20.0);
+}
+
+}  // namespace
+}  // namespace chambolle

@@ -1,0 +1,131 @@
+#include "common/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace chambolle {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix<float> m;
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.cols(), 0);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, ConstructionValueInitializes) {
+  Matrix<int> m(3, 4);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  EXPECT_EQ(m.size(), 12u);
+  for (int v : m) EXPECT_EQ(v, 0);
+}
+
+TEST(Matrix, ConstructionWithInitValue) {
+  Matrix<float> m(2, 2, 1.5f);
+  for (float v : m) EXPECT_FLOAT_EQ(v, 1.5f);
+}
+
+TEST(Matrix, NegativeDimensionThrows) {
+  EXPECT_THROW(Matrix<int>(-1, 3), std::invalid_argument);
+  EXPECT_THROW(Matrix<int>(3, -1), std::invalid_argument);
+}
+
+TEST(Matrix, RowMajorIndexing) {
+  Matrix<int> m(2, 3);
+  int k = 0;
+  for (int r = 0; r < 2; ++r)
+    for (int c = 0; c < 3; ++c) m(r, c) = k++;
+  EXPECT_EQ(m.data()[0], 0);
+  EXPECT_EQ(m.data()[3], 3);  // start of row 1
+  EXPECT_EQ(m(1, 2), 5);
+}
+
+TEST(Matrix, AtThrowsOutOfRange) {
+  Matrix<int> m(2, 2);
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+  EXPECT_THROW(m.at(0, 2), std::out_of_range);
+  EXPECT_THROW(m.at(-1, 0), std::out_of_range);
+  EXPECT_NO_THROW(m.at(1, 1));
+}
+
+TEST(Matrix, InBounds) {
+  Matrix<int> m(2, 3);
+  EXPECT_TRUE(m.in_bounds(0, 0));
+  EXPECT_TRUE(m.in_bounds(1, 2));
+  EXPECT_FALSE(m.in_bounds(2, 0));
+  EXPECT_FALSE(m.in_bounds(0, 3));
+  EXPECT_FALSE(m.in_bounds(-1, 0));
+}
+
+TEST(Matrix, FillOverwritesAll) {
+  Matrix<int> m(3, 3, 7);
+  m.fill(9);
+  for (int v : m) EXPECT_EQ(v, 9);
+}
+
+TEST(Matrix, ResizeDiscardsContents) {
+  Matrix<int> m(2, 2, 5);
+  m.resize(4, 1, 3);
+  EXPECT_EQ(m.rows(), 4);
+  EXPECT_EQ(m.cols(), 1);
+  for (int v : m) EXPECT_EQ(v, 3);
+}
+
+TEST(Matrix, BlockExtractsSubrectangle) {
+  Matrix<int> m(4, 4);
+  for (int r = 0; r < 4; ++r)
+    for (int c = 0; c < 4; ++c) m(r, c) = 10 * r + c;
+  const Matrix<int> b = m.block(1, 2, 2, 2);
+  EXPECT_EQ(b.rows(), 2);
+  EXPECT_EQ(b.cols(), 2);
+  EXPECT_EQ(b(0, 0), 12);
+  EXPECT_EQ(b(1, 1), 23);
+}
+
+TEST(Matrix, BlockOutOfRangeThrows) {
+  Matrix<int> m(4, 4);
+  EXPECT_THROW(m.block(3, 0, 2, 1), std::out_of_range);
+  EXPECT_THROW(m.block(0, 3, 1, 2), std::out_of_range);
+  EXPECT_THROW(m.block(-1, 0, 1, 1), std::out_of_range);
+}
+
+TEST(Matrix, PasteWritesSubrectangle) {
+  Matrix<int> m(4, 4, 0);
+  Matrix<int> s(2, 2, 8);
+  m.paste(s, 1, 1);
+  EXPECT_EQ(m(1, 1), 8);
+  EXPECT_EQ(m(2, 2), 8);
+  EXPECT_EQ(m(0, 0), 0);
+  EXPECT_EQ(m(3, 3), 0);
+}
+
+TEST(Matrix, PasteOutOfRangeThrows) {
+  Matrix<int> m(3, 3);
+  Matrix<int> s(2, 2);
+  EXPECT_THROW(m.paste(s, 2, 0), std::out_of_range);
+}
+
+TEST(Matrix, EqualityComparesShapeAndData) {
+  Matrix<int> a(2, 2, 1), b(2, 2, 1), c(2, 2, 2), d(1, 4, 1);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(a == d);
+}
+
+TEST(Matrix, MaxAbsDiff) {
+  Matrix<float> a(2, 2, 1.f), b(2, 2, 1.f);
+  b(1, 1) = -2.f;
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 3.0);
+  EXPECT_THROW((void)max_abs_diff(a, Matrix<float>(1, 1)), std::invalid_argument);
+}
+
+TEST(Matrix, SameShape) {
+  Matrix<int> a(2, 3), b(2, 3), c(3, 2);
+  EXPECT_TRUE(a.same_shape(b));
+  EXPECT_FALSE(a.same_shape(c));
+}
+
+}  // namespace
+}  // namespace chambolle

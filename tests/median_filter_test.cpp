@@ -1,0 +1,89 @@
+#include "tvl1/median_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "tvl1/tvl1.hpp"
+#include "workloads/metrics.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace chambolle::tvl1 {
+namespace {
+
+TEST(Median3x3, ConstantIsFixedPoint) {
+  const Matrix<float> in(5, 7, 3.f);
+  EXPECT_EQ(median3x3(in), in);
+}
+
+TEST(Median3x3, RemovesIsolatedOutlier) {
+  Matrix<float> in(5, 5, 1.f);
+  in(2, 2) = 100.f;
+  const Matrix<float> out = median3x3(in);
+  EXPECT_FLOAT_EQ(out(2, 2), 1.f);
+}
+
+TEST(Median3x3, PreservesAStepEdge) {
+  Matrix<float> in(6, 6, 0.f);
+  for (int r = 0; r < 6; ++r)
+    for (int c = 3; c < 6; ++c) in(r, c) = 10.f;
+  const Matrix<float> out = median3x3(in);
+  EXPECT_EQ(out, in);  // medians never blur a straight edge
+}
+
+TEST(Median3x3, CenterOfOrderedWindow) {
+  Matrix<float> in(3, 3);
+  float k = 0.f;
+  for (int r = 0; r < 3; ++r)
+    for (int c = 0; c < 3; ++c) in(r, c) = k++;
+  EXPECT_FLOAT_EQ(median3x3(in)(1, 1), 4.f);
+}
+
+TEST(Median3x3, BorderUsesClampedWindow) {
+  Matrix<float> in(2, 2);
+  in(0, 0) = 0.f;
+  in(0, 1) = 1.f;
+  in(1, 0) = 2.f;
+  in(1, 1) = 3.f;
+  // Clamped 3x3 window at (0,0) holds {0,0,1, 0,0,1, 2,2,3}; median 1.
+  EXPECT_FLOAT_EQ(median3x3(in)(0, 0), 1.f);
+}
+
+TEST(Median3x3, IdempotentOnItsOwnOutput) {
+  Rng rng(5);
+  Matrix<float> in = random_image(rng, 12, 12, -1.f, 1.f);
+  const Matrix<float> once = median3x3(in);
+  const Matrix<float> twice = median3x3(once);
+  // Not exactly idempotent in general, but the second pass changes little.
+  EXPECT_LT(max_abs_diff(once, twice), max_abs_diff(in, once) + 1e-6);
+}
+
+TEST(MedianFlow, FiltersBothComponents) {
+  FlowField f(4, 4);
+  f.u1(2, 2) = 50.f;
+  f.u2(1, 1) = -50.f;
+  const FlowField out = median_filter_flow(f);
+  EXPECT_FLOAT_EQ(out.u1(2, 2), 0.f);
+  EXPECT_FLOAT_EQ(out.u2(1, 1), 0.f);
+}
+
+TEST(MedianFlow, ImprovesNoisyTvl1) {
+  auto wl = workloads::translating_scene(48, 48, 1.f, 0.5f, 61);
+  workloads::corrupt(wl, 6.f);
+
+  Tvl1Params base;
+  base.pyramid_levels = 3;
+  base.warps = 4;
+  base.chambolle.iterations = 25;
+  Tvl1Params filtered = base;
+  filtered.median_filtering = true;
+
+  const double e_base = workloads::interior_endpoint_error(
+      compute_flow(wl.frame0, wl.frame1, base), wl.ground_truth, 6);
+  const double e_filtered = workloads::interior_endpoint_error(
+      compute_flow(wl.frame0, wl.frame1, filtered), wl.ground_truth, 6);
+  // The filter must not hurt, and usually helps under heavy noise.
+  EXPECT_LE(e_filtered, e_base + 0.05);
+}
+
+}  // namespace
+}  // namespace chambolle::tvl1

@@ -1,0 +1,148 @@
+#include "chambolle/merged.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chambolle/dependency.hpp"
+#include "chambolle/solver.hpp"
+#include "common/rng.hpp"
+
+namespace chambolle {
+namespace {
+
+ChambolleParams params_with(int iterations) {
+  ChambolleParams p;
+  p.iterations = iterations;
+  return p;
+}
+
+struct Inputs {
+  Matrix<float> px, py, v;
+};
+
+Inputs random_state(int rows, int cols, std::uint64_t seed, int warmup = 3) {
+  Rng rng(seed);
+  Inputs in;
+  in.v = random_image(rng, rows, cols, -2.f, 2.f);
+  in.px = Matrix<float>(rows, cols);
+  in.py = Matrix<float>(rows, cols);
+  // Warm the dual state so it is not the all-zero special case.
+  Matrix<float> scratch;
+  iterate_region(in.px, in.py, in.v, RegionGeometry::full_frame(rows, cols),
+                 params_with(0), warmup, scratch);
+  return in;
+}
+
+// Reference: run the full-frame solver `depth` iterations and crop.
+std::pair<Matrix<float>, Matrix<float>> reference(const Inputs& in, int row0,
+                                                  int col0, int rows, int cols,
+                                                  int depth) {
+  Matrix<float> px = in.px, py = in.py, scratch;
+  iterate_region(px, py, in.v,
+                 RegionGeometry::full_frame(in.v.rows(), in.v.cols()),
+                 params_with(0), depth, scratch);
+  return {px.block(row0, col0, rows, cols), py.block(row0, col0, rows, cols)};
+}
+
+struct MergedCase {
+  int frame, row0, col0, rows, cols, depth;
+};
+
+class MergedMatchesReference : public ::testing::TestWithParam<MergedCase> {};
+
+TEST_P(MergedMatchesReference, BitExact) {
+  const MergedCase& mc = GetParam();
+  const Inputs in = random_state(mc.frame, mc.frame, 100u + mc.frame);
+  const MergedResult got =
+      merged_update(in.px, in.py, in.v, mc.row0, mc.col0, mc.rows, mc.cols,
+                    mc.depth, params_with(0));
+  const auto [rpx, rpy] =
+      reference(in, mc.row0, mc.col0, mc.rows, mc.cols, mc.depth);
+  EXPECT_EQ(got.px, rpx);
+  EXPECT_EQ(got.py, rpy);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MergedMatchesReference,
+    ::testing::Values(
+        MergedCase{16, 8, 8, 1, 1, 1},    // Figure 1.a: one element, one step
+        MergedCase{16, 8, 8, 2, 2, 1},    // Figure 1.b: 2x2 group
+        MergedCase{16, 8, 8, 1, 1, 2},    // Figure 1.c: depth 2
+        MergedCase{20, 6, 6, 4, 4, 4},    // deeper merge, square group
+        MergedCase{20, 0, 0, 3, 3, 3},    // touching the top-left border
+        MergedCase{20, 16, 17, 4, 3, 3},  // touching the bottom-right border
+        MergedCase{12, 0, 0, 12, 12, 3},  // group == whole frame
+        MergedCase{16, 5, 5, 1, 8, 2},    // elongated group
+        MergedCase{16, 7, 7, 2, 2, 0}));  // depth 0 == identity
+
+TEST(Merged, DepthZeroReturnsCurrentValues) {
+  const Inputs in = random_state(10, 10, 7);
+  const MergedResult got =
+      merged_update(in.px, in.py, in.v, 3, 4, 2, 3, 0, params_with(0));
+  EXPECT_EQ(got.px, in.px.block(3, 4, 2, 3));
+  EXPECT_EQ(got.stats.p_updates, 0u);
+  EXPECT_EQ(got.stats.term_evals, 0u);
+}
+
+TEST(Merged, ConeReadsMatchAnalyticalConeSize) {
+  // Away from borders, the number of iteration-n elements read must equal
+  // |dependency_cone(group, depth)| — the exact numbers of Figure 1.
+  const Inputs in = random_state(32, 32, 9);
+  const auto cone_size = [&](int gr, int gc, int d) {
+    std::set<Offset> group;
+    for (int r = 0; r < gr; ++r)
+      for (int c = 0; c < gc; ++c) group.insert({r, c});
+    return dependency_cone(group, d).size();
+  };
+  for (const auto& [gr, gc, d] :
+       {std::tuple{1, 1, 1}, std::tuple{2, 2, 1}, std::tuple{1, 1, 2},
+        std::tuple{4, 4, 3}}) {
+    const MergedResult got =
+        merged_update(in.px, in.py, in.v, 14, 14, gr, gc, d, params_with(0));
+    EXPECT_EQ(got.stats.cone_reads, cone_size(gr, gc, d))
+        << gr << "x" << gc << " depth " << d;
+  }
+  // The two datapoints the paper quotes.
+  EXPECT_EQ(
+      merged_update(in.px, in.py, in.v, 14, 14, 1, 1, 1, params_with(0))
+          .stats.cone_reads,
+      7u);
+  EXPECT_EQ(
+      merged_update(in.px, in.py, in.v, 14, 14, 2, 2, 1, params_with(0))
+          .stats.cone_reads,
+      14u);
+}
+
+TEST(Merged, BorderClipsTheCone) {
+  const Inputs in = random_state(16, 16, 11);
+  const MergedResult corner =
+      merged_update(in.px, in.py, in.v, 0, 0, 1, 1, 1, params_with(0));
+  // The 7-point cone loses its out-of-frame members at the corner.
+  EXPECT_LT(corner.stats.cone_reads, 7u);
+}
+
+TEST(Merged, WorkGrowsWithDepth) {
+  const Inputs in = random_state(32, 32, 13);
+  std::size_t prev = 0;
+  for (int d = 1; d <= 4; ++d) {
+    const MergedResult got =
+        merged_update(in.px, in.py, in.v, 14, 14, 1, 1, d, params_with(0));
+    EXPECT_GT(got.stats.p_updates, prev);
+    prev = got.stats.p_updates;
+  }
+}
+
+TEST(Merged, RejectsBadGeometry) {
+  const Inputs in = random_state(8, 8, 15);
+  EXPECT_THROW((void)merged_update(in.px, in.py, in.v, 7, 7, 2, 2, 1,
+                                   params_with(0)),
+               std::invalid_argument);
+  EXPECT_THROW((void)merged_update(in.px, in.py, in.v, 0, 0, 0, 1, 1,
+                                   params_with(0)),
+               std::invalid_argument);
+  EXPECT_THROW((void)merged_update(in.px, in.py, in.v, 0, 0, 1, 1, -1,
+                                   params_with(0)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chambolle

@@ -1,0 +1,77 @@
+#include "fixedpoint/nonrestoring_sqrt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "fixedpoint/lut_sqrt.hpp"
+#include "fixedpoint/qformat.hpp"
+
+namespace chambolle::fx {
+namespace {
+
+TEST(NonRestoringSqrt, ExactSquares) {
+  for (std::uint64_t r = 0; r < 2000; ++r)
+    EXPECT_EQ(isqrt_u64(r * r), r) << "r=" << r;
+}
+
+TEST(NonRestoringSqrt, FloorSemantics) {
+  EXPECT_EQ(isqrt_u64(0), 0u);
+  EXPECT_EQ(isqrt_u64(1), 1u);
+  EXPECT_EQ(isqrt_u64(2), 1u);
+  EXPECT_EQ(isqrt_u64(3), 1u);
+  EXPECT_EQ(isqrt_u64(4), 2u);
+  EXPECT_EQ(isqrt_u64(8), 2u);
+  EXPECT_EQ(isqrt_u64(9), 3u);
+  EXPECT_EQ(isqrt_u64(99), 9u);
+  EXPECT_EQ(isqrt_u64(100), 10u);
+}
+
+TEST(NonRestoringSqrt, LargeValues) {
+  EXPECT_EQ(isqrt_u64(0xFFFFFFFFull * 0xFFFFFFFFull), 0xFFFFFFFFu);
+  const std::uint64_t big = (1ull << 62);
+  EXPECT_EQ(isqrt_u64(big), 1ull << 31);
+}
+
+TEST(NonRestoringSqrt, PropertyFloorInvariant) {
+  Rng rng(17);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = rng.next_u64() >> (rng.uniform_int(0, 40));
+    const std::uint64_t r = isqrt_u64(v);
+    EXPECT_LE(r * r, v);
+    EXPECT_GT((r + 1) * (r + 1), v);
+  }
+}
+
+TEST(NonRestoringSqrt, QFormatMatchesExactWithinOneUlp) {
+  Rng rng(31);
+  for (int i = 0; i < 5000; ++i) {
+    const auto raw = static_cast<std::int32_t>(rng.next_u64() & 0x3FFFFFFF);
+    const std::int32_t got = nonrestoring_sqrt_q(raw);
+    const std::int32_t exact = exact_sqrt_q(raw);
+    EXPECT_NEAR(got, exact, 1) << "raw=" << raw;
+  }
+}
+
+TEST(NonRestoringSqrt, QFormatNegativeThrows) {
+  EXPECT_THROW((void)nonrestoring_sqrt_q(-1), std::domain_error);
+}
+
+TEST(NonRestoringSqrt, MorePreciseThanLut) {
+  // Section V-C: "iterative techniques, which achieve better precisions".
+  Rng rng(77);
+  double lut_err = 0.0, iter_err = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const auto raw =
+        static_cast<std::int32_t>(256 + (rng.next_u64() & 0x0FFFFFFF));
+    const double exact = std::sqrt(static_cast<double>(raw) / kOne);
+    lut_err += std::abs(static_cast<double>(lut_sqrt(raw)) / kOne - exact);
+    iter_err +=
+        std::abs(static_cast<double>(nonrestoring_sqrt_q(raw)) / kOne - exact);
+  }
+  EXPECT_LT(iter_err * 10, lut_err);
+}
+
+}  // namespace
+}  // namespace chambolle::fx

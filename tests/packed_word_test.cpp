@@ -1,0 +1,70 @@
+#include "fixedpoint/packed_word.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chambolle::fx {
+namespace {
+
+TEST(PackedWord, RoundTripInRange) {
+  const BramFields f{1000, -200, 255};
+  EXPECT_EQ(unpack_word(pack_word(f)), f);
+}
+
+TEST(PackedWord, RoundTripExtremes) {
+  // v: 13-bit signed [-4096, 4095]; px/py: 9-bit signed [-256, 255].
+  const BramFields lo{-4096, -256, -256};
+  const BramFields hi{4095, 255, 255};
+  EXPECT_EQ(unpack_word(pack_word(lo)), lo);
+  EXPECT_EQ(unpack_word(pack_word(hi)), hi);
+}
+
+TEST(PackedWord, SaturatesOutOfRangeFields) {
+  const BramFields f{100000, 1000, -1000};
+  const BramFields u = unpack_word(pack_word(f));
+  EXPECT_EQ(u.v, 4095);
+  EXPECT_EQ(u.px, 255);
+  EXPECT_EQ(u.py, -256);
+}
+
+TEST(PackedWord, LayoutMatchesSectionVB) {
+  // "The 32 bits encode v ... followed by c_px and c_py": v occupies the top
+  // 13 bits, px the next 9, py the next 9.
+  const std::uint32_t w = pack_word({1, 2, 3});
+  EXPECT_EQ((w >> 19) & 0x1FFF, 1u);
+  EXPECT_EQ((w >> 10) & 0x1FF, 2u);
+  EXPECT_EQ((w >> 1) & 0x1FF, 3u);
+}
+
+TEST(PackedWord, SignExtend) {
+  EXPECT_EQ(sign_extend(0x1FF, 9), -1);
+  EXPECT_EQ(sign_extend(0x100, 9), -256);
+  EXPECT_EQ(sign_extend(0x0FF, 9), 255);
+  EXPECT_EQ(sign_extend(0u, 9), 0);
+  EXPECT_EQ(sign_extend(0x1FFF, 13), -1);
+}
+
+TEST(PackedWord, ZeroIsZero) {
+  EXPECT_EQ(pack_word({0, 0, 0}), 0u);
+  const BramFields z = unpack_word(0u);
+  EXPECT_EQ(z.v, 0);
+  EXPECT_EQ(z.px, 0);
+  EXPECT_EQ(z.py, 0);
+}
+
+// Exhaustive round-trip across the px field (512 values) and a v sweep.
+TEST(PackedWord, ExhaustivePxRoundTrip) {
+  for (int px = -256; px <= 255; ++px) {
+    const BramFields f{123, px, -px / 2};
+    EXPECT_EQ(unpack_word(pack_word(f)), f) << "px=" << px;
+  }
+}
+
+TEST(PackedWord, VSweepRoundTrip) {
+  for (int v = -4096; v <= 4095; v += 97) {
+    const BramFields f{v, 7, -9};
+    EXPECT_EQ(unpack_word(pack_word(f)), f) << "v=" << v;
+  }
+}
+
+}  // namespace
+}  // namespace chambolle::fx

@@ -1,0 +1,103 @@
+#include "tvl1/pyramid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace chambolle::tvl1 {
+namespace {
+
+TEST(Pyramid, Downsample2Dimensions) {
+  const Image img(10, 11);
+  const Image half = downsample2(img);
+  EXPECT_EQ(half.rows(), 5);
+  EXPECT_EQ(half.cols(), 6);  // ceil(11/2)
+}
+
+TEST(Pyramid, Downsample2AveragesBoxes) {
+  Image img(2, 2);
+  img(0, 0) = 0.f;
+  img(0, 1) = 4.f;
+  img(1, 0) = 8.f;
+  img(1, 1) = 12.f;
+  const Image half = downsample2(img);
+  ASSERT_EQ(half.rows(), 1);
+  EXPECT_FLOAT_EQ(half(0, 0), 6.f);
+}
+
+TEST(Pyramid, DownsamplePreservesConstants) {
+  const Image img(9, 9, 7.f);
+  for (float v : downsample2(img)) EXPECT_FLOAT_EQ(v, 7.f);
+}
+
+TEST(Pyramid, UpsamplePreservesConstants) {
+  const Image img(4, 4, 3.f);
+  for (float v : upsample_to(img, 9, 7)) EXPECT_FLOAT_EQ(v, 3.f);
+}
+
+TEST(Pyramid, UpsampleToExactTargetSize) {
+  Rng rng(1);
+  const Image img = random_image(rng, 5, 6);
+  const Image up = upsample_to(img, 13, 17);
+  EXPECT_EQ(up.rows(), 13);
+  EXPECT_EQ(up.cols(), 17);
+  EXPECT_THROW(upsample_to(img, 0, 5), std::invalid_argument);
+}
+
+TEST(Pyramid, UpsampleDoesNotOvershootRange) {
+  Rng rng(2);
+  const Image img = random_image(rng, 6, 6, 10.f, 20.f);
+  for (float v : upsample_to(img, 15, 15)) {
+    EXPECT_GE(v, 10.f - 1e-4f);
+    EXPECT_LE(v, 20.f + 1e-4f);
+  }
+}
+
+TEST(Pyramid, UpsampleFlowScalesVectors) {
+  FlowField flow(4, 4);
+  flow.fill(1.f, -2.f);
+  const FlowField up = upsample_flow(flow, 8, 8);
+  EXPECT_EQ(up.rows(), 8);
+  for (int r = 0; r < 8; ++r)
+    for (int c = 0; c < 8; ++c) {
+      EXPECT_NEAR(up.u1(r, c), 2.f, 1e-5);
+      EXPECT_NEAR(up.u2(r, c), -4.f, 1e-5);
+    }
+}
+
+TEST(Pyramid, LevelCountRespectsMinDim) {
+  Rng rng(3);
+  const Image img = random_image(rng, 64, 64);
+  const Pyramid p(img, 10, 16);
+  // 64 -> 32 -> 16; a further level would be 8 < 16.
+  EXPECT_EQ(p.levels(), 3);
+  EXPECT_EQ(p.level(0).rows(), 64);
+  EXPECT_EQ(p.level(2).rows(), 16);
+}
+
+TEST(Pyramid, MaxLevelsCap) {
+  Rng rng(4);
+  const Image img = random_image(rng, 256, 256);
+  EXPECT_EQ(Pyramid(img, 2).levels(), 2);
+  EXPECT_EQ(Pyramid(img, 1).levels(), 1);
+  EXPECT_THROW(Pyramid(img, 0), std::invalid_argument);
+}
+
+TEST(Pyramid, DownUpRoundTripIsCloseForSmoothImages) {
+  // Smooth content survives a down/up cycle; this bounds interpolation bias.
+  Image img(32, 32);
+  for (int r = 0; r < 32; ++r)
+    for (int c = 0; c < 32; ++c)
+      img(r, c) = 100.f + 20.f * std::sin(0.2f * static_cast<float>(r)) +
+                  10.f * std::cos(0.15f * static_cast<float>(c));
+  const Image cycled = upsample_to(downsample2(img), 32, 32);
+  double max_err = 0;
+  for (int r = 2; r < 30; ++r)  // border pixels suffer from clamping bias
+    for (int c = 2; c < 30; ++c)
+      max_err = std::max(max_err, std::abs(static_cast<double>(img(r, c)) -
+                                           cycled(r, c)));
+  EXPECT_LT(max_err, 2.5);
+}
+
+}  // namespace
+}  // namespace chambolle::tvl1

@@ -1,0 +1,98 @@
+#include "fixedpoint/qformat.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chambolle::fx {
+namespace {
+
+TEST(QFormat, OneIs256) { EXPECT_EQ(to_fixed(1.0), 256); }
+
+TEST(QFormat, RoundsToNearest) {
+  EXPECT_EQ(to_fixed(0.5), 128);
+  EXPECT_EQ(to_fixed(1.0 / 512.0), 1);   // 0.5 ulp rounds away from zero
+  EXPECT_EQ(to_fixed(-1.0 / 512.0), -1);
+  EXPECT_EQ(to_fixed(0.001), 0);         // below half ulp
+}
+
+TEST(QFormat, ToFloatInverts) {
+  for (int raw : {-1000, -256, -1, 0, 1, 255, 256, 100000})
+    EXPECT_EQ(to_fixed(static_cast<double>(to_float(raw))), raw);
+}
+
+TEST(QFormat, ToFixedSaturatesAtInt32Limits) {
+  EXPECT_EQ(to_fixed(1e12), std::numeric_limits<std::int32_t>::max());
+  EXPECT_EQ(to_fixed(-1e12), std::numeric_limits<std::int32_t>::min());
+}
+
+TEST(QFormat, MulMatchesRealProduct) {
+  const std::int32_t a = to_fixed(1.5);
+  const std::int32_t b = to_fixed(2.25);
+  EXPECT_EQ(mul(a, b), to_fixed(3.375));
+}
+
+TEST(QFormat, MulTruncatesTowardNegativeInfinity) {
+  // 0.25 * 0.001953125 (= raw 64 * raw 0.5): exact product raw = 0.125.
+  EXPECT_EQ(mul(64, 1), 0);
+  EXPECT_EQ(mul(-64, 1), -1);  // arithmetic shift: floor, not trunc
+}
+
+TEST(QFormat, DivMatchesRealQuotient) {
+  EXPECT_EQ(div(to_fixed(3.0), to_fixed(2.0)), to_fixed(1.5));
+  EXPECT_EQ(div(to_fixed(-3.0), to_fixed(2.0)), to_fixed(-1.5));
+  EXPECT_EQ(div(to_fixed(1.0), to_fixed(4.0)), to_fixed(0.25));
+}
+
+TEST(QFormat, SaturateBits) {
+  EXPECT_EQ(saturate_bits(100, 9), 100);
+  EXPECT_EQ(saturate_bits(255, 9), 255);
+  EXPECT_EQ(saturate_bits(256, 9), 255);   // 9-bit max
+  EXPECT_EQ(saturate_bits(-256, 9), -256); // 9-bit min
+  EXPECT_EQ(saturate_bits(-257, 9), -256);
+  EXPECT_EQ(saturate_bits(4095, 13), 4095);
+  EXPECT_EQ(saturate_bits(5000, 13), 4095);
+  EXPECT_EQ(saturate_bits(-5000, 13), -4096);
+}
+
+TEST(QFormat, BitWidth) {
+  EXPECT_EQ(bit_width_u32(0u), 0);
+  EXPECT_EQ(bit_width_u32(1u), 1);
+  EXPECT_EQ(bit_width_u32(255u), 8);
+  EXPECT_EQ(bit_width_u32(256u), 9);
+  EXPECT_EQ(bit_width_u32(0xFFFFFFFFu), 32);
+}
+
+// Property sweep: mul/div are within one ulp of the real-arithmetic result.
+class QArithProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(QArithProperty, MulWithinOneUlp) {
+  const int seed = GetParam();
+  std::uint32_t s = static_cast<std::uint32_t>(seed) * 2654435761u + 1;
+  for (int i = 0; i < 200; ++i) {
+    s = s * 1664525u + 1013904223u;
+    const std::int32_t a = static_cast<std::int32_t>(s % 200000u) - 100000;
+    s = s * 1664525u + 1013904223u;
+    const std::int32_t b = static_cast<std::int32_t>(s % 200000u) - 100000;
+    const double real = (static_cast<double>(a) / kOne) *
+                        (static_cast<double>(b) / kOne);
+    EXPECT_NEAR(static_cast<double>(mul(a, b)) / kOne, real, 1.0 / kOne);
+  }
+}
+
+TEST_P(QArithProperty, DivWithinOneUlp) {
+  const int seed = GetParam();
+  std::uint32_t s = static_cast<std::uint32_t>(seed) * 2246822519u + 3;
+  for (int i = 0; i < 200; ++i) {
+    s = s * 1664525u + 1013904223u;
+    const std::int32_t a = static_cast<std::int32_t>(s % 200000u) - 100000;
+    s = s * 1664525u + 1013904223u;
+    std::int32_t b = static_cast<std::int32_t>(s % 100000u) + 256;  // >= 1.0
+    const double real = (static_cast<double>(a) / kOne) /
+                        (static_cast<double>(b) / kOne);
+    EXPECT_NEAR(static_cast<double>(div(a, b)) / kOne, real, 1.0 / kOne);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QArithProperty, ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace chambolle::fx

@@ -1,0 +1,89 @@
+#include "workloads/rolling_shutter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workloads/metrics.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace chambolle::workloads {
+namespace {
+
+TEST(RollingShutter, ZeroVelocityIsIdentity) {
+  const Image scene = smooth_texture(32, 32, 3);
+  const Image captured = rolling_shutter_capture(scene, 0.f, 0.f);
+  EXPECT_LT(rms_diff(captured, scene), 1e-4);
+}
+
+TEST(RollingShutter, TopRowIsUndistorted) {
+  const Image scene = smooth_texture(32, 32, 4);
+  const Image captured = rolling_shutter_capture(scene, 6.f, 0.f);
+  for (int c = 0; c < 32; ++c) EXPECT_FLOAT_EQ(captured(0, c), scene(0, c));
+}
+
+TEST(RollingShutter, DistortionGrowsDownTheFrame) {
+  const Image scene = smooth_texture(64, 64, 5);
+  const Image captured = rolling_shutter_capture(scene, 8.f, 0.f);
+  double top_err = 0, bottom_err = 0;
+  for (int c = 8; c < 56; ++c) {
+    top_err += std::abs(captured(8, c) - scene(8, c));
+    bottom_err += std::abs(captured(56, c) - scene(56, c));
+  }
+  EXPECT_GT(bottom_err, 2.0 * top_err);
+}
+
+TEST(RollingShutter, CorrectionWithTrueFlowRecoversScene) {
+  const Image scene = smooth_texture(48, 48, 6);
+  const float vx = 6.f, vy = 0.f;
+  const Image captured = rolling_shutter_capture(scene, vx, vy);
+  FlowField flow(48, 48);
+  flow.fill(vx, vy);  // the inter-frame flow equals the scene velocity
+  const Image corrected = rolling_shutter_correct(captured, flow);
+
+  // Interior comparison (borders suffer from clamped sampling).
+  double err_before = 0, err_after = 0;
+  for (int r = 6; r < 42; ++r)
+    for (int c = 6; c < 42; ++c) {
+      err_before += std::abs(captured(r, c) - scene(r, c));
+      err_after += std::abs(corrected(r, c) - scene(r, c));
+    }
+  EXPECT_LT(err_after, 0.25 * err_before);
+}
+
+TEST(RollingShutter, CorrectionHandlesVerticalMotion) {
+  const Image scene = smooth_texture(48, 48, 7);
+  const Image captured = rolling_shutter_capture(scene, 0.f, 4.f);
+  FlowField flow(48, 48);
+  flow.fill(0.f, 4.f);
+  const Image corrected = rolling_shutter_correct(captured, flow);
+  double err_before = 0, err_after = 0;
+  for (int r = 8; r < 40; ++r)
+    for (int c = 8; c < 40; ++c) {
+      err_before += std::abs(captured(r, c) - scene(r, c));
+      err_after += std::abs(corrected(r, c) - scene(r, c));
+    }
+  EXPECT_LT(err_after, 0.4 * err_before);
+}
+
+TEST(RollingShutter, ShapeMismatchThrows) {
+  const Image img(8, 8);
+  const FlowField flow(4, 4);
+  EXPECT_THROW(rolling_shutter_correct(img, flow), std::invalid_argument);
+}
+
+TEST(RollingShutter, MeanRowShiftDetectsSkew) {
+  // An APERIODIC vertical-stripe pattern (periodic bars would alias the SAD
+  // alignment) skewed row by row has measurable mean row shift; the
+  // undistorted pattern has none.
+  Rng rng(99);
+  std::vector<float> column(64);
+  for (float& v : column) v = rng.uniform(0.f, 255.f);
+  Image bars(32, 64, 0.f);
+  for (int r = 0; r < 32; ++r)
+    for (int c = 0; c < 64; ++c) bars(r, c) = column[static_cast<std::size_t>(c)];
+  const Image skewed = rolling_shutter_capture(bars, 12.f, 0.f);
+  EXPECT_DOUBLE_EQ(mean_row_shift(bars, bars), 0.0);
+  EXPECT_GT(mean_row_shift(skewed, bars), 1.0);
+}
+
+}  // namespace
+}  // namespace chambolle::workloads

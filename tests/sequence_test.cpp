@@ -1,0 +1,98 @@
+#include "workloads/sequence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tvl1/warp.hpp"
+#include "workloads/metrics.hpp"
+
+namespace chambolle::workloads {
+namespace {
+
+TEST(Sequence, Validation) {
+  SequenceParams p;
+  p.frames = 1;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = {};
+  p.kind = MotionKind::kZoom;
+  p.rate = -1.5f;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Sequence, ShapeAndCounts) {
+  SequenceParams p;
+  p.frames = 5;
+  const VideoSequence seq = make_sequence(32, 48, p);
+  ASSERT_EQ(seq.frames.size(), 5u);
+  ASSERT_EQ(seq.truth.size(), 4u);
+  for (const Image& f : seq.frames) {
+    EXPECT_EQ(f.rows(), 32);
+    EXPECT_EQ(f.cols(), 48);
+  }
+}
+
+TEST(Sequence, FirstFrameIsTheBaseTexture) {
+  SequenceParams p;
+  const VideoSequence seq = make_sequence(24, 24, p);
+  EXPECT_EQ(seq.frames[0], smooth_texture(24, 24, p.seed));
+}
+
+// Consistency across the whole sequence: warping frame k+1 back by the
+// per-pair ground truth recovers frame k, for every pair and motion kind.
+class SequenceConsistency : public ::testing::TestWithParam<MotionKind> {};
+
+TEST_P(SequenceConsistency, EveryPairWarpsBack) {
+  SequenceParams p;
+  p.kind = GetParam();
+  p.frames = 5;
+  p.rate_x = 1.2f;
+  p.rate_y = -0.7f;
+  p.rate = 0.03f;
+  const VideoSequence seq = make_sequence(48, 48, p);
+  for (std::size_t k = 0; k + 1 < seq.frames.size(); ++k) {
+    const Image back = tvl1::warp(seq.frames[k + 1], seq.truth[k]);
+    double max_err = 0;
+    for (int r = 10; r < 38; ++r)
+      for (int c = 10; c < 38; ++c)
+        max_err = std::max(max_err,
+                           std::abs(static_cast<double>(back(r, c)) -
+                                    seq.frames[k](r, c)));
+    EXPECT_LT(max_err, 3.0) << "pair " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, SequenceConsistency,
+                         ::testing::Values(MotionKind::kPan,
+                                           MotionKind::kRotate,
+                                           MotionKind::kZoom));
+
+TEST(Sequence, PanTruthIsConstantRate) {
+  SequenceParams p;
+  p.rate_x = 2.f;
+  p.rate_y = -1.f;
+  const VideoSequence seq = make_sequence(16, 16, p);
+  for (const FlowField& f : seq.truth)
+    for (int r = 0; r < 16; ++r)
+      for (int c = 0; c < 16; ++c) {
+        EXPECT_FLOAT_EQ(f.u1(r, c), 2.f);
+        EXPECT_FLOAT_EQ(f.u2(r, c), -1.f);
+      }
+}
+
+TEST(Sequence, RotationStepFlowIsSharedAcrossPairs) {
+  SequenceParams p;
+  p.kind = MotionKind::kRotate;
+  p.frames = 4;
+  const VideoSequence seq = make_sequence(20, 20, p);
+  EXPECT_EQ(seq.truth[0].u1, seq.truth[1].u1);
+  EXPECT_EQ(seq.truth[1].u2, seq.truth[2].u2);
+}
+
+TEST(Sequence, FramesActuallyMove) {
+  SequenceParams p;
+  const VideoSequence seq = make_sequence(32, 32, p);
+  EXPECT_GT(rms_diff(seq.frames[0], seq.frames[1]), 1.0);
+  EXPECT_GT(rms_diff(seq.frames[0], seq.frames.back()), 1.0);
+}
+
+}  // namespace
+}  // namespace chambolle::workloads

@@ -1,0 +1,102 @@
+// seu_test.cpp — soft-error behaviour of the fixed-point state (see
+// bench/seu_resilience.cpp for the study; these are the assertable facts).
+#include <gtest/gtest.h>
+
+#include "chambolle/fixed_solver.hpp"
+#include "common/rng.hpp"
+
+namespace chambolle {
+namespace {
+
+struct FlipOutcome {
+  Matrix<std::int32_t> u_clean;
+  Matrix<std::int32_t> u_hit;
+  Matrix<std::int32_t> px_clean;
+  Matrix<std::int32_t> px_hit;
+};
+
+FlipOutcome run_flip(int n, int pre, int post, bool flip_v, int bit) {
+  Rng rng(31);
+  const Matrix<float> v = random_image(rng, n, n, -2.f, 2.f);
+  const FixedParams fp = FixedParams::from(ChambolleParams{});
+  const RegionGeometry geom = RegionGeometry::full_frame(n, n);
+  Matrix<std::int32_t> scratch;
+
+  FixedState clean = make_fixed_state(v);
+  fixed_iterate_region(clean, geom, fp, pre + post, scratch);
+
+  FixedState hit = make_fixed_state(v);
+  fixed_iterate_region(hit, geom, fp, pre, scratch);
+  if (flip_v)
+    hit.v(n / 2, n / 2) =
+        fx::saturate_bits(hit.v(n / 2, n / 2) ^ (1 << bit), fx::kVBits);
+  else
+    hit.px(n / 2, n / 2) =
+        fx::saturate_bits(hit.px(n / 2, n / 2) ^ (1 << bit), fx::kPBits);
+  fixed_iterate_region(hit, geom, fp, post, scratch);
+
+  FlipOutcome out;
+  out.u_clean = fixed_recover_u(clean, geom, fp.theta_q);
+  out.u_hit = fixed_recover_u(hit, geom, fp.theta_q);
+  out.px_clean = clean.px;
+  out.px_hit = hit.px;
+  return out;
+}
+
+double max_du(const FlipOutcome& o) {
+  double m = 0;
+  for (std::size_t i = 0; i < o.u_clean.size(); ++i)
+    m = std::max(m, std::abs(static_cast<double>(o.u_hit.data()[i]) -
+                             o.u_clean.data()[i]) /
+                        fx::kOne);
+  return m;
+}
+
+TEST(SoftError, DualFlipDecaysWithRemainingIterations) {
+  const double after1 = max_du(run_flip(32, 10, 1, false, 8));
+  const double after40 = max_du(run_flip(32, 10, 40, false, 8));
+  EXPECT_GT(after1, 0.0);          // the flip did something
+  EXPECT_LT(after40, after1);      // ...and it decays
+  EXPECT_LT(after40, 0.05);        // ...to the quantization floor
+}
+
+TEST(SoftError, DualFlipNeverBreaksTheDualBound) {
+  const FlipOutcome o = run_flip(32, 10, 3, false, 8);
+  for (std::int32_t p : o.px_hit) {
+    EXPECT_LE(p, 255);
+    EXPECT_GE(p, -256);
+  }
+}
+
+TEST(SoftError, InputFlipPersists) {
+  // A flipped v bit keeps re-entering the iteration: the deviation does NOT
+  // decay to zero.
+  const double after40 = max_du(run_flip(32, 10, 40, true, 12));
+  EXPECT_GT(after40, 0.05);
+}
+
+TEST(SoftError, DamageIsSpatiallyConfinedByThePropagationSpeed) {
+  // Information moves one pixel per iteration (the Figure 1 stencil), so
+  // `post` iterations after the flip the deviation cannot have reached
+  // pixels farther than `post` (Chebyshev) from the flip site.
+  const int n = 48, post = 6;
+  const FlipOutcome o = run_flip(n, 8, post, true, 12);
+  const int mid = n / 2;
+  for (int r = 0; r < n; ++r)
+    for (int c = 0; c < n; ++c) {
+      const int dist = std::max(std::abs(r - mid), std::abs(c - mid));
+      if (dist > post + 1) {
+        EXPECT_EQ(o.u_hit(r, c), o.u_clean(r, c))
+            << "leak at distance " << dist << " (" << r << "," << c << ")";
+      }
+    }
+}
+
+TEST(SoftError, LowBitsHurtLessThanHighBits) {
+  const double lsb = max_du(run_flip(32, 10, 5, true, 0));
+  const double msb = max_du(run_flip(32, 10, 5, true, 12));
+  EXPECT_LT(lsb, msb);
+}
+
+}  // namespace
+}  // namespace chambolle

@@ -1,0 +1,59 @@
+#include "common/text_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace chambolle {
+namespace {
+
+TEST(TextTable, EmptyHeaderThrows) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TextTable, RowArityMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"Device", "fps"});
+  t.add_row({"GeForce 7800 GS", "56"});
+  t.add_row({"FPGA", "99.1"});
+  const std::string s = t.to_string();
+  // Header, rule, two data rows.
+  EXPECT_NE(s.find("Device"), std::string::npos);
+  EXPECT_NE(s.find("GeForce 7800 GS | 56"), std::string::npos);
+  EXPECT_NE(s.find("-+-"), std::string::npos);
+  int lines = 0;
+  for (char ch : s)
+    if (ch == '\n') ++lines;
+  EXPECT_EQ(lines, 4);
+}
+
+TEST(TextTable, ColumnsWidenToLongestCell) {
+  TextTable t({"x"});
+  t.add_row({"longvalue"});
+  const std::string s = t.to_string();
+  // The rule row must be as wide as the longest cell.
+  EXPECT_NE(s.find("---------"), std::string::npos);
+}
+
+TEST(TextTable, NumFormatsFixedPrecision) {
+  EXPECT_EQ(TextTable::num(99.123, 1), "99.1");
+  EXPECT_EQ(TextTable::num(3.0, 2), "3.00");
+  EXPECT_EQ(TextTable::num(-0.5, 0), "-0");
+}
+
+TEST(TextTable, RowCount) {
+  TextTable t({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+}  // namespace
+}  // namespace chambolle

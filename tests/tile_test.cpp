@@ -1,0 +1,135 @@
+#include "chambolle/tile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/matrix.hpp"
+
+namespace chambolle {
+namespace {
+
+// Checks the plan's core invariant: profitable rectangles partition the frame.
+void expect_partition(const TilingPlan& plan) {
+  Matrix<int> cover(plan.frame_rows, plan.frame_cols, 0);
+  for (const TileSpec& t : plan.tiles) {
+    EXPECT_GE(t.prof_row0, t.buf_row0);
+    EXPECT_GE(t.prof_col0, t.buf_col0);
+    EXPECT_LE(t.prof_row0 + t.prof_rows, t.buf_row0 + t.buf_rows);
+    EXPECT_LE(t.prof_col0 + t.prof_cols, t.buf_col0 + t.buf_cols);
+    for (int r = 0; r < t.prof_rows; ++r)
+      for (int c = 0; c < t.prof_cols; ++c)
+        cover(t.prof_row0 + r, t.prof_col0 + c) += 1;
+  }
+  for (int r = 0; r < plan.frame_rows; ++r)
+    for (int c = 0; c < plan.frame_cols; ++c)
+      EXPECT_EQ(cover(r, c), 1) << "(" << r << "," << c << ")";
+}
+
+// Checks the halo invariant: every profitable cell is at least `halo` cells
+// away from any buffer edge that is not a frame border.
+void expect_halo(const TilingPlan& plan) {
+  for (const TileSpec& t : plan.tiles) {
+    if (t.buf_row0 > 0) {
+      EXPECT_GE(t.prof_row0 - t.buf_row0, plan.halo);
+    }
+    if (t.buf_col0 > 0) {
+      EXPECT_GE(t.prof_col0 - t.buf_col0, plan.halo);
+    }
+    if (t.buf_row0 + t.buf_rows < plan.frame_rows) {
+      EXPECT_GE((t.buf_row0 + t.buf_rows) - (t.prof_row0 + t.prof_rows),
+                plan.halo);
+    }
+    if (t.buf_col0 + t.buf_cols < plan.frame_cols) {
+      EXPECT_GE((t.buf_col0 + t.buf_cols) - (t.prof_col0 + t.prof_cols),
+                plan.halo);
+    }
+  }
+}
+
+TEST(Tiling, SingleTileWhenFrameFits) {
+  const TilingPlan plan = make_tiling(50, 60, 88, 92, 4);
+  ASSERT_EQ(plan.tiles.size(), 1u);
+  EXPECT_EQ(plan.tiles[0].buf_rows, 50);
+  EXPECT_EQ(plan.tiles[0].buf_cols, 60);
+  EXPECT_EQ(plan.tiles[0].prof_rows, 50);  // frame borders: no halo loss
+  EXPECT_DOUBLE_EQ(plan.redundancy(), 0.0);
+}
+
+TEST(Tiling, PaperConfiguration512) {
+  const TilingPlan plan = make_tiling(512, 512, 88, 92, 4);
+  expect_partition(plan);
+  expect_halo(plan);
+  EXPECT_GT(plan.tiles.size(), 1u);
+  EXPECT_EQ(plan.total_profitable_elements(), 512u * 512u);
+  // "a slight memory overhead" — the paper claims the replication is small.
+  EXPECT_GT(plan.redundancy(), 0.0);
+  EXPECT_LT(plan.redundancy(), 0.35);
+}
+
+TEST(Tiling, PaperConfiguration1024x768) {
+  const TilingPlan plan = make_tiling(768, 1024, 88, 92, 4);
+  expect_partition(plan);
+  expect_halo(plan);
+  EXPECT_EQ(plan.total_profitable_elements(), 768u * 1024u);
+}
+
+TEST(Tiling, BuffersNeverExceedTileSize) {
+  for (int halo : {1, 4, 8, 16}) {
+    const TilingPlan plan = make_tiling(300, 400, 88, 92, halo);
+    for (const TileSpec& t : plan.tiles) {
+      EXPECT_LE(t.buf_rows, 88);
+      EXPECT_LE(t.buf_cols, 92);
+      EXPECT_GT(t.prof_rows, 0);
+      EXPECT_GT(t.prof_cols, 0);
+    }
+  }
+}
+
+TEST(Tiling, ZeroHaloTilesExactly) {
+  const TilingPlan plan = make_tiling(100, 100, 40, 50, 0);
+  expect_partition(plan);
+  EXPECT_DOUBLE_EQ(plan.redundancy(), 0.0);
+  EXPECT_EQ(plan.tiles.size(), 3u * 2u);
+}
+
+TEST(Tiling, RedundancyGrowsWithHalo) {
+  const double r2 = make_tiling(256, 256, 88, 92, 2).redundancy();
+  const double r8 = make_tiling(256, 256, 88, 92, 8).redundancy();
+  const double r16 = make_tiling(256, 256, 88, 92, 16).redundancy();
+  EXPECT_LT(r2, r8);
+  EXPECT_LT(r8, r16);
+}
+
+TEST(Tiling, InvalidArgumentsThrow) {
+  EXPECT_THROW(make_tiling(0, 10, 8, 8, 1), std::invalid_argument);
+  EXPECT_THROW(make_tiling(10, 10, 8, 8, -1), std::invalid_argument);
+  EXPECT_THROW(make_tiling(10, 10, 8, 8, 4), std::invalid_argument);  // 8<=2*4
+}
+
+// Partition + halo invariants over a randomized-ish parameter sweep.
+struct TilingCase {
+  int rows, cols, tile_rows, tile_cols, halo;
+};
+
+class TilingProperty : public ::testing::TestWithParam<TilingCase> {};
+
+TEST_P(TilingProperty, PartitionAndHaloHold) {
+  const TilingCase& tc = GetParam();
+  const TilingPlan plan =
+      make_tiling(tc.rows, tc.cols, tc.tile_rows, tc.tile_cols, tc.halo);
+  expect_partition(plan);
+  expect_halo(plan);
+  EXPECT_EQ(plan.total_profitable_elements(),
+            static_cast<std::size_t>(tc.rows) * tc.cols);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TilingProperty,
+    ::testing::Values(TilingCase{17, 23, 9, 11, 2}, TilingCase{100, 3, 30, 3, 1},
+                      TilingCase{3, 100, 3, 30, 1}, TilingCase{512, 512, 88, 92, 8},
+                      TilingCase{89, 93, 88, 92, 4}, TilingCase{88, 92, 88, 92, 40},
+                      TilingCase{200, 200, 21, 23, 10},
+                      TilingCase{768, 1024, 88, 92, 16},
+                      TilingCase{91, 91, 88, 92, 4}));
+
+}  // namespace
+}  // namespace chambolle

@@ -1,0 +1,46 @@
+// tiled_fuzz_test.cpp — randomized geometry sweep of the sliding-window CPU
+// solver, mirroring hw_fuzz_test: for random frames, tile shapes, merge
+// depths and thread counts, the tiled solver must stay bit-exact against
+// the sequential reference.  Seeded for reproducibility.
+#include <gtest/gtest.h>
+
+#include "chambolle/tiled_solver.hpp"
+#include "common/rng.hpp"
+
+namespace chambolle {
+namespace {
+
+class TiledFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(TiledFuzz, RandomGeometryStaysBitExact) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729u + 5u);
+
+  const int rows = rng.uniform_int(5, 90);
+  const int cols = rng.uniform_int(5, 90);
+  TiledSolverOptions opt;
+  opt.merge_iterations = rng.uniform_int(1, 6);
+  opt.tile_rows =
+      rng.uniform_int(2 * opt.merge_iterations + 1, 2 * opt.merge_iterations + 40);
+  opt.tile_cols =
+      rng.uniform_int(2 * opt.merge_iterations + 1, 2 * opt.merge_iterations + 40);
+  opt.num_threads = rng.uniform_int(1, 4);
+
+  ChambolleParams params;
+  params.iterations = rng.uniform_int(1, 14);
+
+  const Matrix<float> v = random_image(rng, rows, cols, -4.f, 4.f);
+  const ChambolleResult ref = solve(v, params);
+  const ChambolleResult tiled = solve_tiled(v, params, opt);
+
+  ASSERT_EQ(tiled.u, ref.u)
+      << "frame " << rows << "x" << cols << " tile " << opt.tile_rows << "x"
+      << opt.tile_cols << " merge " << opt.merge_iterations << " iters "
+      << params.iterations << " threads " << opt.num_threads;
+  ASSERT_EQ(tiled.p.px, ref.p.px);
+  ASSERT_EQ(tiled.p.py, ref.p.py);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TiledFuzz, ::testing::Range(0, 24));
+
+}  // namespace
+}  // namespace chambolle

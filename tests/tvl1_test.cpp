@@ -1,0 +1,131 @@
+#include "tvl1/tvl1.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/flow_color.hpp"
+#include "workloads/metrics.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace chambolle::tvl1 {
+namespace {
+
+Tvl1Params fast_params() {
+  Tvl1Params p;
+  p.pyramid_levels = 3;
+  p.warps = 4;
+  p.chambolle.iterations = 25;
+  return p;
+}
+
+TEST(Tvl1Params, Validation) {
+  Tvl1Params p;
+  EXPECT_NO_THROW(p.validate());
+  p.lambda = 0.f;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = {};
+  p.pyramid_levels = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = {};
+  p.warps = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = {};
+  p.chambolle.tau = 1.f;  // breaks tau/theta <= 1/4
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Tvl1, RejectsMismatchedFrames) {
+  const Image a(8, 8), b(8, 9);
+  EXPECT_THROW(compute_flow(a, b, fast_params()), std::invalid_argument);
+  EXPECT_THROW(compute_flow(Image(1, 8), Image(1, 8), fast_params()),
+               std::invalid_argument);
+}
+
+TEST(Tvl1, IdenticalFramesGiveNearZeroFlow) {
+  const Image img = workloads::smooth_texture(48, 48, 11);
+  const FlowField u = compute_flow(img, img, fast_params());
+  EXPECT_LT(max_flow_magnitude(u), 0.05f);
+}
+
+TEST(Tvl1, RecoversSubpixelTranslation) {
+  const auto wl = workloads::translating_scene(48, 48, 0.6f, -0.4f, 13);
+  Tvl1Params p = fast_params();
+  p.pyramid_levels = 1;  // sub-pixel motion needs no pyramid
+  const FlowField u = compute_flow(wl.frame0, wl.frame1, p);
+  EXPECT_LT(workloads::interior_endpoint_error(u, wl.ground_truth, 4), 0.25);
+}
+
+TEST(Tvl1, RecoversMultiPixelTranslationViaPyramid) {
+  const auto wl = workloads::translating_scene(64, 64, 3.f, 2.f, 17);
+  const FlowField u = compute_flow(wl.frame0, wl.frame1, fast_params());
+  EXPECT_LT(workloads::interior_endpoint_error(u, wl.ground_truth, 6), 0.6);
+}
+
+TEST(Tvl1, RecoversRotation) {
+  const auto wl = workloads::rotating_scene(64, 64, 0.03f, 19);
+  const FlowField u = compute_flow(wl.frame0, wl.frame1, fast_params());
+  EXPECT_LT(workloads::interior_endpoint_error(u, wl.ground_truth, 6), 0.5);
+}
+
+TEST(Tvl1, SurvivesNoise) {
+  auto wl = workloads::translating_scene(48, 48, 1.f, 0.f, 23);
+  workloads::corrupt(wl, 4.f);
+  const FlowField u = compute_flow(wl.frame0, wl.frame1, fast_params());
+  EXPECT_LT(workloads::interior_endpoint_error(u, wl.ground_truth, 6), 0.8);
+}
+
+TEST(Tvl1, StatsReportChambolleDominance) {
+  const auto wl = workloads::translating_scene(64, 64, 1.f, 1.f, 29);
+  Tvl1Params p = fast_params();
+  p.chambolle.iterations = 60;
+  Tvl1Stats stats;
+  (void)compute_flow(wl.frame0, wl.frame1, p, &stats);
+  EXPECT_GT(stats.total_seconds, 0.0);
+  EXPECT_GT(stats.chambolle_fraction(), 0.5);
+  EXPECT_EQ(stats.levels_processed, 3);
+  EXPECT_EQ(stats.chambolle_inner_iterations,
+            2LL * 60 * p.warps * p.pyramid_levels);
+}
+
+TEST(Tvl1, TiledBackendMatchesReferenceExactly) {
+  // The tiled inner solver is bit-exact, so the whole pipeline must be too.
+  const auto wl = workloads::translating_scene(48, 48, 1.5f, 0.5f, 31);
+  Tvl1Params ref = fast_params();
+  Tvl1Params tiled = fast_params();
+  tiled.solver = InnerSolver::kTiled;
+  tiled.tiled.tile_rows = 24;
+  tiled.tiled.tile_cols = 24;
+  tiled.tiled.merge_iterations = 5;
+  const FlowField a = compute_flow(wl.frame0, wl.frame1, ref);
+  const FlowField b = compute_flow(wl.frame0, wl.frame1, tiled);
+  EXPECT_EQ(a.u1, b.u1);
+  EXPECT_EQ(a.u2, b.u2);
+}
+
+TEST(Tvl1, FixedBackendStaysCloseToReference) {
+  const auto wl = workloads::translating_scene(48, 48, 1.f, -1.f, 37);
+  Tvl1Params ref = fast_params();
+  Tvl1Params fixed = fast_params();
+  fixed.solver = InnerSolver::kFixed;
+  const FlowField a = compute_flow(wl.frame0, wl.frame1, ref);
+  const FlowField b = compute_flow(wl.frame0, wl.frame1, fixed);
+  // The fixed-point datapath quantizes to 1/256: the flows agree closely.
+  EXPECT_LT(max_abs_diff(a.u1, b.u1), 0.35);
+  EXPECT_LT(max_abs_diff(a.u2, b.u2), 0.35);
+  EXPECT_LT(workloads::interior_endpoint_error(b, wl.ground_truth, 6), 0.6);
+}
+
+TEST(Tvl1, MoreWarpsDoNotHurtAccuracy) {
+  const auto wl = workloads::translating_scene(48, 48, 2.f, 0.f, 41);
+  Tvl1Params few = fast_params();
+  few.warps = 1;
+  Tvl1Params many = fast_params();
+  many.warps = 6;
+  const double e_few = workloads::interior_endpoint_error(
+      compute_flow(wl.frame0, wl.frame1, few), wl.ground_truth, 6);
+  const double e_many = workloads::interior_endpoint_error(
+      compute_flow(wl.frame0, wl.frame1, many), wl.ground_truth, 6);
+  EXPECT_LE(e_many, e_few + 0.05);
+}
+
+}  // namespace
+}  // namespace chambolle::tvl1

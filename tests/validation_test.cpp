@@ -1,0 +1,55 @@
+#include "common/validation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "tvl1/tvl1.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace chambolle {
+namespace {
+
+TEST(Validation, DetectsNaN) {
+  Matrix<float> m(3, 3, 1.f);
+  EXPECT_FALSE(has_nonfinite(m));
+  m(1, 1) = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_TRUE(has_nonfinite(m));
+}
+
+TEST(Validation, DetectsInfinity) {
+  Matrix<float> m(2, 2);
+  m(0, 1) = std::numeric_limits<float>::infinity();
+  EXPECT_TRUE(has_nonfinite(m));
+  m(0, 1) = -std::numeric_limits<float>::infinity();
+  EXPECT_TRUE(has_nonfinite(m));
+}
+
+TEST(Validation, RequireFiniteNamesTheOffender) {
+  Matrix<float> m(2, 2);
+  m(0, 0) = std::numeric_limits<float>::quiet_NaN();
+  try {
+    require_finite(m, "frame0");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("frame0"), std::string::npos);
+  }
+}
+
+TEST(Validation, ComputeFlowRejectsPoisonedFrames) {
+  const Image clean = workloads::smooth_texture(16, 16, 1);
+  Image poisoned = clean;
+  poisoned(8, 8) = std::numeric_limits<float>::quiet_NaN();
+  tvl1::Tvl1Params params;
+  params.pyramid_levels = 2;
+  params.warps = 2;
+  params.chambolle.iterations = 5;
+  EXPECT_THROW((void)tvl1::compute_flow(poisoned, clean, params),
+               std::invalid_argument);
+  EXPECT_THROW((void)tvl1::compute_flow(clean, poisoned, params),
+               std::invalid_argument);
+  EXPECT_NO_THROW((void)tvl1::compute_flow(clean, clean, params));
+}
+
+}  // namespace
+}  // namespace chambolle

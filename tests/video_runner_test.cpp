@@ -1,0 +1,90 @@
+#include "tvl1/video_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workloads/metrics.hpp"
+#include "workloads/sequence.hpp"
+
+namespace chambolle::tvl1 {
+namespace {
+
+VideoRunnerOptions fast_options() {
+  VideoRunnerOptions o;
+  o.tvl1.pyramid_levels = 3;
+  o.tvl1.warps = 3;
+  o.tvl1.chambolle.iterations = 15;
+  o.arch.tile_rows = 40;
+  o.arch.tile_cols = 40;
+  o.arch.merge_iterations = 4;
+  return o;
+}
+
+workloads::VideoSequence pan_sequence(int frames = 4) {
+  workloads::SequenceParams sp;
+  sp.frames = frames;
+  sp.rate_x = 1.f;
+  sp.rate_y = 0.5f;
+  return workloads::make_sequence(64, 64, sp);
+}
+
+TEST(VideoRunner, Validation) {
+  EXPECT_THROW((void)run_video({}, fast_options()), std::invalid_argument);
+  EXPECT_THROW((void)run_video({Image(8, 8)}, fast_options()),
+               std::invalid_argument);
+  EXPECT_THROW((void)run_video({Image(8, 8), Image(8, 9)}, fast_options()),
+               std::invalid_argument);
+}
+
+TEST(VideoRunner, ProducesOneFlowPerPair) {
+  const auto seq = pan_sequence(4);
+  const VideoRunnerResult r = run_video(seq.frames, fast_options());
+  ASSERT_EQ(r.flows.size(), 3u);
+  EXPECT_GT(r.device_cycles, 0u);
+  EXPECT_EQ(r.solves, 3 * 3 * 3);  // pairs x levels x warps
+  EXPECT_GT(r.device_fps(221.0), 0.0);
+}
+
+TEST(VideoRunner, EveryPairRecoversTheMotion) {
+  const auto seq = pan_sequence(4);
+  const VideoRunnerResult r = run_video(seq.frames, fast_options());
+  for (std::size_t k = 0; k < r.flows.size(); ++k)
+    EXPECT_LT(workloads::interior_endpoint_error(r.flows[k], seq.truth[k], 8),
+              0.5)
+        << "pair " << k;
+}
+
+TEST(VideoRunner, WarmStartDoesNotHurtAccuracyAtEqualBudget) {
+  const auto seq = pan_sequence(5);
+  VideoRunnerOptions warm = fast_options();
+  warm.warm_start = true;
+  VideoRunnerOptions cold = fast_options();
+  cold.warm_start = false;
+
+  const VideoRunnerResult rw = run_video(seq.frames, warm);
+  const VideoRunnerResult rc = run_video(seq.frames, cold);
+  double e_warm = 0, e_cold = 0;
+  for (std::size_t k = 1; k < rw.flows.size(); ++k) {
+    e_warm += workloads::interior_endpoint_error(rw.flows[k], seq.truth[k], 8);
+    e_cold += workloads::interior_endpoint_error(rc.flows[k], seq.truth[k], 8);
+  }
+  EXPECT_LE(e_warm, e_cold + 0.1);
+  // Same number of device cycles either way (same budget) — warm start buys
+  // accuracy, which bench/warm_start converts into an iteration saving.
+  EXPECT_EQ(rw.device_cycles, rc.device_cycles);
+}
+
+TEST(VideoRunner, FirstPairIsIdenticalWithAndWithoutWarmStart) {
+  // No previous frame exists for the first pair, so warm_start must not
+  // change it.
+  const auto seq = pan_sequence(3);
+  VideoRunnerOptions warm = fast_options();
+  VideoRunnerOptions cold = fast_options();
+  cold.warm_start = false;
+  const VideoRunnerResult rw = run_video(seq.frames, warm);
+  const VideoRunnerResult rc = run_video(seq.frames, cold);
+  EXPECT_EQ(rw.flows[0].u1, rc.flows[0].u1);
+  EXPECT_EQ(rw.flows[0].u2, rc.flows[0].u2);
+}
+
+}  // namespace
+}  // namespace chambolle::tvl1

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/device_projection"
+  "../bench/device_projection.pdb"
+  "CMakeFiles/device_projection.dir/device_projection.cpp.o"
+  "CMakeFiles/device_projection.dir/device_projection.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_dependency"
+  "../bench/fig1_dependency.pdb"
+  "CMakeFiles/fig1_dependency.dir/fig1_dependency.cpp.o"
+  "CMakeFiles/fig1_dependency.dir/fig1_dependency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_dependency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

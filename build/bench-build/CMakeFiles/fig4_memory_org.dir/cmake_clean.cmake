@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_memory_org"
+  "../bench/fig4_memory_org.pdb"
+  "CMakeFiles/fig4_memory_org.dir/fig4_memory_org.cpp.o"
+  "CMakeFiles/fig4_memory_org.dir/fig4_memory_org.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_memory_org.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/flow_quality"
+  "../bench/flow_quality.pdb"
+  "CMakeFiles/flow_quality.dir/flow_quality.cpp.o"
+  "CMakeFiles/flow_quality.dir/flow_quality.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

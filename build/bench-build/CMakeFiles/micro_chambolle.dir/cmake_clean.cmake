@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_chambolle"
+  "../bench/micro_chambolle.pdb"
+  "CMakeFiles/micro_chambolle.dir/micro_chambolle.cpp.o"
+  "CMakeFiles/micro_chambolle.dir/micro_chambolle.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_chambolle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/profiling_tvl1"
+  "../bench/profiling_tvl1.pdb"
+  "CMakeFiles/profiling_tvl1.dir/profiling_tvl1.cpp.o"
+  "CMakeFiles/profiling_tvl1.dir/profiling_tvl1.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profiling_tvl1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/quantization_error"
+  "../bench/quantization_error.pdb"
+  "CMakeFiles/quantization_error.dir/quantization_error.cpp.o"
+  "CMakeFiles/quantization_error.dir/quantization_error.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quantization_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/scaling_resolution"
+  "../bench/scaling_resolution.pdb"
+  "CMakeFiles/scaling_resolution.dir/scaling_resolution.cpp.o"
+  "CMakeFiles/scaling_resolution.dir/scaling_resolution.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_resolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/seu_resilience"
+  "../bench/seu_resilience.pdb"
+  "CMakeFiles/seu_resilience.dir/seu_resilience.cpp.o"
+  "CMakeFiles/seu_resilience.dir/seu_resilience.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seu_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

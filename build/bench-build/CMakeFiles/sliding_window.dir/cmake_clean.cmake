@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sliding_window"
+  "../bench/sliding_window.pdb"
+  "CMakeFiles/sliding_window.dir/sliding_window.cpp.o"
+  "CMakeFiles/sliding_window.dir/sliding_window.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sliding_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sqrt_lut"
+  "../bench/sqrt_lut.pdb"
+  "CMakeFiles/sqrt_lut.dir/sqrt_lut.cpp.o"
+  "CMakeFiles/sqrt_lut.dir/sqrt_lut.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqrt_lut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_framerate"
+  "../bench/table2_framerate.pdb"
+  "CMakeFiles/table2_framerate.dir/table2_framerate.cpp.o"
+  "CMakeFiles/table2_framerate.dir/table2_framerate.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_framerate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

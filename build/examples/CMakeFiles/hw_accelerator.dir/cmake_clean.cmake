@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_accelerator.dir/hw_accelerator.cpp.o"
+  "CMakeFiles/hw_accelerator.dir/hw_accelerator.cpp.o.d"
+  "hw_accelerator"
+  "hw_accelerator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_accelerator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motion_compensation.dir/motion_compensation.cpp.o"
+  "CMakeFiles/motion_compensation.dir/motion_compensation.cpp.o.d"
+  "motion_compensation"
+  "motion_compensation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motion_compensation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optical_flow_demo.dir/optical_flow_demo.cpp.o"
+  "CMakeFiles/optical_flow_demo.dir/optical_flow_demo.cpp.o.d"
+  "optical_flow_demo"
+  "optical_flow_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optical_flow_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

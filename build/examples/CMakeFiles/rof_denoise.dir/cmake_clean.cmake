@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rof_denoise.dir/rof_denoise.cpp.o"
+  "CMakeFiles/rof_denoise.dir/rof_denoise.cpp.o.d"
+  "rof_denoise"
+  "rof_denoise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rof_denoise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rolling_shutter_correction.dir/rolling_shutter_correction.cpp.o"
+  "CMakeFiles/rolling_shutter_correction.dir/rolling_shutter_correction.cpp.o.d"
+  "rolling_shutter_correction"
+  "rolling_shutter_correction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rolling_shutter_correction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

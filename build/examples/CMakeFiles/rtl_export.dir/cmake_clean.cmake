@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtl_export.dir/rtl_export.cpp.o"
+  "CMakeFiles/rtl_export.dir/rtl_export.cpp.o.d"
+  "rtl_export"
+  "rtl_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtl_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

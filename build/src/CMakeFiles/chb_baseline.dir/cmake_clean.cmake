@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chb_baseline.dir/baseline/block_matching.cpp.o"
+  "CMakeFiles/chb_baseline.dir/baseline/block_matching.cpp.o.d"
+  "CMakeFiles/chb_baseline.dir/baseline/cpu_baseline.cpp.o"
+  "CMakeFiles/chb_baseline.dir/baseline/cpu_baseline.cpp.o.d"
+  "CMakeFiles/chb_baseline.dir/baseline/horn_schunck.cpp.o"
+  "CMakeFiles/chb_baseline.dir/baseline/horn_schunck.cpp.o.d"
+  "CMakeFiles/chb_baseline.dir/baseline/published.cpp.o"
+  "CMakeFiles/chb_baseline.dir/baseline/published.cpp.o.d"
+  "libchb_baseline.a"
+  "libchb_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chb_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

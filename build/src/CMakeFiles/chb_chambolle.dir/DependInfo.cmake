@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chambolle/adaptive.cpp" "src/CMakeFiles/chb_chambolle.dir/chambolle/adaptive.cpp.o" "gcc" "src/CMakeFiles/chb_chambolle.dir/chambolle/adaptive.cpp.o.d"
+  "/root/repo/src/chambolle/chambolle_pock.cpp" "src/CMakeFiles/chb_chambolle.dir/chambolle/chambolle_pock.cpp.o" "gcc" "src/CMakeFiles/chb_chambolle.dir/chambolle/chambolle_pock.cpp.o.d"
+  "/root/repo/src/chambolle/dependency.cpp" "src/CMakeFiles/chb_chambolle.dir/chambolle/dependency.cpp.o" "gcc" "src/CMakeFiles/chb_chambolle.dir/chambolle/dependency.cpp.o.d"
+  "/root/repo/src/chambolle/energy.cpp" "src/CMakeFiles/chb_chambolle.dir/chambolle/energy.cpp.o" "gcc" "src/CMakeFiles/chb_chambolle.dir/chambolle/energy.cpp.o.d"
+  "/root/repo/src/chambolle/fixed_solver.cpp" "src/CMakeFiles/chb_chambolle.dir/chambolle/fixed_solver.cpp.o" "gcc" "src/CMakeFiles/chb_chambolle.dir/chambolle/fixed_solver.cpp.o.d"
+  "/root/repo/src/chambolle/merged.cpp" "src/CMakeFiles/chb_chambolle.dir/chambolle/merged.cpp.o" "gcc" "src/CMakeFiles/chb_chambolle.dir/chambolle/merged.cpp.o.d"
+  "/root/repo/src/chambolle/row_parallel.cpp" "src/CMakeFiles/chb_chambolle.dir/chambolle/row_parallel.cpp.o" "gcc" "src/CMakeFiles/chb_chambolle.dir/chambolle/row_parallel.cpp.o.d"
+  "/root/repo/src/chambolle/solver.cpp" "src/CMakeFiles/chb_chambolle.dir/chambolle/solver.cpp.o" "gcc" "src/CMakeFiles/chb_chambolle.dir/chambolle/solver.cpp.o.d"
+  "/root/repo/src/chambolle/tile.cpp" "src/CMakeFiles/chb_chambolle.dir/chambolle/tile.cpp.o" "gcc" "src/CMakeFiles/chb_chambolle.dir/chambolle/tile.cpp.o.d"
+  "/root/repo/src/chambolle/tiled_solver.cpp" "src/CMakeFiles/chb_chambolle.dir/chambolle/tiled_solver.cpp.o" "gcc" "src/CMakeFiles/chb_chambolle.dir/chambolle/tiled_solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/chb_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chb_fixedpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

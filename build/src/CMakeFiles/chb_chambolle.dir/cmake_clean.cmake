@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chb_chambolle.dir/chambolle/adaptive.cpp.o"
+  "CMakeFiles/chb_chambolle.dir/chambolle/adaptive.cpp.o.d"
+  "CMakeFiles/chb_chambolle.dir/chambolle/chambolle_pock.cpp.o"
+  "CMakeFiles/chb_chambolle.dir/chambolle/chambolle_pock.cpp.o.d"
+  "CMakeFiles/chb_chambolle.dir/chambolle/dependency.cpp.o"
+  "CMakeFiles/chb_chambolle.dir/chambolle/dependency.cpp.o.d"
+  "CMakeFiles/chb_chambolle.dir/chambolle/energy.cpp.o"
+  "CMakeFiles/chb_chambolle.dir/chambolle/energy.cpp.o.d"
+  "CMakeFiles/chb_chambolle.dir/chambolle/fixed_solver.cpp.o"
+  "CMakeFiles/chb_chambolle.dir/chambolle/fixed_solver.cpp.o.d"
+  "CMakeFiles/chb_chambolle.dir/chambolle/merged.cpp.o"
+  "CMakeFiles/chb_chambolle.dir/chambolle/merged.cpp.o.d"
+  "CMakeFiles/chb_chambolle.dir/chambolle/row_parallel.cpp.o"
+  "CMakeFiles/chb_chambolle.dir/chambolle/row_parallel.cpp.o.d"
+  "CMakeFiles/chb_chambolle.dir/chambolle/solver.cpp.o"
+  "CMakeFiles/chb_chambolle.dir/chambolle/solver.cpp.o.d"
+  "CMakeFiles/chb_chambolle.dir/chambolle/tile.cpp.o"
+  "CMakeFiles/chb_chambolle.dir/chambolle/tile.cpp.o.d"
+  "CMakeFiles/chb_chambolle.dir/chambolle/tiled_solver.cpp.o"
+  "CMakeFiles/chb_chambolle.dir/chambolle/tiled_solver.cpp.o.d"
+  "libchb_chambolle.a"
+  "libchb_chambolle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chb_chambolle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for chb_chambolle.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/flo_io.cpp" "src/CMakeFiles/chb_common.dir/common/flo_io.cpp.o" "gcc" "src/CMakeFiles/chb_common.dir/common/flo_io.cpp.o.d"
+  "/root/repo/src/common/flow_color.cpp" "src/CMakeFiles/chb_common.dir/common/flow_color.cpp.o" "gcc" "src/CMakeFiles/chb_common.dir/common/flow_color.cpp.o.d"
+  "/root/repo/src/common/image.cpp" "src/CMakeFiles/chb_common.dir/common/image.cpp.o" "gcc" "src/CMakeFiles/chb_common.dir/common/image.cpp.o.d"
+  "/root/repo/src/common/image_io.cpp" "src/CMakeFiles/chb_common.dir/common/image_io.cpp.o" "gcc" "src/CMakeFiles/chb_common.dir/common/image_io.cpp.o.d"
+  "/root/repo/src/common/text_table.cpp" "src/CMakeFiles/chb_common.dir/common/text_table.cpp.o" "gcc" "src/CMakeFiles/chb_common.dir/common/text_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chb_common.dir/common/flo_io.cpp.o"
+  "CMakeFiles/chb_common.dir/common/flo_io.cpp.o.d"
+  "CMakeFiles/chb_common.dir/common/flow_color.cpp.o"
+  "CMakeFiles/chb_common.dir/common/flow_color.cpp.o.d"
+  "CMakeFiles/chb_common.dir/common/image.cpp.o"
+  "CMakeFiles/chb_common.dir/common/image.cpp.o.d"
+  "CMakeFiles/chb_common.dir/common/image_io.cpp.o"
+  "CMakeFiles/chb_common.dir/common/image_io.cpp.o.d"
+  "CMakeFiles/chb_common.dir/common/text_table.cpp.o"
+  "CMakeFiles/chb_common.dir/common/text_table.cpp.o.d"
+  "libchb_common.a"
+  "libchb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chb_fixedpoint.dir/fixedpoint/lut_sqrt.cpp.o"
+  "CMakeFiles/chb_fixedpoint.dir/fixedpoint/lut_sqrt.cpp.o.d"
+  "CMakeFiles/chb_fixedpoint.dir/fixedpoint/nonrestoring_sqrt.cpp.o"
+  "CMakeFiles/chb_fixedpoint.dir/fixedpoint/nonrestoring_sqrt.cpp.o.d"
+  "libchb_fixedpoint.a"
+  "libchb_fixedpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chb_fixedpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chb_grid.dir/grid/diff_ops.cpp.o"
+  "CMakeFiles/chb_grid.dir/grid/diff_ops.cpp.o.d"
+  "libchb_grid.a"
+  "libchb_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chb_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

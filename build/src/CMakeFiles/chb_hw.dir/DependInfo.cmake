@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/accelerator.cpp" "src/CMakeFiles/chb_hw.dir/hw/accelerator.cpp.o" "gcc" "src/CMakeFiles/chb_hw.dir/hw/accelerator.cpp.o.d"
+  "/root/repo/src/hw/bram.cpp" "src/CMakeFiles/chb_hw.dir/hw/bram.cpp.o" "gcc" "src/CMakeFiles/chb_hw.dir/hw/bram.cpp.o.d"
+  "/root/repo/src/hw/control_unit.cpp" "src/CMakeFiles/chb_hw.dir/hw/control_unit.cpp.o" "gcc" "src/CMakeFiles/chb_hw.dir/hw/control_unit.cpp.o.d"
+  "/root/repo/src/hw/datasheet.cpp" "src/CMakeFiles/chb_hw.dir/hw/datasheet.cpp.o" "gcc" "src/CMakeFiles/chb_hw.dir/hw/datasheet.cpp.o.d"
+  "/root/repo/src/hw/dram_model.cpp" "src/CMakeFiles/chb_hw.dir/hw/dram_model.cpp.o" "gcc" "src/CMakeFiles/chb_hw.dir/hw/dram_model.cpp.o.d"
+  "/root/repo/src/hw/dse.cpp" "src/CMakeFiles/chb_hw.dir/hw/dse.cpp.o" "gcc" "src/CMakeFiles/chb_hw.dir/hw/dse.cpp.o.d"
+  "/root/repo/src/hw/pe.cpp" "src/CMakeFiles/chb_hw.dir/hw/pe.cpp.o" "gcc" "src/CMakeFiles/chb_hw.dir/hw/pe.cpp.o.d"
+  "/root/repo/src/hw/pe_array.cpp" "src/CMakeFiles/chb_hw.dir/hw/pe_array.cpp.o" "gcc" "src/CMakeFiles/chb_hw.dir/hw/pe_array.cpp.o.d"
+  "/root/repo/src/hw/resource_model.cpp" "src/CMakeFiles/chb_hw.dir/hw/resource_model.cpp.o" "gcc" "src/CMakeFiles/chb_hw.dir/hw/resource_model.cpp.o.d"
+  "/root/repo/src/hw/schedule.cpp" "src/CMakeFiles/chb_hw.dir/hw/schedule.cpp.o" "gcc" "src/CMakeFiles/chb_hw.dir/hw/schedule.cpp.o.d"
+  "/root/repo/src/hw/sliding_window.cpp" "src/CMakeFiles/chb_hw.dir/hw/sliding_window.cpp.o" "gcc" "src/CMakeFiles/chb_hw.dir/hw/sliding_window.cpp.o.d"
+  "/root/repo/src/hw/verilog_export.cpp" "src/CMakeFiles/chb_hw.dir/hw/verilog_export.cpp.o" "gcc" "src/CMakeFiles/chb_hw.dir/hw/verilog_export.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/chb_chambolle.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chb_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chb_fixedpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

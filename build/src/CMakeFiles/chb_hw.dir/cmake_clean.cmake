@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chb_hw.dir/hw/accelerator.cpp.o"
+  "CMakeFiles/chb_hw.dir/hw/accelerator.cpp.o.d"
+  "CMakeFiles/chb_hw.dir/hw/bram.cpp.o"
+  "CMakeFiles/chb_hw.dir/hw/bram.cpp.o.d"
+  "CMakeFiles/chb_hw.dir/hw/control_unit.cpp.o"
+  "CMakeFiles/chb_hw.dir/hw/control_unit.cpp.o.d"
+  "CMakeFiles/chb_hw.dir/hw/datasheet.cpp.o"
+  "CMakeFiles/chb_hw.dir/hw/datasheet.cpp.o.d"
+  "CMakeFiles/chb_hw.dir/hw/dram_model.cpp.o"
+  "CMakeFiles/chb_hw.dir/hw/dram_model.cpp.o.d"
+  "CMakeFiles/chb_hw.dir/hw/dse.cpp.o"
+  "CMakeFiles/chb_hw.dir/hw/dse.cpp.o.d"
+  "CMakeFiles/chb_hw.dir/hw/pe.cpp.o"
+  "CMakeFiles/chb_hw.dir/hw/pe.cpp.o.d"
+  "CMakeFiles/chb_hw.dir/hw/pe_array.cpp.o"
+  "CMakeFiles/chb_hw.dir/hw/pe_array.cpp.o.d"
+  "CMakeFiles/chb_hw.dir/hw/resource_model.cpp.o"
+  "CMakeFiles/chb_hw.dir/hw/resource_model.cpp.o.d"
+  "CMakeFiles/chb_hw.dir/hw/schedule.cpp.o"
+  "CMakeFiles/chb_hw.dir/hw/schedule.cpp.o.d"
+  "CMakeFiles/chb_hw.dir/hw/sliding_window.cpp.o"
+  "CMakeFiles/chb_hw.dir/hw/sliding_window.cpp.o.d"
+  "CMakeFiles/chb_hw.dir/hw/verilog_export.cpp.o"
+  "CMakeFiles/chb_hw.dir/hw/verilog_export.cpp.o.d"
+  "libchb_hw.a"
+  "libchb_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chb_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

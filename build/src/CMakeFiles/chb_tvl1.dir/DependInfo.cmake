@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tvl1/accel_backend.cpp" "src/CMakeFiles/chb_tvl1.dir/tvl1/accel_backend.cpp.o" "gcc" "src/CMakeFiles/chb_tvl1.dir/tvl1/accel_backend.cpp.o.d"
+  "/root/repo/src/tvl1/consistency.cpp" "src/CMakeFiles/chb_tvl1.dir/tvl1/consistency.cpp.o" "gcc" "src/CMakeFiles/chb_tvl1.dir/tvl1/consistency.cpp.o.d"
+  "/root/repo/src/tvl1/fixed_threshold.cpp" "src/CMakeFiles/chb_tvl1.dir/tvl1/fixed_threshold.cpp.o" "gcc" "src/CMakeFiles/chb_tvl1.dir/tvl1/fixed_threshold.cpp.o.d"
+  "/root/repo/src/tvl1/median_filter.cpp" "src/CMakeFiles/chb_tvl1.dir/tvl1/median_filter.cpp.o" "gcc" "src/CMakeFiles/chb_tvl1.dir/tvl1/median_filter.cpp.o.d"
+  "/root/repo/src/tvl1/pyramid.cpp" "src/CMakeFiles/chb_tvl1.dir/tvl1/pyramid.cpp.o" "gcc" "src/CMakeFiles/chb_tvl1.dir/tvl1/pyramid.cpp.o.d"
+  "/root/repo/src/tvl1/structure_texture.cpp" "src/CMakeFiles/chb_tvl1.dir/tvl1/structure_texture.cpp.o" "gcc" "src/CMakeFiles/chb_tvl1.dir/tvl1/structure_texture.cpp.o.d"
+  "/root/repo/src/tvl1/threshold.cpp" "src/CMakeFiles/chb_tvl1.dir/tvl1/threshold.cpp.o" "gcc" "src/CMakeFiles/chb_tvl1.dir/tvl1/threshold.cpp.o.d"
+  "/root/repo/src/tvl1/tvl1.cpp" "src/CMakeFiles/chb_tvl1.dir/tvl1/tvl1.cpp.o" "gcc" "src/CMakeFiles/chb_tvl1.dir/tvl1/tvl1.cpp.o.d"
+  "/root/repo/src/tvl1/video_runner.cpp" "src/CMakeFiles/chb_tvl1.dir/tvl1/video_runner.cpp.o" "gcc" "src/CMakeFiles/chb_tvl1.dir/tvl1/video_runner.cpp.o.d"
+  "/root/repo/src/tvl1/warp.cpp" "src/CMakeFiles/chb_tvl1.dir/tvl1/warp.cpp.o" "gcc" "src/CMakeFiles/chb_tvl1.dir/tvl1/warp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/chb_chambolle.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chb_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chb_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chb_fixedpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

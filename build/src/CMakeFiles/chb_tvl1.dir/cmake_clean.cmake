@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chb_tvl1.dir/tvl1/accel_backend.cpp.o"
+  "CMakeFiles/chb_tvl1.dir/tvl1/accel_backend.cpp.o.d"
+  "CMakeFiles/chb_tvl1.dir/tvl1/consistency.cpp.o"
+  "CMakeFiles/chb_tvl1.dir/tvl1/consistency.cpp.o.d"
+  "CMakeFiles/chb_tvl1.dir/tvl1/fixed_threshold.cpp.o"
+  "CMakeFiles/chb_tvl1.dir/tvl1/fixed_threshold.cpp.o.d"
+  "CMakeFiles/chb_tvl1.dir/tvl1/median_filter.cpp.o"
+  "CMakeFiles/chb_tvl1.dir/tvl1/median_filter.cpp.o.d"
+  "CMakeFiles/chb_tvl1.dir/tvl1/pyramid.cpp.o"
+  "CMakeFiles/chb_tvl1.dir/tvl1/pyramid.cpp.o.d"
+  "CMakeFiles/chb_tvl1.dir/tvl1/structure_texture.cpp.o"
+  "CMakeFiles/chb_tvl1.dir/tvl1/structure_texture.cpp.o.d"
+  "CMakeFiles/chb_tvl1.dir/tvl1/threshold.cpp.o"
+  "CMakeFiles/chb_tvl1.dir/tvl1/threshold.cpp.o.d"
+  "CMakeFiles/chb_tvl1.dir/tvl1/tvl1.cpp.o"
+  "CMakeFiles/chb_tvl1.dir/tvl1/tvl1.cpp.o.d"
+  "CMakeFiles/chb_tvl1.dir/tvl1/video_runner.cpp.o"
+  "CMakeFiles/chb_tvl1.dir/tvl1/video_runner.cpp.o.d"
+  "CMakeFiles/chb_tvl1.dir/tvl1/warp.cpp.o"
+  "CMakeFiles/chb_tvl1.dir/tvl1/warp.cpp.o.d"
+  "libchb_tvl1.a"
+  "libchb_tvl1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chb_tvl1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libchb_tvl1.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/flow_eval.cpp" "src/CMakeFiles/chb_workloads.dir/workloads/flow_eval.cpp.o" "gcc" "src/CMakeFiles/chb_workloads.dir/workloads/flow_eval.cpp.o.d"
+  "/root/repo/src/workloads/metrics.cpp" "src/CMakeFiles/chb_workloads.dir/workloads/metrics.cpp.o" "gcc" "src/CMakeFiles/chb_workloads.dir/workloads/metrics.cpp.o.d"
+  "/root/repo/src/workloads/rolling_shutter.cpp" "src/CMakeFiles/chb_workloads.dir/workloads/rolling_shutter.cpp.o" "gcc" "src/CMakeFiles/chb_workloads.dir/workloads/rolling_shutter.cpp.o.d"
+  "/root/repo/src/workloads/sequence.cpp" "src/CMakeFiles/chb_workloads.dir/workloads/sequence.cpp.o" "gcc" "src/CMakeFiles/chb_workloads.dir/workloads/sequence.cpp.o.d"
+  "/root/repo/src/workloads/synthetic.cpp" "src/CMakeFiles/chb_workloads.dir/workloads/synthetic.cpp.o" "gcc" "src/CMakeFiles/chb_workloads.dir/workloads/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/chb_tvl1.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chb_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chb_chambolle.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chb_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chb_fixedpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chb_workloads.dir/workloads/flow_eval.cpp.o"
+  "CMakeFiles/chb_workloads.dir/workloads/flow_eval.cpp.o.d"
+  "CMakeFiles/chb_workloads.dir/workloads/metrics.cpp.o"
+  "CMakeFiles/chb_workloads.dir/workloads/metrics.cpp.o.d"
+  "CMakeFiles/chb_workloads.dir/workloads/rolling_shutter.cpp.o"
+  "CMakeFiles/chb_workloads.dir/workloads/rolling_shutter.cpp.o.d"
+  "CMakeFiles/chb_workloads.dir/workloads/sequence.cpp.o"
+  "CMakeFiles/chb_workloads.dir/workloads/sequence.cpp.o.d"
+  "CMakeFiles/chb_workloads.dir/workloads/synthetic.cpp.o"
+  "CMakeFiles/chb_workloads.dir/workloads/synthetic.cpp.o.d"
+  "libchb_workloads.a"
+  "libchb_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chb_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,83 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/accel_backend_test.cpp" "tests/CMakeFiles/chb_tests.dir/accel_backend_test.cpp.o" "gcc" "tests/CMakeFiles/chb_tests.dir/accel_backend_test.cpp.o.d"
+  "/root/repo/tests/acceptance_test.cpp" "tests/CMakeFiles/chb_tests.dir/acceptance_test.cpp.o" "gcc" "tests/CMakeFiles/chb_tests.dir/acceptance_test.cpp.o.d"
+  "/root/repo/tests/adaptive_test.cpp" "tests/CMakeFiles/chb_tests.dir/adaptive_test.cpp.o" "gcc" "tests/CMakeFiles/chb_tests.dir/adaptive_test.cpp.o.d"
+  "/root/repo/tests/baseline_test.cpp" "tests/CMakeFiles/chb_tests.dir/baseline_test.cpp.o" "gcc" "tests/CMakeFiles/chb_tests.dir/baseline_test.cpp.o.d"
+  "/root/repo/tests/block_matching_test.cpp" "tests/CMakeFiles/chb_tests.dir/block_matching_test.cpp.o" "gcc" "tests/CMakeFiles/chb_tests.dir/block_matching_test.cpp.o.d"
+  "/root/repo/tests/chambolle_pock_test.cpp" "tests/CMakeFiles/chb_tests.dir/chambolle_pock_test.cpp.o" "gcc" "tests/CMakeFiles/chb_tests.dir/chambolle_pock_test.cpp.o.d"
+  "/root/repo/tests/chambolle_solver_test.cpp" "tests/CMakeFiles/chb_tests.dir/chambolle_solver_test.cpp.o" "gcc" "tests/CMakeFiles/chb_tests.dir/chambolle_solver_test.cpp.o.d"
+  "/root/repo/tests/common_utils_test.cpp" "tests/CMakeFiles/chb_tests.dir/common_utils_test.cpp.o" "gcc" "tests/CMakeFiles/chb_tests.dir/common_utils_test.cpp.o.d"
+  "/root/repo/tests/consistency_test.cpp" "tests/CMakeFiles/chb_tests.dir/consistency_test.cpp.o" "gcc" "tests/CMakeFiles/chb_tests.dir/consistency_test.cpp.o.d"
+  "/root/repo/tests/dependency_test.cpp" "tests/CMakeFiles/chb_tests.dir/dependency_test.cpp.o" "gcc" "tests/CMakeFiles/chb_tests.dir/dependency_test.cpp.o.d"
+  "/root/repo/tests/diff_ops_test.cpp" "tests/CMakeFiles/chb_tests.dir/diff_ops_test.cpp.o" "gcc" "tests/CMakeFiles/chb_tests.dir/diff_ops_test.cpp.o.d"
+  "/root/repo/tests/energy_test.cpp" "tests/CMakeFiles/chb_tests.dir/energy_test.cpp.o" "gcc" "tests/CMakeFiles/chb_tests.dir/energy_test.cpp.o.d"
+  "/root/repo/tests/fixed_solver_test.cpp" "tests/CMakeFiles/chb_tests.dir/fixed_solver_test.cpp.o" "gcc" "tests/CMakeFiles/chb_tests.dir/fixed_solver_test.cpp.o.d"
+  "/root/repo/tests/fixed_threshold_test.cpp" "tests/CMakeFiles/chb_tests.dir/fixed_threshold_test.cpp.o" "gcc" "tests/CMakeFiles/chb_tests.dir/fixed_threshold_test.cpp.o.d"
+  "/root/repo/tests/fixed_type_test.cpp" "tests/CMakeFiles/chb_tests.dir/fixed_type_test.cpp.o" "gcc" "tests/CMakeFiles/chb_tests.dir/fixed_type_test.cpp.o.d"
+  "/root/repo/tests/flo_io_test.cpp" "tests/CMakeFiles/chb_tests.dir/flo_io_test.cpp.o" "gcc" "tests/CMakeFiles/chb_tests.dir/flo_io_test.cpp.o.d"
+  "/root/repo/tests/flow_color_test.cpp" "tests/CMakeFiles/chb_tests.dir/flow_color_test.cpp.o" "gcc" "tests/CMakeFiles/chb_tests.dir/flow_color_test.cpp.o.d"
+  "/root/repo/tests/flow_eval_test.cpp" "tests/CMakeFiles/chb_tests.dir/flow_eval_test.cpp.o" "gcc" "tests/CMakeFiles/chb_tests.dir/flow_eval_test.cpp.o.d"
+  "/root/repo/tests/horn_schunck_test.cpp" "tests/CMakeFiles/chb_tests.dir/horn_schunck_test.cpp.o" "gcc" "tests/CMakeFiles/chb_tests.dir/horn_schunck_test.cpp.o.d"
+  "/root/repo/tests/hw_accelerator_test.cpp" "tests/CMakeFiles/chb_tests.dir/hw_accelerator_test.cpp.o" "gcc" "tests/CMakeFiles/chb_tests.dir/hw_accelerator_test.cpp.o.d"
+  "/root/repo/tests/hw_bram_test.cpp" "tests/CMakeFiles/chb_tests.dir/hw_bram_test.cpp.o" "gcc" "tests/CMakeFiles/chb_tests.dir/hw_bram_test.cpp.o.d"
+  "/root/repo/tests/hw_control_unit_test.cpp" "tests/CMakeFiles/chb_tests.dir/hw_control_unit_test.cpp.o" "gcc" "tests/CMakeFiles/chb_tests.dir/hw_control_unit_test.cpp.o.d"
+  "/root/repo/tests/hw_datasheet_test.cpp" "tests/CMakeFiles/chb_tests.dir/hw_datasheet_test.cpp.o" "gcc" "tests/CMakeFiles/chb_tests.dir/hw_datasheet_test.cpp.o.d"
+  "/root/repo/tests/hw_dram_test.cpp" "tests/CMakeFiles/chb_tests.dir/hw_dram_test.cpp.o" "gcc" "tests/CMakeFiles/chb_tests.dir/hw_dram_test.cpp.o.d"
+  "/root/repo/tests/hw_dse_test.cpp" "tests/CMakeFiles/chb_tests.dir/hw_dse_test.cpp.o" "gcc" "tests/CMakeFiles/chb_tests.dir/hw_dse_test.cpp.o.d"
+  "/root/repo/tests/hw_fuzz_test.cpp" "tests/CMakeFiles/chb_tests.dir/hw_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/chb_tests.dir/hw_fuzz_test.cpp.o.d"
+  "/root/repo/tests/hw_pe_array_test.cpp" "tests/CMakeFiles/chb_tests.dir/hw_pe_array_test.cpp.o" "gcc" "tests/CMakeFiles/chb_tests.dir/hw_pe_array_test.cpp.o.d"
+  "/root/repo/tests/hw_resource_test.cpp" "tests/CMakeFiles/chb_tests.dir/hw_resource_test.cpp.o" "gcc" "tests/CMakeFiles/chb_tests.dir/hw_resource_test.cpp.o.d"
+  "/root/repo/tests/hw_schedule_test.cpp" "tests/CMakeFiles/chb_tests.dir/hw_schedule_test.cpp.o" "gcc" "tests/CMakeFiles/chb_tests.dir/hw_schedule_test.cpp.o.d"
+  "/root/repo/tests/hw_sliding_window_test.cpp" "tests/CMakeFiles/chb_tests.dir/hw_sliding_window_test.cpp.o" "gcc" "tests/CMakeFiles/chb_tests.dir/hw_sliding_window_test.cpp.o.d"
+  "/root/repo/tests/hw_warm_start_test.cpp" "tests/CMakeFiles/chb_tests.dir/hw_warm_start_test.cpp.o" "gcc" "tests/CMakeFiles/chb_tests.dir/hw_warm_start_test.cpp.o.d"
+  "/root/repo/tests/image_io_test.cpp" "tests/CMakeFiles/chb_tests.dir/image_io_test.cpp.o" "gcc" "tests/CMakeFiles/chb_tests.dir/image_io_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/chb_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/chb_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/lut_sqrt_test.cpp" "tests/CMakeFiles/chb_tests.dir/lut_sqrt_test.cpp.o" "gcc" "tests/CMakeFiles/chb_tests.dir/lut_sqrt_test.cpp.o.d"
+  "/root/repo/tests/matrix_test.cpp" "tests/CMakeFiles/chb_tests.dir/matrix_test.cpp.o" "gcc" "tests/CMakeFiles/chb_tests.dir/matrix_test.cpp.o.d"
+  "/root/repo/tests/median_filter_test.cpp" "tests/CMakeFiles/chb_tests.dir/median_filter_test.cpp.o" "gcc" "tests/CMakeFiles/chb_tests.dir/median_filter_test.cpp.o.d"
+  "/root/repo/tests/merged_test.cpp" "tests/CMakeFiles/chb_tests.dir/merged_test.cpp.o" "gcc" "tests/CMakeFiles/chb_tests.dir/merged_test.cpp.o.d"
+  "/root/repo/tests/nonrestoring_sqrt_test.cpp" "tests/CMakeFiles/chb_tests.dir/nonrestoring_sqrt_test.cpp.o" "gcc" "tests/CMakeFiles/chb_tests.dir/nonrestoring_sqrt_test.cpp.o.d"
+  "/root/repo/tests/packed_word_test.cpp" "tests/CMakeFiles/chb_tests.dir/packed_word_test.cpp.o" "gcc" "tests/CMakeFiles/chb_tests.dir/packed_word_test.cpp.o.d"
+  "/root/repo/tests/pyramid_test.cpp" "tests/CMakeFiles/chb_tests.dir/pyramid_test.cpp.o" "gcc" "tests/CMakeFiles/chb_tests.dir/pyramid_test.cpp.o.d"
+  "/root/repo/tests/qformat_test.cpp" "tests/CMakeFiles/chb_tests.dir/qformat_test.cpp.o" "gcc" "tests/CMakeFiles/chb_tests.dir/qformat_test.cpp.o.d"
+  "/root/repo/tests/rolling_shutter_test.cpp" "tests/CMakeFiles/chb_tests.dir/rolling_shutter_test.cpp.o" "gcc" "tests/CMakeFiles/chb_tests.dir/rolling_shutter_test.cpp.o.d"
+  "/root/repo/tests/row_parallel_test.cpp" "tests/CMakeFiles/chb_tests.dir/row_parallel_test.cpp.o" "gcc" "tests/CMakeFiles/chb_tests.dir/row_parallel_test.cpp.o.d"
+  "/root/repo/tests/sequence_test.cpp" "tests/CMakeFiles/chb_tests.dir/sequence_test.cpp.o" "gcc" "tests/CMakeFiles/chb_tests.dir/sequence_test.cpp.o.d"
+  "/root/repo/tests/seu_test.cpp" "tests/CMakeFiles/chb_tests.dir/seu_test.cpp.o" "gcc" "tests/CMakeFiles/chb_tests.dir/seu_test.cpp.o.d"
+  "/root/repo/tests/structure_texture_test.cpp" "tests/CMakeFiles/chb_tests.dir/structure_texture_test.cpp.o" "gcc" "tests/CMakeFiles/chb_tests.dir/structure_texture_test.cpp.o.d"
+  "/root/repo/tests/text_table_test.cpp" "tests/CMakeFiles/chb_tests.dir/text_table_test.cpp.o" "gcc" "tests/CMakeFiles/chb_tests.dir/text_table_test.cpp.o.d"
+  "/root/repo/tests/threshold_test.cpp" "tests/CMakeFiles/chb_tests.dir/threshold_test.cpp.o" "gcc" "tests/CMakeFiles/chb_tests.dir/threshold_test.cpp.o.d"
+  "/root/repo/tests/tile_test.cpp" "tests/CMakeFiles/chb_tests.dir/tile_test.cpp.o" "gcc" "tests/CMakeFiles/chb_tests.dir/tile_test.cpp.o.d"
+  "/root/repo/tests/tiled_fuzz_test.cpp" "tests/CMakeFiles/chb_tests.dir/tiled_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/chb_tests.dir/tiled_fuzz_test.cpp.o.d"
+  "/root/repo/tests/tiled_solver_test.cpp" "tests/CMakeFiles/chb_tests.dir/tiled_solver_test.cpp.o" "gcc" "tests/CMakeFiles/chb_tests.dir/tiled_solver_test.cpp.o.d"
+  "/root/repo/tests/tvl1_test.cpp" "tests/CMakeFiles/chb_tests.dir/tvl1_test.cpp.o" "gcc" "tests/CMakeFiles/chb_tests.dir/tvl1_test.cpp.o.d"
+  "/root/repo/tests/validation_test.cpp" "tests/CMakeFiles/chb_tests.dir/validation_test.cpp.o" "gcc" "tests/CMakeFiles/chb_tests.dir/validation_test.cpp.o.d"
+  "/root/repo/tests/verilog_export_test.cpp" "tests/CMakeFiles/chb_tests.dir/verilog_export_test.cpp.o" "gcc" "tests/CMakeFiles/chb_tests.dir/verilog_export_test.cpp.o.d"
+  "/root/repo/tests/video_runner_test.cpp" "tests/CMakeFiles/chb_tests.dir/video_runner_test.cpp.o" "gcc" "tests/CMakeFiles/chb_tests.dir/video_runner_test.cpp.o.d"
+  "/root/repo/tests/warp_test.cpp" "tests/CMakeFiles/chb_tests.dir/warp_test.cpp.o" "gcc" "tests/CMakeFiles/chb_tests.dir/warp_test.cpp.o.d"
+  "/root/repo/tests/workloads_test.cpp" "tests/CMakeFiles/chb_tests.dir/workloads_test.cpp.o" "gcc" "tests/CMakeFiles/chb_tests.dir/workloads_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/chb_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chb_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chb_tvl1.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chb_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chb_chambolle.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chb_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chb_fixedpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

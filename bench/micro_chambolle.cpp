@@ -11,6 +11,8 @@
 #include "chambolle/solver.hpp"
 #include "chambolle/tiled_solver.hpp"
 #include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+#include "telemetry/bench_report.hpp"
 
 namespace {
 
@@ -137,4 +139,21 @@ BENCHMARK(BM_SingleIteration)->Arg(128)->Arg(512);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): identical run semantics, plus a
+// machine-readable BENCH_micro_chambolle.json artifact after the run.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  const chambolle::Stopwatch clock;
+  benchmark::RunSpecifiedBenchmarks();
+  const double wall_ms = clock.milliseconds();
+  benchmark::Shutdown();
+  chambolle::telemetry::write_bench_report(
+      "micro_chambolle",
+      {{"suite", "google-benchmark"},
+       {"benchmarks",
+        "scalar/tiled/merge-depth/fixed/row-parallel/chambolle-pock/"
+        "merged-kernel/single-iteration"}},
+      wall_ms);
+  return 0;
+}

@@ -13,17 +13,26 @@
 // beats every GPU baseline by an order of magnitude at 512x512 and scales to
 // 1024x768); see EXPERIMENTS.md for the absolute-number discussion.
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
 #include "baseline/cpu_baseline.hpp"
 #include "baseline/published.hpp"
+#include "common/stopwatch.hpp"
 #include "common/text_table.hpp"
 #include "hw/accelerator.hpp"
+#include "telemetry/bench_report.hpp"
+#include "telemetry/telemetry.hpp"
 
 int main() {
   using namespace chambolle;
 
+  // Populate the BENCH_*.json metrics snapshot unless the env explicitly
+  // opts out (this is a table printer, not a precision microbenchmark).
+  if (std::getenv("CHAMBOLLE_TELEMETRY") == nullptr)
+    telemetry::set_enabled(true);
+  const Stopwatch wall;
   hw::ChambolleAccelerator accel{hw::ArchConfig{}};
 
   std::printf("TABLE II — COMPARISON W.R.T. STATE-OF-THE-ART IMPLEMENTATIONS\n\n");
@@ -103,5 +112,16 @@ int main() {
               "%s (%.1f fps pyramid, %.1f fps flat)\n",
               our_pyr_768p > 24.0 ? "yes" : "NO", our_pyr_768p,
               accel.estimate_fps(768, 1024, 200));
+
+  telemetry::write_bench_report(
+      "table2_framerate",
+      {{"iterations", "200"},
+       {"resolutions", "512x512,1024x768"},
+       {"fps_512_flat", TextTable::num(our_fps_512, 2)},
+       {"fps_512_pyramid", TextTable::num(our_pyr_512, 2)},
+       {"fps_768p_pyramid", TextTable::num(our_pyr_768p, 2)},
+       {"cpu_fps_512_extrapolated", TextTable::num(cpu_fps_512, 3)},
+       {"shape_holds", shape_holds ? "yes" : "no"}},
+      wall.milliseconds());
   return shape_holds ? 0 : 1;
 }

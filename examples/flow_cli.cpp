@@ -4,19 +4,33 @@
 // user would actually run on their own data.
 //
 // Usage:
-//   flow_cli <frame0.pgm> <frame1.pgm> <flow_out.ppm>
+//   flow_cli [<frame0.pgm> <frame1.pgm> <flow_out.ppm>]
 //            [--levels N] [--warps N] [--iters N] [--lambda X]
-//            [--solver ref|tiled|fixed] [--median] [--warp warped.pgm]
+//            [--solver ref|tiled|fixed|accel] [--median] [--warp warped.pgm]
+//            [--trace trace.json] [--metrics metrics.json]
 //
-// With no arguments, runs a self-demo on generated frames in /tmp.
+// With no positional arguments, runs a self-demo on generated frames (an
+// optional bare argument names the output directory, default /tmp).  The
+// demo uses the `accel` solver so one run exercises the whole stack, from
+// the TV-L1 pipeline down to the cycle-level FPGA simulator.
+//
+// --trace enables telemetry and writes a Chrome trace-event JSON (open in
+// chrome://tracing or https://ui.perfetto.dev); --metrics writes the metric
+// registry snapshot.  See docs/observability.md.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "common/flow_color.hpp"
 #include "common/image_io.hpp"
 #include "common/stopwatch.hpp"
+#include "hw/accelerator.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
+#include "tvl1/accel_backend.hpp"
 #include "tvl1/tvl1.hpp"
 #include "tvl1/warp.hpp"
 #include "workloads/synthetic.hpp"
@@ -28,82 +42,107 @@ using namespace chambolle;
 int usage() {
   std::fprintf(
       stderr,
-      "usage: flow_cli <frame0.pgm> <frame1.pgm> <flow_out.ppm>\n"
+      "usage: flow_cli [<frame0.pgm> <frame1.pgm> <flow_out.ppm>]\n"
       "               [--levels N] [--warps N] [--iters N] [--lambda X]\n"
-      "               [--solver ref|tiled|fixed] [--median] [--warp out.pgm]\n");
+      "               [--solver ref|tiled|fixed|accel] [--median]\n"
+      "               [--warp out.pgm] [--trace trace.json]\n"
+      "               [--metrics metrics.json]\n"
+      "With no positional arguments a self-demo runs on generated frames.\n");
   return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string in0, in1, out_flow, out_warp;
+  std::string in0, in1, out_flow, out_warp, out_trace, out_metrics;
+  std::vector<std::string> positional;
   tvl1::Tvl1Params params;
   params.pyramid_levels = 4;
   params.warps = 5;
   params.chambolle.iterations = 50;
+  bool use_accel = false;
+  bool solver_given = false;
 
-  if (argc <= 2) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--levels") {
+      const char* n = next();
+      if (!n) return usage();
+      params.pyramid_levels = std::atoi(n);
+    } else if (arg == "--warps") {
+      const char* n = next();
+      if (!n) return usage();
+      params.warps = std::atoi(n);
+    } else if (arg == "--iters") {
+      const char* n = next();
+      if (!n) return usage();
+      params.chambolle.iterations = std::atoi(n);
+    } else if (arg == "--lambda") {
+      const char* n = next();
+      if (!n) return usage();
+      params.lambda = static_cast<float>(std::atof(n));
+    } else if (arg == "--solver") {
+      const char* n = next();
+      if (!n) return usage();
+      solver_given = true;
+      if (std::strcmp(n, "ref") == 0)
+        params.solver = tvl1::InnerSolver::kReference;
+      else if (std::strcmp(n, "tiled") == 0)
+        params.solver = tvl1::InnerSolver::kTiled;
+      else if (std::strcmp(n, "fixed") == 0)
+        params.solver = tvl1::InnerSolver::kFixed;
+      else if (std::strcmp(n, "accel") == 0)
+        use_accel = true;
+      else
+        return usage();
+    } else if (arg == "--median") {
+      params.median_filtering = true;
+    } else if (arg == "--warp") {
+      const char* n = next();
+      if (!n) return usage();
+      out_warp = n;
+    } else if (arg == "--trace") {
+      const char* n = next();
+      if (!n) return usage();
+      out_trace = n;
+    } else if (arg == "--metrics") {
+      const char* n = next();
+      if (!n) return usage();
+      out_metrics = n;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      positional.push_back(arg);
+    }
+  }
+
+  if (positional.size() <= 1) {
     // Self-demo: synthesize a frame pair and run on it; an optional single
-    // argument names the output directory.
-    const std::string dir = argc == 2 ? argv[1] : "/tmp";
+    // positional names the output directory.
+    const std::string dir = positional.size() == 1 ? positional[0] : "/tmp";
     std::printf("flow_cli: running the built-in demo (outputs in %s)\n",
                 dir.c_str());
+    if (!solver_given) use_accel = true;  // demo exercises the full stack
     const auto wl = workloads::translating_scene(96, 96, 2.f, -1.f);
     io::write_pgm(dir + "/flow_cli_f0.pgm", wl.frame0);
     io::write_pgm(dir + "/flow_cli_f1.pgm", wl.frame1);
     in0 = dir + "/flow_cli_f0.pgm";
     in1 = dir + "/flow_cli_f1.pgm";
     out_flow = dir + "/flow_cli_flow.ppm";
-  } else if (argc >= 4) {
-    in0 = argv[1];
-    in1 = argv[2];
-    out_flow = argv[3];
-    for (int i = 4; i < argc; ++i) {
-      const std::string arg = argv[i];
-      const auto next = [&]() -> const char* {
-        return i + 1 < argc ? argv[++i] : nullptr;
-      };
-      if (arg == "--levels") {
-        const char* n = next();
-        if (!n) return usage();
-        params.pyramid_levels = std::atoi(n);
-      } else if (arg == "--warps") {
-        const char* n = next();
-        if (!n) return usage();
-        params.warps = std::atoi(n);
-      } else if (arg == "--iters") {
-        const char* n = next();
-        if (!n) return usage();
-        params.chambolle.iterations = std::atoi(n);
-      } else if (arg == "--lambda") {
-        const char* n = next();
-        if (!n) return usage();
-        params.lambda = static_cast<float>(std::atof(n));
-      } else if (arg == "--solver") {
-        const char* n = next();
-        if (!n) return usage();
-        if (std::strcmp(n, "ref") == 0)
-          params.solver = tvl1::InnerSolver::kReference;
-        else if (std::strcmp(n, "tiled") == 0)
-          params.solver = tvl1::InnerSolver::kTiled;
-        else if (std::strcmp(n, "fixed") == 0)
-          params.solver = tvl1::InnerSolver::kFixed;
-        else
-          return usage();
-      } else if (arg == "--median") {
-        params.median_filtering = true;
-      } else if (arg == "--warp") {
-        const char* n = next();
-        if (!n) return usage();
-        out_warp = n;
-      } else {
-        return usage();
-      }
-    }
+  } else if (positional.size() == 3) {
+    in0 = positional[0];
+    in1 = positional[1];
+    out_flow = positional[2];
   } else {
     return usage();
   }
+
+  // Asking for an observability artifact is the opt-in.
+  if (!out_trace.empty() || !out_metrics.empty())
+    telemetry::set_enabled(true);
 
   try {
     const Image f0 = io::read_pgm(in0);
@@ -111,15 +150,34 @@ int main(int argc, char** argv) {
 
     const Stopwatch clock;
     tvl1::Tvl1Stats stats;
-    const FlowField flow = tvl1::compute_flow(f0, f1, params, &stats);
+    FlowField flow;
+    if (use_accel) {
+      hw::ChambolleAccelerator accel;
+      tvl1::AccelTvl1Stats accel_stats;
+      flow = tvl1::compute_flow_accelerated(f0, f1, params, accel,
+                                            &accel_stats);
+      stats.total_seconds = clock.seconds();
+      std::printf(
+          "flow_cli: accel backend, %d solves, %llu device cycles "
+          "(%.1f ms projected at %.0f MHz)\n",
+          accel_stats.solves,
+          static_cast<unsigned long long>(accel_stats.device_cycles),
+          1e3 * accel_stats.device_seconds(accel.config().clock_mhz),
+          accel.config().clock_mhz);
+    } else {
+      flow = tvl1::compute_flow(f0, f1, params, &stats);
+    }
     const double ms = clock.milliseconds();
 
     io::write_ppm(out_flow, colorize_flow(flow));
     std::printf("flow_cli: %dx%d, %d levels, %d warps, %d inner iterations\n",
                 f0.cols(), f0.rows(), params.pyramid_levels, params.warps,
                 params.chambolle.iterations);
-    std::printf("  time            : %.1f ms (%.0f%% in Chambolle)\n", ms,
-                100.0 * stats.chambolle_fraction());
+    if (use_accel)
+      std::printf("  time            : %.1f ms (host wall clock)\n", ms);
+    else
+      std::printf("  time            : %.1f ms (%.0f%% in Chambolle)\n", ms,
+                  100.0 * stats.chambolle_fraction());
     std::printf("  max |flow|      : %.2f px\n", max_flow_magnitude(flow));
     std::printf("  wrote           : %s\n", out_flow.c_str());
 
@@ -127,6 +185,22 @@ int main(int argc, char** argv) {
       io::write_pgm(out_warp, tvl1::warp(f1, flow));
       std::printf("  wrote           : %s (frame1 warped onto frame0)\n",
                   out_warp.c_str());
+    }
+    if (!out_trace.empty()) {
+      if (telemetry::write_chrome_trace(out_trace))
+        std::printf("  wrote           : %s (Chrome trace, %zu spans)\n",
+                    out_trace.c_str(), telemetry::trace_event_count());
+      else
+        std::fprintf(stderr, "flow_cli: failed to write %s\n",
+                     out_trace.c_str());
+    }
+    if (!out_metrics.empty()) {
+      if (telemetry::registry().write_json(out_metrics))
+        std::printf("  wrote           : %s (metrics snapshot)\n",
+                    out_metrics.c_str());
+      else
+        std::fprintf(stderr, "flow_cli: failed to write %s\n",
+                     out_metrics.c_str());
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "flow_cli: %s\n", e.what());

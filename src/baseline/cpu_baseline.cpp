@@ -5,6 +5,7 @@
 #include "chambolle/solver.hpp"
 #include "common/rng.hpp"
 #include "common/stopwatch.hpp"
+#include "telemetry/trace.hpp"
 
 namespace chambolle::baseline {
 namespace {
@@ -27,13 +28,16 @@ FlowField make_input(int rows, int cols) {
 
 CpuMeasurement measure_scalar_chambolle(int rows, int cols, int iterations,
                                         int repeats) {
+  const telemetry::TraceSpan span("baseline.measure_scalar");
   const ChambolleParams params = params_for(iterations);
   const FlowField v = make_input(rows, cols);
+  // One lap()-stopwatch across repeats instead of a throwaway per repeat.
+  Stopwatch clock;
   double best = -1.0;
   for (int i = 0; i < std::max(repeats, 1); ++i) {
-    const Stopwatch clock;
+    clock.lap();
     const FlowField u = solve_flow(v, params);
-    const double s = clock.seconds();
+    const double s = clock.lap();
     (void)u;
     if (best < 0 || s < best) best = s;
   }
@@ -44,14 +48,16 @@ CpuMeasurement measure_scalar_chambolle(int rows, int cols, int iterations,
 CpuMeasurement measure_tiled_chambolle(int rows, int cols, int iterations,
                                        const TiledSolverOptions& options,
                                        int repeats) {
+  const telemetry::TraceSpan span("baseline.measure_tiled");
   const ChambolleParams params = params_for(iterations);
   const FlowField v = make_input(rows, cols);
+  Stopwatch clock;
   double best = -1.0;
   for (int i = 0; i < std::max(repeats, 1); ++i) {
-    const Stopwatch clock;
+    clock.lap();
     const ChambolleResult r1 = solve_tiled(v.u1, params, options);
     const ChambolleResult r2 = solve_tiled(v.u2, params, options);
-    const double s = clock.seconds();
+    const double s = clock.lap();
     (void)r1;
     (void)r2;
     if (best < 0 || s < best) best = s;

@@ -6,6 +6,9 @@
 #include <thread>
 #include <vector>
 
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
 namespace chambolle {
 namespace {
 
@@ -53,6 +56,7 @@ ChambolleResult solve_row_parallel(const Matrix<float>& v,
                                    RowParallelStats* stats) {
   params.validate();
   options.validate();
+  const telemetry::TraceSpan span("chambolle.solve_row_parallel");
   const int rows = v.rows(), cols = v.cols();
   const int threads = resolve_threads(options.num_threads);
   const int strips = std::max((rows + options.rows_per_strip - 1) /
@@ -118,6 +122,12 @@ ChambolleResult solve_row_parallel(const Matrix<float>& v,
     stats->barriers = barriers;
     stats->strips = static_cast<std::size_t>(strips);
   }
+  static telemetry::Counter& c_solves =
+      telemetry::registry().counter("chambolle.row_parallel.solves");
+  static telemetry::Counter& c_barriers =
+      telemetry::registry().counter("chambolle.row_parallel.barriers");
+  c_solves.add(1);
+  c_barriers.add(static_cast<std::uint64_t>(barriers));
 
   ChambolleResult out;
   out.u = recover_u(v, px, py, RegionGeometry::full_frame(rows, cols),

@@ -1,7 +1,13 @@
 #include "chambolle/solver.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+
+#include "chambolle/energy.hpp"
+#include "telemetry/convergence.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace chambolle {
 namespace {
@@ -99,18 +105,60 @@ Matrix<float> recover_u(const Matrix<float>& v, const Matrix<float>& px,
   return u;
 }
 
+namespace {
+
+// Largest per-cell dual change between two states (both components).
+double max_abs_diff(const DualField& a, const Matrix<float>& px,
+                    const Matrix<float>& py) {
+  double m = 0;
+  for (std::size_t i = 0; i < px.size(); ++i) {
+    m = std::max(m, static_cast<double>(
+                        std::fabs(px.data()[i] - a.px.data()[i])));
+    m = std::max(m, static_cast<double>(
+                        std::fabs(py.data()[i] - a.py.data()[i])));
+  }
+  return m;
+}
+
+}  // namespace
+
 ChambolleResult solve(const Matrix<float>& v, const ChambolleParams& params,
-                      const DualField* initial) {
+                      const DualField* initial,
+                      telemetry::ConvergenceTrace* convergence) {
   params.validate();
+  const telemetry::TraceSpan span("chambolle.solve");
   ChambolleResult out;
   out.p = initial != nullptr ? *initial : DualField(v.rows(), v.cols());
   if (initial != nullptr && !initial->px.same_shape(v))
     throw std::invalid_argument("solve: initial dual shape mismatch");
   const RegionGeometry geom = RegionGeometry::full_frame(v.rows(), v.cols());
   Matrix<float> scratch;
-  iterate_region(out.p.px, out.p.py, v, geom, params, params.iterations,
-                 scratch);
+  if (convergence == nullptr) {
+    iterate_region(out.p.px, out.p.py, v, geom, params, params.iterations,
+                   scratch);
+  } else {
+    DualField prev = out.p;
+    for (int it = 0; it < params.iterations; ++it) {
+      iterate_region(out.p.px, out.p.py, v, geom, params, 1, scratch);
+      const double delta = max_abs_diff(prev, out.p.px, out.p.py);
+      const Matrix<float> u =
+          recover_u(v, out.p.px, out.p.py, geom, params.theta);
+      convergence->record(it + 1, delta, rof_energy(u, v, params.theta));
+      prev = out.p;
+    }
+  }
   out.u = recover_u(v, out.p.px, out.p.py, geom, params.theta);
+
+  static telemetry::Counter& solves =
+      telemetry::registry().counter("chambolle.solver.solves");
+  static telemetry::Counter& iterations =
+      telemetry::registry().counter("chambolle.solver.iterations");
+  static telemetry::Counter& pixel_iterations =
+      telemetry::registry().counter("chambolle.solver.pixel_iterations");
+  solves.add(1);
+  iterations.add(static_cast<std::uint64_t>(params.iterations));
+  pixel_iterations.add(static_cast<std::uint64_t>(params.iterations) *
+                       static_cast<std::uint64_t>(v.size()));
   return out;
 }
 

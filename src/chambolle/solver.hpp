@@ -14,6 +14,10 @@
 #include "chambolle/params.hpp"
 #include "common/image.hpp"
 
+namespace chambolle::telemetry {
+class ConvergenceTrace;
+}  // namespace chambolle::telemetry
+
 namespace chambolle {
 
 /// Result of a Chambolle solve for one flow component.
@@ -55,10 +59,14 @@ void iterate_region(Matrix<float>& px, Matrix<float>& py,
 
 /// Full-frame reference solve of one component.  When `initial` is non-null
 /// the dual state starts from it instead of zero (used by warm-started TV-L1
-/// outer iterations).
-[[nodiscard]] ChambolleResult solve(const Matrix<float>& v,
-                                    const ChambolleParams& params,
-                                    const DualField* initial = nullptr);
+/// outer iterations).  When `convergence` is non-null the solver steps one
+/// iteration at a time and records (iteration, max|Δp|, ROF energy) into the
+/// trace — same arithmetic and final state, but slower: per-iteration
+/// residual/energy evaluation is the cost of asking for the curve.
+[[nodiscard]] ChambolleResult solve(
+    const Matrix<float>& v, const ChambolleParams& params,
+    const DualField* initial = nullptr,
+    telemetry::ConvergenceTrace* convergence = nullptr);
 
 /// Solves both components of a flow field (the hardware runs them on separate
 /// PE arrays; here they are sequential but independent).

@@ -5,6 +5,9 @@
 #include <thread>
 #include <vector>
 
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
 namespace chambolle {
 namespace {
 
@@ -20,6 +23,7 @@ void process_tile(const TileSpec& t, const Matrix<float>& px,
                   Matrix<float>& py_out, const Matrix<float>& v,
                   const TilingPlan& plan, const ChambolleParams& params,
                   int iterations, Matrix<float>& scratch) {
+  const telemetry::TraceSpan span("chambolle.tiled.tile");
   Matrix<float> bpx = px.block(t.buf_row0, t.buf_col0, t.buf_rows, t.buf_cols);
   Matrix<float> bpy = py.block(t.buf_row0, t.buf_col0, t.buf_rows, t.buf_cols);
   const Matrix<float> bv =
@@ -87,6 +91,7 @@ ChambolleResult solve_tiled(const Matrix<float>& v,
                             TiledSolverStats* stats) {
   params.validate();
   options.validate();
+  const telemetry::TraceSpan span("chambolle.solve_tiled");
   const int rows = v.rows(), cols = v.cols();
   const TilingPlan plan = make_tiling(rows, cols, options.tile_rows,
                                       options.tile_cols,
@@ -100,6 +105,7 @@ ChambolleResult solve_tiled(const Matrix<float>& v,
   std::size_t element_iterations = 0;
   while (remaining > 0) {
     const int k = std::min(remaining, options.merge_iterations);
+    const telemetry::TraceSpan pass_span("chambolle.tiled.pass");
     run_tiled_pass(px, py, px_next, py_next, v, plan, params, k,
                    options.num_threads);
     std::swap(px, px_next);
@@ -109,6 +115,32 @@ ChambolleResult solve_tiled(const Matrix<float>& v,
     element_iterations +=
         plan.total_buffer_elements() * static_cast<std::size_t>(k);
   }
+
+  // Per-tile work accounting: "profitable" elements land in the output,
+  // "redundant" ones are the replicated halo work the tiling pays for
+  // parallelism (the paper's computation-overhead discussion).
+  static telemetry::Counter& c_solves =
+      telemetry::registry().counter("chambolle.tiled.solves");
+  static telemetry::Counter& c_passes =
+      telemetry::registry().counter("chambolle.tiled.passes");
+  static telemetry::Counter& c_tiles =
+      telemetry::registry().counter("chambolle.tiled.tiles");
+  static telemetry::Counter& c_profitable =
+      telemetry::registry().counter("chambolle.tiled.profitable_elements");
+  static telemetry::Counter& c_redundant =
+      telemetry::registry().counter("chambolle.tiled.redundant_elements");
+  c_solves.add(1);
+  c_passes.add(static_cast<std::uint64_t>(passes));
+  c_tiles.add(static_cast<std::uint64_t>(plan.tiles.size()) *
+              static_cast<std::uint64_t>(passes));
+  const std::uint64_t profitable_per_pass = plan.total_profitable_elements();
+  const std::uint64_t buffer_per_pass = plan.total_buffer_elements();
+  c_profitable.add(profitable_per_pass * static_cast<std::uint64_t>(passes));
+  c_redundant.add((buffer_per_pass - profitable_per_pass) *
+                  static_cast<std::uint64_t>(passes));
+  telemetry::registry()
+      .gauge("chambolle.tiled.redundancy")
+      .set(plan.redundancy());
 
   if (stats != nullptr) {
     stats->passes = passes;

@@ -6,11 +6,15 @@
 namespace chambolle {
 
 /// Monotonic wall-clock stopwatch. Started on construction.
+///
+/// For scoped phase timing that should land in the telemetry trace, prefer
+/// telemetry::TraceSpan (telemetry/trace.hpp); Stopwatch remains the tool
+/// for timings that feed a return value or a printed table.
 class Stopwatch {
  public:
-  Stopwatch() : start_(clock::now()) {}
+  Stopwatch() : start_(clock::now()), lap_(start_) {}
 
-  void reset() { start_ = clock::now(); }
+  void reset() { start_ = clock::now(); lap_ = start_; }
 
   /// Seconds elapsed since construction or the last reset().
   [[nodiscard]] double seconds() const {
@@ -19,9 +23,20 @@ class Stopwatch {
 
   [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
 
+  /// Seconds since the previous lap() (or construction/reset), advancing the
+  /// lap marker.  Lets one stopwatch time consecutive phases without
+  /// constructing a fresh instance per phase.
+  double lap() {
+    const clock::time_point now = clock::now();
+    const double s = std::chrono::duration<double>(now - lap_).count();
+    lap_ = now;
+    return s;
+  }
+
  private:
   using clock = std::chrono::steady_clock;
   clock::time_point start_;
+  clock::time_point lap_;
 };
 
 }  // namespace chambolle

@@ -3,7 +3,51 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
 namespace chambolle::hw {
+
+namespace {
+
+// Bridges one solve's simulator statistics into the process-wide metric
+// registry, so simulated-hardware runs land in the same dump as software
+// runs.  Counter handles are resolved once.
+void record_accelerator_metrics(const AcceleratorStats& s,
+                                const TilingPlan& plan, int iterations) {
+  using telemetry::registry;
+  static telemetry::Counter& c_solves = registry().counter("hw.solver.solves");
+  static telemetry::Counter& c_iters =
+      registry().counter("hw.solver.iterations");
+  static telemetry::Counter& c_cycles = registry().counter("hw.cycles.total");
+  static telemetry::Counter& c_ls =
+      registry().counter("hw.cycles.load_store");
+  static telemetry::Counter& c_elems =
+      registry().counter("hw.elements_updated");
+  static telemetry::Counter& c_reads = registry().counter("hw.bram.reads");
+  static telemetry::Counter& c_writes = registry().counter("hw.bram.writes");
+  static telemetry::Counter& c_passes = registry().counter("hw.passes");
+  static telemetry::Counter& c_prof =
+      registry().counter("hw.tiling.profitable_elements");
+  static telemetry::Counter& c_red =
+      registry().counter("hw.tiling.redundant_elements");
+  c_solves.add(1);
+  c_iters.add(static_cast<std::uint64_t>(iterations));
+  c_cycles.add(s.total_cycles);
+  c_ls.add(s.load_store_cycles);
+  c_elems.add(s.elements_updated);
+  c_reads.add(s.bram_word_reads);
+  c_writes.add(s.bram_word_writes);
+  c_passes.add(static_cast<std::uint64_t>(s.passes));
+  const std::uint64_t profitable = plan.total_profitable_elements();
+  const std::uint64_t buffered = plan.total_buffer_elements();
+  const std::uint64_t passes = static_cast<std::uint64_t>(s.passes);
+  c_prof.add(profitable * passes);
+  c_red.add((buffered - profitable) * passes);
+  registry().gauge("hw.tiling.redundancy").set(s.tiling_redundancy);
+}
+
+}  // namespace
 
 ChambolleAccelerator::ChambolleAccelerator(const ArchConfig& config)
     : config_(config) {
@@ -54,6 +98,7 @@ ChambolleAccelerator::Result ChambolleAccelerator::solve(
   params.validate();
   if (!v.u1.same_shape(v.u2))
     throw std::invalid_argument("accelerator: component shape mismatch");
+  const telemetry::TraceSpan span("hw.accelerator.solve");
   const int rows = v.rows(), cols = v.cols();
   const TilingPlan plan = make_tiling(rows, cols, config_.tile_rows,
                                       config_.tile_cols,
@@ -77,6 +122,7 @@ ChambolleAccelerator::Result ChambolleAccelerator::solve(
   FrameState* dst = &state_b;
   int remaining = params.iterations;
   while (remaining > 0) {
+    const telemetry::TraceSpan pass_span("hw.accelerator.pass");
     const int k = std::min(remaining, config_.merge_iterations);
     std::vector<std::uint64_t> engine_start(engines.size());
     for (std::size_t e = 0; e < engines.size(); ++e)
@@ -105,6 +151,7 @@ ChambolleAccelerator::Result ChambolleAccelerator::solve(
   }
   result.stats.tiles_per_pass = plan.tiles.size();
   result.stats.tiling_redundancy = plan.redundancy();
+  record_accelerator_metrics(result.stats, plan, params.iterations);
 
   const RegionGeometry geom = RegionGeometry::full_frame(rows, cols);
   result.u.u1 = dequantize(fixed_recover_u(src->u1, geom, fp.theta_q));

@@ -1,0 +1,25 @@
+#include "telemetry/convergence.hpp"
+
+#include "telemetry/json_util.hpp"
+
+namespace chambolle::telemetry {
+
+std::string ConvergenceTrace::to_json() const {
+  std::string out = "[\n";
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const ConvergencePoint& p = points_[i];
+    out += "  {\"iteration\": " + std::to_string(p.iteration) +
+           ", \"max_delta_p\": " + json_number(p.max_delta_p) +
+           ", \"energy\": " + json_number(p.energy) + "}";
+    if (i + 1 < points_.size()) out += ",";
+    out += "\n";
+  }
+  out += "]\n";
+  return out;
+}
+
+bool ConvergenceTrace::write_json(const std::string& path) const {
+  return write_text_file(path, to_json());
+}
+
+}  // namespace chambolle::telemetry

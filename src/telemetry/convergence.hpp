@@ -1,0 +1,48 @@
+// convergence.hpp — per-iteration convergence recording for the solvers.
+//
+// The paper's quantitative story is about iterations: how many Chambolle
+// fixed-point steps a quality target needs, and how fast the dual residual
+// max|Δp| decays.  ConvergenceTrace captures that curve — iteration index,
+// max|Δp| over both dual components, and the ROF energy of the current
+// primal iterate — so convergence plots and regression checks read one JSON
+// artifact instead of re-deriving the curve from scratch.
+//
+// Unlike the metric registry this recorder is deliberately NOT global: a
+// caller that wants the curve passes a ConvergenceTrace* into solve() and
+// owns the result.  Recording is independent of telemetry::enabled() —
+// passing the recorder IS the opt-in (and it changes the solve's stepping,
+// so an env var must not silently flip it).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace chambolle::telemetry {
+
+struct ConvergencePoint {
+  int iteration = 0;       ///< 1-based fixed-point iteration index
+  double max_delta_p = 0;  ///< max over cells of |Δpx| and |Δpy| this step
+  double energy = 0;       ///< ROF energy of the recovered primal iterate
+};
+
+class ConvergenceTrace {
+ public:
+  void record(int iteration, double max_delta_p, double energy) {
+    points_.push_back({iteration, max_delta_p, energy});
+  }
+
+  [[nodiscard]] const std::vector<ConvergencePoint>& points() const {
+    return points_;
+  }
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+  void clear() { points_.clear(); }
+
+  /// JSON array of {"iteration", "max_delta_p", "energy"} objects.
+  [[nodiscard]] std::string to_json() const;
+  bool write_json(const std::string& path) const;
+
+ private:
+  std::vector<ConvergencePoint> points_;
+};
+
+}  // namespace chambolle::telemetry

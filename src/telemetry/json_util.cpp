@@ -1,0 +1,53 @@
+#include "telemetry/json_util.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace chambolle::telemetry {
+
+void json_append_escaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  // %.17g round-trips doubles; trim to %.6f-looking output only via %g.
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  std::string s = buf;
+  // JSON requires a digit after a bare trailing '.', and %g never emits one,
+  // but ensure "1e+06"-style output stays as-is (valid JSON).
+  return s;
+}
+
+std::string json_number(std::uint64_t v) { return std::to_string(v); }
+std::string json_number(std::int64_t v) { return std::to_string(v); }
+
+bool write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  return static_cast<bool>(out);
+}
+
+}  // namespace chambolle::telemetry

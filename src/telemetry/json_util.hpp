@@ -1,0 +1,24 @@
+// json_util.hpp — minimal JSON writing helpers shared by the telemetry
+// exporters.  Dependency-free: the telemetry layer must not pull a JSON
+// library into a repo that otherwise has none.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace chambolle::telemetry {
+
+/// Appends `s` to `out` as a JSON string literal (quotes + escapes).
+void json_append_escaped(std::string& out, const std::string& s);
+
+/// Formats a double the way JSON expects: finite values with enough digits
+/// to round-trip, non-finite values as null.
+[[nodiscard]] std::string json_number(double v);
+
+[[nodiscard]] std::string json_number(std::uint64_t v);
+[[nodiscard]] std::string json_number(std::int64_t v);
+
+/// Writes `content` to `path`; returns false (without throwing) on I/O error.
+bool write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace chambolle::telemetry

@@ -1,0 +1,134 @@
+#include "telemetry/metrics.hpp"
+
+#include <stdexcept>
+
+#include "telemetry/json_util.hpp"
+
+namespace chambolle::telemetry {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      buckets_(bounds_.size() + 1) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i)
+    if (bounds_[i] <= bounds_[i - 1])
+      throw std::invalid_argument("Histogram: bounds must increase strictly");
+}
+
+void Histogram::observe(double v) {
+  if (!enabled()) return;
+  std::size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::bucket_count(std::size_t i) const {
+  return buckets_.at(i).load(std::memory_order_relaxed);
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> default_ms_bounds() {
+  return {0.01, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0};
+}
+
+MetricRegistry& MetricRegistry::instance() {
+  static MetricRegistry* reg = new MetricRegistry();  // leaked: outlives exit
+  return *reg;
+}
+
+Counter& MetricRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (gauges_.count(name) != 0 || histograms_.count(name) != 0)
+    throw std::logic_error("MetricRegistry: '" + name +
+                           "' already registered as another kind");
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (counters_.count(name) != 0 || histograms_.count(name) != 0)
+    throw std::logic_error("MetricRegistry: '" + name +
+                           "' already registered as another kind");
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricRegistry::histogram(const std::string& name,
+                                     std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (counters_.count(name) != 0 || gauges_.count(name) != 0)
+    throw std::logic_error("MetricRegistry: '" + name +
+                           "' already registered as another kind");
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    // Construct before inserting: the Histogram ctor validates the bounds
+    // and may throw, which must not leave a null entry behind.
+    it = histograms_
+             .emplace(name, std::make_unique<Histogram>(std::move(upper_bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+std::string MetricRegistry::snapshot_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    json_append_escaped(out, name);
+    out += ": " + json_number(c->value());
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    json_append_escaped(out, name);
+    out += ": " + json_number(g->value());
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    json_append_escaped(out, name);
+    out += ": {\"bounds\": [";
+    for (std::size_t i = 0; i < h->bounds().size(); ++i) {
+      if (i != 0) out += ", ";
+      out += json_number(h->bounds()[i]);
+    }
+    out += "], \"buckets\": [";
+    for (std::size_t i = 0; i <= h->bounds().size(); ++i) {
+      if (i != 0) out += ", ";
+      out += json_number(h->bucket_count(i));
+    }
+    out += "], \"count\": " + json_number(h->total_count());
+    out += ", \"sum\": " + json_number(h->sum()) + "}";
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+bool MetricRegistry::write_json(const std::string& path) const {
+  return write_text_file(path, snapshot_json());
+}
+
+void MetricRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace chambolle::telemetry

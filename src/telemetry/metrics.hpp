@@ -1,0 +1,126 @@
+// metrics.hpp — the process-wide metric registry.
+//
+// Named counters, gauges, and fixed-bucket histograms with O(1) lock-free
+// hot-path updates (one relaxed atomic RMW plus the telemetry::enabled()
+// branch).  Registration (name lookup) takes a mutex and should be hoisted
+// out of hot loops: call registry().counter("x") once, keep the reference.
+//
+// Naming convention (docs/observability.md): dot-separated lowercase paths,
+// subsystem first — "chambolle.solver.iterations", "hw.bram.reads",
+// "tvl1.warps".  snapshot_json() serializes every registered metric, so one
+// dump compares software and simulated-hardware runs side by side.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.hpp"
+
+namespace chambolle::telemetry {
+
+/// Monotonic counter.  add() is a no-op while telemetry is disabled.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    if (enabled()) value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-value-wins gauge.
+class Gauge {
+ public:
+  void set(double v) {
+    if (enabled()) value_.store(v, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: bucket i counts observations <= bounds[i]; one
+/// overflow bucket counts the rest.  Bounds are set at registration and
+/// immutable afterwards, so observe() is bounds.size() compares plus one
+/// relaxed increment — no locks.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v);
+
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// Count in bucket i (i == bounds().size() is the overflow bucket).
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const;
+  [[nodiscard]] std::uint64_t total_count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default histogram bounds for millisecond-scale durations.
+[[nodiscard]] std::vector<double> default_ms_bounds();
+
+class MetricRegistry {
+ public:
+  /// The process-wide registry used by all instrumentation in this repo.
+  static MetricRegistry& instance();
+
+  /// Finds or creates the metric.  References stay valid for the registry's
+  /// lifetime.  A name registered as one kind cannot be re-registered as
+  /// another (throws std::logic_error).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> upper_bounds = default_ms_bounds());
+
+  /// JSON object: {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+  /// Histograms serialize bounds, per-bucket counts, total count, and sum.
+  [[nodiscard]] std::string snapshot_json() const;
+
+  /// Writes snapshot_json() to `path`; false on I/O failure.
+  bool write_json(const std::string& path) const;
+
+  /// Zeroes every metric's value; registrations (and references) survive.
+  void reset();
+
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Shorthand for MetricRegistry::instance().
+[[nodiscard]] inline MetricRegistry& registry() {
+  return MetricRegistry::instance();
+}
+
+}  // namespace chambolle::telemetry

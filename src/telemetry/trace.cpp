@@ -1,0 +1,167 @@
+#include "telemetry/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "telemetry/json_util.hpp"
+
+namespace chambolle::telemetry {
+namespace detail {
+namespace {
+
+using steady = std::chrono::steady_clock;
+
+constexpr std::size_t kRingCapacity = 1 << 15;  // 32768 spans per thread
+
+steady::time_point trace_epoch() {
+  static const steady::time_point epoch = steady::now();
+  return epoch;
+}
+
+}  // namespace
+
+struct ThreadTraceBuffer {
+  std::uint32_t tid = 0;
+  std::vector<TraceEvent> ring{kRingCapacity};
+  /// Total events ever written; slot (head - 1) % capacity holds the newest.
+  /// Written by the owning thread, read by the exporter.
+  std::atomic<std::uint64_t> head{0};
+  std::int32_t depth = 0;  // owning thread only
+};
+
+namespace {
+
+struct BufferRegistry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadTraceBuffer>> buffers;
+  std::uint32_t next_tid = 1;
+};
+
+BufferRegistry& buffer_registry() {
+  static BufferRegistry* reg = new BufferRegistry();  // leaked: outlives exit
+  return *reg;
+}
+
+struct ExportEvent {
+  TraceEvent ev;
+  std::uint32_t tid;
+};
+
+std::vector<ExportEvent> snapshot_events() {
+  std::vector<ExportEvent> out;
+  BufferRegistry& reg = buffer_registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (const auto& buf : reg.buffers) {
+    const std::uint64_t h = buf->head.load(std::memory_order_acquire);
+    const std::uint64_t n = std::min<std::uint64_t>(h, kRingCapacity);
+    for (std::uint64_t i = h - n; i < h; ++i)
+      out.push_back({buf->ring[i % kRingCapacity], buf->tid});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ExportEvent& a, const ExportEvent& b) {
+              if (a.tid != b.tid) return a.tid < b.tid;
+              if (a.ev.start_ns != b.ev.start_ns)
+                return a.ev.start_ns < b.ev.start_ns;
+              return a.ev.dur_ns > b.ev.dur_ns;  // parents before children
+            });
+  return out;
+}
+
+}  // namespace
+
+ThreadTraceBuffer& local_trace_buffer() {
+  thread_local std::shared_ptr<ThreadTraceBuffer> buf = [] {
+    auto b = std::make_shared<ThreadTraceBuffer>();
+    BufferRegistry& reg = buffer_registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    b->tid = reg.next_tid++;
+    reg.buffers.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+void record_span(const char* name, std::uint64_t start_ns,
+                 std::uint64_t end_ns, std::int32_t depth) {
+  ThreadTraceBuffer& buf = local_trace_buffer();
+  const std::uint64_t h = buf.head.load(std::memory_order_relaxed);
+  TraceEvent& ev = buf.ring[h % kRingCapacity];
+  std::strncpy(ev.name, name, sizeof ev.name - 1);
+  ev.name[sizeof ev.name - 1] = '\0';
+  ev.start_ns = start_ns;
+  ev.dur_ns = end_ns >= start_ns ? end_ns - start_ns : 0;
+  ev.depth = depth;
+  buf.head.store(h + 1, std::memory_order_release);
+}
+
+std::uint64_t trace_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(steady::now() -
+                                                           trace_epoch())
+          .count());
+}
+
+std::int32_t span_enter() { return local_trace_buffer().depth++; }
+void span_leave() { --local_trace_buffer().depth; }
+
+}  // namespace detail
+
+std::string chrome_trace_json() {
+  const auto events = detail::snapshot_events();
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  std::uint32_t last_tid = 0;  // thread-name metadata, once per tid
+  for (const auto& e : events) {
+    if (e.tid != last_tid) {
+      last_tid = e.tid;
+      out += first ? "" : ",\n";
+      first = false;
+      out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+             std::to_string(e.tid) +
+             ",\"args\":{\"name\":\"chambolle-thread-" +
+             std::to_string(e.tid) + "\"}}";
+    }
+    out += first ? "" : ",\n";
+    first = false;
+    out += "{\"name\":";
+    json_append_escaped(out, e.ev.name);
+    out += ",\"cat\":\"chambolle\",\"ph\":\"X\",\"ts\":" +
+           json_number(static_cast<double>(e.ev.start_ns) / 1000.0) +
+           ",\"dur\":" +
+           json_number(static_cast<double>(e.ev.dur_ns) / 1000.0) +
+           ",\"pid\":1,\"tid\":" + std::to_string(e.tid) +
+           ",\"args\":{\"depth\":" + std::to_string(e.ev.depth) + "}}";
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path) {
+  return write_text_file(path, chrome_trace_json());
+}
+
+void clear_trace() {
+  auto& reg = detail::buffer_registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (const auto& buf : reg.buffers)
+    buf->head.store(0, std::memory_order_release);
+}
+
+std::uint64_t trace_events_overwritten() {
+  auto& reg = detail::buffer_registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::uint64_t dropped = 0;
+  for (const auto& buf : reg.buffers) {
+    const std::uint64_t h = buf->head.load(std::memory_order_acquire);
+    if (h > detail::kRingCapacity) dropped += h - detail::kRingCapacity;
+  }
+  return dropped;
+}
+
+std::size_t trace_event_count() { return detail::snapshot_events().size(); }
+
+}  // namespace chambolle::telemetry

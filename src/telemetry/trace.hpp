@@ -1,0 +1,99 @@
+// trace.hpp — RAII tracing spans with Chrome trace-event export.
+//
+// TraceSpan measures a scope and records a complete ("X") event into a
+// per-thread ring buffer on destruction.  The buffers are written without
+// locks by their owning thread (one relaxed index publish per event); the
+// exporter takes only the registration mutex and should be called at a
+// quiescent point (after joining workers), which is how every call site in
+// this repo uses it.  Buffers outlive their threads, so spans recorded by
+// short-lived worker pools (the tiled solver) survive into the export.
+//
+// Export format: the Chrome trace-event JSON object form
+// ({"traceEvents": [...]}), loadable in chrome://tracing and Perfetto.
+// Nesting is implied by timestamp containment of "X" events on one tid;
+// every span also carries its lexical depth as args.depth.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "telemetry/telemetry.hpp"
+
+namespace chambolle::telemetry {
+
+namespace detail {
+
+struct TraceEvent {
+  char name[48];
+  std::uint64_t start_ns;
+  std::uint64_t dur_ns;
+  std::int32_t depth;
+};
+
+struct ThreadTraceBuffer;
+
+/// The calling thread's buffer, registered globally on first use.
+ThreadTraceBuffer& local_trace_buffer();
+
+/// Records one finished span into the calling thread's ring buffer.
+void record_span(const char* name, std::uint64_t start_ns,
+                 std::uint64_t end_ns, std::int32_t depth);
+
+/// Nanoseconds since the process-wide trace epoch (steady clock).
+[[nodiscard]] std::uint64_t trace_now_ns();
+
+/// Enters/leaves one nesting level on the calling thread; enter returns the
+/// depth the span runs at (0 = outermost).
+std::int32_t span_enter();
+void span_leave();
+
+}  // namespace detail
+
+/// Scoped timer.  `name` must outlive the span (string literals in practice).
+/// When telemetry is disabled at construction the span is inert: no clock
+/// read, no buffer access, no record.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (enabled()) {
+      name_ = name;
+      depth_ = detail::span_enter();
+      start_ns_ = detail::trace_now_ns();
+    }
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr) {
+      const std::uint64_t end = detail::trace_now_ns();
+      detail::span_leave();
+      detail::record_span(name_, start_ns_, end, depth_);
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Whether this span is recording (telemetry was on at construction).
+  [[nodiscard]] bool active() const { return name_ != nullptr; }
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+  std::int32_t depth_ = 0;
+};
+
+/// Serializes every recorded span as Chrome trace-event JSON.
+[[nodiscard]] std::string chrome_trace_json();
+
+/// Writes chrome_trace_json() to `path`; false on I/O failure.
+bool write_chrome_trace(const std::string& path);
+
+/// Discards all recorded spans (buffer registrations survive).
+void clear_trace();
+
+/// Spans overwritten because a thread's ring buffer wrapped.
+[[nodiscard]] std::uint64_t trace_events_overwritten();
+
+/// Spans currently held across all thread buffers.
+[[nodiscard]] std::size_t trace_event_count();
+
+}  // namespace chambolle::telemetry

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "tvl1/median_filter.hpp"
 #include "tvl1/pyramid.hpp"
 #include "tvl1/threshold.hpp"
@@ -28,15 +30,23 @@ FlowField compute_flow_accelerated(const Image& i0, const Image& i1,
   if (i0.rows() < 2 || i0.cols() < 2)
     throw std::invalid_argument("compute_flow_accelerated: frames >= 2x2");
 
+  const telemetry::TraceSpan flow_span("tvl1.compute_flow_accelerated");
   std::uint64_t device_cycles = 0;
   int solves = 0;
 
-  const Pyramid p0(normalize(i0), params.pyramid_levels);
-  const Pyramid p1(normalize(i1), params.pyramid_levels);
+  const Pyramid p0 = [&] {
+    const telemetry::TraceSpan span("tvl1.pyramid");
+    return Pyramid(normalize(i0), params.pyramid_levels);
+  }();
+  const Pyramid p1 = [&] {
+    const telemetry::TraceSpan span("tvl1.pyramid");
+    return Pyramid(normalize(i1), params.pyramid_levels);
+  }();
   const int levels = std::min(p0.levels(), p1.levels());
 
   FlowField u;
   for (int level = levels - 1; level >= 0; --level) {
+    const telemetry::TraceSpan level_span("tvl1.level");
     const Image& l0 = p0.level(level);
     const Image& l1 = p1.level(level);
     if (level == levels - 1)
@@ -45,18 +55,31 @@ FlowField compute_flow_accelerated(const Image& i0, const Image& i1,
       u = upsample_flow(u, l0.rows(), l0.cols());
 
     for (int w = 0; w < params.warps; ++w) {
+      const telemetry::TraceSpan warp_span("tvl1.warp");
       const FlowField u0 = u;
-      const WarpResult wr = warp_with_gradients(l1, u0);
+      const WarpResult wr = [&] {
+        const telemetry::TraceSpan span("tvl1.warp_gradients");
+        return warp_with_gradients(l1, u0);
+      }();
       const ThresholdInputs in{l0,   wr.warped,     wr.grad, u0,
                                u,    params.lambda, params.chambolle.theta};
-      const FlowField v = threshold_step(in);
+      const FlowField v = [&] {
+        const telemetry::TraceSpan span("tvl1.threshold");
+        return threshold_step(in);
+      }();
 
-      const auto result = accelerator.solve(v, params.chambolle);
+      const auto result = [&] {
+        const telemetry::TraceSpan span("tvl1.chambolle_inner");
+        return accelerator.solve(v, params.chambolle);
+      }();
       u = result.u;
       device_cycles += result.stats.total_cycles;
       ++solves;
 
-      if (params.median_filtering) u = median_filter_flow(u);
+      if (params.median_filtering) {
+        const telemetry::TraceSpan span("tvl1.median_filter");
+        u = median_filter_flow(u);
+      }
     }
   }
 
@@ -64,6 +87,17 @@ FlowField compute_flow_accelerated(const Image& i0, const Image& i1,
     stats->device_cycles = device_cycles;
     stats->solves = solves;
   }
+  // hw.* per-solve counters are recorded inside ChambolleAccelerator::solve;
+  // here we only account the pipeline-level aggregate.
+  static telemetry::Counter& c_flows =
+      telemetry::registry().counter("tvl1.accel.flows");
+  static telemetry::Counter& c_solves =
+      telemetry::registry().counter("tvl1.accel.solves");
+  static telemetry::Counter& c_cycles =
+      telemetry::registry().counter("tvl1.accel.device_cycles");
+  c_flows.add(1);
+  c_solves.add(static_cast<std::uint64_t>(solves));
+  c_cycles.add(device_cycles);
   return u;
 }
 

@@ -6,6 +6,8 @@
 #include "chambolle/solver.hpp"
 #include "common/stopwatch.hpp"
 #include "common/validation.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "tvl1/median_filter.hpp"
 #include "tvl1/pyramid.hpp"
 #include "tvl1/threshold.hpp"
@@ -57,16 +59,26 @@ FlowField compute_flow(const Image& i0, const Image& i1,
   require_finite(i0, "compute_flow: frame0");
   require_finite(i1, "compute_flow: frame1");
 
-  const Stopwatch total_clock;
+  const telemetry::TraceSpan flow_span("tvl1.compute_flow");
+  // One stopwatch with lap() replaces the former per-warp throwaway
+  // stopwatches; phase boundaries come from lap-to-lap deltas.
+  Stopwatch total_clock;
   double chambolle_seconds = 0.0;
   long long inner_iters = 0;
 
-  const Pyramid p0(normalize(i0), params.pyramid_levels);
-  const Pyramid p1(normalize(i1), params.pyramid_levels);
+  const Pyramid p0 = [&] {
+    const telemetry::TraceSpan span("tvl1.pyramid");
+    return Pyramid(normalize(i0), params.pyramid_levels);
+  }();
+  const Pyramid p1 = [&] {
+    const telemetry::TraceSpan span("tvl1.pyramid");
+    return Pyramid(normalize(i1), params.pyramid_levels);
+  }();
   const int levels = std::min(p0.levels(), p1.levels());
 
   FlowField u;
   for (int level = levels - 1; level >= 0; --level) {
+    const telemetry::TraceSpan level_span("tvl1.level");
     const Image& l0 = p0.level(level);
     const Image& l1 = p1.level(level);
     if (level == levels - 1) {
@@ -76,19 +88,32 @@ FlowField compute_flow(const Image& i0, const Image& i1,
     }
 
     for (int w = 0; w < params.warps; ++w) {
+      const telemetry::TraceSpan warp_span("tvl1.warp");
       const FlowField u0 = u;
-      const WarpResult wr = warp_with_gradients(l1, u0);
+      const WarpResult wr = [&] {
+        const telemetry::TraceSpan span("tvl1.warp_gradients");
+        return warp_with_gradients(l1, u0);
+      }();
       const ThresholdInputs in{l0,   wr.warped,     wr.grad, u0,
                                u,    params.lambda, params.chambolle.theta};
-      const FlowField v = threshold_step(in);
+      const FlowField v = [&] {
+        const telemetry::TraceSpan span("tvl1.threshold");
+        return threshold_step(in);
+      }();
 
-      const Stopwatch inner_clock;
-      u.u1 = inner_solve(v.u1, params);
-      u.u2 = inner_solve(v.u2, params);
-      chambolle_seconds += inner_clock.seconds();
+      total_clock.lap();  // exclude warp/threshold time from the inner figure
+      {
+        const telemetry::TraceSpan span("tvl1.chambolle_inner");
+        u.u1 = inner_solve(v.u1, params);
+        u.u2 = inner_solve(v.u2, params);
+      }
+      chambolle_seconds += total_clock.lap();
       inner_iters += 2LL * params.chambolle.iterations;
 
-      if (params.median_filtering) u = median_filter_flow(u);
+      if (params.median_filtering) {
+        const telemetry::TraceSpan span("tvl1.median_filter");
+        u = median_filter_flow(u);
+      }
     }
   }
 
@@ -98,6 +123,16 @@ FlowField compute_flow(const Image& i0, const Image& i1,
     stats->chambolle_inner_iterations = inner_iters;
     stats->levels_processed = levels;
   }
+  static telemetry::Counter& c_flows =
+      telemetry::registry().counter("tvl1.flows");
+  static telemetry::Counter& c_warps =
+      telemetry::registry().counter("tvl1.warps");
+  static telemetry::Counter& c_levels =
+      telemetry::registry().counter("tvl1.levels");
+  c_flows.add(1);
+  c_warps.add(static_cast<std::uint64_t>(levels) *
+              static_cast<std::uint64_t>(params.warps));
+  c_levels.add(static_cast<std::uint64_t>(levels));
   return u;
 }
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "tvl1/median_filter.hpp"
 #include "tvl1/pyramid.hpp"
 #include "tvl1/threshold.hpp"
@@ -43,13 +45,21 @@ VideoRunnerResult run_video(const std::vector<Image>& frames,
   DualPair carry;  // finest-level dual state carried across warps and frames
 
   for (std::size_t pair = 0; pair + 1 < frames.size(); ++pair) {
-    const Pyramid p0(normalize(frames[pair]), options.tvl1.pyramid_levels);
-    const Pyramid p1(normalize(frames[pair + 1]),
+    const telemetry::TraceSpan pair_span("video.frame_pair");
+    const Pyramid p0 = [&] {
+      const telemetry::TraceSpan span("tvl1.pyramid");
+      return Pyramid(normalize(frames[pair]), options.tvl1.pyramid_levels);
+    }();
+    const Pyramid p1 = [&] {
+      const telemetry::TraceSpan span("tvl1.pyramid");
+      return Pyramid(normalize(frames[pair + 1]),
                      options.tvl1.pyramid_levels);
+    }();
     const int levels = std::min(p0.levels(), p1.levels());
 
     FlowField u;
     for (int level = levels - 1; level >= 0; --level) {
+      const telemetry::TraceSpan level_span("tvl1.level");
       const Image& l0 = p0.level(level);
       const Image& l1 = p1.level(level);
       if (level == levels - 1)
@@ -58,8 +68,12 @@ VideoRunnerResult run_video(const std::vector<Image>& frames,
         u = upsample_flow(u, l0.rows(), l0.cols());
 
       for (int w = 0; w < options.tvl1.warps; ++w) {
+        const telemetry::TraceSpan warp_span("tvl1.warp");
         const FlowField u0 = u;
-        const WarpResult wr = warp_with_gradients(l1, u0);
+        const WarpResult wr = [&] {
+          const telemetry::TraceSpan span("tvl1.warp_gradients");
+          return warp_with_gradients(l1, u0);
+        }();
         const ThresholdInputs in{l0,
                                  wr.warped,
                                  wr.grad,
@@ -67,7 +81,10 @@ VideoRunnerResult run_video(const std::vector<Image>& frames,
                                  u,
                                  options.tvl1.lambda,
                                  options.tvl1.chambolle.theta};
-        const FlowField v = threshold_step(in);
+        const FlowField v = [&] {
+          const telemetry::TraceSpan span("tvl1.threshold");
+          return threshold_step(in);
+        }();
 
         // Warm start: the FIRST finest-level solve of a pair reuses the
         // PREVIOUS pair's final dual state (temporal coherence); within a
@@ -80,7 +97,10 @@ VideoRunnerResult run_video(const std::vector<Image>& frames,
           init.u2_px = &carry.u2.u1;
           init.u2_py = &carry.u2.u2;
         }
-        const auto solved = accel.solve(v, options.tvl1.chambolle, init);
+        const auto solved = [&] {
+          const telemetry::TraceSpan span("tvl1.chambolle_inner");
+          return accel.solve(v, options.tvl1.chambolle, init);
+        }();
         u = solved.u;
         result.device_cycles += solved.stats.total_cycles;
         ++result.solves;
@@ -90,11 +110,17 @@ VideoRunnerResult run_video(const std::vector<Image>& frames,
           carry.u2 = solved.dual_u2;
           carry.valid = true;
         }
-        if (options.tvl1.median_filtering) u = median_filter_flow(u);
+        if (options.tvl1.median_filtering) {
+          const telemetry::TraceSpan span("tvl1.median_filter");
+          u = median_filter_flow(u);
+        }
       }
     }
     result.flows.push_back(std::move(u));
   }
+  static telemetry::Counter& c_pairs =
+      telemetry::registry().counter("video.frame_pairs");
+  c_pairs.add(result.flows.size());
   return result;
 }
 

@@ -1,8 +1,12 @@
 // micro_chambolle — google-benchmark microbenchmarks of the solver backends
 // (experiment E9): sequential float reference, tiled parallel solver at
-// several merge depths and thread counts, and the fixed-point datapath
-// model.  Throughput is reported in pixel-iterations/second.
+// several merge depths and thread counts, the persistent-pool vs
+// spawn-per-pass execution engines, and the fixed-point datapath model.
+// Throughput is reported in pixel-iterations/second.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
 
 #include "chambolle/chambolle_pock.hpp"
 #include "chambolle/fixed_solver.hpp"
@@ -12,11 +16,22 @@
 #include "chambolle/tiled_solver.hpp"
 #include "common/rng.hpp"
 #include "common/stopwatch.hpp"
+#include "parallel/thread_pool.hpp"
 #include "telemetry/bench_report.hpp"
 
 namespace {
 
 using namespace chambolle;
+
+// The paper's Table-2 software-comparison frame (316 x 252, i.e. width x
+// height), used by the engine-scaling sections below.
+constexpr int kTable2Rows = 252;
+constexpr int kTable2Cols = 316;
+
+Matrix<float> bench_field2(int rows, int cols) {
+  Rng rng(static_cast<std::uint64_t>(rows) * 1000 + cols);
+  return random_image(rng, rows, cols, -2.f, 2.f);
+}
 
 Matrix<float> bench_field(int n) {
   Rng rng(static_cast<std::uint64_t>(n));
@@ -76,6 +91,50 @@ void BM_TiledSolverMergeDepth(benchmark::State& state) {
   set_throughput(state, 192, 16);
 }
 BENCHMARK(BM_TiledSolverMergeDepth)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+// Pooled vs spawn-per-pass engine scaling on the Table-2 frame: 20
+// iterations merged 5 at a time, so a solve is 4 passes — exactly the
+// many-small-passes regime where per-pass thread creation dominates.
+void BM_TiledEngine(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const auto exec = state.range(1) == 0 ? parallel::Execution::kPool
+                                        : parallel::Execution::kSpawn;
+  const Matrix<float> v = bench_field2(kTable2Rows, kTable2Cols);
+  const ChambolleParams params = bench_params(20);
+  TiledSolverOptions opt;
+  opt.tile_rows = 88;
+  opt.tile_cols = 92;
+  opt.merge_iterations = 5;
+  opt.num_threads = threads;
+  opt.execution = exec;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(solve_tiled(v, params, opt).u.data());
+  state.SetItemsProcessed(state.iterations() * kTable2Rows * kTable2Cols * 20);
+  state.SetLabel(exec == parallel::Execution::kPool ? "pool" : "spawn");
+}
+BENCHMARK(BM_TiledEngine)
+    ->Args({1, 0})->Args({2, 0})->Args({4, 0})->Args({8, 0})
+    ->Args({1, 1})->Args({2, 1})->Args({4, 1})->Args({8, 1});
+
+// Same comparison for the barrier-per-iteration schedule, where the spawn
+// engine pays TWO spawn/join rounds per iteration.
+void BM_RowParallelEngine(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const auto exec = state.range(1) == 0 ? parallel::Execution::kPool
+                                        : parallel::Execution::kSpawn;
+  const Matrix<float> v = bench_field2(kTable2Rows, kTable2Cols);
+  const ChambolleParams params = bench_params(20);
+  RowParallelOptions opt;
+  opt.num_threads = threads;
+  opt.execution = exec;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(solve_row_parallel(v, params, opt).u.data());
+  state.SetItemsProcessed(state.iterations() * kTable2Rows * kTable2Cols * 20);
+  state.SetLabel(exec == parallel::Execution::kPool ? "pool" : "spawn");
+}
+BENCHMARK(BM_RowParallelEngine)
+    ->Args({1, 0})->Args({2, 0})->Args({4, 0})->Args({8, 0})
+    ->Args({2, 1})->Args({4, 1})->Args({8, 1});
 
 void BM_FixedSolver(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -137,6 +196,64 @@ void BM_SingleIteration(benchmark::State& state) {
 }
 BENCHMARK(BM_SingleIteration)->Arg(128)->Arg(512);
 
+// Direct stopwatch measurement of pooled vs spawn at a given width, so the
+// BENCH json carries the engine speedup as first-class numbers (the perf
+// trajectory CI tracks), independent of google-benchmark's own output.
+struct EngineSpeedup {
+  double pool_ms = 0.0;
+  double spawn_ms = 0.0;
+  [[nodiscard]] double speedup() const {
+    return pool_ms > 0.0 ? spawn_ms / pool_ms : 0.0;
+  }
+};
+
+template <typename SolveFn>
+double best_ms_of(const SolveFn& fn, int repeats) {
+  Stopwatch clock;
+  double best = -1.0;
+  for (int i = 0; i < repeats; ++i) {
+    clock.lap();
+    fn();
+    const double ms = 1e3 * clock.lap();
+    if (best < 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+EngineSpeedup measure_tiled_engines(int threads) {
+  const Matrix<float> v = bench_field2(kTable2Rows, kTable2Cols);
+  const ChambolleParams params = bench_params(20);
+  TiledSolverOptions opt;
+  // Merge depth 1 = halo exchange every iteration, the paper's per-iteration
+  // sliding-window sync regime and the spawn engine's worst case (one thread
+  // team per pass); this is exactly the overhead the resident pool removes.
+  opt.merge_iterations = 1;
+  opt.num_threads = threads;
+  EngineSpeedup out;
+  opt.execution = parallel::Execution::kPool;
+  (void)solve_tiled(v, params, opt);  // warm up the resident workers
+  out.pool_ms = best_ms_of([&] { (void)solve_tiled(v, params, opt); }, 5);
+  opt.execution = parallel::Execution::kSpawn;
+  out.spawn_ms = best_ms_of([&] { (void)solve_tiled(v, params, opt); }, 5);
+  return out;
+}
+
+EngineSpeedup measure_row_parallel_engines(int threads) {
+  const Matrix<float> v = bench_field2(kTable2Rows, kTable2Cols);
+  const ChambolleParams params = bench_params(20);
+  RowParallelOptions opt;
+  opt.num_threads = threads;
+  EngineSpeedup out;
+  opt.execution = parallel::Execution::kPool;
+  (void)solve_row_parallel(v, params, opt);
+  out.pool_ms =
+      best_ms_of([&] { (void)solve_row_parallel(v, params, opt); }, 5);
+  opt.execution = parallel::Execution::kSpawn;
+  out.spawn_ms =
+      best_ms_of([&] { (void)solve_row_parallel(v, params, opt); }, 5);
+  return out;
+}
+
 }  // namespace
 
 // Custom main instead of BENCHMARK_MAIN(): identical run semantics, plus a
@@ -146,14 +263,46 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   const chambolle::Stopwatch clock;
   benchmark::RunSpecifiedBenchmarks();
+
+  // Engine trajectory: pooled vs spawn on the Table-2 frame at 8 threads.
+  const auto fmt = [](double x) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.3f", x);
+    return std::string(buf);
+  };
+  const EngineSpeedup tiled = measure_tiled_engines(8);
+  const EngineSpeedup rowp = measure_row_parallel_engines(8);
+  std::printf(
+      "\nengine trajectory (316x252, 20 iterations, 8 threads):\n"
+      "  tiled        : pool %.3f ms, spawn %.3f ms -> %.2fx\n"
+      "  row-parallel : pool %.3f ms, spawn %.3f ms -> %.2fx\n",
+      tiled.pool_ms, tiled.spawn_ms, tiled.speedup(), rowp.pool_ms,
+      rowp.spawn_ms, rowp.speedup());
+  const auto& pool = chambolle::parallel::default_pool();
+  std::printf(
+      "  pool lifetime: %llu tasks, %llu threads created, %llu barrier "
+      "waits\n",
+      static_cast<unsigned long long>(pool.tasks()),
+      static_cast<unsigned long long>(pool.threads_created()),
+      static_cast<unsigned long long>(pool.barrier_waits()));
+
   const double wall_ms = clock.milliseconds();
   benchmark::Shutdown();
   chambolle::telemetry::write_bench_report(
       "micro_chambolle",
       {{"suite", "google-benchmark"},
        {"benchmarks",
-        "scalar/tiled/merge-depth/fixed/row-parallel/chambolle-pock/"
-        "merged-kernel/single-iteration"}},
+        "scalar/tiled/engine-scaling/merge-depth/fixed/row-parallel/"
+        "chambolle-pock/merged-kernel/single-iteration"},
+       {"engine_frame", "316x252"},
+       {"engine_threads", "8"},
+       {"tiled_pool_ms", fmt(tiled.pool_ms)},
+       {"tiled_spawn_ms", fmt(tiled.spawn_ms)},
+       {"tiled_pool_speedup", fmt(tiled.speedup())},
+       {"row_parallel_pool_ms", fmt(rowp.pool_ms)},
+       {"row_parallel_spawn_ms", fmt(rowp.spawn_ms)},
+       {"row_parallel_pool_speedup", fmt(rowp.speedup())},
+       {"pool_threads_created", std::to_string(pool.threads_created())}},
       wall_ms);
   return 0;
 }

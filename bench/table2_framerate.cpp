@@ -22,6 +22,7 @@
 #include "common/stopwatch.hpp"
 #include "common/text_table.hpp"
 #include "hw/accelerator.hpp"
+#include "parallel/thread_pool.hpp"
 #include "telemetry/bench_report.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -113,15 +114,59 @@ int main() {
               our_pyr_768p > 24.0 ? "yes" : "NO", our_pyr_768p,
               accel.estimate_fps(768, 1024, 200));
 
-  telemetry::write_bench_report(
-      "table2_framerate",
-      {{"iterations", "200"},
-       {"resolutions", "512x512,1024x768"},
-       {"fps_512_flat", TextTable::num(our_fps_512, 2)},
-       {"fps_512_pyramid", TextTable::num(our_pyr_512, 2)},
-       {"fps_768p_pyramid", TextTable::num(our_pyr_768p, 2)},
-       {"cpu_fps_512_extrapolated", TextTable::num(cpu_fps_512, 3)},
-       {"shape_holds", shape_holds ? "yes" : "no"}},
-      wall.milliseconds());
+  // Live CPU thread-scaling section (the paper's software point of
+  // comparison ran on a multithreaded x86): the tiled solver on the Table-2
+  // software frame (316x252, 50 iterations, merge 5), once per engine.  The
+  // pooled engine reuses resident workers across every pass; the spawn
+  // engine is the legacy thread-per-pass baseline.  The fps ratio is the
+  // perf trajectory the BENCH json tracks.
+  std::printf("\nCPU tiled solver thread scaling (316x252, 50 iterations):\n");
+  TextTable scaling({"Threads", "Engine", "ms/frame", "fps", "pool/spawn"});
+  telemetry::BenchParams scaling_params;
+  for (const int threads : {1, 2, 4, 8}) {
+    TiledSolverOptions opt;
+    opt.merge_iterations = 5;
+    opt.num_threads = threads;
+    opt.execution = parallel::Execution::kPool;
+    const auto pooled = baseline::measure_tiled_chambolle(252, 316, 50, opt, 3);
+    opt.execution = parallel::Execution::kSpawn;
+    const auto spawn = baseline::measure_tiled_chambolle(252, 316, 50, opt, 3);
+    const double ratio =
+        pooled.seconds_per_frame > 0
+            ? spawn.seconds_per_frame / pooled.seconds_per_frame
+            : 0.0;
+    scaling.add_row({std::to_string(threads), "pool",
+                     TextTable::num(1e3 * pooled.seconds_per_frame, 2),
+                     TextTable::num(pooled.fps, 1), TextTable::num(ratio, 2)});
+    scaling.add_row({std::to_string(threads), "spawn",
+                     TextTable::num(1e3 * spawn.seconds_per_frame, 2),
+                     TextTable::num(spawn.fps, 1), ""});
+    const std::string t = std::to_string(threads);
+    scaling_params.emplace_back("cpu_tiled_pool_fps_" + t + "t",
+                                TextTable::num(pooled.fps, 2));
+    scaling_params.emplace_back("cpu_tiled_spawn_fps_" + t + "t",
+                                TextTable::num(spawn.fps, 2));
+    scaling_params.emplace_back("cpu_tiled_pool_speedup_" + t + "t",
+                                TextTable::num(ratio, 2));
+  }
+  std::cout << scaling.to_string();
+  std::printf("pool lifetime: %llu tasks, %llu threads created\n",
+              static_cast<unsigned long long>(
+                  parallel::default_pool().tasks()),
+              static_cast<unsigned long long>(
+                  parallel::default_pool().threads_created()));
+
+  telemetry::BenchParams report{
+      {"iterations", "200"},
+      {"resolutions", "512x512,1024x768"},
+      {"fps_512_flat", TextTable::num(our_fps_512, 2)},
+      {"fps_512_pyramid", TextTable::num(our_pyr_512, 2)},
+      {"fps_768p_pyramid", TextTable::num(our_pyr_768p, 2)},
+      {"cpu_fps_512_extrapolated", TextTable::num(cpu_fps_512, 3)},
+      {"cpu_scaling_frame", "316x252"},
+      {"shape_holds", shape_holds ? "yes" : "no"}};
+  report.insert(report.end(), scaling_params.begin(), scaling_params.end());
+  telemetry::write_bench_report("table2_framerate", report,
+                                wall.milliseconds());
   return shape_holds ? 0 : 1;
 }

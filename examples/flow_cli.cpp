@@ -6,8 +6,11 @@
 // Usage:
 //   flow_cli [<frame0.pgm> <frame1.pgm> <flow_out.ppm>]
 //            [--levels N] [--warps N] [--iters N] [--lambda X]
-//            [--solver ref|tiled|fixed|accel] [--median] [--warp warped.pgm]
-//            [--trace trace.json] [--metrics metrics.json]
+//            [--solver ref|tiled|fixed|accel] [--threads N] [--median]
+//            [--warp warped.pgm] [--trace trace.json] [--metrics metrics.json]
+//
+// --threads N sizes the process-wide worker pool (and the tiled solver's
+// team); 0 or omitted uses the hardware concurrency.
 //
 // With no positional arguments, runs a self-demo on generated frames (an
 // optional bare argument names the output directory, default /tmp).  The
@@ -27,6 +30,7 @@
 #include "common/image_io.hpp"
 #include "common/stopwatch.hpp"
 #include "hw/accelerator.hpp"
+#include "parallel/thread_pool.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/telemetry.hpp"
 #include "telemetry/trace.hpp"
@@ -44,8 +48,8 @@ int usage() {
       stderr,
       "usage: flow_cli [<frame0.pgm> <frame1.pgm> <flow_out.ppm>]\n"
       "               [--levels N] [--warps N] [--iters N] [--lambda X]\n"
-      "               [--solver ref|tiled|fixed|accel] [--median]\n"
-      "               [--warp out.pgm] [--trace trace.json]\n"
+      "               [--solver ref|tiled|fixed|accel] [--threads N]\n"
+      "               [--median] [--warp out.pgm] [--trace trace.json]\n"
       "               [--metrics metrics.json]\n"
       "With no positional arguments a self-demo runs on generated frames.\n");
   return 2;
@@ -98,6 +102,14 @@ int main(int argc, char** argv) {
         use_accel = true;
       else
         return usage();
+    } else if (arg == "--threads") {
+      const char* n = next();
+      if (!n) return usage();
+      const int threads = std::atoi(n);
+      if (threads < 0) return usage();
+      // Sizes the process-wide resident pool; the tiled solver inherits the
+      // width through its num_threads = 0 (auto) default.
+      parallel::set_default_pool_threads(threads);
     } else if (arg == "--median") {
       params.median_filtering = true;
     } else if (arg == "--warp") {

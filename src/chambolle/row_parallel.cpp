@@ -1,27 +1,24 @@
 #include "chambolle/row_parallel.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "parallel/thread_pool.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
 namespace chambolle {
 namespace {
 
-int resolve_threads(int requested) {
-  if (requested > 0) return requested;
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<int>(hw);
-}
-
-// Runs fn(strip_index) for every strip on a worker pool and joins — the
-// join IS the barrier of the schedule.
+// Legacy engine: runs fn(strip_index) for every strip on a freshly spawned
+// team and joins — the join IS the barrier of the schedule, paid twice per
+// iteration.  Retained as the measurable baseline for the pooled engine.
 template <typename Fn>
-void parallel_strips(int num_strips, int threads, Fn&& fn) {
+void spawn_strips(int num_strips, int threads, Fn&& fn) {
   if (threads <= 1 || num_strips <= 1) {
     for (int i = 0; i < num_strips; ++i) fn(i);
     return;
@@ -34,11 +31,11 @@ void parallel_strips(int num_strips, int threads, Fn&& fn) {
       fn(i);
     }
   };
-  std::vector<std::thread> pool;
+  std::vector<std::thread> team;
   const int n = std::min(threads, num_strips);
-  pool.reserve(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) pool.emplace_back(worker);
-  for (std::thread& t : pool) t.join();
+  team.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) team.emplace_back(worker);
+  for (std::thread& t : team) t.join();
 }
 
 }  // namespace
@@ -58,10 +55,9 @@ ChambolleResult solve_row_parallel(const Matrix<float>& v,
   options.validate();
   const telemetry::TraceSpan span("chambolle.solve_row_parallel");
   const int rows = v.rows(), cols = v.cols();
-  const int threads = resolve_threads(options.num_threads);
-  const int strips = std::max((rows + options.rows_per_strip - 1) /
-                                  std::max(options.rows_per_strip, 1),
-                              1);
+  const int threads = parallel::default_pool().lanes_for(options.num_threads);
+  const int strips =
+      std::max((rows + options.rows_per_strip - 1) / options.rows_per_strip, 1);
   const float inv_theta = 1.f / params.theta;
   const float step = params.step();
 
@@ -73,49 +69,71 @@ ChambolleResult solve_row_parallel(const Matrix<float>& v,
     r1 = std::min(rows, r0 + options.rows_per_strip);
   };
 
-  for (int it = 0; it < params.iterations; ++it) {
-    // Phase 1: Terms (reads p, writes term) — identical arithmetic to the
-    // reference solver so the result is bit-exact.
-    parallel_strips(strips, threads, [&](int s) {
-      int r0, r1;
-      strip_range(s, r0, r1);
-      for (int r = r0; r < r1; ++r)
-        for (int c = 0; c < cols; ++c) {
-          float dx;
-          if (c == 0)
-            dx = px(r, c);
-          else if (c == cols - 1)
-            dx = -px(r, c - 1);
-          else
-            dx = px(r, c) - px(r, c - 1);
-          float dy;
-          if (r == 0)
-            dy = py(r, c);
-          else if (r == rows - 1)
-            dy = -py(r - 1, c);
-          else
-            dy = py(r, c) - py(r - 1, c);
-          term(r, c) = (dx + dy) - v(r, c) * inv_theta;
-        }
-    });
-    ++barriers;
+  // Phase 1: Terms (reads p, writes term) — identical arithmetic to the
+  // reference solver so the result is bit-exact.
+  const auto phase1_strip = [&](int s) {
+    int r0, r1;
+    strip_range(s, r0, r1);
+    for (int r = r0; r < r1; ++r)
+      for (int c = 0; c < cols; ++c) {
+        float dx;
+        if (c == 0)
+          dx = px(r, c);
+        else if (c == cols - 1)
+          dx = -px(r, c - 1);
+        else
+          dx = px(r, c) - px(r, c - 1);
+        float dy;
+        if (r == 0)
+          dy = py(r, c);
+        else if (r == rows - 1)
+          dy = -py(r - 1, c);
+        else
+          dy = py(r, c) - py(r - 1, c);
+        term(r, c) = (dx + dy) - v(r, c) * inv_theta;
+      }
+  };
 
-    // Phase 2: dual updates (reads term, writes p).
-    parallel_strips(strips, threads, [&](int s) {
-      int r0, r1;
-      strip_range(s, r0, r1);
-      for (int r = r0; r < r1; ++r)
-        for (int c = 0; c < cols; ++c) {
-          const float t = term(r, c);
-          const float term1 = c == cols - 1 ? 0.f : term(r, c + 1) - t;
-          const float term2 = r == rows - 1 ? 0.f : term(r + 1, c) - t;
-          const float grad = std::sqrt(term1 * term1 + term2 * term2);
-          const float denom = 1.f + step * grad;
-          px(r, c) = (px(r, c) + step * term1) / denom;
-          py(r, c) = (py(r, c) + step * term2) / denom;
-        }
-    });
-    ++barriers;
+  // Phase 2: dual updates (reads term, writes p).
+  const auto phase2_strip = [&](int s) {
+    int r0, r1;
+    strip_range(s, r0, r1);
+    for (int r = r0; r < r1; ++r)
+      for (int c = 0; c < cols; ++c) {
+        const float t = term(r, c);
+        const float term1 = c == cols - 1 ? 0.f : term(r, c + 1) - t;
+        const float term2 = r == rows - 1 ? 0.f : term(r + 1, c) - t;
+        const float grad = std::sqrt(term1 * term1 + term2 * term2);
+        const float denom = 1.f + step * grad;
+        px(r, c) = (px(r, c) + step * term1) / denom;
+        py(r, c) = (py(r, c) + step * term2) / denom;
+      }
+  };
+
+  const int lanes = std::min(threads, strips);
+  if (options.execution == parallel::Execution::kSpawn || lanes <= 1) {
+    // Spawn baseline (or degenerate width): a fresh team per phase.
+    for (int it = 0; it < params.iterations; ++it) {
+      spawn_strips(strips, lanes, phase1_strip);
+      ++barriers;
+      spawn_strips(strips, lanes, phase2_strip);
+      ++barriers;
+    }
+  } else {
+    // Pooled engine: ONE resident team lives across every iteration; the
+    // phase boundaries are barrier rendezvous, never joins.  Strips are
+    // assigned round-robin per lane — any fixed assignment is bit-exact
+    // because the phases are Jacobi sweeps over disjoint write sets.
+    parallel::default_pool().run_team(
+        lanes, [&](int lane, int nlanes, parallel::Barrier& barrier) {
+          for (int it = 0; it < params.iterations; ++it) {
+            for (int s = lane; s < strips; s += nlanes) phase1_strip(s);
+            barrier.arrive_and_wait();
+            for (int s = lane; s < strips; s += nlanes) phase2_strip(s);
+            barrier.arrive_and_wait();
+          }
+        });
+    barriers = 2 * params.iterations;
   }
 
   if (stats != nullptr) {

@@ -15,14 +15,19 @@
 #include "chambolle/params.hpp"
 #include "chambolle/solver.hpp"
 #include "common/image.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace chambolle {
 
 struct RowParallelOptions {
-  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  /// Worker threads; 0 means the default pool's configured width.
   int num_threads = 0;
   /// Rows per work unit handed to a thread.
   int rows_per_strip = 16;
+  /// kPool keeps one resident team alive across ALL iterations of the solve,
+  /// synchronizing the two phases with a reusable barrier; kSpawn is the
+  /// legacy spawn-and-join-per-phase baseline, kept for the benches.
+  parallel::Execution execution = parallel::Execution::kPool;
 
   void validate() const;
 };

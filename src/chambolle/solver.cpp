@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "chambolle/energy.hpp"
 #include "telemetry/convergence.hpp"
@@ -127,10 +128,14 @@ ChambolleResult solve(const Matrix<float>& v, const ChambolleParams& params,
                       telemetry::ConvergenceTrace* convergence) {
   params.validate();
   const telemetry::TraceSpan span("chambolle.solve");
+  // Validate the warm start BEFORE adopting it, and check both components:
+  // a py of the wrong shape would otherwise be copied into the result and
+  // read out of bounds by the iteration.
+  if (initial != nullptr &&
+      (!initial->px.same_shape(v) || !initial->py.same_shape(v)))
+    throw std::invalid_argument("solve: initial dual shape mismatch");
   ChambolleResult out;
   out.p = initial != nullptr ? *initial : DualField(v.rows(), v.cols());
-  if (initial != nullptr && !initial->px.same_shape(v))
-    throw std::invalid_argument("solve: initial dual shape mismatch");
   const RegionGeometry geom = RegionGeometry::full_frame(v.rows(), v.cols());
   Matrix<float> scratch;
   if (convergence == nullptr) {
@@ -162,10 +167,16 @@ ChambolleResult solve(const Matrix<float>& v, const ChambolleParams& params,
   return out;
 }
 
-FlowField solve_flow(const FlowField& v, const ChambolleParams& params) {
+FlowField solve_flow(const FlowField& v, const ChambolleParams& params,
+                     const DualField* initial_u1, const DualField* initial_u2,
+                     DualField* final_u1, DualField* final_u2) {
   FlowField out;
-  out.u1 = solve(v.u1, params).u;
-  out.u2 = solve(v.u2, params).u;
+  ChambolleResult r1 = solve(v.u1, params, initial_u1);
+  ChambolleResult r2 = solve(v.u2, params, initial_u2);
+  out.u1 = std::move(r1.u);
+  out.u2 = std::move(r2.u);
+  if (final_u1 != nullptr) *final_u1 = std::move(r1.p);
+  if (final_u2 != nullptr) *final_u2 = std::move(r2.p);
   return out;
 }
 

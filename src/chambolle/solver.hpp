@@ -69,8 +69,15 @@ void iterate_region(Matrix<float>& px, Matrix<float>& py,
     telemetry::ConvergenceTrace* convergence = nullptr);
 
 /// Solves both components of a flow field (the hardware runs them on separate
-/// PE arrays; here they are sequential but independent).
+/// PE arrays; here they are sequential but independent).  Optional initial
+/// duals warm-start the per-component solves (temporal coherence across
+/// frames, the same path video_runner's carry uses); optional final duals
+/// receive the end state so the next frame can warm-start from it.
 [[nodiscard]] FlowField solve_flow(const FlowField& v,
-                                   const ChambolleParams& params);
+                                   const ChambolleParams& params,
+                                   const DualField* initial_u1 = nullptr,
+                                   const DualField* initial_u2 = nullptr,
+                                   DualField* final_u1 = nullptr,
+                                   DualField* final_u2 = nullptr);
 
 }  // namespace chambolle

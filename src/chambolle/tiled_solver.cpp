@@ -5,17 +5,12 @@
 #include <thread>
 #include <vector>
 
+#include "parallel/thread_pool.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
 namespace chambolle {
 namespace {
-
-int resolve_threads(int requested) {
-  if (requested > 0) return requested;
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<int>(hw);
-}
 
 // Processes one tile: copy buffer, iterate locally, write back profitable.
 void process_tile(const TileSpec& t, const Matrix<float>& px,
@@ -40,6 +35,59 @@ void process_tile(const TileSpec& t, const Matrix<float>& px,
     }
 }
 
+void check_pass_args(const Matrix<float>& px, const Matrix<float>& py,
+                     const Matrix<float>& px_out, const Matrix<float>& py_out,
+                     const Matrix<float>& v, const TilingPlan& plan,
+                     int iterations_this_pass) {
+  if (iterations_this_pass <= 0 || iterations_this_pass > plan.halo)
+    throw std::invalid_argument("run_tiled_pass: iterations exceed halo");
+  if (!px.same_shape(py) || !px.same_shape(v) || !px_out.same_shape(px) ||
+      !py_out.same_shape(py))
+    throw std::invalid_argument("run_tiled_pass: shape mismatch");
+}
+
+// One merged pass with caller-owned per-lane scratch, so a multi-pass solve
+// reuses both the resident workers AND their scratch buffers.
+void run_pass(const Matrix<float>& px, const Matrix<float>& py,
+              Matrix<float>& px_out, Matrix<float>& py_out,
+              const Matrix<float>& v, const TilingPlan& plan,
+              const ChambolleParams& params, int iterations_this_pass,
+              int lanes, parallel::Execution execution,
+              parallel::PerLane<Matrix<float>>& scratch) {
+  if (execution == parallel::Execution::kSpawn) {
+    // Legacy engine: one thread team spawned and joined per pass.  Retained
+    // as the measurable baseline of the pooled-vs-spawn benches.
+    std::atomic<std::size_t> next{0};
+    const auto worker = [&] {
+      Matrix<float> local_scratch;
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= plan.tiles.size()) return;
+        process_tile(plan.tiles[i], px, py, px_out, py_out, v, plan, params,
+                     iterations_this_pass, local_scratch);
+      }
+    };
+    if (lanes == 1 || plan.tiles.size() <= 1) {
+      worker();
+      return;
+    }
+    std::vector<std::thread> team;
+    team.reserve(static_cast<std::size_t>(lanes));
+    for (int i = 0; i < lanes; ++i) team.emplace_back(worker);
+    for (std::thread& th : team) th.join();
+    return;
+  }
+
+  parallel::default_pool().parallel_for(
+      plan.tiles.size(), lanes,
+      [&](std::size_t begin, std::size_t end, int lane) {
+        Matrix<float>& s = scratch[lane];
+        for (std::size_t i = begin; i < end; ++i)
+          process_tile(plan.tiles[i], px, py, px_out, py_out, v, plan, params,
+                       iterations_this_pass, s);
+      });
+}
+
 }  // namespace
 
 void TiledSolverOptions::validate() const {
@@ -56,33 +104,12 @@ void run_tiled_pass(const Matrix<float>& px, const Matrix<float>& py,
                     Matrix<float>& px_out, Matrix<float>& py_out,
                     const Matrix<float>& v, const TilingPlan& plan,
                     const ChambolleParams& params, int iterations_this_pass,
-                    int num_threads) {
-  if (iterations_this_pass <= 0 || iterations_this_pass > plan.halo)
-    throw std::invalid_argument("run_tiled_pass: iterations exceed halo");
-  if (!px.same_shape(py) || !px.same_shape(v) || !px_out.same_shape(px) ||
-      !py_out.same_shape(py))
-    throw std::invalid_argument("run_tiled_pass: shape mismatch");
-
-  const int threads = resolve_threads(num_threads);
-  std::atomic<std::size_t> next{0};
-  const auto worker = [&] {
-    Matrix<float> scratch;
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= plan.tiles.size()) return;
-      process_tile(plan.tiles[i], px, py, px_out, py_out, v, plan, params,
-                   iterations_this_pass, scratch);
-    }
-  };
-
-  if (threads == 1 || plan.tiles.size() <= 1) {
-    worker();
-    return;
-  }
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(threads));
-  for (int i = 0; i < threads; ++i) pool.emplace_back(worker);
-  for (std::thread& th : pool) th.join();
+                    int num_threads, parallel::Execution execution) {
+  check_pass_args(px, py, px_out, py_out, v, plan, iterations_this_pass);
+  const int lanes = parallel::default_pool().lanes_for(num_threads);
+  parallel::PerLane<Matrix<float>> scratch(lanes);
+  run_pass(px, py, px_out, py_out, v, plan, params, iterations_this_pass,
+           lanes, execution, scratch);
 }
 
 ChambolleResult solve_tiled(const Matrix<float>& v,
@@ -99,6 +126,8 @@ ChambolleResult solve_tiled(const Matrix<float>& v,
 
   Matrix<float> px(rows, cols), py(rows, cols);
   Matrix<float> px_next(rows, cols), py_next(rows, cols);
+  const int lanes = parallel::default_pool().lanes_for(options.num_threads);
+  parallel::PerLane<Matrix<float>> scratch(lanes);
 
   int remaining = params.iterations;
   int passes = 0;
@@ -106,8 +135,9 @@ ChambolleResult solve_tiled(const Matrix<float>& v,
   while (remaining > 0) {
     const int k = std::min(remaining, options.merge_iterations);
     const telemetry::TraceSpan pass_span("chambolle.tiled.pass");
-    run_tiled_pass(px, py, px_next, py_next, v, plan, params, k,
-                   options.num_threads);
+    check_pass_args(px, py, px_next, py_next, v, plan, k);
+    run_pass(px, py, px_next, py_next, v, plan, params, k, lanes,
+             options.execution, scratch);
     std::swap(px, px_next);
     std::swap(py, py_next);
     remaining -= k;

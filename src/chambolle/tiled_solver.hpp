@@ -17,6 +17,7 @@
 #include "chambolle/solver.hpp"
 #include "chambolle/tile.hpp"
 #include "common/image.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace chambolle {
 
@@ -26,8 +27,12 @@ struct TiledSolverOptions {
   int tile_cols = 92;
   /// Iterations merged per pass (K); the halo/profitable margin equals K.
   int merge_iterations = 4;
-  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  /// Worker threads; 0 means the default pool's configured width.
   int num_threads = 0;
+  /// kPool runs every pass on the resident default pool (zero steady-state
+  /// thread creation); kSpawn is the legacy spawn-per-pass baseline, kept so
+  /// the benches can measure what the pool buys.
+  parallel::Execution execution = parallel::Execution::kPool;
 
   void validate() const;
 };
@@ -63,6 +68,7 @@ void run_tiled_pass(const Matrix<float>& px, const Matrix<float>& py,
                     Matrix<float>& px_out, Matrix<float>& py_out,
                     const Matrix<float>& v, const TilingPlan& plan,
                     const ChambolleParams& params, int iterations_this_pass,
-                    int num_threads);
+                    int num_threads,
+                    parallel::Execution execution = parallel::Execution::kPool);
 
 }  // namespace chambolle

@@ -1,0 +1,62 @@
+#include "parallel/barrier.hpp"
+
+#include <stdexcept>
+#include <thread>
+
+#include "telemetry/metrics.hpp"
+
+namespace chambolle::parallel {
+namespace {
+
+// Bounded spin before sleeping.  Phases in this codebase are a few tens of
+// microseconds to a few milliseconds, so most rendezvous complete within the
+// spin window — but spinning only pays when every party can actually run at
+// once; on an oversubscribed machine (parties > cores) the spinners would
+// just steal cycles from the stragglers, so the barrier goes straight to the
+// condition variable there.
+int spin_rounds_for(int parties) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw != 0 && static_cast<unsigned>(parties) <= hw ? 4096 : 0;
+}
+
+}  // namespace
+
+Barrier::Barrier(int parties, std::atomic<std::uint64_t>* arrivals,
+                 telemetry::Counter* telemetry_arrivals)
+    : parties_(parties),
+      spin_rounds_(spin_rounds_for(parties)),
+      arrivals_(arrivals),
+      telemetry_arrivals_(telemetry_arrivals) {
+  if (parties < 1) throw std::invalid_argument("Barrier: parties < 1");
+}
+
+void Barrier::arrive_and_wait() {
+  if (arrivals_ != nullptr) arrivals_->fetch_add(1, std::memory_order_relaxed);
+  if (telemetry_arrivals_ != nullptr) telemetry_arrivals_->add(1);
+  if (parties_ == 1) {
+    generation_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  std::unique_lock<std::mutex> lk(mu_);
+  const std::uint64_t gen = generation_.load(std::memory_order_relaxed);
+  if (++arrived_ == parties_) {
+    arrived_ = 0;
+    generation_.store(gen + 1, std::memory_order_release);
+    lk.unlock();
+    cv_.notify_all();
+    return;
+  }
+  lk.unlock();
+
+  for (int i = 0; i < spin_rounds_; ++i) {
+    if (generation_.load(std::memory_order_acquire) != gen) return;
+    if ((i & 127) == 127) std::this_thread::yield();
+  }
+  lk.lock();
+  cv_.wait(lk, [&] {
+    return generation_.load(std::memory_order_acquire) != gen;
+  });
+}
+
+}  // namespace chambolle::parallel

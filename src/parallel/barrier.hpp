@@ -1,0 +1,66 @@
+// barrier.hpp — a reusable two-phase synchronization barrier.
+//
+// The paper's row-parallel schedule (and any bulk-synchronous subdomain
+// sweep, cf. Gilliocq-Hirtz & Belhachmi 2015) alternates compute phases that
+// must be separated by a global rendezvous.  Spawning-and-joining threads at
+// every phase boundary pays thread-creation cost per phase; a reusable
+// barrier lets long-lived workers rendezvous in microseconds instead.
+//
+// This is a classic sense-reversing (generation-counted) central barrier:
+// the last of `parties` arrivals flips the generation and releases everyone,
+// after which the barrier is immediately reusable for the next phase — the
+// "two-phase" property: arrivals for generation g+1 can never be confused
+// with stragglers of generation g.
+//
+// Waiting is hybrid: a short bounded spin on the generation word (the common
+// case when phases are balanced), then a condition-variable sleep, so the
+// barrier stays cheap under load yet does not burn CPU when a phase is
+// skewed or the machine is oversubscribed.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace chambolle::telemetry {
+class Counter;
+}  // namespace chambolle::telemetry
+
+namespace chambolle::parallel {
+
+class Barrier {
+ public:
+  /// A barrier for exactly `parties` participants (>= 1).  `arrivals`, when
+  /// non-null, is incremented once per arrive_and_wait() call — the hook the
+  /// ThreadPool uses for its always-on `barrier_waits()` statistic;
+  /// `telemetry_arrivals` mirrors the same count into a registry counter
+  /// (no-op while telemetry is disabled).
+  explicit Barrier(int parties, std::atomic<std::uint64_t>* arrivals = nullptr,
+                   telemetry::Counter* telemetry_arrivals = nullptr);
+
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  /// Blocks until all `parties` participants of the current generation have
+  /// arrived, then releases them together.  Reusable immediately.
+  void arrive_and_wait();
+
+  [[nodiscard]] int parties() const { return parties_; }
+  /// Completed rendezvous (generation flips) so far.
+  [[nodiscard]] std::uint64_t generations() const {
+    return generation_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const int parties_;
+  const int spin_rounds_;
+  std::atomic<std::uint64_t>* arrivals_;
+  telemetry::Counter* telemetry_arrivals_;
+  std::atomic<std::uint64_t> generation_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int arrived_ = 0;  // guarded by mu_
+};
+
+}  // namespace chambolle::parallel

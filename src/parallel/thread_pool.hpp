@@ -1,0 +1,182 @@
+// thread_pool.hpp — the persistent execution engine of the parallel solvers.
+//
+// The paper's parallelization argument (loop decomposition + sliding
+// windows) makes Chambolle iterations coarsely parallel, but the original
+// CPU realization here re-spawned std::threads for every tiled pass and
+// twice per row-parallel iteration, so thread creation dominated exactly
+// the regime the paper cares about (many small merged passes).  This pool
+// keeps a process-wide set of resident workers alive across passes, solves,
+// and frames: steady-state solving creates zero threads.
+//
+// Model: a *parallel region* engine, not a futures queue.  run_team(n, fn)
+// executes fn(lane, lanes, barrier) on n lanes concurrently — the calling
+// thread participates as lane 0, resident workers take lanes 1..n-1 — and
+// returns when every lane has finished.  The shared Barrier (sized to the
+// team) lets a region synchronize internal phases without ever joining, the
+// way the row-parallel schedule alternates its Term/dual-update sweeps.
+// parallel_for() layers dynamic chunked work-sharing on top for the tiled
+// solver's independent-tile passes.
+//
+// Guarantees:
+//   * workers are spawned lazily on first demand and kept resident;
+//     threads_created() is observable so tests can assert "at most once";
+//   * regions are serialized: concurrent callers queue, they never deadlock;
+//   * nested use (a region body entering the pool again) degrades to inline
+//     single-lane execution instead of deadlocking;
+//   * exceptions thrown by a region body are captured and rethrown on the
+//     calling thread after the team quiesces.
+//
+// Observability: always-on atomic counters (tasks/threads_created/
+// barrier_waits) plus mirrors in the telemetry registry under `pool.*`
+// (docs/observability.md).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "parallel/barrier.hpp"
+
+namespace chambolle::parallel {
+
+/// How a parallel solver executes its work-sharing loops.
+enum class Execution {
+  kPool,   ///< resident default-pool workers; zero steady-state thread spawns
+  kSpawn,  ///< legacy spawn-and-join per pass/phase; kept as the measurable
+           ///< baseline for the pooled-vs-spawn benches
+};
+
+/// Thread-count resolution shared by every parallel component: a positive
+/// request wins; 0 (auto) means std::thread::hardware_concurrency(), which
+/// itself may report 0 on exotic platforms and then falls back to 1.
+[[nodiscard]] int resolve_threads(int requested);
+
+/// Cache-line-padded per-lane storage — the pool's "scratch slot" idiom.
+/// A region body indexes it with its lane id; padding keeps neighboring
+/// lanes' scratch off each other's cache lines.  The slots outlive regions,
+/// so scratch allocated once per solve is reused across every pass.
+template <typename T>
+class PerLane {
+ public:
+  explicit PerLane(int lanes)
+      : slots_(static_cast<std::size_t>(lanes < 1 ? 1 : lanes)) {}
+
+  [[nodiscard]] T& operator[](int lane) {
+    return slots_[static_cast<std::size_t>(lane)].value;
+  }
+  [[nodiscard]] const T& operator[](int lane) const {
+    return slots_[static_cast<std::size_t>(lane)].value;
+  }
+  [[nodiscard]] int lanes() const { return static_cast<int>(slots_.size()); }
+
+ private:
+  struct alignas(64) Slot {
+    T value{};
+  };
+  std::vector<Slot> slots_;
+};
+
+class ThreadPool {
+ public:
+  /// fn(lane, lanes, barrier): lane in [0, lanes), barrier sized to lanes.
+  using TeamFn = std::function<void(int, int, Barrier&)>;
+  /// fn(begin, end, lane): process items [begin, end).
+  using RangeFn = std::function<void(std::size_t, std::size_t, int)>;
+
+  /// `threads` is the default team width for auto-sized work (0 = hardware
+  /// concurrency).  No threads are created until the first parallel region
+  /// actually needs them.
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Configured default team width (including the calling thread).
+  [[nodiscard]] int threads() const {
+    return target_threads_.load(std::memory_order_relaxed);
+  }
+
+  /// Lane count for a solver-level request: a positive `requested` wins,
+  /// 0 (auto) uses the pool's configured width.  This is the single
+  /// replacement for the per-solver resolve_threads() helpers.
+  [[nodiscard]] int lanes_for(int requested) const {
+    return requested > 0 ? requested : threads();
+  }
+
+  /// Reconfigures the default width.  Waits for the pool to go idle; shrinks
+  /// the resident worker set if it exceeds the new width (growth stays lazy).
+  void resize(int threads);
+
+  /// Runs fn on `lanes` lanes concurrently and returns when all have
+  /// finished.  The caller executes lane 0; resident workers (spawned on
+  /// demand, then reused forever) take the rest.  Safe to call from
+  /// multiple threads (regions serialize) and from inside a region body
+  /// (runs inline on one lane).
+  void run_team(int lanes, const TeamFn& fn);
+
+  /// Chunked dynamic parallel-for over [0, n): lanes pull `chunk`-sized
+  /// index ranges from a shared cursor until exhausted.  Effective lane
+  /// count is capped by the number of chunks.
+  void parallel_for(std::size_t n, int lanes, const RangeFn& fn,
+                    std::size_t chunk = 1);
+
+  // Always-on lifetime statistics (also mirrored to telemetry as pool.*).
+  /// Parallel regions executed (run_team + parallel_for dispatches).
+  [[nodiscard]] std::uint64_t tasks() const {
+    return tasks_.load(std::memory_order_relaxed);
+  }
+  /// OS threads ever created by this pool.
+  [[nodiscard]] std::uint64_t threads_created() const {
+    return threads_created_.load(std::memory_order_relaxed);
+  }
+  /// Total arrive_and_wait() calls on pool-owned barriers.
+  [[nodiscard]] std::uint64_t barrier_waits() const {
+    return barrier_waits_.load(std::memory_order_relaxed);
+  }
+  /// Resident workers currently alive.
+  [[nodiscard]] int resident_workers() const;
+
+ private:
+  void worker_main(std::size_t index, std::uint64_t seen_epoch);
+  /// Spawns resident workers until at least `needed` exist.  mu_ held.
+  void ensure_workers_locked(int needed);
+  /// Joins every resident worker.  mu_ held on entry/exit, pool marked busy.
+  void drain_workers_locked(std::unique_lock<std::mutex>& lk);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;  // workers: new epoch or shutdown
+  std::condition_variable cv_done_;  // caller: team finished
+  std::condition_variable cv_idle_;  // queued callers: region slot free
+  std::vector<std::thread> workers_;
+  std::atomic<int> target_threads_;
+  bool busy_ = false;
+  bool shutdown_ = false;
+  std::uint64_t epoch_ = 0;
+  const TeamFn* job_ = nullptr;
+  int job_lanes_ = 0;
+  int job_remaining_ = 0;
+  std::exception_ptr job_error_;
+  std::unique_ptr<Barrier> barrier_;
+
+  std::atomic<std::uint64_t> tasks_{0};
+  std::atomic<std::uint64_t> threads_created_{0};
+  std::atomic<std::uint64_t> barrier_waits_{0};
+};
+
+/// The process-wide pool every solver and pipeline stage shares.  Lazily
+/// constructed; sized from hardware concurrency until set_default_pool_
+/// threads() (e.g. flow_cli --threads) reconfigures it.
+[[nodiscard]] ThreadPool& default_pool();
+
+/// Resizes the default pool (0 = hardware concurrency).
+void set_default_pool_threads(int threads);
+
+}  // namespace chambolle::parallel

@@ -1,11 +1,13 @@
 #include "tvl1/tvl1.hpp"
 
+#include <optional>
 #include <stdexcept>
 
 #include "chambolle/fixed_solver.hpp"
 #include "chambolle/solver.hpp"
 #include "common/stopwatch.hpp"
 #include "common/validation.hpp"
+#include "parallel/thread_pool.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 #include "tvl1/median_filter.hpp"
@@ -66,14 +68,21 @@ FlowField compute_flow(const Image& i0, const Image& i1,
   double chambolle_seconds = 0.0;
   long long inner_iters = 0;
 
-  const Pyramid p0 = [&] {
-    const telemetry::TraceSpan span("tvl1.pyramid");
-    return Pyramid(normalize(i0), params.pyramid_levels);
-  }();
-  const Pyramid p1 = [&] {
-    const telemetry::TraceSpan span("tvl1.pyramid");
-    return Pyramid(normalize(i1), params.pyramid_levels);
-  }();
+  // The two pyramids are independent; build them concurrently on the
+  // resident default pool (frame-rate service work, not worth a spawn).
+  std::optional<Pyramid> p0_storage, p1_storage;
+  parallel::default_pool().parallel_for(
+      2, 2, [&](std::size_t begin, std::size_t end, int) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const telemetry::TraceSpan span("tvl1.pyramid");
+          if (i == 0)
+            p0_storage.emplace(normalize(i0), params.pyramid_levels);
+          else
+            p1_storage.emplace(normalize(i1), params.pyramid_levels);
+        }
+      });
+  const Pyramid& p0 = *p0_storage;
+  const Pyramid& p1 = *p1_storage;
   const int levels = std::min(p0.levels(), p1.levels());
 
   FlowField u;

@@ -1,7 +1,9 @@
 #include "tvl1/video_runner.hpp"
 
+#include <optional>
 #include <stdexcept>
 
+#include "parallel/thread_pool.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 #include "tvl1/median_filter.hpp"
@@ -46,15 +48,23 @@ VideoRunnerResult run_video(const std::vector<Image>& frames,
 
   for (std::size_t pair = 0; pair + 1 < frames.size(); ++pair) {
     const telemetry::TraceSpan pair_span("video.frame_pair");
-    const Pyramid p0 = [&] {
-      const telemetry::TraceSpan span("tvl1.pyramid");
-      return Pyramid(normalize(frames[pair]), options.tvl1.pyramid_levels);
-    }();
-    const Pyramid p1 = [&] {
-      const telemetry::TraceSpan span("tvl1.pyramid");
-      return Pyramid(normalize(frames[pair + 1]),
-                     options.tvl1.pyramid_levels);
-    }();
+    // Both pyramids of the pair build concurrently on the resident pool —
+    // per-frame host work must not spawn threads at video rate.
+    std::optional<Pyramid> p0_storage, p1_storage;
+    parallel::default_pool().parallel_for(
+        2, 2, [&](std::size_t begin, std::size_t end, int) {
+          for (std::size_t i = begin; i < end; ++i) {
+            const telemetry::TraceSpan span("tvl1.pyramid");
+            if (i == 0)
+              p0_storage.emplace(normalize(frames[pair]),
+                                 options.tvl1.pyramid_levels);
+            else
+              p1_storage.emplace(normalize(frames[pair + 1]),
+                                 options.tvl1.pyramid_levels);
+          }
+        });
+    const Pyramid& p0 = *p0_storage;
+    const Pyramid& p1 = *p1_storage;
     const int levels = std::min(p0.levels(), p1.levels());
 
     FlowField u;

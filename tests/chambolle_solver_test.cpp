@@ -138,6 +138,20 @@ TEST(ChambolleSolver, InitialDualShapeMismatchThrows) {
   EXPECT_THROW(solve(v, params_with(1), &wrong), std::invalid_argument);
 }
 
+TEST(ChambolleSolver, InitialDualSingleComponentMismatchThrows) {
+  // Regression: validation used to run after the copy and only looked at px,
+  // so a py-only mismatch slipped through.  Both components must be checked
+  // up front, before any state is built from the initial dual.
+  const Matrix<float> v(4, 4);
+  DualField bad_py(4, 4);
+  bad_py.py = Matrix<float>(5, 4);
+  EXPECT_THROW(solve(v, params_with(1), &bad_py), std::invalid_argument);
+
+  DualField bad_px(4, 4);
+  bad_px.px = Matrix<float>(4, 3);
+  EXPECT_THROW(solve(v, params_with(1), &bad_px), std::invalid_argument);
+}
+
 TEST(ChambolleSolver, RegionWindowExceedingFrameThrows) {
   Matrix<float> px(4, 4), py(4, 4), v(4, 4), scratch;
   const RegionGeometry bad{2, 2, 5, 5};  // 2+4 > 5
@@ -154,6 +168,39 @@ TEST(ChambolleSolver, SolveFlowHandlesBothComponents) {
   const FlowField u = solve_flow(v, params_with(30));
   EXPECT_EQ(u.u1, solve(v.u1, params_with(30)).u);
   EXPECT_EQ(u.u2, solve(v.u2, params_with(30)).u);
+}
+
+TEST(ChambolleSolver, SolveFlowWarmStartMatchesComponentSolves) {
+  // solve_flow's optional initial/final duals must behave exactly like the
+  // per-component solve() warm-start path (the video_runner carry).
+  Rng rng(21);
+  FlowField v(8, 10);
+  v.u1 = random_image(rng, 8, 10, -1.f, 1.f);
+  v.u2 = random_image(rng, 8, 10, -1.f, 1.f);
+
+  const ChambolleResult half1 = solve(v.u1, params_with(15));
+  const ChambolleResult half2 = solve(v.u2, params_with(15));
+  DualField final_u1, final_u2;
+  const FlowField resumed = solve_flow(v, params_with(15), &half1.p, &half2.p,
+                                       &final_u1, &final_u2);
+
+  const ChambolleResult full1 = solve(v.u1, params_with(30));
+  const ChambolleResult full2 = solve(v.u2, params_with(30));
+  EXPECT_EQ(resumed.u1, full1.u);
+  EXPECT_EQ(resumed.u2, full2.u);
+  EXPECT_EQ(final_u1.px, full1.p.px);
+  EXPECT_EQ(final_u1.py, full1.p.py);
+  EXPECT_EQ(final_u2.px, full2.p.px);
+  EXPECT_EQ(final_u2.py, full2.p.py);
+}
+
+TEST(ChambolleSolver, SolveFlowRejectsMismatchedInitialDuals) {
+  FlowField v(6, 6);
+  DualField wrong(5, 6);
+  EXPECT_THROW(solve_flow(v, params_with(1), &wrong, nullptr),
+               std::invalid_argument);
+  EXPECT_THROW(solve_flow(v, params_with(1), nullptr, &wrong),
+               std::invalid_argument);
 }
 
 // Degenerate geometries must not crash and must behave like 1-D TV.

@@ -40,7 +40,31 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, RowParallelEqualsReference,
     ::testing::Values(RpCase{32, 32, 10, 1, 8}, RpCase{32, 32, 10, 4, 8},
                       RpCase{33, 47, 13, 3, 5}, RpCase{64, 16, 8, 2, 64},
-                      RpCase{7, 7, 20, 2, 2}, RpCase{1, 40, 6, 2, 1}));
+                      RpCase{7, 7, 20, 2, 2}, RpCase{1, 40, 6, 2, 1},
+                      // Single pixel; strip taller than the frame; rows not
+                      // divisible by the strip height (partial last strip).
+                      RpCase{1, 1, 8, 2, 1}, RpCase{16, 24, 10, 3, 64},
+                      RpCase{45, 33, 9, 3, 7}));
+
+TEST(RowParallel, ExecutionEngineDoesNotChangeResult) {
+  Rng rng(77);
+  const Matrix<float> v = random_image(rng, 45, 33, -3.f, 3.f);
+  const ChambolleParams params = params_with(9);
+  const ChambolleResult ref = solve(v, params);
+
+  RowParallelOptions opt;
+  opt.num_threads = 3;
+  opt.rows_per_strip = 7;
+  opt.execution = parallel::Execution::kPool;
+  const ChambolleResult pooled = solve_row_parallel(v, params, opt);
+  opt.execution = parallel::Execution::kSpawn;
+  const ChambolleResult spawned = solve_row_parallel(v, params, opt);
+
+  EXPECT_EQ(pooled.u, ref.u);
+  EXPECT_EQ(spawned.u, ref.u);
+  EXPECT_EQ(pooled.p.px, spawned.p.px);
+  EXPECT_EQ(pooled.p.py, spawned.p.py);
+}
 
 TEST(RowParallel, BarrierAccounting) {
   Rng rng(1);

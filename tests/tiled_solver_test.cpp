@@ -61,7 +61,37 @@ INSTANTIATE_TEST_SUITE_P(
         TiledCase{90, 94, 88, 92, 4, 12, 2},
         // Tall/flat frames exercise the one-axis tiling paths.
         TiledCase{128, 16, 40, 16, 6, 18, 2},
-        TiledCase{16, 128, 16, 40, 6, 18, 2}));
+        TiledCase{16, 128, 16, 40, 6, 18, 2},
+        // Degenerate frame: a single pixel, still multi-threaded request.
+        TiledCase{1, 1, 88, 92, 2, 9, 2},
+        // Frame dimensions not divisible by the tile anywhere.
+        TiledCase{61, 45, 16, 16, 2, 10, 3},
+        // Tile exactly equal to the frame (boundary of the single-tile path).
+        TiledCase{40, 44, 40, 44, 3, 12, 2}));
+
+TEST(TiledSolver, ExecutionEngineDoesNotChangeResult) {
+  // kPool and kSpawn must be bit-identical to the reference and to each
+  // other: the engine decides only who runs a tile, never its arithmetic.
+  const Matrix<float> v = random_v(61, 45, 11);
+  const ChambolleParams params = params_with(10);
+  TiledSolverOptions opt;
+  opt.tile_rows = 16;
+  opt.tile_cols = 16;
+  opt.merge_iterations = 2;
+
+  const ChambolleResult ref = solve(v, params);
+  for (const int threads : {1, 4}) {
+    opt.num_threads = threads;
+    opt.execution = parallel::Execution::kPool;
+    const ChambolleResult pooled = solve_tiled(v, params, opt);
+    opt.execution = parallel::Execution::kSpawn;
+    const ChambolleResult spawned = solve_tiled(v, params, opt);
+    EXPECT_EQ(pooled.u, ref.u) << "pool, " << threads << " threads";
+    EXPECT_EQ(spawned.u, ref.u) << "spawn, " << threads << " threads";
+    EXPECT_EQ(pooled.p.px, spawned.p.px);
+    EXPECT_EQ(pooled.p.py, spawned.p.py);
+  }
+}
 
 TEST(TiledSolver, StatsAccountRedundantWork) {
   const Matrix<float> v = random_v(64, 64, 5);

@@ -5,8 +5,11 @@
 // Throughput is reported in pixel-iterations/second.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "chambolle/chambolle_pock.hpp"
 #include "chambolle/fixed_solver.hpp"
@@ -16,6 +19,7 @@
 #include "chambolle/tiled_solver.hpp"
 #include "common/rng.hpp"
 #include "common/stopwatch.hpp"
+#include "kernels/kernel.hpp"
 #include "parallel/thread_pool.hpp"
 #include "telemetry/bench_report.hpp"
 
@@ -196,6 +200,79 @@ void BM_SingleIteration(benchmark::State& state) {
 }
 BENCHMARK(BM_SingleIteration)->Arg(128)->Arg(512);
 
+// The seed solver's single iteration (two passes over a full Term frame,
+// border branches per element), kept as an in-binary baseline so the fused
+// kernel's speedup is measured directly rather than against a remembered
+// number.  Full-frame geometry only, matching BM_SingleIteration.
+void seed_iterate_full(Matrix<float>& px, Matrix<float>& py,
+                       const Matrix<float>& v, const ChambolleParams& params,
+                       Matrix<float>& term) {
+  const int rows = v.rows(), cols = v.cols();
+  term.resize(rows, cols);
+  const float inv_theta = 1.f / params.theta;
+  const float step = params.step();
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c) {
+      const float dx = c == 0           ? px(r, c)
+                       : c == cols - 1  ? -px(r, c - 1)
+                                        : px(r, c) - px(r, c - 1);
+      const float dy = r == 0           ? py(r, c)
+                       : r == rows - 1  ? -py(r - 1, c)
+                                        : py(r, c) - py(r - 1, c);
+      term(r, c) = dx + dy - v(r, c) * inv_theta;
+    }
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c) {
+      const float t = term(r, c);
+      const float term1 = c == cols - 1 ? 0.f : term(r, c + 1) - t;
+      const float term2 = r == rows - 1 ? 0.f : term(r + 1, c) - t;
+      const float grad = std::sqrt(term1 * term1 + term2 * term2);
+      const float denom = 1.f + step * grad;
+      px(r, c) = (px(r, c) + step * term1) / denom;
+      py(r, c) = (py(r, c) + step * term2) / denom;
+    }
+}
+
+void BM_SeedSingleIteration(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Matrix<float> v = bench_field(n);
+  const ChambolleParams params = bench_params(1);
+  Matrix<float> px(n, n), py(n, n), term;
+  for (auto _ : state) {
+    seed_iterate_full(px, py, v, params, term);
+    benchmark::DoNotOptimize(px.data());
+  }
+  set_throughput(state, n, 1);
+}
+BENCHMARK(BM_SeedSingleIteration)->Arg(128)->Arg(512);
+
+// Single iteration with the kernel backend pinned.  Registered dynamically
+// in main() for exactly the backends this machine can run.
+void BM_SingleIterationBackend(benchmark::State& state,
+                               kernels::Backend backend) {
+  kernels::force_backend(backend);
+  const int n = static_cast<int>(state.range(0));
+  const Matrix<float> v = bench_field(n);
+  const ChambolleParams params = bench_params(1);
+  Matrix<float> px(n, n), py(n, n), scratch;
+  const RegionGeometry geom = RegionGeometry::full_frame(n, n);
+  for (auto _ : state) {
+    iterate_region(px, py, v, geom, params, 1, scratch);
+    benchmark::DoNotOptimize(px.data());
+  }
+  kernels::reset_backend();
+  set_throughput(state, n, 1);
+}
+
+void register_backend_benchmarks() {
+  for (const kernels::Backend b : kernels::available_backends()) {
+    const std::string name = std::string("BM_SingleIterationBackend/") +
+                             kernels::backend_name(b);
+    benchmark::RegisterBenchmark(name.c_str(), BM_SingleIterationBackend, b)
+        ->Arg(512);
+  }
+}
+
 // Direct stopwatch measurement of pooled vs spawn at a given width, so the
 // BENCH json carries the engine speedup as first-class numbers (the perf
 // trajectory CI tracks), independent of google-benchmark's own output.
@@ -254,6 +331,43 @@ EngineSpeedup measure_row_parallel_engines(int threads) {
   return out;
 }
 
+// Kernel trajectory for the BENCH json: seed two-pass vs fused kernel per
+// backend, single thread on the Table-2 frame — the perf number the kernel
+// layer is accountable for.
+struct KernelTrajectory {
+  double seed_ms = 0.0;
+  std::vector<std::pair<std::string, double>> backend_ms;  // (name, best ms)
+};
+
+KernelTrajectory measure_kernel_backends() {
+  const Matrix<float> v = bench_field2(kTable2Rows, kTable2Cols);
+  const ChambolleParams params = bench_params(1);
+  constexpr int kIters = 20;
+  KernelTrajectory out;
+  {
+    Matrix<float> px(kTable2Rows, kTable2Cols), py(kTable2Rows, kTable2Cols),
+        term;
+    out.seed_ms = best_ms_of(
+        [&] {
+          for (int i = 0; i < kIters; ++i)
+            seed_iterate_full(px, py, v, params, term);
+        },
+        5);
+  }
+  for (const kernels::Backend b : kernels::available_backends()) {
+    kernels::force_backend(b);
+    Matrix<float> px(kTable2Rows, kTable2Cols), py(kTable2Rows, kTable2Cols),
+        scratch;
+    const RegionGeometry geom =
+        RegionGeometry::full_frame(kTable2Rows, kTable2Cols);
+    const double ms = best_ms_of(
+        [&] { iterate_region(px, py, v, geom, params, kIters, scratch); }, 5);
+    out.backend_ms.emplace_back(kernels::backend_name(b), ms);
+  }
+  kernels::reset_backend();
+  return out;
+}
+
 }  // namespace
 
 // Custom main instead of BENCHMARK_MAIN(): identical run semantics, plus a
@@ -261,6 +375,7 @@ EngineSpeedup measure_row_parallel_engines(int threads) {
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  register_backend_benchmarks();
   const chambolle::Stopwatch clock;
   benchmark::RunSpecifiedBenchmarks();
 
@@ -286,23 +401,41 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(pool.threads_created()),
       static_cast<unsigned long long>(pool.barrier_waits()));
 
+  // Kernel trajectory: seed two-pass vs fused kernel, per backend.
+  const KernelTrajectory kt = measure_kernel_backends();
+  std::printf(
+      "\nkernel trajectory (316x252, 20 iterations, 1 thread):\n"
+      "  seed two-pass : %.3f ms\n",
+      kt.seed_ms);
+  for (const auto& [name, ms] : kt.backend_ms)
+    std::printf("  %-13s : %.3f ms -> %.2fx vs seed\n", name.c_str(), ms,
+                kt.seed_ms / ms);
+
+  chambolle::telemetry::BenchParams report{
+      {"suite", "google-benchmark"},
+      {"benchmarks",
+       "scalar/tiled/engine-scaling/merge-depth/fixed/row-parallel/"
+       "chambolle-pock/merged-kernel/single-iteration/kernel-backends"},
+      {"engine_frame", "316x252"},
+      {"engine_threads", "8"},
+      {"tiled_pool_ms", fmt(tiled.pool_ms)},
+      {"tiled_spawn_ms", fmt(tiled.spawn_ms)},
+      {"tiled_pool_speedup", fmt(tiled.speedup())},
+      {"row_parallel_pool_ms", fmt(rowp.pool_ms)},
+      {"row_parallel_spawn_ms", fmt(rowp.spawn_ms)},
+      {"row_parallel_pool_speedup", fmt(rowp.speedup())},
+      {"pool_threads_created", std::to_string(pool.threads_created())},
+      {"kernel_backend_auto",
+       chambolle::kernels::backend_name(chambolle::kernels::active_backend())},
+      {"kernel_seed_ms", fmt(kt.seed_ms)}};
+  for (const auto& [name, ms] : kt.backend_ms) {
+    report.emplace_back("kernel_" + name + "_ms", fmt(ms));
+    report.emplace_back("kernel_" + name + "_speedup_vs_seed",
+                        fmt(kt.seed_ms / ms));
+  }
+
   const double wall_ms = clock.milliseconds();
   benchmark::Shutdown();
-  chambolle::telemetry::write_bench_report(
-      "micro_chambolle",
-      {{"suite", "google-benchmark"},
-       {"benchmarks",
-        "scalar/tiled/engine-scaling/merge-depth/fixed/row-parallel/"
-        "chambolle-pock/merged-kernel/single-iteration"},
-       {"engine_frame", "316x252"},
-       {"engine_threads", "8"},
-       {"tiled_pool_ms", fmt(tiled.pool_ms)},
-       {"tiled_spawn_ms", fmt(tiled.spawn_ms)},
-       {"tiled_pool_speedup", fmt(tiled.speedup())},
-       {"row_parallel_pool_ms", fmt(rowp.pool_ms)},
-       {"row_parallel_spawn_ms", fmt(rowp.spawn_ms)},
-       {"row_parallel_pool_speedup", fmt(rowp.speedup())},
-       {"pool_threads_created", std::to_string(pool.threads_created())}},
-      wall_ms);
+  chambolle::telemetry::write_bench_report("micro_chambolle", report, wall_ms);
   return 0;
 }

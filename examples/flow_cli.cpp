@@ -7,10 +7,16 @@
 //   flow_cli [<frame0.pgm> <frame1.pgm> <flow_out.ppm>]
 //            [--levels N] [--warps N] [--iters N] [--lambda X]
 //            [--solver ref|tiled|fixed|accel] [--threads N] [--median]
+//            [--kernel auto|scalar|sse2|neon|avx2]
 //            [--warp warped.pgm] [--trace trace.json] [--metrics metrics.json]
 //
 // --threads N sizes the process-wide worker pool (and the tiled solver's
 // team); 0 or omitted uses the hardware concurrency.
+//
+// --kernel pins the SIMD iteration-kernel backend (default: best the CPU
+// supports, also overridable with CHAMBOLLE_KERNEL); every backend produces
+// bit-identical output, so this is a measurement knob, not a quality one.
+// See docs/kernels.md.
 //
 // With no positional arguments, runs a self-demo on generated frames (an
 // optional bare argument names the output directory, default /tmp).  The
@@ -30,6 +36,7 @@
 #include "common/image_io.hpp"
 #include "common/stopwatch.hpp"
 #include "hw/accelerator.hpp"
+#include "kernels/kernel.hpp"
 #include "parallel/thread_pool.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/telemetry.hpp"
@@ -49,7 +56,8 @@ int usage() {
       "usage: flow_cli [<frame0.pgm> <frame1.pgm> <flow_out.ppm>]\n"
       "               [--levels N] [--warps N] [--iters N] [--lambda X]\n"
       "               [--solver ref|tiled|fixed|accel] [--threads N]\n"
-      "               [--median] [--warp out.pgm] [--trace trace.json]\n"
+      "               [--median] [--kernel auto|scalar|sse2|neon|avx2]\n"
+      "               [--warp out.pgm] [--trace trace.json]\n"
       "               [--metrics metrics.json]\n"
       "With no positional arguments a self-demo runs on generated frames.\n");
   return 2;
@@ -110,6 +118,21 @@ int main(int argc, char** argv) {
       // Sizes the process-wide resident pool; the tiled solver inherits the
       // width through its num_threads = 0 (auto) default.
       parallel::set_default_pool_threads(threads);
+    } else if (arg == "--kernel") {
+      const char* n = next();
+      if (!n) return usage();
+      if (std::strcmp(n, "auto") == 0) {
+        kernels::reset_backend();
+      } else {
+        const auto backend = kernels::parse_backend(n);
+        if (!backend) return usage();
+        try {
+          kernels::force_backend(*backend);
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "flow_cli: %s\n", e.what());
+          return 2;
+        }
+      }
     } else if (arg == "--median") {
       params.median_filtering = true;
     } else if (arg == "--warp") {
@@ -190,6 +213,9 @@ int main(int argc, char** argv) {
     else
       std::printf("  time            : %.1f ms (%.0f%% in Chambolle)\n", ms,
                   100.0 * stats.chambolle_fraction());
+    if (!use_accel && params.solver != tvl1::InnerSolver::kFixed)
+      std::printf("  kernel backend  : %s\n",
+                  kernels::backend_name(kernels::active_backend()));
     std::printf("  max |flow|      : %.2f px\n", max_flow_magnitude(flow));
     std::printf("  wrote           : %s\n", out_flow.c_str());
 

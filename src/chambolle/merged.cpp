@@ -1,12 +1,12 @@
 #include "chambolle/merged.hpp"
 
-#include <cmath>
 #include <map>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
 #include "chambolle/dependency.hpp"
+#include "kernels/scalar_ops.hpp"
 
 namespace chambolle {
 namespace {
@@ -34,8 +34,11 @@ std::map<Coord, PVal> expand_layer(const std::map<Coord, PVal>& layer,
   return out;
 }
 
-// div p at an absolute coordinate, reading neighbors from the layer map.
-// Every in-frame neighbor is guaranteed present by the cone construction.
+// div p at an absolute coordinate, reading neighbors from the layer map and
+// delegating the arithmetic (and its border-precedence rules) to the shared
+// kernels::div_p.  Every in-frame neighbor is guaranteed present by the
+// cone construction; out-of-frame neighbors are passed as 0 and masked off
+// by the border flags.
 float div_p_at(const std::map<Coord, PVal>& layer, int r, int c,
                int frame_rows, int frame_cols) {
   const auto get = [&](int rr, int cc) -> const PVal& {
@@ -45,21 +48,11 @@ float div_p_at(const std::map<Coord, PVal>& layer, int r, int c,
     return it->second;
   };
   const PVal& center = get(r, c);
-  float dx;
-  if (c == 0)
-    dx = center.px;
-  else if (c == frame_cols - 1)
-    dx = -get(r, c - 1).px;
-  else
-    dx = center.px - get(r, c - 1).px;
-  float dy;
-  if (r == 0)
-    dy = center.py;
-  else if (r == frame_rows - 1)
-    dy = -get(r - 1, c).py;
-  else
-    dy = center.py - get(r - 1, c).py;
-  return dx + dy;
+  const float px_left = c > 0 ? get(r, c - 1).px : 0.f;
+  const float py_up = r > 0 ? get(r - 1, c).py : 0.f;
+  return kernels::div_p(center.px, px_left, center.py, py_up,
+                        /*at_left=*/c == 0, /*at_right=*/c == frame_cols - 1,
+                        /*at_top=*/r == 0, /*at_bottom=*/r == frame_rows - 1);
 }
 
 }  // namespace
@@ -119,13 +112,18 @@ MergedResult merged_update(const Matrix<float>& px, const Matrix<float>& py,
     for (auto& [coord, val] : layers[static_cast<std::size_t>(j)]) {
       const int r = coord.first, c = coord.second;
       const float t = term_at(r, c);
-      const float term1 = c == C - 1 ? 0.f : term_at(r, c + 1) - t;
-      const float term2 = r == R - 1 ? 0.f : term_at(r + 1, c) - t;
-      const float grad = std::sqrt(term1 * term1 + term2 * term2);
-      const float denom = 1.f + step * grad;
+      // Terms are materialized lazily: only evaluate the neighbor Terms the
+      // forward differences actually consume (the frame-border ones would
+      // throw on their missing cone dependencies).
+      const bool zero_t1 = c == C - 1;
+      const bool zero_t2 = r == R - 1;
+      const float t_right = zero_t1 ? 0.f : term_at(r, c + 1);
+      const float t_down = zero_t2 ? 0.f : term_at(r + 1, c);
       const PVal& prev = deeper.at(coord);
-      val.px = (prev.px + step * term1) / denom;
-      val.py = (prev.py + step * term2) / denom;
+      const kernels::DualUpdate upd = kernels::dual_update(
+          prev.px, prev.py, t, t_right, t_down, zero_t1, zero_t2, step);
+      val.px = upd.px;
+      val.py = upd.py;
       ++result.stats.p_updates;
     }
   }

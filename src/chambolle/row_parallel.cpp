@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cmath>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "kernels/kernel.hpp"
 #include "parallel/thread_pool.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
@@ -69,45 +69,46 @@ ChambolleResult solve_row_parallel(const Matrix<float>& v,
     r1 = std::min(rows, r0 + options.rows_per_strip);
   };
 
-  // Phase 1: Terms (reads p, writes term) — identical arithmetic to the
-  // reference solver so the result is bit-exact.
+  // Phase 1: Terms (reads p, writes term) through the shared SIMD kernel —
+  // the same row primitive as the reference solver, so the result is
+  // bit-exact.  The two-phase shape (vs. the sequential engine's fused
+  // sweep) is what lets strips proceed in parallel: the Term frame is the
+  // materialized rendezvous state between the barriers.
+  const kernels::KernelOps& kern = kernels::ops();
   const auto phase1_strip = [&](int s) {
     int r0, r1;
     strip_range(s, r0, r1);
-    for (int r = r0; r < r1; ++r)
-      for (int c = 0; c < cols; ++c) {
-        float dx;
-        if (c == 0)
-          dx = px(r, c);
-        else if (c == cols - 1)
-          dx = -px(r, c - 1);
-        else
-          dx = px(r, c) - px(r, c - 1);
-        float dy;
-        if (r == 0)
-          dy = py(r, c);
-        else if (r == rows - 1)
-          dy = -py(r - 1, c);
-        else
-          dy = py(r, c) - py(r - 1, c);
-        term(r, c) = (dx + dy) - v(r, c) * inv_theta;
-      }
+    kernels::TermRowArgs a{};
+    a.cols = cols;
+    a.inv_theta = inv_theta;
+    a.at_left = true;
+    a.at_right = true;
+    for (int r = r0; r < r1; ++r) {
+      a.px = &px(r, 0);
+      a.py = &py(r, 0);
+      a.py_up = r > 0 ? &py(r - 1, 0) : nullptr;
+      a.v = &v(r, 0);
+      a.term = &term(r, 0);
+      a.at_top = r == 0;
+      a.at_bottom = r == rows - 1;
+      kern.term_row(a);
+    }
   };
 
   // Phase 2: dual updates (reads term, writes p).
   const auto phase2_strip = [&](int s) {
     int r0, r1;
     strip_range(s, r0, r1);
-    for (int r = r0; r < r1; ++r)
-      for (int c = 0; c < cols; ++c) {
-        const float t = term(r, c);
-        const float term1 = c == cols - 1 ? 0.f : term(r, c + 1) - t;
-        const float term2 = r == rows - 1 ? 0.f : term(r + 1, c) - t;
-        const float grad = std::sqrt(term1 * term1 + term2 * term2);
-        const float denom = 1.f + step * grad;
-        px(r, c) = (px(r, c) + step * term1) / denom;
-        py(r, c) = (py(r, c) + step * term2) / denom;
-      }
+    kernels::UpdateRowArgs a{};
+    a.cols = cols;
+    a.step = step;
+    for (int r = r0; r < r1; ++r) {
+      a.px = &px(r, 0);
+      a.py = &py(r, 0);
+      a.term = &term(r, 0);
+      a.term_down = r + 1 < rows ? &term(r + 1, 0) : nullptr;
+      kern.update_row(a);
+    }
   };
 
   const int lanes = std::min(threads, strips);

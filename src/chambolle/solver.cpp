@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "chambolle/energy.hpp"
+#include "kernels/kernel.hpp"
 #include "telemetry/convergence.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
@@ -23,31 +24,6 @@ void check_shapes(const Matrix<float>& px, const Matrix<float>& py,
     throw std::invalid_argument("iterate_region: window exceeds frame");
 }
 
-// div p at buffer cell (r, c).  Applies the Chambolle one-sided rules at true
-// frame borders; at buffer-internal edges that are NOT frame borders the
-// missing halo neighbor is read as 0 (the cell is non-profitable there, so
-// the value only has to be *defined*, not correct).
-inline float div_p_at(const Matrix<float>& px, const Matrix<float>& py, int r,
-                      int c, const RegionGeometry& g) {
-  const int ar = g.row0 + r;  // absolute frame coordinates
-  const int ac = g.col0 + c;
-  float dx;
-  if (ac == 0)
-    dx = px(r, c);
-  else if (ac == g.frame_cols - 1)
-    dx = -(c > 0 ? px(r, c - 1) : 0.f);
-  else
-    dx = px(r, c) - (c > 0 ? px(r, c - 1) : 0.f);
-  float dy;
-  if (ar == 0)
-    dy = py(r, c);
-  else if (ar == g.frame_rows - 1)
-    dy = -(r > 0 ? py(r - 1, c) : 0.f);
-  else
-    dy = py(r, c) - (r > 0 ? py(r - 1, c) : 0.f);
-  return dx + dy;
-}
-
 }  // namespace
 
 void iterate_region(Matrix<float>& px, Matrix<float>& py,
@@ -56,53 +32,23 @@ void iterate_region(Matrix<float>& px, Matrix<float>& py,
                     Matrix<float>& term_scratch) {
   params.validate();
   check_shapes(px, py, v, geom);
-  const int rows = v.rows(), cols = v.cols();
-  if (rows == 0 || cols == 0 || iterations == 0) return;
-  if (!term_scratch.same_shape(v)) term_scratch.resize(rows, cols);
+  // The per-element arithmetic lives in the kernel layer (fused single-pass
+  // sweep, SIMD interior, scalar borders); the solver owns validation only.
+  kernels::iterate_region_fused(px, py, v, geom, 1.f / params.theta,
+                                params.step(), iterations, term_scratch);
+}
 
-  const float inv_theta = 1.f / params.theta;
-  const float step = params.step();
-
-  for (int it = 0; it < iterations; ++it) {
-    // Phase 1 (Algorithm 1, lines 2-3): Term = div p - v / theta.
-    for (int r = 0; r < rows; ++r)
-      for (int c = 0; c < cols; ++c)
-        term_scratch(r, c) = div_p_at(px, py, r, c, geom) - v(r, c) * inv_theta;
-
-    // Phase 2 (lines 4-8): forward differences of Term, gradient magnitude,
-    // and the projected dual update.
-    for (int r = 0; r < rows; ++r) {
-      const int ar = geom.row0 + r;
-      for (int c = 0; c < cols; ++c) {
-        const int ac = geom.col0 + c;
-        // ForwardX/ForwardY are 0 on the far frame border; at a buffer edge
-        // that is not a frame border the element is non-profitable and 0 is
-        // as good a defined value as any.
-        const float t = term_scratch(r, c);
-        const float term1 =
-            (ac == geom.frame_cols - 1 || c + 1 >= cols)
-                ? 0.f
-                : term_scratch(r, c + 1) - t;
-        const float term2 =
-            (ar == geom.frame_rows - 1 || r + 1 >= rows)
-                ? 0.f
-                : term_scratch(r + 1, c) - t;
-        const float grad = std::sqrt(term1 * term1 + term2 * term2);
-        const float denom = 1.f + step * grad;
-        px(r, c) = (px(r, c) + step * term1) / denom;
-        py(r, c) = (py(r, c) + step * term2) / denom;
-      }
-    }
-  }
+void recover_u_into(const Matrix<float>& v, const Matrix<float>& px,
+                    const Matrix<float>& py, const RegionGeometry& geom,
+                    float theta, Matrix<float>& out) {
+  kernels::recover_u_into(v, px, py, geom, theta, out);
 }
 
 Matrix<float> recover_u(const Matrix<float>& v, const Matrix<float>& px,
                         const Matrix<float>& py, const RegionGeometry& geom,
                         float theta) {
-  Matrix<float> u(v.rows(), v.cols());
-  for (int r = 0; r < v.rows(); ++r)
-    for (int c = 0; c < v.cols(); ++c)
-      u(r, c) = v(r, c) - theta * div_p_at(px, py, r, c, geom);
+  Matrix<float> u;
+  kernels::recover_u_into(v, px, py, geom, theta, u);
   return u;
 }
 
@@ -123,9 +69,9 @@ double max_abs_diff(const DualField& a, const Matrix<float>& px,
 
 }  // namespace
 
-ChambolleResult solve(const Matrix<float>& v, const ChambolleParams& params,
-                      const DualField* initial,
-                      telemetry::ConvergenceTrace* convergence) {
+void solve_into(const Matrix<float>& v, const ChambolleParams& params,
+                ChambolleResult& out, const DualField* initial,
+                telemetry::ConvergenceTrace* convergence) {
   params.validate();
   const telemetry::TraceSpan span("chambolle.solve");
   // Validate the warm start BEFORE adopting it, and check both components:
@@ -134,8 +80,14 @@ ChambolleResult solve(const Matrix<float>& v, const ChambolleParams& params,
   if (initial != nullptr &&
       (!initial->px.same_shape(v) || !initial->py.same_shape(v)))
     throw std::invalid_argument("solve: initial dual shape mismatch");
-  ChambolleResult out;
-  out.p = initial != nullptr ? *initial : DualField(v.rows(), v.cols());
+  if (initial != nullptr) {
+    out.p = *initial;
+  } else {
+    // resize() keeps the existing allocation when the shape already
+    // matches, so a reused ChambolleResult allocates nothing here.
+    out.p.px.resize(v.rows(), v.cols());
+    out.p.py.resize(v.rows(), v.cols());
+  }
   const RegionGeometry geom = RegionGeometry::full_frame(v.rows(), v.cols());
   Matrix<float> scratch;
   if (convergence == nullptr) {
@@ -143,16 +95,16 @@ ChambolleResult solve(const Matrix<float>& v, const ChambolleParams& params,
                    scratch);
   } else {
     DualField prev = out.p;
+    Matrix<float> u;
     for (int it = 0; it < params.iterations; ++it) {
       iterate_region(out.p.px, out.p.py, v, geom, params, 1, scratch);
       const double delta = max_abs_diff(prev, out.p.px, out.p.py);
-      const Matrix<float> u =
-          recover_u(v, out.p.px, out.p.py, geom, params.theta);
+      recover_u_into(v, out.p.px, out.p.py, geom, params.theta, u);
       convergence->record(it + 1, delta, rof_energy(u, v, params.theta));
       prev = out.p;
     }
   }
-  out.u = recover_u(v, out.p.px, out.p.py, geom, params.theta);
+  recover_u_into(v, out.p.px, out.p.py, geom, params.theta, out.u);
 
   static telemetry::Counter& solves =
       telemetry::registry().counter("chambolle.solver.solves");
@@ -164,6 +116,13 @@ ChambolleResult solve(const Matrix<float>& v, const ChambolleParams& params,
   iterations.add(static_cast<std::uint64_t>(params.iterations));
   pixel_iterations.add(static_cast<std::uint64_t>(params.iterations) *
                        static_cast<std::uint64_t>(v.size()));
+}
+
+ChambolleResult solve(const Matrix<float>& v, const ChambolleParams& params,
+                      const DualField* initial,
+                      telemetry::ConvergenceTrace* convergence) {
+  ChambolleResult out;
+  solve_into(v, params, out, initial, convergence);
   return out;
 }
 

@@ -1,4 +1,4 @@
-// solver.hpp — reference (scalar float) implementation of Algorithm 1.
+// solver.hpp — reference implementation of Algorithm 1.
 //
 // The solver is written around one primitive, iterate_region(), which runs
 // Chambolle iterations on a rectangular window of a notional frame:
@@ -6,13 +6,17 @@
 //   * the full-frame reference solver is iterate_region() on the whole frame;
 //   * the tiled sliding-window solver (tiled_solver.hpp) calls it per tile.
 //
-// Because both paths execute the *same* per-element arithmetic, the paper's
-// claim that profitable tile elements equal the full-frame result is testable
-// bit-exactly, not merely within a tolerance.
+// Because both paths execute the *same* per-element arithmetic — the fused
+// SIMD kernel layer of kernels/kernel.hpp, whose backends are bit-exact
+// with each other — the paper's claim that profitable tile elements equal
+// the full-frame result is testable bit-exactly, not merely within a
+// tolerance.  RegionGeometry now lives with the kernel layer and is
+// re-exported here unchanged.
 #pragma once
 
 #include "chambolle/params.hpp"
 #include "common/image.hpp"
+#include "kernels/kernel.hpp"
 
 namespace chambolle::telemetry {
 class ConvergenceTrace;
@@ -26,26 +30,10 @@ struct ChambolleResult {
   DualField p;      ///< final dual state (px, py)
 };
 
-/// Geometry of a window into a frame: the buffer holds rows
-/// [row0, row0+rows) x [col0, col0+cols) of a frame_rows x frame_cols frame.
-/// Boundary special cases apply where the *absolute* coordinate touches the
-/// frame border; buffer-internal edges that are not frame borders read
-/// whatever halo data the buffer holds.
-struct RegionGeometry {
-  int row0 = 0;
-  int col0 = 0;
-  int frame_rows = 0;
-  int frame_cols = 0;
-
-  /// Geometry for a buffer that IS the whole frame.
-  static RegionGeometry full_frame(int rows, int cols) {
-    return {0, 0, rows, cols};
-  }
-};
-
 /// Runs `iterations` Chambolle iterations in place on (px, py) over the given
-/// window.  v, px, py must share the buffer shape.  `term_scratch` is resized
-/// as needed (pass a reused buffer to avoid per-call allocation).
+/// window.  v, px, py must share the buffer shape.  `term_scratch` holds the
+/// kernel layer's rolling two-row Term window and is resized as needed (pass
+/// a reused buffer to avoid per-call allocation).
 void iterate_region(Matrix<float>& px, Matrix<float>& py,
                     const Matrix<float>& v, const RegionGeometry& geom,
                     const ChambolleParams& params, int iterations,
@@ -57,6 +45,12 @@ void iterate_region(Matrix<float>& px, Matrix<float>& py,
                                       const Matrix<float>& py,
                                       const RegionGeometry& geom, float theta);
 
+/// recover_u into a caller-provided output, resized as needed — the
+/// allocation-free form the TV-L1 pyramid loop reuses every warp.
+void recover_u_into(const Matrix<float>& v, const Matrix<float>& px,
+                    const Matrix<float>& py, const RegionGeometry& geom,
+                    float theta, Matrix<float>& out);
+
 /// Full-frame reference solve of one component.  When `initial` is non-null
 /// the dual state starts from it instead of zero (used by warm-started TV-L1
 /// outer iterations).  When `convergence` is non-null the solver steps one
@@ -67,6 +61,14 @@ void iterate_region(Matrix<float>& px, Matrix<float>& py,
     const Matrix<float>& v, const ChambolleParams& params,
     const DualField* initial = nullptr,
     telemetry::ConvergenceTrace* convergence = nullptr);
+
+/// solve() into a caller-provided result whose buffers (u, p) are reused
+/// when correctly shaped — the steady-state-allocation-free form for
+/// per-frame service loops (TV-L1 warps, video).  Semantics are identical
+/// to solve() otherwise.
+void solve_into(const Matrix<float>& v, const ChambolleParams& params,
+                ChambolleResult& out, const DualField* initial = nullptr,
+                telemetry::ConvergenceTrace* convergence = nullptr);
 
 /// Solves both components of a flow field (the hardware runs them on separate
 /// PE arrays; here they are sequential but independent).  Optional initial

@@ -1,0 +1,17 @@
+// backend_registry.hpp — internal: per-backend KernelOps accessors.
+//
+// Each backend TU returns its ops table, or nullptr when the backend is not
+// compiled in (wrong architecture, or the compiler lacks the ISA flag).
+// The dispatcher in kernel.cpp combines these with runtime CPU detection.
+#pragma once
+
+#include "kernels/kernel.hpp"
+
+namespace chambolle::kernels {
+
+const KernelOps* scalar_ops();
+const KernelOps* sse2_ops();
+const KernelOps* avx2_ops();
+const KernelOps* neon_ops();
+
+}  // namespace chambolle::kernels

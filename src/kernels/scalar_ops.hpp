@@ -1,0 +1,63 @@
+// scalar_ops.hpp — the per-element Chambolle update math, defined ONCE.
+//
+// Every engine in the repo (reference solver, row-parallel, tiled, merged
+// cone walker, and the scalar borders/tails of the SIMD backends) expresses
+// Algorithm 1 through these two inline functions, so a fix to the arithmetic
+// lands everywhere at the same time.  The expressions are kept literally
+// identical to the seed solver — including which operand order produces
+// which signed zero — because the repo's bit-exactness guarantees (tiled ==
+// sequential, SIMD == scalar) compare raw float bit patterns.
+#pragma once
+
+#include <cmath>
+
+namespace chambolle::kernels {
+
+/// One-sided divergence (div p) at a single cell (Algorithm 1, line 2).
+///
+/// `px_left` / `py_up` are the west / north neighbors (pass 0.f when the
+/// neighbor lies outside the buffer: the cell is then a halo cell whose
+/// value only has to be defined, not correct).  The `at_*` flags describe
+/// the *frame* borders; when a cell is both at the left and right (or top
+/// and bottom) frame border of a 1-wide frame, the left (top) rule wins,
+/// matching the seed solver's branch order.
+inline float div_p(float px_c, float px_left, float py_c, float py_up,
+                   bool at_left, bool at_right, bool at_top, bool at_bottom) {
+  float dx;
+  if (at_left)
+    dx = px_c;
+  else if (at_right)
+    dx = -px_left;
+  else
+    dx = px_c - px_left;
+  float dy;
+  if (at_top)
+    dy = py_c;
+  else if (at_bottom)
+    dy = -py_up;
+  else
+    dy = py_c - py_up;
+  return dx + dy;
+}
+
+/// Result of one projected dual ascent step at a cell.
+struct DualUpdate {
+  float px;
+  float py;
+};
+
+/// Algorithm 1, lines 4-8: forward differences of Term, gradient magnitude,
+/// and the projected dual update.  `zero_t1` / `zero_t2` force the forward
+/// difference to 0 at the far frame border (the operand `t_right` / `t_down`
+/// is ignored there, so callers with lazily materialized Terms may pass 0).
+inline DualUpdate dual_update(float px, float py, float t, float t_right,
+                              float t_down, bool zero_t1, bool zero_t2,
+                              float step) {
+  const float term1 = zero_t1 ? 0.f : t_right - t;
+  const float term2 = zero_t2 ? 0.f : t_down - t;
+  const float grad = std::sqrt(term1 * term1 + term2 * term2);
+  const float denom = 1.f + step * grad;
+  return {(px + step * term1) / denom, (py + step * term2) / denom};
+}
+
+}  // namespace chambolle::kernels

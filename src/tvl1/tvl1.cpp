@@ -25,16 +25,26 @@ Image normalize(const Image& img) {
 }
 
 // One Chambolle solve of a single component through the selected backend.
-Matrix<float> inner_solve(const Matrix<float>& v, const Tvl1Params& params) {
+// `out` receives the primal result; `scratch` persists across warps so the
+// reference path reuses its dual-field and output buffers instead of
+// allocating per frame (solve_into + the preallocated recover_u_into path).
+void inner_solve(const Matrix<float>& v, const Tvl1Params& params,
+                 Matrix<float>& out, ChambolleResult& scratch) {
   switch (params.solver) {
     case InnerSolver::kReference:
-      return solve(v, params.chambolle).u;
+      solve_into(v, params.chambolle, scratch);
+      // Hand the result out and keep the previous output buffer (same shape
+      // at this pyramid level) as next warp's recover_u_into destination.
+      std::swap(out, scratch.u);
+      return;
     case InnerSolver::kTiled:
-      return solve_tiled(v, params.chambolle, params.tiled).u;
+      out = solve_tiled(v, params.chambolle, params.tiled).u;
+      return;
     case InnerSolver::kFixed: {
       // The 13-bit Q5.8 v-format spans [-16,16); flow components at any
       // pyramid level stay well inside it for the supported image sizes.
-      return solve_fixed(v, params.chambolle).u;
+      out = solve_fixed(v, params.chambolle).u;
+      return;
     }
   }
   throw std::logic_error("inner_solve: unknown solver");
@@ -86,6 +96,10 @@ FlowField compute_flow(const Image& i0, const Image& i1,
   const int levels = std::min(p0.levels(), p1.levels());
 
   FlowField u;
+  // Reused across every warp of every level: the reference inner solver's
+  // dual state and primal output land in these buffers, so the steady state
+  // of the pyramid loop stops allocating fresh frames per warp.
+  ChambolleResult inner_scratch;
   for (int level = levels - 1; level >= 0; --level) {
     const telemetry::TraceSpan level_span("tvl1.level");
     const Image& l0 = p0.level(level);
@@ -113,8 +127,8 @@ FlowField compute_flow(const Image& i0, const Image& i1,
       total_clock.lap();  // exclude warp/threshold time from the inner figure
       {
         const telemetry::TraceSpan span("tvl1.chambolle_inner");
-        u.u1 = inner_solve(v.u1, params);
-        u.u2 = inner_solve(v.u2, params);
+        inner_solve(v.u1, params, u.u1, inner_scratch);
+        inner_solve(v.u2, params, u.u2, inner_scratch);
       }
       chambolle_seconds += total_clock.lap();
       inner_iters += 2LL * params.chambolle.iterations;

@@ -102,17 +102,31 @@ Workload make_workload(int rows, int cols) {
 }
 
 // Repeats `step` (processing `cells_per_step` cell-iterations each call)
-// until ~0.25 s has elapsed; returns Mcells/s.
+// until ~0.1 s has elapsed; returns Mcells/s of that window.
 template <typename Step>
-double measure_mcells(Step step, double cells_per_step) {
-  step();  // warm-up: page in buffers, resolve dispatch
+double measure_mcells_once(Step step, double cells_per_step) {
   Stopwatch sw;
   int reps = 0;
   do {
     step();
     ++reps;
-  } while (sw.seconds() < 0.25);
+  } while (sw.seconds() < 0.1);
   return cells_per_step * reps / sw.seconds() / 1e6;
+}
+
+// Median-of-N throughput: one warm-up call (page in buffers, resolve
+// dispatch), then kRepeats independent windows reduced to min/median/max —
+// run-to-run noise shows up as spread instead of biasing the number.
+constexpr int kRepeats = 5;
+
+template <typename Step>
+telemetry::RepeatStats measure_mcells(Step step, double cells_per_step) {
+  step();  // warm-up
+  std::vector<double> samples;
+  samples.reserve(kRepeats);
+  for (int i = 0; i < kRepeats; ++i)
+    samples.push_back(measure_mcells_once(step, cells_per_step));
+  return telemetry::repeat_stats(std::move(samples));
 }
 
 std::string size_key(int rows, int cols) {
@@ -126,8 +140,10 @@ int main() {
   const ChambolleParams params;
   constexpr int kItersPerStep = 10;
 
-  std::printf("FUSED KERNEL ROOFLINE (single thread, %d iterations/step)\n",
-              kItersPerStep);
+  std::printf(
+      "FUSED KERNEL ROOFLINE (single thread, %d iterations/step, median of "
+      "%d windows)\n",
+      kItersPerStep, kRepeats);
   std::printf("auto-dispatch backend: %s\n\n",
               kernels::backend_name(kernels::active_backend()));
 
@@ -135,12 +151,16 @@ int main() {
       {128, 128}, {316, 252}, {512, 512}};
   const std::vector<kernels::Backend> backends = kernels::available_backends();
 
-  TextTable table({"Frame", "Backend", "Mcells/s", "Speedup vs seed",
+  TextTable table({"Frame", "Backend", "Mcells/s", "min..max", "Speedup",
                    "Bytes/cell", "Streamed GB/s"});
   telemetry::BenchParams report{
       {"iterations_per_step", std::to_string(kItersPerStep)},
+      {"repeats", std::to_string(kRepeats)},
       {"seed_bytes_per_cell", TextTable::num(kSeedBytesPerCell, 0)},
       {"fused_bytes_per_cell", TextTable::num(kFusedBytesPerCell, 0)},
+  };
+  const auto range_cell = [](const telemetry::RepeatStats& s) {
+    return TextTable::num(s.min, 1) + ".." + TextTable::num(s.max, 1);
   };
 
   for (const auto& [rows, cols] : sizes) {
@@ -148,37 +168,46 @@ int main() {
         static_cast<double>(rows) * cols * kItersPerStep;
 
     Workload seed_w = make_workload(rows, cols);
-    const double seed_mcells = measure_mcells(
+    const telemetry::RepeatStats seed_mcells = measure_mcells(
         [&] {
           seed_iterate_region(seed_w.px, seed_w.py, seed_w.v, seed_w.geom,
                               params, kItersPerStep, seed_w.scratch);
         },
         cells_per_step);
-    table.add_row({size_key(rows, cols), "seed two-pass",
-                   TextTable::num(seed_mcells, 1), "1.00",
-                   TextTable::num(kSeedBytesPerCell, 0),
-                   TextTable::num(seed_mcells * kSeedBytesPerCell / 1e3, 2)});
+    table.add_row(
+        {size_key(rows, cols), "seed two-pass",
+         TextTable::num(seed_mcells.median, 1), range_cell(seed_mcells),
+         "1.00", TextTable::num(kSeedBytesPerCell, 0),
+         TextTable::num(seed_mcells.median * kSeedBytesPerCell / 1e3, 2)});
+    // The bare `_mcells` key stays the median, so existing consumers keep
+    // reading a (now noise-robust) number; min/max ride alongside.
     report.emplace_back("seed_" + size_key(rows, cols) + "_mcells",
-                        TextTable::num(seed_mcells, 1));
+                        TextTable::num(seed_mcells.median, 1));
+    telemetry::append_repeat_stats(
+        report, "seed_" + size_key(rows, cols) + "_mcells", seed_mcells);
 
     for (const kernels::Backend b : backends) {
       kernels::force_backend(b);
       Workload w = make_workload(rows, cols);
-      const double mcells = measure_mcells(
+      const telemetry::RepeatStats mcells = measure_mcells(
           [&] {
             iterate_region(w.px, w.py, w.v, w.geom, params, kItersPerStep,
                            w.scratch);
           },
           cells_per_step);
       const std::string name = kernels::backend_name(b);
-      table.add_row({size_key(rows, cols), name, TextTable::num(mcells, 1),
-                     TextTable::num(mcells / seed_mcells, 2),
-                     TextTable::num(kFusedBytesPerCell, 0),
-                     TextTable::num(mcells * kFusedBytesPerCell / 1e3, 2)});
+      table.add_row(
+          {size_key(rows, cols), name, TextTable::num(mcells.median, 1),
+           range_cell(mcells),
+           TextTable::num(mcells.median / seed_mcells.median, 2),
+           TextTable::num(kFusedBytesPerCell, 0),
+           TextTable::num(mcells.median * kFusedBytesPerCell / 1e3, 2)});
       report.emplace_back(name + "_" + size_key(rows, cols) + "_mcells",
-                          TextTable::num(mcells, 1));
+                          TextTable::num(mcells.median, 1));
       report.emplace_back(name + "_" + size_key(rows, cols) + "_speedup",
-                          TextTable::num(mcells / seed_mcells, 2));
+                          TextTable::num(mcells.median / seed_mcells.median, 2));
+      telemetry::append_repeat_stats(
+          report, name + "_" + size_key(rows, cols) + "_mcells", mcells);
     }
   }
   kernels::reset_backend();

@@ -14,6 +14,7 @@
 #include "chambolle/chambolle_pock.hpp"
 #include "chambolle/fixed_solver.hpp"
 #include "chambolle/merged.hpp"
+#include "chambolle/resident_tiled.hpp"
 #include "chambolle/row_parallel.hpp"
 #include "chambolle/solver.hpp"
 #include "chambolle/tiled_solver.hpp"
@@ -22,6 +23,7 @@
 #include "kernels/kernel.hpp"
 #include "parallel/thread_pool.hpp"
 #include "telemetry/bench_report.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace {
 
@@ -77,6 +79,24 @@ void BM_TiledSolver(benchmark::State& state) {
 BENCHMARK(BM_TiledSolver)
     ->Args({128, 1})
     ->Args({128, 2})
+    ->Args({128, 4})
+    ->Args({256, 1})
+    ->Args({256, 4});
+
+void BM_ResidentSolver(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  const Matrix<float> v = bench_field(n);
+  const ChambolleParams params = bench_params(16);
+  TiledSolverOptions opt;
+  opt.merge_iterations = 4;
+  opt.num_threads = threads;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(solve_resident(v, params, opt).u.data());
+  set_throughput(state, n, 16);
+}
+BENCHMARK(BM_ResidentSolver)
+    ->Args({128, 1})
     ->Args({128, 4})
     ->Args({256, 1})
     ->Args({256, 4});
@@ -273,29 +293,32 @@ void register_backend_benchmarks() {
   }
 }
 
-// Direct stopwatch measurement of pooled vs spawn at a given width, so the
-// BENCH json carries the engine speedup as first-class numbers (the perf
-// trajectory CI tracks), independent of google-benchmark's own output.
-struct EngineSpeedup {
-  double pool_ms = 0.0;
-  double spawn_ms = 0.0;
-  [[nodiscard]] double speedup() const {
-    return pool_ms > 0.0 ? spawn_ms / pool_ms : 0.0;
-  }
-};
+// Direct stopwatch measurements for the BENCH json (the perf trajectories
+// CI tracks), independent of google-benchmark's own output.  Each figure is
+// a median-of-N with min/max alongside, so a noisy run is visible as spread
+// instead of silently biasing a single number.
+constexpr int kTrajectoryRepeats = 7;
 
 template <typename SolveFn>
-double best_ms_of(const SolveFn& fn, int repeats) {
+telemetry::RepeatStats repeat_ms_of(const SolveFn& fn, int repeats) {
   Stopwatch clock;
-  double best = -1.0;
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(repeats));
   for (int i = 0; i < repeats; ++i) {
     clock.lap();
     fn();
-    const double ms = 1e3 * clock.lap();
-    if (best < 0 || ms < best) best = ms;
+    samples.push_back(1e3 * clock.lap());
   }
-  return best;
+  return telemetry::repeat_stats(std::move(samples));
 }
+
+struct EngineSpeedup {
+  telemetry::RepeatStats pool_ms;
+  telemetry::RepeatStats spawn_ms;
+  [[nodiscard]] double speedup() const {
+    return pool_ms.median > 0.0 ? spawn_ms.median / pool_ms.median : 0.0;
+  }
+};
 
 EngineSpeedup measure_tiled_engines(int threads) {
   const Matrix<float> v = bench_field2(kTable2Rows, kTable2Cols);
@@ -309,9 +332,11 @@ EngineSpeedup measure_tiled_engines(int threads) {
   EngineSpeedup out;
   opt.execution = parallel::Execution::kPool;
   (void)solve_tiled(v, params, opt);  // warm up the resident workers
-  out.pool_ms = best_ms_of([&] { (void)solve_tiled(v, params, opt); }, 5);
+  out.pool_ms = repeat_ms_of([&] { (void)solve_tiled(v, params, opt); },
+                             kTrajectoryRepeats);
   opt.execution = parallel::Execution::kSpawn;
-  out.spawn_ms = best_ms_of([&] { (void)solve_tiled(v, params, opt); }, 5);
+  out.spawn_ms = repeat_ms_of([&] { (void)solve_tiled(v, params, opt); },
+                              kTrajectoryRepeats);
   return out;
 }
 
@@ -323,11 +348,11 @@ EngineSpeedup measure_row_parallel_engines(int threads) {
   EngineSpeedup out;
   opt.execution = parallel::Execution::kPool;
   (void)solve_row_parallel(v, params, opt);
-  out.pool_ms =
-      best_ms_of([&] { (void)solve_row_parallel(v, params, opt); }, 5);
+  out.pool_ms = repeat_ms_of([&] { (void)solve_row_parallel(v, params, opt); },
+                             kTrajectoryRepeats);
   opt.execution = parallel::Execution::kSpawn;
-  out.spawn_ms =
-      best_ms_of([&] { (void)solve_row_parallel(v, params, opt); }, 5);
+  out.spawn_ms = repeat_ms_of(
+      [&] { (void)solve_row_parallel(v, params, opt); }, kTrajectoryRepeats);
   return out;
 }
 
@@ -335,8 +360,8 @@ EngineSpeedup measure_row_parallel_engines(int threads) {
 // backend, single thread on the Table-2 frame — the perf number the kernel
 // layer is accountable for.
 struct KernelTrajectory {
-  double seed_ms = 0.0;
-  std::vector<std::pair<std::string, double>> backend_ms;  // (name, best ms)
+  telemetry::RepeatStats seed_ms;
+  std::vector<std::pair<std::string, telemetry::RepeatStats>> backend_ms;
 };
 
 KernelTrajectory measure_kernel_backends() {
@@ -347,12 +372,12 @@ KernelTrajectory measure_kernel_backends() {
   {
     Matrix<float> px(kTable2Rows, kTable2Cols), py(kTable2Rows, kTable2Cols),
         term;
-    out.seed_ms = best_ms_of(
+    out.seed_ms = repeat_ms_of(
         [&] {
           for (int i = 0; i < kIters; ++i)
             seed_iterate_full(px, py, v, params, term);
         },
-        5);
+        kTrajectoryRepeats);
   }
   for (const kernels::Backend b : kernels::available_backends()) {
     kernels::force_backend(b);
@@ -360,11 +385,54 @@ KernelTrajectory measure_kernel_backends() {
         scratch;
     const RegionGeometry geom =
         RegionGeometry::full_frame(kTable2Rows, kTable2Cols);
-    const double ms = best_ms_of(
-        [&] { iterate_region(px, py, v, geom, params, kIters, scratch); }, 5);
+    const telemetry::RepeatStats ms = repeat_ms_of(
+        [&] { iterate_region(px, py, v, geom, params, kIters, scratch); },
+        kTrajectoryRepeats);
     out.backend_ms.emplace_back(kernels::backend_name(b), ms);
   }
   kernels::reset_backend();
+  return out;
+}
+
+// Resident-tile engine vs the reload-per-pass tiled solver on the paper's
+// 1024 x 768 frame (the acceptance figure of the halo-exchange engine).
+// `one_shot` includes engine construction per solve; `steady` reuses the
+// engine across solves (the TV-L1 warp regime, only duals re-zeroed).
+struct ResidentComparison {
+  telemetry::RepeatStats reload_ms;
+  telemetry::RepeatStats one_shot_ms;
+  telemetry::RepeatStats steady_ms;
+  ResidentTiledStats stats;  // of the last one-shot solve
+  [[nodiscard]] double speedup() const {
+    return one_shot_ms.median > 0.0 ? reload_ms.median / one_shot_ms.median
+                                    : 0.0;
+  }
+  [[nodiscard]] double steady_speedup() const {
+    return steady_ms.median > 0.0 ? reload_ms.median / steady_ms.median : 0.0;
+  }
+};
+
+ResidentComparison measure_resident_vs_reload(int threads) {
+  constexpr int kRows = 768, kCols = 1024;
+  const Matrix<float> v = bench_field2(kRows, kCols);
+  const ChambolleParams params = bench_params(20);
+  TiledSolverOptions opt;  // the paper's 88 x 92 window, merge depth 4
+  opt.num_threads = threads;
+  ResidentComparison out;
+  (void)solve_tiled(v, params, opt);  // warm up pool + page in the frame
+  out.reload_ms = repeat_ms_of([&] { (void)solve_tiled(v, params, opt); },
+                               kTrajectoryRepeats);
+  out.one_shot_ms = repeat_ms_of(
+      [&] { (void)solve_resident(v, params, opt, &out.stats); },
+      kTrajectoryRepeats);
+  ResidentTiledEngine engine(v, params, opt);
+  engine.run(params.iterations);  // warm the resident buffers
+  out.steady_ms = repeat_ms_of(
+      [&] {
+        engine.reset_duals();
+        engine.run(params.iterations);
+      },
+      kTrajectoryRepeats);
   return out;
 }
 
@@ -388,11 +456,13 @@ int main(int argc, char** argv) {
   const EngineSpeedup tiled = measure_tiled_engines(8);
   const EngineSpeedup rowp = measure_row_parallel_engines(8);
   std::printf(
-      "\nengine trajectory (316x252, 20 iterations, 8 threads):\n"
+      "\nengine trajectory (316x252, 20 iterations, 8 threads, median of "
+      "%d):\n"
       "  tiled        : pool %.3f ms, spawn %.3f ms -> %.2fx\n"
       "  row-parallel : pool %.3f ms, spawn %.3f ms -> %.2fx\n",
-      tiled.pool_ms, tiled.spawn_ms, tiled.speedup(), rowp.pool_ms,
-      rowp.spawn_ms, rowp.speedup());
+      kTrajectoryRepeats, tiled.pool_ms.median, tiled.spawn_ms.median,
+      tiled.speedup(), rowp.pool_ms.median, rowp.spawn_ms.median,
+      rowp.speedup());
   const auto& pool = chambolle::parallel::default_pool();
   std::printf(
       "  pool lifetime: %llu tasks, %llu threads created, %llu barrier "
@@ -404,35 +474,86 @@ int main(int argc, char** argv) {
   // Kernel trajectory: seed two-pass vs fused kernel, per backend.
   const KernelTrajectory kt = measure_kernel_backends();
   std::printf(
-      "\nkernel trajectory (316x252, 20 iterations, 1 thread):\n"
+      "\nkernel trajectory (316x252, 20 iterations, 1 thread, median of "
+      "%d):\n"
       "  seed two-pass : %.3f ms\n",
-      kt.seed_ms);
+      kTrajectoryRepeats, kt.seed_ms.median);
   for (const auto& [name, ms] : kt.backend_ms)
-    std::printf("  %-13s : %.3f ms -> %.2fx vs seed\n", name.c_str(), ms,
-                kt.seed_ms / ms);
+    std::printf("  %-13s : %.3f ms -> %.2fx vs seed\n", name.c_str(),
+                ms.median, kt.seed_ms.median / ms.median);
+
+  // Resident-vs-reload trajectory (the halo-exchange acceptance figure).
+  // Telemetry goes on here so the report's metrics snapshot carries the
+  // tiles.* counters (halo bytes, passes, stall time) of these solves.
+  chambolle::telemetry::set_enabled(true);
+  const ResidentComparison res = measure_resident_vs_reload(4);
+  std::printf(
+      "\nresident trajectory (1024x768, 20 iterations, 4 threads, median of "
+      "%d):\n"
+      "  reload tiled   : %.3f ms\n"
+      "  resident       : %.3f ms -> %.2fx\n"
+      "  resident steady: %.3f ms -> %.2fx (engine reused, TV-L1 regime)\n"
+      "  halo traffic   : %zu floats/pass vs %zu floats/pass reloaded\n",
+      kTrajectoryRepeats, res.reload_ms.median, res.one_shot_ms.median,
+      res.speedup(), res.steady_ms.median, res.steady_speedup(),
+      res.stats.halo_elements_per_pass,
+      static_cast<std::size_t>(4) * 768 * 1024);
 
   chambolle::telemetry::BenchParams report{
       {"suite", "google-benchmark"},
       {"benchmarks",
-       "scalar/tiled/engine-scaling/merge-depth/fixed/row-parallel/"
+       "scalar/tiled/resident/engine-scaling/merge-depth/fixed/row-parallel/"
        "chambolle-pock/merged-kernel/single-iteration/kernel-backends"},
       {"engine_frame", "316x252"},
       {"engine_threads", "8"},
-      {"tiled_pool_ms", fmt(tiled.pool_ms)},
-      {"tiled_spawn_ms", fmt(tiled.spawn_ms)},
+      {"trajectory_repeats", std::to_string(kTrajectoryRepeats)},
+      {"tiled_pool_ms", fmt(tiled.pool_ms.median)},
+      {"tiled_spawn_ms", fmt(tiled.spawn_ms.median)},
       {"tiled_pool_speedup", fmt(tiled.speedup())},
-      {"row_parallel_pool_ms", fmt(rowp.pool_ms)},
-      {"row_parallel_spawn_ms", fmt(rowp.spawn_ms)},
+      {"row_parallel_pool_ms", fmt(rowp.pool_ms.median)},
+      {"row_parallel_spawn_ms", fmt(rowp.spawn_ms.median)},
       {"row_parallel_pool_speedup", fmt(rowp.speedup())},
       {"pool_threads_created", std::to_string(pool.threads_created())},
       {"kernel_backend_auto",
        chambolle::kernels::backend_name(chambolle::kernels::active_backend())},
-      {"kernel_seed_ms", fmt(kt.seed_ms)}};
+      {"kernel_seed_ms", fmt(kt.seed_ms.median)}};
+  chambolle::telemetry::append_repeat_stats(report, "tiled_pool_ms",
+                                            tiled.pool_ms);
+  chambolle::telemetry::append_repeat_stats(report, "tiled_spawn_ms",
+                                            tiled.spawn_ms);
+  chambolle::telemetry::append_repeat_stats(report, "row_parallel_pool_ms",
+                                            rowp.pool_ms);
+  chambolle::telemetry::append_repeat_stats(report, "row_parallel_spawn_ms",
+                                            rowp.spawn_ms);
+  chambolle::telemetry::append_repeat_stats(report, "kernel_seed_ms",
+                                            kt.seed_ms);
   for (const auto& [name, ms] : kt.backend_ms) {
-    report.emplace_back("kernel_" + name + "_ms", fmt(ms));
+    report.emplace_back("kernel_" + name + "_ms", fmt(ms.median));
     report.emplace_back("kernel_" + name + "_speedup_vs_seed",
-                        fmt(kt.seed_ms / ms));
+                        fmt(kt.seed_ms.median / ms.median));
+    chambolle::telemetry::append_repeat_stats(report, "kernel_" + name + "_ms",
+                                              ms);
   }
+  // The resident-engine acceptance block: 1024 x 768, 4 threads, paper
+  // window.  halo_fraction_of_reload = per-pass mailbox floats over the
+  // reload engine's ~4 floats/cell frame round-trip.
+  report.emplace_back("resident_frame", "1024x768");
+  report.emplace_back("resident_threads", "4");
+  chambolle::telemetry::append_repeat_stats(report, "resident_reload_ms",
+                                            res.reload_ms);
+  chambolle::telemetry::append_repeat_stats(report, "resident_ms",
+                                            res.one_shot_ms);
+  chambolle::telemetry::append_repeat_stats(report, "resident_steady_ms",
+                                            res.steady_ms);
+  report.emplace_back("resident_speedup_vs_reload", fmt(res.speedup()));
+  report.emplace_back("resident_steady_speedup_vs_reload",
+                      fmt(res.steady_speedup()));
+  report.emplace_back("resident_halo_floats_per_pass",
+                      std::to_string(res.stats.halo_elements_per_pass));
+  report.emplace_back(
+      "resident_halo_fraction_of_reload",
+      fmt(static_cast<double>(res.stats.halo_elements_per_pass) /
+          (4.0 * 768.0 * 1024.0)));
 
   const double wall_ms = clock.milliseconds();
   benchmark::Shutdown();

@@ -6,12 +6,17 @@
 // Usage:
 //   flow_cli [<frame0.pgm> <frame1.pgm> <flow_out.ppm>]
 //            [--levels N] [--warps N] [--iters N] [--lambda X]
-//            [--solver ref|tiled|fixed|accel] [--threads N] [--median]
+//            [--solver ref|tiled|resident|fixed|accel] [--threads N]
+//            [--tile RxC] [--merge K] [--median]
 //            [--kernel auto|scalar|sse2|neon|avx2]
 //            [--warp warped.pgm] [--trace trace.json] [--metrics metrics.json]
 //
 // --threads N sizes the process-wide worker pool (and the tiled solver's
 // team); 0 or omitted uses the hardware concurrency.
+//
+// --tile RxC and --merge K set the sliding-window geometry of the `tiled`
+// and `resident` solvers (defaults: the paper's 88x92 window, K = 4; tile
+// dims must exceed 2*K).
 //
 // --kernel pins the SIMD iteration-kernel backend (default: best the CPU
 // supports, also overridable with CHAMBOLLE_KERNEL); every backend produces
@@ -55,7 +60,8 @@ int usage() {
       stderr,
       "usage: flow_cli [<frame0.pgm> <frame1.pgm> <flow_out.ppm>]\n"
       "               [--levels N] [--warps N] [--iters N] [--lambda X]\n"
-      "               [--solver ref|tiled|fixed|accel] [--threads N]\n"
+      "               [--solver ref|tiled|resident|fixed|accel] [--threads N]\n"
+      "               [--tile RxC] [--merge K]\n"
       "               [--median] [--kernel auto|scalar|sse2|neon|avx2]\n"
       "               [--warp out.pgm] [--trace trace.json]\n"
       "               [--metrics metrics.json]\n"
@@ -104,12 +110,28 @@ int main(int argc, char** argv) {
         params.solver = tvl1::InnerSolver::kReference;
       else if (std::strcmp(n, "tiled") == 0)
         params.solver = tvl1::InnerSolver::kTiled;
+      else if (std::strcmp(n, "resident") == 0)
+        params.solver = tvl1::InnerSolver::kResident;
       else if (std::strcmp(n, "fixed") == 0)
         params.solver = tvl1::InnerSolver::kFixed;
       else if (std::strcmp(n, "accel") == 0)
         use_accel = true;
       else
         return usage();
+    } else if (arg == "--tile") {
+      const char* n = next();
+      if (!n) return usage();
+      int rows = 0, cols = 0;
+      if (std::sscanf(n, "%dx%d", &rows, &cols) != 2 || rows < 1 || cols < 1)
+        return usage();
+      params.tiled.tile_rows = rows;
+      params.tiled.tile_cols = cols;
+    } else if (arg == "--merge") {
+      const char* n = next();
+      if (!n) return usage();
+      const int merge = std::atoi(n);
+      if (merge < 1) return usage();
+      params.tiled.merge_iterations = merge;
     } else if (arg == "--threads") {
       const char* n = next();
       if (!n) return usage();

@@ -29,6 +29,7 @@ const char* solver_name(tvl1::InnerSolver s) {
   switch (s) {
     case tvl1::InnerSolver::kReference: return "reference";
     case tvl1::InnerSolver::kTiled: return "tiled";
+    case tvl1::InnerSolver::kResident: return "resident";
     case tvl1::InnerSolver::kFixed: return "fixed-point";
   }
   return "?";

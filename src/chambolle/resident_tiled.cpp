@@ -1,0 +1,274 @@
+#include "chambolle/resident_tiled.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "kernels/kernel.hpp"
+#include "kernels/strips.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace chambolle {
+
+/// The resident working set of one tile: the (px, py) dual window and the
+/// fixed input window, allocated once and owned by one lane for the whole
+/// solve.  ~tile_rows * tile_cols * 12 B — sized to stay cache-resident
+/// (the paper's 88 x 92 window is ~97 KiB), the CPU analogue of a BRAM bank.
+struct ResidentTiledEngine::TileBuffers {
+  Matrix<float> px, py, v;
+};
+
+/// One directed halo-exchange edge, with the frame rectangle pre-resolved
+/// into source- and destination-local coordinates and a parity-double-
+/// buffered payload: slot[n & 1] carries the pass-n strip (px rows first,
+/// then py rows).  Publication/consumption is ordered by the EpochGraph's
+/// release/acquire epoch protocol; the skew bound (neighbors never more
+/// than one pass apart) keeps the two slots from colliding.
+struct ResidentTiledEngine::Mailbox {
+  HaloEdge edge;
+  int src_r0 = 0, src_c0 = 0;  // edge rect in src-buffer coordinates
+  int dst_r0 = 0, dst_c0 = 0;  // edge rect in dst-buffer coordinates
+  std::vector<float> slot[2];
+};
+
+ResidentTiledEngine::ResidentTiledEngine(const Matrix<float>& v,
+                                         const ChambolleParams& params,
+                                         const TiledSolverOptions& options,
+                                         const DualField* initial)
+    : params_(params), options_(options), frame_v_(v) {
+  params_.validate();
+  options_.validate();
+  if (initial != nullptr &&
+      (!initial->px.same_shape(v) || !initial->py.same_shape(v)))
+    throw std::invalid_argument(
+        "ResidentTiledEngine: initial dual shape mismatch");
+  plan_ = make_tiling(v.rows(), v.cols(), options_.tile_rows,
+                      options_.tile_cols, options_.merge_iterations);
+
+  const int n = static_cast<int>(plan_.tiles.size());
+  tiles_.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const TileSpec& t = plan_.tiles[i];
+    TileBuffers& b = tiles_[static_cast<std::size_t>(i)];
+    b.v.resize(t.buf_rows, t.buf_cols);
+    kernels::copy_rect(v, t.buf_row0, t.buf_col0, b.v, 0, 0, t.buf_rows,
+                       t.buf_cols);
+  }
+  load_duals(initial);
+
+  const std::vector<HaloEdge> edges = make_halo_edges(plan_);
+  mail_.reserve(edges.size());
+  in_edges_.assign(static_cast<std::size_t>(n), {});
+  out_edges_.assign(static_cast<std::size_t>(n), {});
+  std::vector<std::vector<int>> adjacency(static_cast<std::size_t>(n));
+  for (const HaloEdge& e : edges) {
+    Mailbox m;
+    m.edge = e;
+    const TileSpec& s = plan_.tiles[static_cast<std::size_t>(e.src)];
+    const TileSpec& d = plan_.tiles[static_cast<std::size_t>(e.dst)];
+    m.src_r0 = e.row0 - s.buf_row0;
+    m.src_c0 = e.col0 - s.buf_col0;
+    m.dst_r0 = e.row0 - d.buf_row0;
+    m.dst_c0 = e.col0 - d.buf_col0;
+    m.slot[0].resize(2 * e.elements());
+    m.slot[1].resize(2 * e.elements());
+    const int idx = static_cast<int>(mail_.size());
+    mail_.push_back(std::move(m));
+    out_edges_[static_cast<std::size_t>(e.src)].push_back(idx);
+    in_edges_[static_cast<std::size_t>(e.dst)].push_back(idx);
+    adjacency[static_cast<std::size_t>(e.src)].push_back(e.dst);
+  }
+  // The halo-edge relation is symmetric (tile_test asserts it), so the
+  // published adjacency doubles as the wait set: a tile waits exactly on
+  // the tiles it exchanges strips with.
+  graph_ = std::make_unique<parallel::EpochGraph>(std::move(adjacency));
+
+  stats_.tiles = plan_.tiles.size();
+  stats_.halo_elements_per_pass = halo_exchange_elements(edges);
+}
+
+ResidentTiledEngine::~ResidentTiledEngine() = default;
+
+void ResidentTiledEngine::load_duals(const DualField* initial) {
+  for (std::size_t i = 0; i < tiles_.size(); ++i) {
+    const TileSpec& t = plan_.tiles[i];
+    TileBuffers& b = tiles_[i];
+    if (initial != nullptr) {
+      b.px.resize(t.buf_rows, t.buf_cols);
+      b.py.resize(t.buf_rows, t.buf_cols);
+      kernels::copy_rect(initial->px, t.buf_row0, t.buf_col0, b.px, 0, 0,
+                         t.buf_rows, t.buf_cols);
+      kernels::copy_rect(initial->py, t.buf_row0, t.buf_col0, b.py, 0, 0,
+                         t.buf_rows, t.buf_cols);
+    } else {
+      // resize() value-initializes: the zero dual start of Algorithm 1.
+      b.px.resize(t.buf_rows, t.buf_cols);
+      b.py.resize(t.buf_rows, t.buf_cols);
+    }
+  }
+  // A full buffer load (halo included) makes the mailboxes irrelevant until
+  // the next publish; restart the pass/parity clock.
+  pass_count_ = 0;
+}
+
+void ResidentTiledEngine::run(int iterations) {
+  if (iterations < 0)
+    throw std::invalid_argument("ResidentTiledEngine::run: iterations < 0");
+  if (iterations == 0) return;
+  const telemetry::TraceSpan span("chambolle.resident.run");
+
+  // Pass schedule: merge_iterations per pass, remainder last.  Every k is
+  // <= plan_.halo, which is what keeps profitable cells' dependency cones
+  // inside the buffer.
+  std::vector<int> pass_iters;
+  for (int remaining = iterations; remaining > 0;) {
+    const int k = std::min(remaining, options_.merge_iterations);
+    pass_iters.push_back(k);
+    remaining -= k;
+  }
+  const int passes = static_cast<int>(pass_iters.size());
+  const int base = pass_count_;
+
+  const float inv_theta = 1.f / params_.theta;
+  const float step = params_.step();
+  const int lanes =
+      parallel::default_pool().lanes_for(options_.num_threads);
+  parallel::PerLane<Matrix<float>> scratch(lanes);
+
+  const auto body = [&](int node, int epoch, int lane) {
+    const std::size_t ti = static_cast<std::size_t>(node);
+    const TileSpec& t = plan_.tiles[ti];
+    TileBuffers& b = tiles_[ti];
+    const int g = base + epoch;  // global pass index since the last reload
+    if (g > 0) {
+      // Refresh the halo ring from the neighbors' pass-(g-1) strips.  The
+      // incoming rectangles partition the halo exactly, so after this loop
+      // the whole buffer holds the exact global pre-pass state.
+      for (const int mi : in_edges_[ti]) {
+        const Mailbox& m = mail_[static_cast<std::size_t>(mi)];
+        const float* strip = m.slot[(g - 1) & 1].data();
+        kernels::scatter_rect(strip, b.px, m.dst_r0, m.dst_c0, m.edge.rows,
+                              m.edge.cols);
+        kernels::scatter_rect(strip + m.edge.elements(), b.py, m.dst_r0,
+                              m.dst_c0, m.edge.rows, m.edge.cols);
+      }
+    }
+    const RegionGeometry geom{t.buf_row0, t.buf_col0, plan_.frame_rows,
+                              plan_.frame_cols};
+    kernels::iterate_region_fused(b.px, b.py, b.v, geom, inv_theta, step,
+                                  pass_iters[static_cast<std::size_t>(epoch)],
+                                  scratch[lane]);
+    // Publish this pass's strips (profitable cells only, hence exact) into
+    // the parity slot.  Publishing on the final pass too keeps the mailboxes
+    // coherent for a later run() on the resident state.
+    for (const int mi : out_edges_[ti]) {
+      Mailbox& m = mail_[static_cast<std::size_t>(mi)];
+      float* strip = m.slot[g & 1].data();
+      kernels::gather_rect(b.px, m.src_r0, m.src_c0, m.edge.rows, m.edge.cols,
+                           strip);
+      kernels::gather_rect(b.py, m.src_r0, m.src_c0, m.edge.rows, m.edge.cols,
+                           strip + m.edge.elements());
+    }
+  };
+
+  const parallel::EpochGraph::RunStats rs =
+      graph_->run(passes, lanes, parallel::default_pool(), body);
+  pass_count_ += passes;
+
+  stats_.passes += passes;
+  stats_.stall_seconds += rs.stall_seconds;
+  stats_.stall_spins += rs.stall_spins;
+  stats_.halo_bytes_exchanged +=
+      static_cast<std::uint64_t>(stats_.halo_elements_per_pass) *
+      sizeof(float) * static_cast<std::uint64_t>(passes);
+  for (const int k : pass_iters)
+    stats_.element_iterations +=
+        plan_.total_buffer_elements() * static_cast<std::size_t>(k);
+
+  static telemetry::Counter& c_passes =
+      telemetry::registry().counter("tiles.passes");
+  static telemetry::Counter& c_halo =
+      telemetry::registry().counter("tiles.halo_bytes");
+  static telemetry::Counter& c_stall =
+      telemetry::registry().counter("tiles.stall_micros");
+  static telemetry::Counter& c_spins =
+      telemetry::registry().counter("tiles.stall_spins");
+  c_passes.add(static_cast<std::uint64_t>(passes));
+  c_halo.add(static_cast<std::uint64_t>(stats_.halo_elements_per_pass) *
+             sizeof(float) * static_cast<std::uint64_t>(passes));
+  c_stall.add(static_cast<std::uint64_t>(rs.stall_seconds * 1e6));
+  c_spins.add(rs.stall_spins);
+  // Per-pass traffic of this engine vs. the reload engine's two full frames
+  // in and out (4 floats/cell): the acceptance-criterion ratio.
+  const double frame_reload_bytes =
+      4.0 * sizeof(float) * static_cast<double>(plan_.frame_rows) *
+      static_cast<double>(plan_.frame_cols);
+  telemetry::registry()
+      .gauge("tiles.halo_traffic_fraction")
+      .set(frame_reload_bytes > 0.0
+               ? static_cast<double>(stats_.halo_elements_per_pass) *
+                     sizeof(float) / frame_reload_bytes
+               : 0.0);
+}
+
+void ResidentTiledEngine::snapshot(DualField& out) const {
+  out.px.resize(plan_.frame_rows, plan_.frame_cols);
+  out.py.resize(plan_.frame_rows, plan_.frame_cols);
+  for (std::size_t i = 0; i < tiles_.size(); ++i) {
+    const TileSpec& t = plan_.tiles[i];
+    const TileBuffers& b = tiles_[i];
+    kernels::copy_rect(b.px, t.prof_row0 - t.buf_row0, t.prof_col0 - t.buf_col0,
+                       out.px, t.prof_row0, t.prof_col0, t.prof_rows,
+                       t.prof_cols);
+    kernels::copy_rect(b.py, t.prof_row0 - t.buf_row0, t.prof_col0 - t.buf_col0,
+                       out.py, t.prof_row0, t.prof_col0, t.prof_rows,
+                       t.prof_cols);
+  }
+}
+
+void ResidentTiledEngine::reset_v(const Matrix<float>& v,
+                                  const DualField* initial) {
+  if (!v.same_shape(frame_v_))
+    throw std::invalid_argument("ResidentTiledEngine::reset_v: shape mismatch");
+  frame_v_ = v;
+  for (std::size_t i = 0; i < tiles_.size(); ++i) {
+    const TileSpec& t = plan_.tiles[i];
+    kernels::copy_rect(v, t.buf_row0, t.buf_col0, tiles_[i].v, 0, 0,
+                       t.buf_rows, t.buf_cols);
+  }
+  if (initial != nullptr) {
+    if (!initial->px.same_shape(v) || !initial->py.same_shape(v))
+      throw std::invalid_argument(
+          "ResidentTiledEngine::reset_v: initial dual shape mismatch");
+    load_duals(initial);
+  }
+  // initial == nullptr: duals stay resident (warm start); the mailbox
+  // parity clock keeps running so the next run() gathers valid halos.
+}
+
+ChambolleResult ResidentTiledEngine::result() const {
+  ChambolleResult out;
+  snapshot(out.p);
+  const RegionGeometry geom =
+      RegionGeometry::full_frame(plan_.frame_rows, plan_.frame_cols);
+  out.u = recover_u(frame_v_, out.p.px, out.p.py, geom, params_.theta);
+  return out;
+}
+
+ChambolleResult solve_resident(const Matrix<float>& v,
+                               const ChambolleParams& params,
+                               const TiledSolverOptions& options,
+                               ResidentTiledStats* stats,
+                               const DualField* initial) {
+  const telemetry::TraceSpan span("chambolle.solve_resident");
+  ResidentTiledEngine engine(v, params, options, initial);
+  engine.run(params.iterations);
+  static telemetry::Counter& c_solves =
+      telemetry::registry().counter("tiles.resident_solves");
+  c_solves.add(1);
+  if (stats != nullptr) *stats = engine.stats();
+  return engine.result();
+}
+
+}  // namespace chambolle

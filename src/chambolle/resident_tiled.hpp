@@ -1,0 +1,140 @@
+// resident_tiled.hpp — the resident-tile sliding-window engine.
+//
+// The pass-based tiled solver (tiled_solver.hpp) is the paper's scheme with
+// the hardware's weakest property dropped: its BRAM windows stay loaded
+// between iterations, but the CPU realization reloads every tile buffer from
+// the global frame and writes it back on EVERY merged pass, synchronized by
+// a global barrier — two full frames of memory traffic per pass and a
+// full-fleet stall at each merge boundary.
+//
+// This engine restores residency.  Each tile's (v, px, py) buffers are
+// allocated once and PINNED to one worker lane for the whole solve; between
+// passes, neighboring tiles exchange only halo strips (width = the merge
+// depth) through per-edge mailboxes, and a tile starts pass n+1 as soon as
+// its <= 8 neighbors have published their pass-n halos (EpochGraph,
+// parallel/task_graph.hpp) — no global barrier, no full-frame reload.  The
+// profitable write-back happens once at the end (or on demand via
+// snapshot(), e.g. for telemetry), so steady-state per-pass traffic drops
+// from 2 frames to the halo perimeter.
+//
+// Mailboxes are double-buffered by pass parity: a tile publishing pass n
+// writes slot n&1, a neighbor gathering for pass n+1 reads slot n&1.  The
+// scheduler bounds the epoch skew between neighbors to one pass, so a slot
+// is never overwritten before its reader consumed it; publication order
+// (strip writes, then a release store of the epoch, acquired before the
+// gather) makes the exchange race-free, verified under TSan.
+//
+// Correctness is the same machine-checkable argument as the pass-based
+// solver, by induction over passes: at every pass start a tile buffer holds
+// the exact global state (profitable cells by the dependency-cone argument,
+// halo cells by the gather of neighbors' exact profitable strips), and the
+// per-element arithmetic is the shared fused kernel — so the result is
+// BIT-EXACT equal to the sequential reference (tests memcmp it).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "chambolle/params.hpp"
+#include "chambolle/solver.hpp"
+#include "chambolle/tile.hpp"
+#include "chambolle/tiled_solver.hpp"
+#include "common/image.hpp"
+#include "parallel/task_graph.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace chambolle {
+
+/// Work and traffic accounting of a resident solve (cumulative across
+/// run() calls), used by the E6 overhead bench and the acceptance tests.
+struct ResidentTiledStats {
+  int passes = 0;
+  std::size_t tiles = 0;
+  /// Floats exchanged through mailboxes per pass (both dual components);
+  /// the per-pass traffic of the engine, vs. the reload engine's
+  /// ~4 * frame_elements (2 fields loaded + 2 stored).
+  std::size_t halo_elements_per_pass = 0;
+  /// Total mailbox bytes moved so far (published + gathered).
+  std::uint64_t halo_bytes_exchanged = 0;
+  /// Total element-iterations executed, including redundant halo work.
+  std::size_t element_iterations = 0;
+  /// Time lanes spent with no runnable tile (point-to-point waits).
+  double stall_seconds = 0.0;
+  std::uint64_t stall_spins = 0;
+};
+
+/// The engine object: buffers persist across run() calls, which is what lets
+/// warm-started outer loops (TV-L1 warps) keep duals resident and re-stream
+/// only v.  Use solve_resident() for the one-shot form.
+class ResidentTiledEngine {
+ public:
+  /// Tiles `v` with options.{tile_rows, tile_cols, merge_iterations} and
+  /// loads the resident buffers; `initial`, when non-null, warm-starts the
+  /// duals (otherwise zeros).  Validates like solve_tiled.
+  ResidentTiledEngine(const Matrix<float>& v, const ChambolleParams& params,
+                      const TiledSolverOptions& options,
+                      const DualField* initial = nullptr);
+  ~ResidentTiledEngine();
+
+  ResidentTiledEngine(const ResidentTiledEngine&) = delete;
+  ResidentTiledEngine& operator=(const ResidentTiledEngine&) = delete;
+
+  /// Advances the solve by `iterations` Chambolle iterations (split into
+  /// ceil(iterations / merge_iterations) halo-exchange passes).  Composable:
+  /// run(a); run(b) is bit-exact equal to run(a + b).
+  void run(int iterations);
+
+  /// On-demand profitable write-back of the CURRENT dual state into `out`
+  /// (resized as needed) — the telemetry-snapshot path; does not disturb the
+  /// resident buffers.
+  void snapshot(DualField& out) const;
+
+  /// Replaces the input field v (same shape) without touching the resident
+  /// duals: the warm-start path of TV-L1 warps, where only v changes between
+  /// inner solves.  When `initial` is non-null the duals are reloaded from
+  /// it instead (cold restart in place).
+  void reset_v(const Matrix<float>& v, const DualField* initial = nullptr);
+
+  /// Zeroes the resident duals in place (Algorithm 1's cold start) without
+  /// reallocating tile buffers — the default per-warp restart of the TV-L1
+  /// integration, bit-exact equal to constructing a fresh engine.
+  void reset_duals() { load_duals(nullptr); }
+
+  /// snapshot() + primal recovery: the ChambolleResult of the state so far.
+  [[nodiscard]] ChambolleResult result() const;
+
+  [[nodiscard]] const ResidentTiledStats& stats() const { return stats_; }
+  [[nodiscard]] const TilingPlan& plan() const { return plan_; }
+  [[nodiscard]] int rows() const { return plan_.frame_rows; }
+  [[nodiscard]] int cols() const { return plan_.frame_cols; }
+
+ private:
+  struct TileBuffers;
+  struct Mailbox;
+
+  void load_duals(const DualField* initial);
+
+  ChambolleParams params_;
+  TiledSolverOptions options_;
+  TilingPlan plan_;
+  Matrix<float> frame_v_;  ///< kept for result()'s primal recovery
+  std::vector<TileBuffers> tiles_;
+  std::vector<Mailbox> mail_;
+  std::vector<std::vector<int>> in_edges_;   // per tile: indices into mail_
+  std::vector<std::vector<int>> out_edges_;  // per tile: indices into mail_
+  std::unique_ptr<parallel::EpochGraph> graph_;
+  int pass_count_ = 0;  ///< global passes completed; also the mailbox parity
+  ResidentTiledStats stats_;
+};
+
+/// One-shot resident solve of one component; the drop-in counterpart of
+/// solve_tiled() with the same options (execution is ignored: the engine is
+/// always pool-resident).  Bit-exact equal to the sequential reference.
+[[nodiscard]] ChambolleResult solve_resident(
+    const Matrix<float>& v, const ChambolleParams& params,
+    const TiledSolverOptions& options, ResidentTiledStats* stats = nullptr,
+    const DualField* initial = nullptr);
+
+}  // namespace chambolle

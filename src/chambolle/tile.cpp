@@ -1,5 +1,6 @@
 #include "chambolle/tile.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace chambolle {
@@ -54,6 +55,32 @@ double TilingPlan::redundancy() const {
       static_cast<double>(frame_rows) * static_cast<double>(frame_cols);
   if (frame == 0.0) return 0.0;
   return static_cast<double>(total_buffer_elements()) / frame - 1.0;
+}
+
+std::vector<HaloEdge> make_halo_edges(const TilingPlan& plan) {
+  std::vector<HaloEdge> edges;
+  const int n = static_cast<int>(plan.tiles.size());
+  for (int i = 0; i < n; ++i) {
+    const TileSpec& s = plan.tiles[i];
+    for (int j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const TileSpec& d = plan.tiles[j];
+      // Overlap of src's profitable rectangle with dst's buffer rectangle.
+      const int r0 = std::max(s.prof_row0, d.buf_row0);
+      const int r1 = std::min(s.prof_row0 + s.prof_rows, d.buf_row0 + d.buf_rows);
+      const int c0 = std::max(s.prof_col0, d.buf_col0);
+      const int c1 = std::min(s.prof_col0 + s.prof_cols, d.buf_col0 + d.buf_cols);
+      if (r1 <= r0 || c1 <= c0) continue;
+      edges.push_back(HaloEdge{i, j, r0, c0, r1 - r0, c1 - c0});
+    }
+  }
+  return edges;
+}
+
+std::size_t halo_exchange_elements(const std::vector<HaloEdge>& edges) {
+  std::size_t s = 0;
+  for (const HaloEdge& e : edges) s += 2 * e.elements();  // px and py
+  return s;
 }
 
 TilingPlan make_tiling(int frame_rows, int frame_cols, int tile_rows,

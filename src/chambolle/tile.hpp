@@ -51,6 +51,39 @@ struct TilingPlan {
   [[nodiscard]] double redundancy() const;
 };
 
+/// One directed halo-exchange edge of the resident-tile engine: after every
+/// merged pass, tile `src` sends the frame-coordinate rectangle
+/// [row0, row0+rows) x [col0, col0+cols) — the overlap of src's PROFITABLE
+/// area with dst's BUFFER — to tile `dst`, which scatters it into its halo
+/// cells.  Because profitable rectangles partition the frame, the incoming
+/// rectangles of each tile partition its halo ring exactly (asserted by
+/// tests/tile_test.cpp), so a gather refreshes every halo cell once and
+/// touches nothing else.
+struct HaloEdge {
+  int src = 0;  ///< tile index publishing the strip
+  int dst = 0;  ///< tile index consuming it
+  int row0 = 0;
+  int col0 = 0;
+  int rows = 0;
+  int cols = 0;
+
+  [[nodiscard]] std::size_t elements() const {
+    return static_cast<std::size_t>(rows) * cols;
+  }
+};
+
+/// Directed halo-exchange edges between all tile pairs of `plan`.  A grid
+/// tiling yields <= 8 in-edges per tile (the 4-/8-connected neighborhood);
+/// the relation is symmetric (i sends to j iff j sends to i) because buffers
+/// expand profitable areas by the same halo on every interior side.
+/// halo == 0 yields no edges.
+[[nodiscard]] std::vector<HaloEdge> make_halo_edges(const TilingPlan& plan);
+
+/// Total floats moved per pass by a halo exchange over `edges`, counting
+/// both dual components (px and py) per cell.
+[[nodiscard]] std::size_t halo_exchange_elements(
+    const std::vector<HaloEdge>& edges);
+
 /// Builds the tiling: tile buffers are at most tile_rows x tile_cols (the
 /// paper's windows are 88 x 92); `halo` is the profitable margin, equal to
 /// the number of merged iterations.  Requires tile dims > 2*halo so every

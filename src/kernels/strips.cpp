@@ -1,0 +1,55 @@
+#include "kernels/strips.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace chambolle::kernels {
+
+void gather_rect(const Matrix<float>& src, int r0, int c0, int rows, int cols,
+                 float* dst) {
+  assert(r0 >= 0 && c0 >= 0 && r0 + rows <= src.rows() &&
+         c0 + cols <= src.cols());
+  const std::size_t bytes = static_cast<std::size_t>(cols) * sizeof(float);
+  const float* in = src.data().data() +
+                    static_cast<std::size_t>(r0) * src.cols() + c0;
+  for (int r = 0; r < rows; ++r) {
+    std::memcpy(dst, in, bytes);
+    dst += cols;
+    in += src.cols();
+  }
+}
+
+void scatter_rect(const float* src, Matrix<float>& dst, int r0, int c0,
+                  int rows, int cols) {
+  assert(r0 >= 0 && c0 >= 0 && r0 + rows <= dst.rows() &&
+         c0 + cols <= dst.cols());
+  const std::size_t bytes = static_cast<std::size_t>(cols) * sizeof(float);
+  float* out = dst.data().data() +
+               static_cast<std::size_t>(r0) * dst.cols() + c0;
+  for (int r = 0; r < rows; ++r) {
+    std::memcpy(out, src, bytes);
+    src += cols;
+    out += dst.cols();
+  }
+}
+
+void copy_rect(const Matrix<float>& src, int src_r0, int src_c0,
+               Matrix<float>& dst, int dst_r0, int dst_c0, int rows,
+               int cols) {
+  assert(src_r0 >= 0 && src_c0 >= 0 && src_r0 + rows <= src.rows() &&
+         src_c0 + cols <= src.cols());
+  assert(dst_r0 >= 0 && dst_c0 >= 0 && dst_r0 + rows <= dst.rows() &&
+         dst_c0 + cols <= dst.cols());
+  const std::size_t bytes = static_cast<std::size_t>(cols) * sizeof(float);
+  const float* in = src.data().data() +
+                    static_cast<std::size_t>(src_r0) * src.cols() + src_c0;
+  float* out = dst.data().data() +
+               static_cast<std::size_t>(dst_r0) * dst.cols() + dst_c0;
+  for (int r = 0; r < rows; ++r) {
+    std::memcpy(out, in, bytes);
+    in += src.cols();
+    out += dst.cols();
+  }
+}
+
+}  // namespace chambolle::kernels

@@ -1,0 +1,37 @@
+// strips.hpp — halo-strip gather/scatter primitives.
+//
+// The resident-tile engine (chambolle/resident_tiled.hpp) moves only tile
+// *borders* between passes: a source tile packs rows of its buffer into a
+// contiguous mailbox (gather), and the destination tile unpacks the mailbox
+// into its own halo cells (scatter).  Both directions are straight row
+// copies — contiguous within a row on both sides — so they compile to
+// memcpy/vector moves and stream at cache speed; the point of the resident
+// engine is that THESE strips are the only per-pass memory traffic, instead
+// of two full frames.
+#pragma once
+
+#include <cstddef>
+
+#include "common/matrix.hpp"
+
+namespace chambolle::kernels {
+
+/// Packs the rectangle [r0, r0+rows) x [c0, c0+cols) of `src` into `dst`
+/// (row-major, rows*cols floats).  The caller guarantees the rectangle is in
+/// bounds and dst has room; this is a hot-path primitive, not a checked API.
+void gather_rect(const Matrix<float>& src, int r0, int c0, int rows, int cols,
+                 float* dst);
+
+/// Unpacks `src` (row-major, rows*cols floats) into the rectangle
+/// [r0, r0+rows) x [c0, c0+cols) of `dst`.
+void scatter_rect(const float* src, Matrix<float>& dst, int r0, int c0,
+                  int rows, int cols);
+
+/// Copies a rectangle between two matrices: src[src_r0+r][src_c0+c] ->
+/// dst[dst_r0+r][dst_c0+c] for r < rows, c < cols.  Used for the tile
+/// load/write-back paths (frame <-> resident buffer) where both sides are
+/// matrices; rows are contiguous on both sides.
+void copy_rect(const Matrix<float>& src, int src_r0, int src_c0,
+               Matrix<float>& dst, int dst_r0, int dst_c0, int rows, int cols);
+
+}  // namespace chambolle::kernels

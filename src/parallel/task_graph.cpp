@@ -1,0 +1,114 @@
+#include "parallel/task_graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "common/stopwatch.hpp"
+
+namespace chambolle::parallel {
+namespace {
+
+/// First node of lane `lane`'s contiguous block.
+int block_begin(int nodes, int lanes, int lane) {
+  return static_cast<int>(static_cast<long long>(nodes) * lane / lanes);
+}
+
+}  // namespace
+
+EpochGraph::EpochGraph(std::vector<std::vector<int>> neighbors)
+    : adj_(std::move(neighbors)), state_(adj_.size()) {
+  const int n = nodes();
+  for (std::vector<int>& nbrs : adj_) {
+    for (const int m : nbrs)
+      if (m < 0 || m >= n)
+        throw std::invalid_argument("EpochGraph: neighbor index out of range");
+  }
+}
+
+int EpochGraph::owner(int node, int lanes) const {
+  const int n = nodes();
+  if (node < 0 || node >= n)
+    throw std::invalid_argument("EpochGraph::owner: node out of range");
+  const int l = std::max(1, std::min(lanes, n));
+  for (int lane = l - 1; lane > 0; --lane)
+    if (node >= block_begin(n, l, lane)) return lane;
+  return 0;
+}
+
+EpochGraph::RunStats EpochGraph::run(int passes, int lanes, ThreadPool& pool,
+                                     const NodeFn& body) {
+  if (passes < 0) throw std::invalid_argument("EpochGraph::run: passes < 0");
+  const int n = nodes();
+  RunStats total;
+  if (n == 0 || passes == 0) return total;
+  for (NodeState& s : state_) s.epoch.store(0, std::memory_order_relaxed);
+
+  const int team = std::max(1, std::min(lanes, n));
+  std::atomic<bool> abort{false};
+  PerLane<RunStats> lane_stats(team);
+
+  pool.run_team(team, [&](int lane, int nlanes, Barrier&) {
+    const int begin = block_begin(n, nlanes, lane);
+    const int end = block_begin(n, nlanes, lane + 1);
+    RunStats& stats = lane_stats[lane];
+    int done = 0;
+    try {
+      while (done < end - begin) {
+        if (abort.load(std::memory_order_relaxed)) return;
+        bool progressed = false;
+        done = 0;
+        for (int node = begin; node < end; ++node) {
+          // Only this lane advances the node, so a relaxed read of our own
+          // epoch is exact.
+          const int e = state_[static_cast<std::size_t>(node)].epoch.load(
+              std::memory_order_relaxed);
+          if (e >= passes) {
+            ++done;
+            continue;
+          }
+          // Ready when every neighbor has completed pass e-1 (epoch >= e).
+          // The acquire pairs with the neighbor's release publish below and
+          // makes its pass-(e-1) mailbox writes visible.
+          bool ready = true;
+          for (const int m : adj_[static_cast<std::size_t>(node)]) {
+            if (m == node) continue;
+            if (state_[static_cast<std::size_t>(m)].epoch.load(
+                    std::memory_order_acquire) < e) {
+              ready = false;
+              break;
+            }
+          }
+          if (!ready) continue;
+          body(node, e, lane);
+          state_[static_cast<std::size_t>(node)].epoch.store(
+              e + 1, std::memory_order_release);
+          progressed = true;
+          if (e + 1 >= passes) ++done;
+        }
+        if (!progressed && done < end - begin) {
+          // Every owned node is blocked on another lane.  The globally
+          // lowest-epoch node is always ready, so some lane can run; yield
+          // the core to it (essential on oversubscribed machines) and count
+          // the stall.
+          ++stats.stall_spins;
+          const Stopwatch stall_clock;
+          std::this_thread::yield();
+          stats.stall_seconds += stall_clock.seconds();
+        }
+      }
+    } catch (...) {
+      abort.store(true, std::memory_order_relaxed);
+      throw;  // run_team captures and rethrows on the caller
+    }
+  });
+
+  for (int lane = 0; lane < team; ++lane) {
+    total.stall_seconds += lane_stats[lane].stall_seconds;
+    total.stall_spins += lane_stats[lane].stall_spins;
+  }
+  return total;
+}
+
+}  // namespace chambolle::parallel

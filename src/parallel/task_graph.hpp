@@ -1,0 +1,76 @@
+// task_graph.hpp — point-to-point epoch scheduling over a neighbor graph.
+//
+// The bulk-synchronous engines in this repo separate passes with a GLOBAL
+// rendezvous: no tile starts pass n+1 until every tile finished pass n, so
+// one slow tile stalls the whole fleet.  The dependency structure of a
+// sliding-window sweep is far weaker than that — a tile's pass n+1 reads
+// only the pass-n halos of its <= 8 grid neighbors (cf. the interface-data
+// exchange of domain-decomposition TV solvers, Hilb & Langer 2022).
+//
+// EpochGraph schedules exactly that relaxation.  Nodes carry an epoch
+// counter (= passes completed); a node may run pass e as soon as all its
+// neighbors have completed pass e-1.  Nodes are PINNED to lanes for the
+// whole run — each lane sweeps its own contiguous block of nodes, running
+// every ready one — so a node's working set (the resident tile buffer) stays
+// with one worker from first pass to last.  Two neighbors can never drift
+// more than one epoch apart, which is what makes the engine's
+// parity-double-buffered mailboxes safe (see resident_tiled.cpp).
+//
+// Synchronization is point-to-point: the body's writes are published by a
+// release store of the node's epoch, and a reader lane acquires a neighbor's
+// epoch before touching its mailboxes.  There is no barrier anywhere; lanes
+// that find none of their nodes ready spin briefly, then yield (stall time
+// is measured and reported, and surfaces as `tiles.stall_micros` telemetry).
+//
+// An exception thrown by the body aborts the run: every lane observes the
+// abort flag in its wait loops, drains, and the first exception is rethrown
+// on the caller (via the pool's normal propagation).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace chambolle::parallel {
+
+class EpochGraph {
+ public:
+  /// body(node, epoch, lane): run pass `epoch` (0-based) of `node` on `lane`.
+  using NodeFn = std::function<void(int, int, int)>;
+
+  /// `neighbors[n]` lists the nodes whose previous epoch must be complete
+  /// before `n` may advance (the relation should be symmetric; a one-sided
+  /// edge still only delays, never corrupts).  Self-edges are ignored.
+  explicit EpochGraph(std::vector<std::vector<int>> neighbors);
+
+  /// Aggregate outcome of one run() — stall accounting for telemetry.
+  struct RunStats {
+    double stall_seconds = 0.0;      ///< summed over lanes
+    std::uint64_t stall_spins = 0;   ///< ready-scan sweeps that found no work
+  };
+
+  /// Runs `passes` epochs of every node on `lanes` lanes of `pool`, subject
+  /// to the neighbor constraint, with nodes pinned to lanes in contiguous
+  /// blocks.  Returns stall statistics.  Rethrows the first body exception.
+  RunStats run(int passes, int lanes, ThreadPool& pool, const NodeFn& body);
+
+  [[nodiscard]] int nodes() const { return static_cast<int>(adj_.size()); }
+
+  /// The lane a node is pinned to when running on `lanes` lanes: contiguous
+  /// blocks, so grid-adjacent nodes usually share a lane and cross-lane
+  /// waits happen only at block seams.
+  [[nodiscard]] int owner(int node, int lanes) const;
+
+ private:
+  struct alignas(64) NodeState {
+    std::atomic<int> epoch{0};  ///< passes completed; release on publish
+  };
+
+  std::vector<std::vector<int>> adj_;
+  std::vector<NodeState> state_;
+};
+
+}  // namespace chambolle::parallel

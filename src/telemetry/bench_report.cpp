@@ -1,5 +1,6 @@
 #include "telemetry/bench_report.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "telemetry/json_util.hpp"
@@ -36,6 +37,30 @@ std::string write_bench_report(const std::string& name,
     return "";
   std::printf("[bench_report] wrote %s\n", path.c_str());
   return path;
+}
+
+RepeatStats repeat_stats(std::vector<double> samples) {
+  RepeatStats out;
+  if (samples.empty()) return out;
+  std::sort(samples.begin(), samples.end());
+  const std::size_t n = samples.size();
+  out.min = samples.front();
+  out.max = samples.back();
+  out.median = n % 2 == 1 ? samples[n / 2]
+                          : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+  return out;
+}
+
+void append_repeat_stats(BenchParams& params, const std::string& key,
+                         const RepeatStats& stats) {
+  const auto fmt = [](double x) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.3f", x);
+    return std::string(buf);
+  };
+  params.emplace_back(key + "_min", fmt(stats.min));
+  params.emplace_back(key + "_median", fmt(stats.median));
+  params.emplace_back(key + "_max", fmt(stats.max));
 }
 
 }  // namespace chambolle::telemetry

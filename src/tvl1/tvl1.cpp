@@ -1,9 +1,11 @@
 #include "tvl1/tvl1.hpp"
 
+#include <memory>
 #include <optional>
 #include <stdexcept>
 
 #include "chambolle/fixed_solver.hpp"
+#include "chambolle/resident_tiled.hpp"
 #include "chambolle/solver.hpp"
 #include "common/stopwatch.hpp"
 #include "common/validation.hpp"
@@ -28,8 +30,12 @@ Image normalize(const Image& img) {
 // `out` receives the primal result; `scratch` persists across warps so the
 // reference path reuses its dual-field and output buffers instead of
 // allocating per frame (solve_into + the preallocated recover_u_into path).
+// `resident` is the component's persistent resident-tile engine (kResident
+// only): tile buffers survive across warps of a level, so the steady state
+// re-streams only v; it is rebuilt when the pyramid level changes shape.
 void inner_solve(const Matrix<float>& v, const Tvl1Params& params,
-                 Matrix<float>& out, ChambolleResult& scratch) {
+                 Matrix<float>& out, ChambolleResult& scratch,
+                 std::unique_ptr<ResidentTiledEngine>& resident) {
   switch (params.solver) {
     case InnerSolver::kReference:
       solve_into(v, params.chambolle, scratch);
@@ -40,6 +46,20 @@ void inner_solve(const Matrix<float>& v, const Tvl1Params& params,
     case InnerSolver::kTiled:
       out = solve_tiled(v, params.chambolle, params.tiled).u;
       return;
+    case InnerSolver::kResident: {
+      if (resident == nullptr || resident->rows() != v.rows() ||
+          resident->cols() != v.cols()) {
+        resident = std::make_unique<ResidentTiledEngine>(v, params.chambolle,
+                                                         params.tiled);
+      } else {
+        resident->reset_v(v);
+        if (!params.warm_start_duals) resident->reset_duals();
+      }
+      resident->run(params.chambolle.iterations);
+      ChambolleResult r = resident->result();
+      std::swap(out, r.u);
+      return;
+    }
     case InnerSolver::kFixed: {
       // The 13-bit Q5.8 v-format spans [-16,16); flow components at any
       // pyramid level stay well inside it for the supported image sizes.
@@ -58,7 +78,8 @@ void Tvl1Params::validate() const {
     throw std::invalid_argument("Tvl1Params: pyramid_levels < 1");
   if (warps < 1) throw std::invalid_argument("Tvl1Params: warps < 1");
   chambolle.validate();
-  if (solver == InnerSolver::kTiled) tiled.validate();
+  if (solver == InnerSolver::kTiled || solver == InnerSolver::kResident)
+    tiled.validate();
 }
 
 FlowField compute_flow(const Image& i0, const Image& i1,
@@ -100,6 +121,9 @@ FlowField compute_flow(const Image& i0, const Image& i1,
   // dual state and primal output land in these buffers, so the steady state
   // of the pyramid loop stops allocating fresh frames per warp.
   ChambolleResult inner_scratch;
+  // kResident: one persistent engine per flow component; tile buffers stay
+  // resident across warps (rebuilt only when the level changes shape).
+  std::unique_ptr<ResidentTiledEngine> resident_u1, resident_u2;
   for (int level = levels - 1; level >= 0; --level) {
     const telemetry::TraceSpan level_span("tvl1.level");
     const Image& l0 = p0.level(level);
@@ -127,8 +151,8 @@ FlowField compute_flow(const Image& i0, const Image& i1,
       total_clock.lap();  // exclude warp/threshold time from the inner figure
       {
         const telemetry::TraceSpan span("tvl1.chambolle_inner");
-        inner_solve(v.u1, params, u.u1, inner_scratch);
-        inner_solve(v.u2, params, u.u2, inner_scratch);
+        inner_solve(v.u1, params, u.u1, inner_scratch, resident_u1);
+        inner_solve(v.u2, params, u.u2, inner_scratch, resident_u2);
       }
       chambolle_seconds += total_clock.lap();
       inner_iters += 2LL * params.chambolle.iterations;

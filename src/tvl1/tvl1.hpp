@@ -17,6 +17,7 @@ namespace chambolle::tvl1 {
 enum class InnerSolver {
   kReference,  ///< sequential full-frame float solver
   kTiled,      ///< loop-decomposition + sliding-window parallel solver
+  kResident,   ///< resident-tile engine with halo exchange (no reloads)
   kFixed,      ///< bit-accurate fixed-point model of the FPGA datapath
 };
 
@@ -31,8 +32,14 @@ struct Tvl1Params {
   /// Inner Chambolle configuration (theta, tau, iterations per warp).
   ChambolleParams chambolle{0.25f, 0.0625f, 30};
   InnerSolver solver = InnerSolver::kReference;
-  /// Tiled-solver options, used when solver == kTiled.
+  /// Tiled-solver options, used when solver == kTiled or kResident.
   TiledSolverOptions tiled{};
+  /// kResident only: keep the dual fields resident across warps of a level
+  /// instead of zeroing them per warp.  Off by default so the default
+  /// results are bit-identical to every other inner solver; on, the duals
+  /// warm-start each warp from the previous one (often fewer effective
+  /// iterations needed, but numerically a different — not wrong — solve).
+  bool warm_start_duals = false;
   /// Median-filter the flow between warps (Wedel et al. 2009 refinement;
   /// false reproduces the paper's pipeline).
   bool median_filtering = false;

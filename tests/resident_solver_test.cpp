@@ -1,0 +1,278 @@
+#include "chambolle/resident_tiled.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.hpp"
+
+namespace chambolle {
+namespace {
+
+ChambolleParams params_with(int iterations) {
+  ChambolleParams p;
+  p.iterations = iterations;
+  return p;
+}
+
+Matrix<float> random_v(int rows, int cols, std::uint64_t seed) {
+  Rng rng(seed);
+  return random_image(rng, rows, cols, -3.f, 3.f);
+}
+
+// The strongest form of the equality claim: raw-memory comparison, not
+// float-tolerant.  operator== on Matrix is elementwise; memcmp additionally
+// rules out representation games (e.g. -0.0 vs 0.0).
+void expect_memcmp_eq(const Matrix<float>& a, const Matrix<float>& b,
+                      const char* what) {
+  ASSERT_TRUE(a.same_shape(b)) << what;
+  EXPECT_EQ(0, std::memcmp(a.data().data(), b.data().data(),
+                           a.size() * sizeof(float)))
+      << what;
+}
+
+// Bit-exactness of the resident halo-exchange engine against the sequential
+// reference, across the geometry/edge-case matrix the issue calls out:
+// frame smaller than one tile, tile dims exactly 2*halo+1, non-divisible
+// frame/tile ratios, one-axis tilings, degenerate 1x1 frames — at several
+// thread counts, so the point-to-point scheduler's orderings are exercised.
+struct ResidentCase {
+  int rows, cols, tile_rows, tile_cols, merge, iterations, threads;
+};
+
+class ResidentEqualsReference : public ::testing::TestWithParam<ResidentCase> {
+};
+
+TEST_P(ResidentEqualsReference, BitExactOnAllElements) {
+  const ResidentCase& tc = GetParam();
+  const Matrix<float> v = random_v(tc.rows, tc.cols, 4000 + tc.rows);
+  const ChambolleParams params = params_with(tc.iterations);
+
+  const ChambolleResult ref = solve(v, params);
+
+  TiledSolverOptions opt;
+  opt.tile_rows = tc.tile_rows;
+  opt.tile_cols = tc.tile_cols;
+  opt.merge_iterations = tc.merge;
+  opt.num_threads = tc.threads;
+  ResidentTiledStats stats;
+  const ChambolleResult res = solve_resident(v, params, opt, &stats);
+
+  expect_memcmp_eq(res.u, ref.u, "u");
+  expect_memcmp_eq(res.p.px, ref.p.px, "px");
+  expect_memcmp_eq(res.p.py, ref.p.py, "py");
+  EXPECT_EQ(stats.passes, (tc.iterations + tc.merge - 1) / tc.merge);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ResidentEqualsReference,
+    ::testing::Values(
+        // Frame smaller than one tile: single resident tile, no exchange.
+        ResidentCase{32, 32, 88, 92, 4, 20, 1},
+        // Tile dims exactly 2*halo+1 — the minimum legal window, a 1-cell
+        // profitable core in the interior.
+        ResidentCase{24, 24, 9, 9, 4, 12, 2},
+        ResidentCase{20, 20, 3, 3, 1, 7, 2},
+        // Multi-tile, several merge depths and thread counts.
+        ResidentCase{64, 64, 24, 28, 4, 16, 1},
+        ResidentCase{64, 64, 24, 28, 4, 16, 4},
+        ResidentCase{64, 64, 24, 28, 1, 7, 2},
+        ResidentCase{50, 70, 20, 22, 8, 24, 3},
+        ResidentCase{97, 53, 30, 26, 5, 13, 2},  // iterations % merge != 0
+        // Frame slightly larger than one tile (paper's window size).
+        ResidentCase{90, 94, 88, 92, 4, 12, 2},
+        // One-axis tilings (tall / flat frames).
+        ResidentCase{128, 16, 40, 16, 6, 18, 2},
+        ResidentCase{16, 128, 16, 40, 6, 18, 2},
+        // Degenerate frame: a single pixel, still a multi-threaded request.
+        ResidentCase{1, 1, 88, 92, 2, 9, 2},
+        // Non-divisible frame/tile ratios everywhere.
+        ResidentCase{61, 45, 16, 16, 2, 10, 3},
+        // Tile exactly equal to the frame.
+        ResidentCase{40, 44, 40, 44, 3, 12, 2},
+        // More tiles than a typical lane count: scheduler pinning blocks.
+        ResidentCase{96, 96, 20, 20, 3, 9, 4}));
+
+TEST(ResidentSolver, MatchesReloadEngineBitExactly) {
+  const Matrix<float> v = random_v(80, 60, 21);
+  const ChambolleParams params = params_with(14);
+  TiledSolverOptions opt;
+  opt.tile_rows = 24;
+  opt.tile_cols = 24;
+  opt.merge_iterations = 3;
+  opt.num_threads = 2;
+
+  const ChambolleResult reload = solve_tiled(v, params, opt);
+  const ChambolleResult res = solve_resident(v, params, opt);
+  expect_memcmp_eq(res.p.px, reload.p.px, "px");
+  expect_memcmp_eq(res.p.py, reload.p.py, "py");
+  expect_memcmp_eq(res.u, reload.u, "u");
+}
+
+TEST(ResidentSolver, RunsAreComposable) {
+  // run(a); run(b) on resident buffers == one reference solve of a+b.
+  const Matrix<float> v = random_v(48, 48, 22);
+  TiledSolverOptions opt;
+  opt.tile_rows = 20;
+  opt.tile_cols = 20;
+  opt.merge_iterations = 2;
+  opt.num_threads = 2;
+
+  ResidentTiledEngine engine(v, params_with(12), opt);
+  engine.run(5);
+  engine.run(7);
+  const ChambolleResult split = engine.result();
+  const ChambolleResult ref = solve(v, params_with(12));
+  expect_memcmp_eq(split.p.px, ref.p.px, "px");
+  expect_memcmp_eq(split.p.py, ref.p.py, "py");
+}
+
+TEST(ResidentSolver, SnapshotObservesIntermediateStateWithoutDisturbingIt) {
+  const Matrix<float> v = random_v(40, 40, 23);
+  TiledSolverOptions opt;
+  opt.tile_rows = 18;
+  opt.tile_cols = 18;
+  opt.merge_iterations = 2;
+  opt.num_threads = 2;
+
+  ResidentTiledEngine engine(v, params_with(8), opt);
+  engine.run(4);
+  DualField mid;
+  engine.snapshot(mid);  // the on-demand telemetry write-back
+  const ChambolleResult ref4 = solve(v, params_with(4));
+  expect_memcmp_eq(mid.px, ref4.p.px, "px@4");
+  expect_memcmp_eq(mid.py, ref4.p.py, "py@4");
+
+  engine.run(4);  // snapshot must not have corrupted the resident state
+  const ChambolleResult ref8 = solve(v, params_with(8));
+  expect_memcmp_eq(engine.result().p.px, ref8.p.px, "px@8");
+}
+
+TEST(ResidentSolver, WarmStartFromInitialDuals) {
+  const Matrix<float> v = random_v(44, 36, 24);
+  const ChambolleParams first = params_with(6);
+  const ChambolleResult stage1 = solve(v, first);
+
+  TiledSolverOptions opt;
+  opt.tile_rows = 16;
+  opt.tile_cols = 16;
+  opt.merge_iterations = 2;
+  opt.num_threads = 2;
+  ResidentTiledStats stats;
+  const ChambolleResult warm =
+      solve_resident(v, params_with(5), opt, &stats, &stage1.p);
+  const ChambolleResult ref = solve(v, params_with(5), &stage1.p);
+  expect_memcmp_eq(warm.p.px, ref.p.px, "px");
+  expect_memcmp_eq(warm.p.py, ref.p.py, "py");
+  expect_memcmp_eq(warm.u, ref.u, "u");
+}
+
+TEST(ResidentSolver, ResetVKeepsDualsResidentAcrossWarps) {
+  // The TV-L1 warp pattern: new v each inner solve, duals carried through
+  // the resident buffers.  Must equal reference solves chained by explicit
+  // initial duals.
+  const Matrix<float> v1 = random_v(52, 40, 25);
+  const Matrix<float> v2 = random_v(52, 40, 26);
+  TiledSolverOptions opt;
+  opt.tile_rows = 20;
+  opt.tile_cols = 18;
+  opt.merge_iterations = 3;
+  opt.num_threads = 2;
+
+  ResidentTiledEngine engine(v1, params_with(9), opt);
+  engine.run(9);
+  engine.reset_v(v2);  // duals stay resident
+  engine.run(9);
+  const ChambolleResult res = engine.result();
+
+  const ChambolleResult ref1 = solve(v1, params_with(9));
+  const ChambolleResult ref2 = solve(v2, params_with(9), &ref1.p);
+  expect_memcmp_eq(res.p.px, ref2.p.px, "px");
+  expect_memcmp_eq(res.p.py, ref2.p.py, "py");
+  expect_memcmp_eq(res.u, ref2.u, "u");
+}
+
+TEST(ResidentSolver, ResetVWithInitialColdRestarts) {
+  const Matrix<float> v1 = random_v(30, 30, 27);
+  const Matrix<float> v2 = random_v(30, 30, 28);
+  TiledSolverOptions opt;
+  opt.tile_rows = 14;
+  opt.tile_cols = 14;
+  opt.merge_iterations = 2;
+  opt.num_threads = 1;
+
+  ResidentTiledEngine engine(v1, params_with(6), opt);
+  engine.run(6);
+  const DualField zeros(30, 30);
+  engine.reset_v(v2, &zeros);
+  engine.run(6);
+  const ChambolleResult ref = solve(v2, params_with(6));
+  expect_memcmp_eq(engine.result().p.px, ref.p.px, "px");
+}
+
+TEST(ResidentSolver, StatsReportHaloTrafficFarBelowFrameReload) {
+  const Matrix<float> v = random_v(128, 128, 29);
+  TiledSolverOptions opt;
+  opt.tile_rows = 40;
+  opt.tile_cols = 40;
+  opt.merge_iterations = 4;
+  opt.num_threads = 1;
+  ResidentTiledStats stats;
+  (void)solve_resident(v, params_with(16), opt, &stats);
+
+  EXPECT_EQ(stats.passes, 4);
+  EXPECT_GT(stats.tiles, 1u);
+  EXPECT_GT(stats.halo_elements_per_pass, 0u);
+  // The whole point: per-pass mailbox traffic is halo-perimeter scale, a
+  // small fraction of the reload engine's 4 floats/cell frame round-trip.
+  EXPECT_LT(stats.halo_elements_per_pass, 4u * 128u * 128u / 4u);
+  EXPECT_EQ(stats.halo_bytes_exchanged,
+            stats.halo_elements_per_pass * sizeof(float) * 4u);
+  EXPECT_GT(stats.element_iterations, 128u * 128u * 16u);
+}
+
+TEST(ResidentSolver, SingleTileExchangesNothing) {
+  const Matrix<float> v = random_v(32, 32, 30);
+  TiledSolverOptions opt;  // default 88x92 window covers the frame
+  ResidentTiledStats stats;
+  const ChambolleResult res = solve_resident(v, params_with(8), opt, &stats);
+  EXPECT_EQ(stats.tiles, 1u);
+  EXPECT_EQ(stats.halo_elements_per_pass, 0u);
+  EXPECT_EQ(stats.halo_bytes_exchanged, 0u);
+  const ChambolleResult ref = solve(v, params_with(8));
+  expect_memcmp_eq(res.p.px, ref.p.px, "px");
+}
+
+TEST(ResidentSolver, ValidatesArguments) {
+  const Matrix<float> v = random_v(32, 32, 31);
+  TiledSolverOptions opt;
+  opt.merge_iterations = 0;
+  EXPECT_THROW(ResidentTiledEngine(v, params_with(4), opt),
+               std::invalid_argument);
+  opt = {};
+  DualField bad(8, 8);
+  EXPECT_THROW(ResidentTiledEngine(v, params_with(4), opt, &bad),
+               std::invalid_argument);
+  ResidentTiledEngine engine(v, params_with(4), opt);
+  EXPECT_THROW(engine.run(-1), std::invalid_argument);
+  const Matrix<float> wrong(16, 16);
+  EXPECT_THROW(engine.reset_v(wrong), std::invalid_argument);
+}
+
+TEST(ResidentSolver, ThreadCountDoesNotChangeResult) {
+  const Matrix<float> v = random_v(80, 60, 32);
+  TiledSolverOptions opt;
+  opt.tile_rows = 24;
+  opt.tile_cols = 24;
+  opt.merge_iterations = 3;
+
+  opt.num_threads = 1;
+  const ChambolleResult a = solve_resident(v, params_with(12), opt);
+  opt.num_threads = 8;
+  const ChambolleResult b = solve_resident(v, params_with(12), opt);
+  expect_memcmp_eq(a.u, b.u, "u");
+  expect_memcmp_eq(a.p.px, b.p.px, "px");
+}
+
+}  // namespace
+}  // namespace chambolle

@@ -460,6 +460,28 @@ TEST(BenchReport, JsonHasStableSchema) {
   EXPECT_NE(metrics->find("counters"), nullptr);
 }
 
+TEST(BenchReport, RepeatStatsOrderStatistics) {
+  const telemetry::RepeatStats odd =
+      telemetry::repeat_stats({5.0, 1.0, 3.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(odd.min, 1.0);
+  EXPECT_DOUBLE_EQ(odd.median, 3.0);
+  EXPECT_DOUBLE_EQ(odd.max, 5.0);
+  const telemetry::RepeatStats even = telemetry::repeat_stats({4.0, 1.0});
+  EXPECT_DOUBLE_EQ(even.median, 2.5);
+  const telemetry::RepeatStats empty = telemetry::repeat_stats({});
+  EXPECT_DOUBLE_EQ(empty.min, 0.0);
+  EXPECT_DOUBLE_EQ(empty.median, 0.0);
+  EXPECT_DOUBLE_EQ(empty.max, 0.0);
+
+  telemetry::BenchParams params;
+  telemetry::append_repeat_stats(params, "solve_ms", odd);
+  ASSERT_EQ(params.size(), 3u);
+  EXPECT_EQ(params[0].first, "solve_ms_min");
+  EXPECT_EQ(params[1].first, "solve_ms_median");
+  EXPECT_EQ(params[1].second, "3.000");
+  EXPECT_EQ(params[2].first, "solve_ms_max");
+}
+
 // ---------------------------------------------------------------------------
 // End-to-end integration: run by ctest once with CHAMBOLLE_TELEMETRY=1.
 

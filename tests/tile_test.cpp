@@ -131,5 +131,95 @@ INSTANTIATE_TEST_SUITE_P(
                       TilingCase{768, 1024, 88, 92, 16},
                       TilingCase{91, 91, 88, 92, 4}));
 
+// --- Halo-edge invariants (the resident engine's exchange geometry) -------
+
+// Every cell of a tile's halo ring (buffer minus profitable) must be covered
+// by EXACTLY ONE incoming edge rect; profitable cells by none.  This is what
+// makes a gather of neighbors' strips reconstruct the exact global state.
+void expect_edges_partition_halo_rings(const TilingPlan& plan,
+                                       const std::vector<HaloEdge>& edges) {
+  for (std::size_t j = 0; j < plan.tiles.size(); ++j) {
+    const TileSpec& t = plan.tiles[j];
+    Matrix<int> cover(t.buf_rows, t.buf_cols, 0);
+    for (const HaloEdge& e : edges) {
+      if (e.dst != static_cast<int>(j)) continue;
+      for (int r = 0; r < e.rows; ++r)
+        for (int c = 0; c < e.cols; ++c)
+          cover(e.row0 + r - t.buf_row0, e.col0 + c - t.buf_col0) += 1;
+    }
+    for (int r = 0; r < t.buf_rows; ++r) {
+      for (int c = 0; c < t.buf_cols; ++c) {
+        const int fr = t.buf_row0 + r, fc = t.buf_col0 + c;
+        const bool prof = fr >= t.prof_row0 && fr < t.prof_row0 + t.prof_rows &&
+                          fc >= t.prof_col0 && fc < t.prof_col0 + t.prof_cols;
+        EXPECT_EQ(cover(r, c), prof ? 0 : 1)
+            << "tile " << j << " buf cell (" << r << "," << c << ")";
+      }
+    }
+  }
+}
+
+TEST(HaloEdges, PartitionEveryHaloRing) {
+  for (const TilingCase& tc :
+       {TilingCase{512, 512, 88, 92, 4}, TilingCase{61, 45, 16, 16, 3},
+        TilingCase{200, 200, 21, 23, 10}, TilingCase{89, 93, 88, 92, 4}}) {
+    const TilingPlan plan =
+        make_tiling(tc.rows, tc.cols, tc.tile_rows, tc.tile_cols, tc.halo);
+    expect_edges_partition_halo_rings(plan, make_halo_edges(plan));
+  }
+}
+
+TEST(HaloEdges, RelationIsSymmetricWithBoundedDegree) {
+  const TilingPlan plan = make_tiling(300, 400, 40, 50, 6);
+  const std::vector<HaloEdge> edges = make_halo_edges(plan);
+  std::vector<int> in_degree(plan.tiles.size(), 0);
+  for (const HaloEdge& e : edges) {
+    EXPECT_NE(e.src, e.dst);
+    EXPECT_GT(e.rows, 0);
+    EXPECT_GT(e.cols, 0);
+    ++in_degree[static_cast<std::size_t>(e.dst)];
+    // Grid tilings make the exchange symmetric: if i feeds j, j feeds i.
+    bool reverse = false;
+    for (const HaloEdge& b : edges)
+      if (b.src == e.dst && b.dst == e.src) reverse = true;
+    EXPECT_TRUE(reverse) << e.src << "->" << e.dst;
+  }
+  for (const int d : in_degree) EXPECT_LE(d, 8);  // <= 8 grid neighbors
+}
+
+TEST(HaloEdges, ZeroHaloAndSingleTileExchangeNothing) {
+  EXPECT_TRUE(make_halo_edges(make_tiling(100, 100, 40, 50, 0)).empty());
+  EXPECT_TRUE(make_halo_edges(make_tiling(50, 60, 88, 92, 4)).empty());
+}
+
+TEST(HaloEdges, ExchangeElementsCountBothDualComponents) {
+  const TilingPlan plan = make_tiling(96, 96, 20, 20, 4);
+  const std::vector<HaloEdge> edges = make_halo_edges(plan);
+  ASSERT_FALSE(edges.empty());
+  std::size_t rect_sum = 0;
+  for (const HaloEdge& e : edges) rect_sum += e.elements();
+  EXPECT_EQ(halo_exchange_elements(edges), 2 * rect_sum);  // px + py
+  // Per-pass mailbox traffic must sit far below a full-frame reload
+  // (~4 floats per cell: two fields in, two out).
+  EXPECT_LT(halo_exchange_elements(edges),
+            4u * static_cast<std::size_t>(plan.frame_rows) * plan.frame_cols);
+}
+
+TEST(HaloEdges, RectsStayInsideDstBufferAndSrcProfitable) {
+  const TilingPlan plan = make_tiling(61, 45, 16, 16, 3);
+  for (const HaloEdge& e : make_halo_edges(plan)) {
+    const TileSpec& s = plan.tiles[static_cast<std::size_t>(e.src)];
+    const TileSpec& d = plan.tiles[static_cast<std::size_t>(e.dst)];
+    EXPECT_GE(e.row0, s.prof_row0);
+    EXPECT_GE(e.col0, s.prof_col0);
+    EXPECT_LE(e.row0 + e.rows, s.prof_row0 + s.prof_rows);
+    EXPECT_LE(e.col0 + e.cols, s.prof_col0 + s.prof_cols);
+    EXPECT_GE(e.row0, d.buf_row0);
+    EXPECT_GE(e.col0, d.buf_col0);
+    EXPECT_LE(e.row0 + e.rows, d.buf_row0 + d.buf_rows);
+    EXPECT_LE(e.col0 + e.cols, d.buf_col0 + d.buf_cols);
+  }
+}
+
 }  // namespace
 }  // namespace chambolle

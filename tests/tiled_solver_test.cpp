@@ -66,6 +66,10 @@ INSTANTIATE_TEST_SUITE_P(
         TiledCase{1, 1, 88, 92, 2, 9, 2},
         // Frame dimensions not divisible by the tile anywhere.
         TiledCase{61, 45, 16, 16, 2, 10, 3},
+        // Tile dims exactly 2*halo+1: the smallest legal window, every
+        // buffer cell is halo except a single profitable column/row.
+        TiledCase{24, 24, 9, 9, 4, 12, 2},
+        TiledCase{20, 20, 3, 3, 1, 7, 2},
         // Tile exactly equal to the frame (boundary of the single-tile path).
         TiledCase{40, 44, 40, 44, 3, 12, 2}));
 

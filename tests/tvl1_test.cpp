@@ -107,6 +107,41 @@ TEST(Tvl1, TiledBackendMatchesReferenceExactly) {
   EXPECT_EQ(a.u2, b.u2);
 }
 
+TEST(Tvl1, ResidentBackendMatchesReferenceExactly) {
+  // Default (cold per-warp duals): the resident engine must be bit-exact
+  // through the whole pyramid, warps and levels included.
+  const auto wl = workloads::translating_scene(48, 48, 1.5f, 0.5f, 31);
+  Tvl1Params ref = fast_params();
+  Tvl1Params res = fast_params();
+  res.solver = InnerSolver::kResident;
+  res.tiled.tile_rows = 24;
+  res.tiled.tile_cols = 24;
+  res.tiled.merge_iterations = 5;
+  res.tiled.num_threads = 2;
+  const FlowField a = compute_flow(wl.frame0, wl.frame1, ref);
+  const FlowField b = compute_flow(wl.frame0, wl.frame1, res);
+  EXPECT_EQ(a.u1, b.u1);
+  EXPECT_EQ(a.u2, b.u2);
+}
+
+TEST(Tvl1, ResidentWarmStartStaysCloseToReference) {
+  // warm_start_duals carries duals across warps: a different (not wrong)
+  // solve, so the flow agrees approximately, not bitwise.
+  const auto wl = workloads::translating_scene(48, 48, 1.f, 0.5f, 33);
+  Tvl1Params ref = fast_params();
+  Tvl1Params warm = fast_params();
+  warm.solver = InnerSolver::kResident;
+  warm.tiled.tile_rows = 24;
+  warm.tiled.tile_cols = 24;
+  warm.tiled.merge_iterations = 5;
+  warm.warm_start_duals = true;
+  const FlowField a = compute_flow(wl.frame0, wl.frame1, ref);
+  const FlowField b = compute_flow(wl.frame0, wl.frame1, warm);
+  EXPECT_LT(max_abs_diff(a.u1, b.u1), 0.25);
+  EXPECT_LT(max_abs_diff(a.u2, b.u2), 0.25);
+  EXPECT_LT(workloads::interior_endpoint_error(b, wl.ground_truth, 6), 0.6);
+}
+
 TEST(Tvl1, FixedBackendStaysCloseToReference) {
   const auto wl = workloads::translating_scene(48, 48, 1.f, -1.f, 37);
   Tvl1Params ref = fast_params();

@@ -39,6 +39,7 @@
 
 #include "common/flow_color.hpp"
 #include "common/image_io.hpp"
+#include "common/parse.hpp"
 #include "common/stopwatch.hpp"
 #include "hw/accelerator.hpp"
 #include "kernels/kernel.hpp"
@@ -69,6 +70,30 @@ int usage() {
   return 2;
 }
 
+// Flag-value parsers: reject garbage and out-of-range values with a concrete
+// message instead of the old atoi behavior of silently computing with 0.
+bool flag_int(const char* flag, const char* value, int min, int max,
+              int& out) {
+  if (const auto v = parse_int(value, min, max)) {
+    out = *v;
+    return true;
+  }
+  std::fprintf(stderr, "flow_cli: %s expects an integer in [%d, %d], got '%s'\n",
+               flag, min, max, value);
+  return false;
+}
+
+bool flag_float(const char* flag, const char* value, float min, float max,
+                float& out) {
+  if (const auto v = parse_float(value, min, max)) {
+    out = *v;
+    return true;
+  }
+  std::fprintf(stderr, "flow_cli: %s expects a number in [%g, %g], got '%s'\n",
+               flag, static_cast<double>(min), static_cast<double>(max), value);
+  return false;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -89,19 +114,20 @@ int main(int argc, char** argv) {
     if (arg == "--levels") {
       const char* n = next();
       if (!n) return usage();
-      params.pyramid_levels = std::atoi(n);
+      if (!flag_int("--levels", n, 1, 16, params.pyramid_levels)) return 2;
     } else if (arg == "--warps") {
       const char* n = next();
       if (!n) return usage();
-      params.warps = std::atoi(n);
+      if (!flag_int("--warps", n, 1, 1000, params.warps)) return 2;
     } else if (arg == "--iters") {
       const char* n = next();
       if (!n) return usage();
-      params.chambolle.iterations = std::atoi(n);
+      if (!flag_int("--iters", n, 1, 1000000, params.chambolle.iterations))
+        return 2;
     } else if (arg == "--lambda") {
       const char* n = next();
       if (!n) return usage();
-      params.lambda = static_cast<float>(std::atof(n));
+      if (!flag_float("--lambda", n, 1e-6f, 1e6f, params.lambda)) return 2;
     } else if (arg == "--solver") {
       const char* n = next();
       if (!n) return usage();
@@ -121,22 +147,28 @@ int main(int argc, char** argv) {
     } else if (arg == "--tile") {
       const char* n = next();
       if (!n) return usage();
-      int rows = 0, cols = 0;
-      if (std::sscanf(n, "%dx%d", &rows, &cols) != 2 || rows < 1 || cols < 1)
-        return usage();
-      params.tiled.tile_rows = rows;
-      params.tiled.tile_cols = cols;
+      // "RxC" split by hand so each half goes through the checked parser
+      // (sscanf would accept "8x9garbage").
+      const char* x = std::strchr(n, 'x');
+      if (!x) {
+        std::fprintf(stderr, "flow_cli: --tile expects RxC, got '%s'\n", n);
+        return 2;
+      }
+      const std::string rows_str(n, x);
+      if (!flag_int("--tile rows", rows_str.c_str(), 1, 1 << 15,
+                    params.tiled.tile_rows) ||
+          !flag_int("--tile cols", x + 1, 1, 1 << 15, params.tiled.tile_cols))
+        return 2;
     } else if (arg == "--merge") {
       const char* n = next();
       if (!n) return usage();
-      const int merge = std::atoi(n);
-      if (merge < 1) return usage();
-      params.tiled.merge_iterations = merge;
+      if (!flag_int("--merge", n, 1, 1 << 12, params.tiled.merge_iterations))
+        return 2;
     } else if (arg == "--threads") {
       const char* n = next();
       if (!n) return usage();
-      const int threads = std::atoi(n);
-      if (threads < 0) return usage();
+      int threads = 0;
+      if (!flag_int("--threads", n, 0, 1024, threads)) return 2;
       // Sizes the process-wide resident pool; the tiled solver inherits the
       // width through its num_threads = 0 (auto) default.
       parallel::set_default_pool_threads(threads);

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "chambolle/energy.hpp"
+#include "common/validation.hpp"
 #include "kernels/kernel.hpp"
 #include "telemetry/convergence.hpp"
 #include "telemetry/metrics.hpp"
@@ -73,6 +74,10 @@ void solve_into(const Matrix<float>& v, const ChambolleParams& params,
                 ChambolleResult& out, const DualField* initial,
                 telemetry::ConvergenceTrace* convergence) {
   params.validate();
+  // A single NaN in v poisons the whole dual field within a few sweeps and
+  // comes out looking like a solver bug; reject it at the door.  The O(n)
+  // scan is noise next to the iterations * n solve that follows.
+  require_finite(v, "chambolle::solve: v");
   const telemetry::TraceSpan span("chambolle.solve");
   // Validate the warm start BEFORE adopting it, and check both components:
   // a py of the wrong shape would otherwise be copied into the result and
@@ -129,6 +134,8 @@ ChambolleResult solve(const Matrix<float>& v, const ChambolleParams& params,
 FlowField solve_flow(const FlowField& v, const ChambolleParams& params,
                      const DualField* initial_u1, const DualField* initial_u2,
                      DualField* final_u1, DualField* final_u2) {
+  require_finite(v.u1, "solve_flow: v.u1");
+  require_finite(v.u2, "solve_flow: v.u2");
   FlowField out;
   ChambolleResult r1 = solve(v.u1, params, initial_u1);
   ChambolleResult r2 = solve(v.u2, params, initial_u2);

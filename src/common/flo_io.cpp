@@ -12,9 +12,26 @@ void write_raw(std::ofstream& out, const void* p, std::size_t n) {
   out.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
 }
 
-void read_raw(std::ifstream& in, void* p, std::size_t n) {
+void read_raw(std::istream& in, void* p, std::size_t n) {
   in.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
   if (!in) throw std::runtime_error("read_flo: truncated file");
+}
+
+// Bytes left between the current position and the end of a seekable stream;
+// -1 when the stream does not support seeking (then the length check is
+// skipped and truncation is caught by the payload reads).
+std::streamoff remaining_bytes(std::istream& in) {
+  const std::istream::pos_type here = in.tellg();
+  if (here == std::istream::pos_type(-1)) return -1;
+  in.seekg(0, std::ios::end);
+  const std::istream::pos_type end = in.tellg();
+  in.seekg(here);
+  if (end == std::istream::pos_type(-1) || !in) {
+    in.clear();
+    in.seekg(here);
+    return -1;
+  }
+  return end - here;
 }
 
 }  // namespace
@@ -37,9 +54,7 @@ void write_flo(const std::string& path, const FlowField& flow) {
   if (!out) throw std::runtime_error("write_flo: write failed for " + path);
 }
 
-FlowField read_flo(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("read_flo: cannot open " + path);
+FlowField read_flo(std::istream& in) {
   float magic = 0.f;
   std::int32_t w = 0, h = 0;
   read_raw(in, &magic, sizeof magic);
@@ -47,8 +62,19 @@ FlowField read_flo(const std::string& path) {
     throw std::runtime_error("read_flo: bad magic (not a .flo file)");
   read_raw(in, &w, sizeof w);
   read_raw(in, &h, sizeof h);
-  if (w <= 0 || h <= 0 || w > 1 << 16 || h > 1 << 16)
+  if (w <= 0 || h <= 0 || w > kMaxFloDim || h > kMaxFloDim)
     throw std::runtime_error("read_flo: implausible dimensions");
+  // Both caps and the payload check run BEFORE the FlowField allocation: an
+  // adversarial 12-byte header must not be able to commit gigabytes.
+  const std::size_t cells =
+      static_cast<std::size_t>(w) * static_cast<std::size_t>(h);
+  if (cells > kMaxFloCells)
+    throw std::runtime_error("read_flo: dimensions exceed the total-cell cap");
+  const std::streamoff payload = remaining_bytes(in);
+  if (payload >= 0 &&
+      static_cast<std::uint64_t>(payload) != std::uint64_t{cells} * 8)
+    throw std::runtime_error(
+        "read_flo: payload length does not match width*height");
   FlowField flow(h, w);
   for (int r = 0; r < h; ++r)
     for (int c = 0; c < w; ++c) {
@@ -59,6 +85,12 @@ FlowField read_flo(const std::string& path) {
       flow.u2(r, c) = v;
     }
   return flow;
+}
+
+FlowField read_flo(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_flo: cannot open " + path);
+  return read_flo(in);
 }
 
 }  // namespace chambolle::io

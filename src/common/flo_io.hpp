@@ -5,8 +5,16 @@
 // 202021.25 ("PIEH"), int32 width/height, then row-major interleaved
 // (u, v) float pairs, all little-endian.  Lets results from this library be
 // consumed by standard evaluation tooling and vice versa.
+//
+// read_flo treats its input as UNTRUSTED: dimensions are capped (per-axis
+// and total cells) and the payload length is verified against w*h before
+// any allocation, so a hostile 12-byte header cannot force a multi-gigabyte
+// FlowField.  The std::istream overload is the in-memory entry point the
+// fuzz harnesses drive (tests/fuzz/).
 #pragma once
 
+#include <cstddef>
+#include <istream>
 #include <string>
 
 #include "common/image.hpp"
@@ -16,10 +24,23 @@ namespace chambolle::io {
 /// The format's magic number (reads "PIEH" when viewed as bytes).
 inline constexpr float kFloMagic = 202021.25f;
 
+/// Per-axis dimension cap accepted by read_flo.
+inline constexpr int kMaxFloDim = 1 << 16;
+
+/// Total-cell cap accepted by read_flo: 2^24 cells (a 4096x4096 frame,
+/// 128 MB of payload).  The per-axis check alone is not enough — a
+/// 2^16 x 2^16 header would still demand a ~34 GB allocation.
+inline constexpr std::size_t kMaxFloCells = std::size_t{1} << 24;
+
 /// Writes a flow field as a .flo file. Throws std::runtime_error on failure.
 void write_flo(const std::string& path, const FlowField& flow);
 
 /// Reads a .flo file. Throws std::runtime_error on parse failure.
 [[nodiscard]] FlowField read_flo(const std::string& path);
+
+/// Reads a .flo stream (opened in binary mode).  When the stream is
+/// seekable, the remaining length must equal exactly w*h*8 payload bytes —
+/// verified BEFORE the field is allocated.
+[[nodiscard]] FlowField read_flo(std::istream& in);
 
 }  // namespace chambolle::io

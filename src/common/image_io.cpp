@@ -33,6 +33,23 @@ int read_pnm_int(std::istream& in, const char* what) {
   return v;
 }
 
+// Parses "width height maxval" with the shared caps; runs BEFORE any raster
+// allocation so a hostile header cannot force one.
+void read_pnm_dims(std::istream& in, const char* reader, int& cols, int& rows,
+                   int& maxval) {
+  cols = read_pnm_int(in, "width");
+  rows = read_pnm_int(in, "height");
+  maxval = read_pnm_int(in, "maxval");
+  const std::string who(reader);
+  if (cols < 1 || rows < 1 || cols > kMaxPnmDim || rows > kMaxPnmDim)
+    throw std::runtime_error(who + ": implausible dimensions");
+  if (static_cast<std::size_t>(cols) * static_cast<std::size_t>(rows) >
+      kMaxPnmPixels)
+    throw std::runtime_error(who + ": dimensions exceed the total-pixel cap");
+  if (maxval <= 0 || maxval > 255)
+    throw std::runtime_error(who + ": unsupported maxval");
+}
+
 unsigned char to_byte(float v) {
   const float c = v < 0.f ? 0.f : (v > 255.f ? 255.f : v);
   return static_cast<unsigned char>(std::lround(c));
@@ -49,26 +66,30 @@ void write_pgm(const std::string& path, const Image& img) {
   if (!out) throw std::runtime_error("write_pgm: write failed for " + path);
 }
 
-Image read_pgm(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("read_pgm: cannot open " + path);
+Image read_pgm(std::istream& in) {
   std::string magic;
   in >> magic;
   if (magic != "P5") throw std::runtime_error("read_pgm: not a P5 file");
-  const int cols = read_pnm_int(in, "width");
-  const int rows = read_pnm_int(in, "height");
-  const int maxval = read_pnm_int(in, "maxval");
-  if (maxval <= 0 || maxval > 255)
-    throw std::runtime_error("read_pgm: unsupported maxval");
+  int cols = 0, rows = 0, maxval = 0;
+  read_pnm_dims(in, "read_pgm", cols, rows, maxval);
   in.get();  // single separator byte before the raster
+  // Rescale to the [0, 255] range the solvers and to_byte assume; samples
+  // above maxval are invalid per the spec and clamp to 255.
+  const float scale = 255.f / static_cast<float>(maxval);
   Image img(rows, cols);
   for (int r = 0; r < rows; ++r)
     for (int c = 0; c < cols; ++c) {
       const int ch = in.get();
       if (ch == EOF) throw std::runtime_error("read_pgm: truncated raster");
-      img(r, c) = static_cast<float>(ch);
+      img(r, c) = static_cast<float>(ch > maxval ? maxval : ch) * scale;
     }
   return img;
+}
+
+Image read_pgm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_pgm: cannot open " + path);
+  return read_pgm(in);
 }
 
 void write_ppm(const std::string& path, const RgbImage& img) {
@@ -81,18 +102,14 @@ void write_ppm(const std::string& path, const RgbImage& img) {
   if (!out) throw std::runtime_error("write_ppm: write failed for " + path);
 }
 
-RgbImage read_ppm(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("read_ppm: cannot open " + path);
+RgbImage read_ppm(std::istream& in) {
   std::string magic;
   in >> magic;
   if (magic != "P6") throw std::runtime_error("read_ppm: not a P6 file");
-  const int cols = read_pnm_int(in, "width");
-  const int rows = read_pnm_int(in, "height");
-  const int maxval = read_pnm_int(in, "maxval");
-  if (maxval <= 0 || maxval > 255)
-    throw std::runtime_error("read_ppm: unsupported maxval");
+  int cols = 0, rows = 0, maxval = 0;
+  read_pnm_dims(in, "read_ppm", cols, rows, maxval);
   in.get();
+  const float scale = 255.f / static_cast<float>(maxval);
   RgbImage img(rows, cols);
   for (int r = 0; r < rows; ++r)
     for (int c = 0; c < cols; ++c)
@@ -100,9 +117,15 @@ RgbImage read_ppm(const std::string& path) {
         const int ch = in.get();
         if (ch == EOF) throw std::runtime_error("read_ppm: truncated raster");
         img.pixels(r, c)[static_cast<std::size_t>(k)] =
-            static_cast<unsigned char>(ch);
+            to_byte(static_cast<float>(ch > maxval ? maxval : ch) * scale);
       }
   return img;
+}
+
+RgbImage read_ppm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_ppm: cannot open " + path);
+  return read_ppm(in);
 }
 
 }  // namespace chambolle::io

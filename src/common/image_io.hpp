@@ -2,14 +2,29 @@
 //
 // The examples emit flow visualizations and corrected frames as NetPBM files
 // so results can be inspected without any external image library.
+//
+// The readers treat their input as UNTRUSTED: header dimensions are capped
+// (per-axis and total cells) before any allocation, and rasters with
+// maxval < 255 are rescaled to the [0, 255] intensity range the solvers and
+// the to_byte round-trip assume.  The std::istream overloads are the
+// in-memory entry points the fuzz harnesses drive (tests/fuzz/).
 #pragma once
 
 #include <array>
+#include <cstddef>
+#include <istream>
 #include <string>
 
 #include "common/image.hpp"
 
 namespace chambolle::io {
+
+/// Per-axis dimension cap accepted by the PNM readers.
+inline constexpr int kMaxPnmDim = 1 << 16;
+
+/// Total-pixel cap accepted by the PNM readers: 2^24 pixels (a 4096x4096
+/// frame); bounds the allocation a hostile header can force.
+inline constexpr std::size_t kMaxPnmPixels = std::size_t{1} << 24;
 
 /// 8-bit RGB raster used for flow visualizations.
 struct RgbImage {
@@ -26,12 +41,20 @@ struct RgbImage {
 void write_pgm(const std::string& path, const Image& img);
 
 /// Reads a binary PGM (P5) file. Throws std::runtime_error on parse failure.
+/// Samples are rescaled by 255/maxval, so a maxval-1 bitmap reads as
+/// {0, 255} rather than {0, 1}.
 [[nodiscard]] Image read_pgm(const std::string& path);
+
+/// Reads a binary PGM (P5) stream (opened in binary mode).
+[[nodiscard]] Image read_pgm(std::istream& in);
 
 /// Writes an RGB image as binary PPM (P6).
 void write_ppm(const std::string& path, const RgbImage& img);
 
-/// Reads a binary PPM (P6) file.
+/// Reads a binary PPM (P6) file; samples are rescaled by 255/maxval.
 [[nodiscard]] RgbImage read_ppm(const std::string& path);
+
+/// Reads a binary PPM (P6) stream (opened in binary mode).
+[[nodiscard]] RgbImage read_ppm(std::istream& in);
 
 }  // namespace chambolle::io

@@ -1,0 +1,44 @@
+// parse.hpp — checked numeric parsing for command-line and config surfaces.
+//
+// The CLI tools used to funnel flag values through atoi/atof, which silently
+// turn garbage into 0 ("--threads abc" became a zero-thread request) and
+// overflow into undefined behavior.  These helpers parse strictly: the whole
+// token must be consumed, the value must be finite and inside the caller's
+// range, and any violation yields nullopt so the caller can print a real
+// error instead of computing with a mis-parse.
+#pragma once
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <optional>
+
+namespace chambolle {
+
+/// Parses a decimal integer in [min, max]; nullopt on empty input, trailing
+/// garbage, overflow, or out-of-range values.
+[[nodiscard]] inline std::optional<int> parse_int(const char* s, int min,
+                                                  int max) {
+  if (s == nullptr || *s == '\0') return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE) return std::nullopt;
+  if (v < static_cast<long>(min) || v > static_cast<long>(max))
+    return std::nullopt;
+  return static_cast<int>(v);
+}
+
+/// Parses a finite float in [min, max]; same strictness as parse_int.
+[[nodiscard]] inline std::optional<float> parse_float(const char* s, float min,
+                                                      float max) {
+  if (s == nullptr || *s == '\0') return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const float v = std::strtof(s, &end);
+  if (end == s || *end != '\0' || errno == ERANGE) return std::nullopt;
+  if (!std::isfinite(v) || v < min || v > max) return std::nullopt;
+  return v;
+}
+
+}  // namespace chambolle

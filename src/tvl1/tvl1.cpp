@@ -1,5 +1,6 @@
 #include "tvl1/tvl1.hpp"
 
+#include <cmath>
 #include <memory>
 #include <optional>
 #include <stdexcept>
@@ -73,6 +74,10 @@ void inner_solve(const Matrix<float>& v, const Tvl1Params& params,
 }  // namespace
 
 void Tvl1Params::validate() const {
+  // NaN passes every <= comparison; screen it explicitly (see
+  // ChambolleParams::validate).
+  if (!std::isfinite(lambda))
+    throw std::invalid_argument("Tvl1Params: non-finite lambda");
   if (lambda <= 0.f) throw std::invalid_argument("Tvl1Params: lambda <= 0");
   if (pyramid_levels < 1)
     throw std::invalid_argument("Tvl1Params: pyramid_levels < 1");

@@ -3,6 +3,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "common/validation.hpp"
 #include "parallel/thread_pool.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
@@ -38,9 +39,14 @@ VideoRunnerResult run_video(const std::vector<Image>& frames,
   options.validate();
   if (frames.size() < 2)
     throw std::invalid_argument("run_video: need at least two frames");
-  for (const Image& f : frames)
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    const Image& f = frames[i];
     if (!f.same_shape(frames.front()) || f.rows() < 2 || f.cols() < 2)
       throw std::invalid_argument("run_video: inconsistent frame shapes");
+    // One bad capture would otherwise propagate NaN through every later
+    // warm-started pair; name the frame so the producer can be found.
+    require_finite(f, "run_video: frame " + std::to_string(i));
+  }
 
   hw::ChambolleAccelerator accel(options.arch);
   VideoRunnerResult result;

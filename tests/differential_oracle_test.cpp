@@ -1,0 +1,64 @@
+// differential_oracle_test.cpp — the cross-engine differential oracle.
+//
+// Every seed becomes one randomized solve executed through all engines
+// (reference, row-parallel, reload-tiled, resident, every SIMD backend, and
+// — on default-parameter cases — the fixed-point solver and the cycle-level
+// accelerator) with the comparison policy of src/testing/oracle.hpp: float
+// engines must match the reference bit for bit, quantized engines within
+// kFixedPointTolerance.  This suite absorbs the former tiled_fuzz_test and
+// hw_fuzz_test sweeps into one generator and one failure format.
+//
+// Reproduce a failure locally with the line failure_report() prints:
+//   CHAMBOLLE_ORACLE_SEED=<seed> ./tests/chb_tests --gtest_filter='OracleRepro.*'
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "testing/generators.hpp"
+#include "testing/oracle.hpp"
+
+namespace chambolle {
+namespace {
+
+class DifferentialOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(DifferentialOracle, AllEnginesAgree) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const oracle::OracleCase c = oracle::make_case(seed);
+  const oracle::OracleReport report = oracle::run_oracle(c);
+  EXPECT_TRUE(report.pass()) << report.failure_report();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialOracle, ::testing::Range(0, 200));
+
+// A slice of the same sweep small enough for the TSan CI job, which runs a
+// curated filter (thread interleavings matter there, not case count).
+class OracleSmoke : public ::testing::TestWithParam<int> {};
+
+TEST_P(OracleSmoke, AllEnginesAgree) {
+  // Offset the seed stream so this suite exercises cases the 200-seed sweep
+  // does not; under TSan each case still spins up the threaded engines.
+  const auto seed = static_cast<std::uint64_t>(1000 + GetParam());
+  const oracle::OracleCase c = oracle::make_case(seed);
+  const oracle::OracleReport report = oracle::run_oracle(c);
+  EXPECT_TRUE(report.pass()) << report.failure_report();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OracleSmoke, ::testing::Range(0, 12));
+
+// Replays exactly one case chosen through the environment — the repro hook
+// referenced by OracleReport::failure_report().  Without the variable the
+// test is a no-op so it can sit in the default ctest run.
+TEST(OracleRepro, EnvSeed) {
+  const char* env = std::getenv("CHAMBOLLE_ORACLE_SEED");
+  if (env == nullptr || *env == '\0')
+    GTEST_SKIP() << "set CHAMBOLLE_ORACLE_SEED=<seed> to replay a case";
+  const auto seed = std::strtoull(env, nullptr, 10);
+  const oracle::OracleCase c = oracle::make_case(seed);
+  SCOPED_TRACE(c.describe());
+  const oracle::OracleReport report = oracle::run_oracle(c);
+  EXPECT_TRUE(report.pass()) << report.failure_report();
+}
+
+}  // namespace
+}  // namespace chambolle

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 
 #include "common/rng.hpp"
 
@@ -72,6 +73,66 @@ TEST(FloIo, RejectsTruncatedPayload) {
 TEST(FloIo, MissingFileThrows) {
   EXPECT_THROW((void)read_flo(temp_path("chb_missing.flo")),
                std::runtime_error);
+}
+
+namespace {
+void write_header(std::ostream& out, std::int32_t w, std::int32_t h) {
+  const float magic = kFloMagic;
+  out.write(reinterpret_cast<const char*>(&magic), 4);
+  out.write(reinterpret_cast<const char*>(&w), 4);
+  out.write(reinterpret_cast<const char*>(&h), 4);
+}
+}  // namespace
+
+// Regression: a 12-byte header claiming 65535x65535 used to drive a ~34 GB
+// FlowField allocation before any payload byte was read (allocation DoS).
+// The reader must now reject it from the header alone.
+TEST(FloIo, HugeDimsHeaderRejectedBeforeAllocation) {
+  std::stringstream buf;
+  write_header(buf, kMaxFloDim, kMaxFloDim);  // passes per-dim, fails cells
+  EXPECT_THROW((void)read_flo(buf), std::runtime_error);
+}
+
+TEST(FloIo, DimensionAbovePerAxisCapRejected) {
+  std::stringstream buf;
+  write_header(buf, kMaxFloDim + 1, 1);
+  EXPECT_THROW((void)read_flo(buf), std::runtime_error);
+}
+
+TEST(FloIo, NegativeDimensionsRejected) {
+  std::stringstream buf;
+  write_header(buf, -3, 2);
+  buf.write("\0\0\0\0", 4);
+  EXPECT_THROW((void)read_flo(buf), std::runtime_error);
+}
+
+// Regression: payload length must equal w*h*8 exactly — both short payloads
+// and trailing garbage are rejected on seekable streams.
+TEST(FloIo, PayloadLengthMismatchRejected) {
+  std::stringstream shorter;
+  write_header(shorter, 2, 2);
+  shorter << std::string(2 * 2 * 8 - 1, '\0');
+  EXPECT_THROW((void)read_flo(shorter), std::runtime_error);
+
+  std::stringstream longer;
+  write_header(longer, 2, 2);
+  longer << std::string(2 * 2 * 8 + 5, '\0');
+  EXPECT_THROW((void)read_flo(longer), std::runtime_error);
+}
+
+TEST(FloIo, StreamOverloadRoundTrips) {
+  FlowField flow(2, 3);
+  flow.u1(1, 2) = -4.25f;
+  flow.u2(0, 1) = 9.f;
+  const std::string path = temp_path("chb_stream.flo");
+  write_flo(path, flow);
+  std::ifstream file(path, std::ios::binary);
+  std::stringstream buf;
+  buf << file.rdbuf();
+  const FlowField back = read_flo(buf);
+  EXPECT_EQ(back.u1, flow.u1);
+  EXPECT_EQ(back.u2, flow.u2);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,30 @@
+#include <cstdlib>
+#include <exception>
+#include <sstream>
+#include <string>
+
+#include "common/flo_io.hpp"
+#include "harnesses.hpp"
+
+namespace chambolle::fuzzing {
+
+int fuzz_flo(const std::uint8_t* data, std::size_t size) {
+  std::istringstream in(
+      std::string(reinterpret_cast<const char*>(data), size));
+  try {
+    const FlowField flow = io::read_flo(in);
+    // Post-conditions of a successful parse: dimensions inside the caps
+    // (the allocation-DoS fix) and a payload that matched them.
+    if (flow.rows() <= 0 || flow.cols() <= 0 || flow.rows() > io::kMaxFloDim ||
+        flow.cols() > io::kMaxFloDim ||
+        static_cast<std::size_t>(flow.rows()) *
+                static_cast<std::size_t>(flow.cols()) >
+            io::kMaxFloCells)
+      std::abort();
+  } catch (const std::exception&) {
+    // Rejecting hostile input with a typed exception is the contract.
+  }
+  return 0;
+}
+
+}  // namespace chambolle::fuzzing

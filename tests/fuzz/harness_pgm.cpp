@@ -1,0 +1,27 @@
+#include <cstdlib>
+#include <exception>
+#include <sstream>
+#include <string>
+
+#include "common/image_io.hpp"
+#include "harnesses.hpp"
+
+namespace chambolle::fuzzing {
+
+int fuzz_pgm(const std::uint8_t* data, std::size_t size) {
+  std::istringstream in(
+      std::string(reinterpret_cast<const char*>(data), size));
+  try {
+    const Image img = io::read_pgm(in);
+    if (img.rows() <= 0 || img.cols() <= 0 || img.rows() > io::kMaxPnmDim ||
+        img.cols() > io::kMaxPnmDim)
+      std::abort();
+    // The maxval-rescale fix guarantees samples land on [0, 255].
+    for (const float v : img)
+      if (!(v >= 0.f && v <= 255.f)) std::abort();
+  } catch (const std::exception&) {
+  }
+  return 0;
+}
+
+}  // namespace chambolle::fuzzing

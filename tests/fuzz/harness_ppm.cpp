@@ -1,0 +1,24 @@
+#include <cstdlib>
+#include <exception>
+#include <sstream>
+#include <string>
+
+#include "common/image_io.hpp"
+#include "harnesses.hpp"
+
+namespace chambolle::fuzzing {
+
+int fuzz_ppm(const std::uint8_t* data, std::size_t size) {
+  std::istringstream in(
+      std::string(reinterpret_cast<const char*>(data), size));
+  try {
+    const io::RgbImage img = io::read_ppm(in);
+    if (img.rows() <= 0 || img.cols() <= 0 || img.rows() > io::kMaxPnmDim ||
+        img.cols() > io::kMaxPnmDim)
+      std::abort();
+  } catch (const std::exception&) {
+  }
+  return 0;
+}
+
+}  // namespace chambolle::fuzzing

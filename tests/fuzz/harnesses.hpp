@@ -1,0 +1,36 @@
+// harnesses.hpp — the fuzz entry points, one per untrusted input surface.
+//
+// Each harness consumes an arbitrary byte string and must neither crash nor
+// violate its parser's post-conditions: a parse either throws a typed
+// exception or returns an object inside the documented caps.  The same
+// functions back two drivers:
+//
+//   * the libFuzzer binaries (CHAMBOLLE_ENABLE_FUZZERS=ON, clang only) for
+//     open-ended coverage-guided exploration, and
+//   * chb_fuzz_smoke, a deterministic corpus + seeded-mutation runner that
+//     ctest and the sanitizer CI jobs execute on every PR.
+//
+// Harnesses return 0 always (libFuzzer convention); violations abort, so
+// both drivers fail loudly under a debugger or a sanitizer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace chambolle::fuzzing {
+
+/// Middlebury .flo reader (read_flo).
+int fuzz_flo(const std::uint8_t* data, std::size_t size);
+
+/// Binary PGM reader (read_pgm).
+int fuzz_pgm(const std::uint8_t* data, std::size_t size);
+
+/// Binary PPM reader (read_ppm).
+int fuzz_ppm(const std::uint8_t* data, std::size_t size);
+
+/// Structured-input harness: decodes the bytes into ChambolleParams,
+/// Tvl1Params and a tiling-plan request; whatever validates must then
+/// survive a tiny solve / plan construction with its invariants intact.
+int fuzz_params(const std::uint8_t* data, std::size_t size);
+
+}  // namespace chambolle::fuzzing

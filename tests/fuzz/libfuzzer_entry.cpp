@@ -1,0 +1,16 @@
+// libfuzzer_entry.cpp — the one-TU bridge between libFuzzer and a harness.
+//
+// Each fuzz binary compiles this file once with CHB_FUZZ_ENTRY defined to
+// the harness it drives (see tests/fuzz/CMakeLists.txt), keeping the
+// one-target-per-binary shape libFuzzer expects while the harness bodies
+// stay plain functions the deterministic smoke runner can also call.
+#include "harnesses.hpp"
+
+#ifndef CHB_FUZZ_ENTRY
+#error "define CHB_FUZZ_ENTRY to one of the chambolle::fuzzing harnesses"
+#endif
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return chambolle::fuzzing::CHB_FUZZ_ENTRY(data, size);
+}

@@ -1,0 +1,138 @@
+// smoke_main.cpp — deterministic fuzz-smoke runner (ctest target fuzz_smoke).
+//
+// Runs every harness over (a) the checked-in seed corpus, (b) seeded random
+// byte strings, and (c) seeded byte-flip mutations of the corpus — all from
+// fixed seeds, so a pass/fail is reproducible and cheap enough for every PR.
+// The sanitizer CI jobs run this binary under ASan/UBSan and TSan; a crash
+// there is a real parser bug, and the input that caused it survives in
+// --artifact-dir (the runner writes each input there before executing it).
+//
+// Usage: chb_fuzz_smoke [--corpus DIR] [--rounds N] [--artifact-dir DIR]
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <functional>
+#include <iterator>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "harnesses.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+using Harness = int (*)(const std::uint8_t*, std::size_t);
+
+struct Target {
+  const char* name;  ///< also the corpus subdirectory
+  Harness run;
+};
+
+constexpr Target kTargets[] = {
+    {"flo", chambolle::fuzzing::fuzz_flo},
+    {"pgm", chambolle::fuzzing::fuzz_pgm},
+    {"ppm", chambolle::fuzzing::fuzz_ppm},
+    {"params", chambolle::fuzzing::fuzz_params},
+};
+
+// Save-then-run: if the harness brings the process down, the artifact file
+// still holds the offending bytes for the CI upload step.
+struct Runner {
+  std::string artifact_dir;
+  std::size_t executions = 0;
+
+  void run(const Target& target, const std::vector<std::uint8_t>& input) {
+    if (!artifact_dir.empty()) {
+      const fs::path p =
+          fs::path(artifact_dir) / (std::string("last_input_") + target.name);
+      std::ofstream out(p, std::ios::binary | std::ios::trunc);
+      out.write(reinterpret_cast<const char*>(input.data()),
+                static_cast<std::streamsize>(input.size()));
+    }
+    target.run(input.data(), input.size());
+    ++executions;
+  }
+};
+
+std::vector<std::uint8_t> read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string corpus_dir =
+#ifdef CHB_FUZZ_CORPUS_DIR
+      CHB_FUZZ_CORPUS_DIR;
+#else
+      "tests/fuzz/corpus";
+#endif
+  std::string artifact_dir;
+  int rounds = 300;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--corpus" && i + 1 < argc) {
+      corpus_dir = argv[++i];
+    } else if (arg == "--rounds" && i + 1 < argc) {
+      rounds = std::atoi(argv[++i]);
+    } else if (arg == "--artifact-dir" && i + 1 < argc) {
+      artifact_dir = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: chb_fuzz_smoke [--corpus DIR] [--rounds N] "
+                   "[--artifact-dir DIR]\n");
+      return 2;
+    }
+  }
+  if (!artifact_dir.empty()) fs::create_directories(artifact_dir);
+
+  Runner runner{artifact_dir};
+  for (const Target& target : kTargets) {
+    // (a) the checked-in seed corpus for this surface.
+    std::vector<std::vector<std::uint8_t>> corpus;
+    const fs::path dir = fs::path(corpus_dir) / target.name;
+    if (fs::is_directory(dir)) {
+      std::vector<fs::path> files;
+      for (const auto& entry : fs::directory_iterator(dir))
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      std::sort(files.begin(), files.end());  // deterministic order
+      for (const fs::path& f : files) corpus.push_back(read_file(f));
+    }
+    if (corpus.empty())
+      std::fprintf(stderr, "fuzz_smoke: warning: no corpus under %s\n",
+                   dir.string().c_str());
+    for (const auto& input : corpus) runner.run(target, input);
+
+    // (b) + (c): seeded random inputs and corpus mutations.  Fixed seed per
+    // target so every run executes the identical input stream.
+    std::mt19937_64 rng(0xf022ce55ULL ^ std::hash<std::string>{}(target.name));
+    for (int i = 0; i < rounds; ++i) {
+      std::vector<std::uint8_t> input;
+      if (!corpus.empty() && i % 2 == 0) {
+        input = corpus[rng() % corpus.size()];
+        const std::size_t flips = 1 + rng() % 8;
+        for (std::size_t f = 0; f < flips && !input.empty(); ++f)
+          input[rng() % input.size()] ^=
+              static_cast<std::uint8_t>(1u << (rng() % 8));
+        if (rng() % 4 == 0 && !input.empty())
+          input.resize(rng() % input.size());  // random truncation
+      } else {
+        input.resize(rng() % 96);
+        for (auto& b : input) b = static_cast<std::uint8_t>(rng());
+      }
+      runner.run(target, input);
+    }
+  }
+
+  std::printf("fuzz_smoke: %zu inputs across %zu harnesses, no violations\n",
+              runner.executions, std::size(kTargets));
+  return 0;
+}

@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 namespace chambolle::io {
@@ -100,6 +102,100 @@ TEST(ImageIo, PpmRejectsP5) {
   std::ofstream(path, std::ios::binary) << "P5\n1 1\n255\nx";
   EXPECT_THROW(read_ppm(path), std::runtime_error);
   std::remove(path.c_str());
+}
+
+// Regression: rasters with maxval < 255 were read unscaled, so a maxval-1
+// bitmap came back as {0, 1} instead of {0, 255} and every downstream
+// threshold tuned for [0, 255] misbehaved.
+TEST(ImageIo, PgmMaxvalOneScalesToFullRange) {
+  std::stringstream buf("P5\n2 2\n1\n");
+  buf.seekp(0, std::ios::end);
+  for (const unsigned char b : {0, 1, 1, 0}) buf.put(static_cast<char>(b));
+  const Image img = read_pgm(buf);
+  EXPECT_FLOAT_EQ(img(0, 0), 0.f);
+  EXPECT_FLOAT_EQ(img(0, 1), 255.f);
+  EXPECT_FLOAT_EQ(img(1, 0), 255.f);
+  EXPECT_FLOAT_EQ(img(1, 1), 0.f);
+}
+
+TEST(ImageIo, PgmIntermediateMaxvalRescales) {
+  std::stringstream buf("P5\n3 1\n100\n");
+  buf.seekp(0, std::ios::end);
+  // 120 exceeds maxval — invalid per spec, clamps to maxval (i.e. 255).
+  for (const unsigned char b : {0, 50, 120}) buf.put(static_cast<char>(b));
+  const Image img = read_pgm(buf);
+  EXPECT_FLOAT_EQ(img(0, 0), 0.f);
+  EXPECT_FLOAT_EQ(img(0, 1), 127.5f);
+  EXPECT_FLOAT_EQ(img(0, 2), 255.f);
+}
+
+TEST(ImageIo, PgmMaxval255ReadsUnscaled) {
+  std::stringstream buf("P5\n2 1\n255\n");
+  buf.seekp(0, std::ios::end);
+  for (const unsigned char b : {37, 255}) buf.put(static_cast<char>(b));
+  const Image img = read_pgm(buf);
+  EXPECT_FLOAT_EQ(img(0, 0), 37.f);
+  EXPECT_FLOAT_EQ(img(0, 1), 255.f);
+}
+
+TEST(ImageIo, PgmRejectsUnsupportedMaxval) {
+  {
+    std::stringstream buf("P5\n1 1\n0\nx");
+    EXPECT_THROW(read_pgm(buf), std::runtime_error);
+  }
+  {
+    std::stringstream buf("P5\n1 1\n65535\nxx");
+    EXPECT_THROW(read_pgm(buf), std::runtime_error);
+  }
+}
+
+// Regression: a hostile header must be rejected before the raster allocation.
+TEST(ImageIo, PgmRejectsHugeDimensions) {
+  std::stringstream per_axis("P5\n70000 70000\n255\n");
+  EXPECT_THROW(read_pgm(per_axis), std::runtime_error);
+  // Each axis under the per-dim cap but the product above the pixel cap.
+  std::stringstream product("P5\n65536 65536\n255\n");
+  EXPECT_THROW(read_pgm(product), std::runtime_error);
+}
+
+TEST(ImageIo, PgmCommentAndWhitespaceTorture) {
+  std::stringstream buf(
+      "P5 # comment right after the magic\n"
+      "# full-line comment\n"
+      "  2 # width\n"
+      "\t1 # height\n"
+      "# before maxval\n"
+      "255\n");
+  buf.seekp(0, std::ios::end);
+  buf.put(static_cast<char>(7));
+  buf.put(static_cast<char>(9));
+  const Image img = read_pgm(buf);
+  ASSERT_EQ(img.rows(), 1);
+  ASSERT_EQ(img.cols(), 2);
+  EXPECT_FLOAT_EQ(img(0, 0), 7.f);
+  EXPECT_FLOAT_EQ(img(0, 1), 9.f);
+}
+
+TEST(ImageIo, PgmRejectsMissingHeaderFields) {
+  std::stringstream buf("P5\n2\n");  // height and maxval never arrive
+  EXPECT_THROW(read_pgm(buf), std::runtime_error);
+}
+
+TEST(ImageIo, PpmRescalesSmallMaxval) {
+  std::stringstream buf("P6\n2 1\n31\n");
+  buf.seekp(0, std::ios::end);
+  for (const unsigned char b : {0, 15, 31, 31, 0, 15})
+    buf.put(static_cast<char>(b));
+  const RgbImage img = read_ppm(buf);
+  EXPECT_EQ(img.pixels(0, 0), (std::array<unsigned char, 3>{0, 123, 255}));
+  EXPECT_EQ(img.pixels(0, 1), (std::array<unsigned char, 3>{255, 0, 123}));
+}
+
+TEST(ImageIo, PpmRejectsTruncatedRaster) {
+  std::stringstream buf("P6\n3 3\n255\n");
+  buf.seekp(0, std::ios::end);
+  for (int i = 0; i < 5; ++i) buf.put('\x40');  // 5 of 27 bytes
+  EXPECT_THROW(read_ppm(buf), std::runtime_error);
 }
 
 }  // namespace

@@ -1,0 +1,70 @@
+// parse_test.cpp — checked numeric parsing (common/parse.hpp).
+//
+// flow_cli's flag handling goes through these helpers; the regression of
+// interest is the silent-atoi behavior they replaced, where "12abc" parsed
+// as 12 and "abc" as 0.
+#include <gtest/gtest.h>
+
+#include "common/parse.hpp"
+
+namespace chambolle {
+namespace {
+
+TEST(ParseInt, AcceptsPlainIntegers) {
+  EXPECT_EQ(parse_int("42", 0, 100), 42);
+  EXPECT_EQ(parse_int("-7", -10, 10), -7);
+  EXPECT_EQ(parse_int("0", 0, 0), 0);
+  EXPECT_EQ(parse_int("  12", 0, 100), 12);  // strtol skips leading space
+}
+
+TEST(ParseInt, RejectsTrailingGarbage) {
+  // atoi("12abc") == 12; the checked parser must refuse instead.
+  EXPECT_EQ(parse_int("12abc", 0, 100), std::nullopt);
+  EXPECT_EQ(parse_int("3x4", 0, 100), std::nullopt);
+  EXPECT_EQ(parse_int("5 ", 0, 100), std::nullopt);
+}
+
+TEST(ParseInt, RejectsNonNumbers) {
+  // atoi("abc") == 0 — historically accepted as a valid flag value.
+  EXPECT_EQ(parse_int("abc", 0, 100), std::nullopt);
+  EXPECT_EQ(parse_int("", 0, 100), std::nullopt);
+  EXPECT_EQ(parse_int("-", 0, 100), std::nullopt);
+  EXPECT_EQ(parse_int(" ", 0, 100), std::nullopt);
+}
+
+TEST(ParseInt, EnforcesRange) {
+  EXPECT_EQ(parse_int("101", 0, 100), std::nullopt);
+  EXPECT_EQ(parse_int("-1", 0, 100), std::nullopt);
+  EXPECT_EQ(parse_int("100", 0, 100), 100);
+  EXPECT_EQ(parse_int("0", 0, 100), 0);
+}
+
+TEST(ParseInt, RejectsOverflow) {
+  EXPECT_EQ(parse_int("99999999999999999999", 0, 2147483647), std::nullopt);
+  EXPECT_EQ(parse_int("-99999999999999999999", -2147483647, 0), std::nullopt);
+}
+
+TEST(ParseFloat, AcceptsPlainFloats) {
+  EXPECT_EQ(parse_float("0.25", 0.f, 1.f), 0.25f);
+  EXPECT_EQ(parse_float("1e2", 0.f, 1000.f), 100.f);
+  EXPECT_EQ(parse_float("-3.5", -10.f, 0.f), -3.5f);
+}
+
+TEST(ParseFloat, RejectsGarbageAndNonFinite) {
+  EXPECT_EQ(parse_float("0.25x", 0.f, 1.f), std::nullopt);
+  EXPECT_EQ(parse_float("abc", 0.f, 1.f), std::nullopt);
+  EXPECT_EQ(parse_float("", 0.f, 1.f), std::nullopt);
+  // strtof parses "nan"/"inf" successfully; the helper must still refuse.
+  EXPECT_EQ(parse_float("nan", 0.f, 1.f), std::nullopt);
+  EXPECT_EQ(parse_float("inf", 0.f, 1e30f), std::nullopt);
+  EXPECT_EQ(parse_float("1e50", 0.f, 1e38f), std::nullopt);  // overflows float
+}
+
+TEST(ParseFloat, EnforcesRange) {
+  EXPECT_EQ(parse_float("2.0", 0.f, 1.f), std::nullopt);
+  EXPECT_EQ(parse_float("-0.1", 0.f, 1.f), std::nullopt);
+  EXPECT_EQ(parse_float("1.0", 0.f, 1.f), 1.f);
+}
+
+}  // namespace
+}  // namespace chambolle

@@ -75,6 +75,30 @@ TEST(Pyramid, LevelCountRespectsMinDim) {
   EXPECT_EQ(p.level(2).rows(), 16);
 }
 
+// Edge case: an image whose sides are exactly min_dim.  The coarsest level
+// is allowed to sit right ON the bound; only a level that would fall BELOW
+// it is refused, so the pyramid has exactly one level (not zero, no throw).
+TEST(Pyramid, ImageExactlyAtMinDim) {
+  Rng rng(5);
+  const Image img = random_image(rng, 16, 16);
+  const Pyramid p(img, 10, 16);
+  EXPECT_EQ(p.levels(), 1);
+  EXPECT_EQ(p.level(0).rows(), 16);
+  EXPECT_EQ(p.level(0).cols(), 16);
+}
+
+// And one pixel above the bound on one axis only: halving either axis would
+// drop below min_dim, so the image still yields a single level.
+TEST(Pyramid, NonSquareImageAtMinDimBoundary) {
+  Rng rng(6);
+  const Image img = random_image(rng, 17, 64);
+  const Pyramid p(img, 10, 16);
+  EXPECT_EQ(p.levels(), 1);
+  // Double it on that axis and the next level lands exactly on the bound.
+  const Image taller = random_image(rng, 32, 64);
+  EXPECT_EQ(Pyramid(taller, 10, 16).levels(), 2);
+}
+
 TEST(Pyramid, MaxLevelsCap) {
   Rng rng(4);
   const Image img = random_image(rng, 256, 256);

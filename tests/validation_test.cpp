@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <limits>
+#include <vector>
 
+#include "chambolle/solver.hpp"
 #include "tvl1/tvl1.hpp"
+#include "tvl1/video_runner.hpp"
 #include "workloads/synthetic.hpp"
 
 namespace chambolle {
@@ -34,6 +37,74 @@ TEST(Validation, RequireFiniteNamesTheOffender) {
   } catch (const std::invalid_argument& e) {
     EXPECT_NE(std::string(e.what()).find("frame0"), std::string::npos);
   }
+}
+
+// Regression: solve()/solve_flow() ran NaN inputs to completion and
+// returned fully poisoned frames; the entry points must throw instead.
+TEST(Validation, RofSolveRejectsNonFiniteInput) {
+  Matrix<float> v(8, 8, 0.5f);
+  const ChambolleParams params{.iterations = 4};
+  EXPECT_NO_THROW((void)solve(v, params));
+  v(3, 4) = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_THROW((void)solve(v, params), std::invalid_argument);
+  v(3, 4) = std::numeric_limits<float>::infinity();
+  EXPECT_THROW((void)solve(v, params), std::invalid_argument);
+}
+
+TEST(Validation, SolveFlowRejectsNonFiniteComponents) {
+  FlowField v(6, 6);
+  const ChambolleParams params{.iterations = 4};
+  EXPECT_NO_THROW((void)solve_flow(v, params));
+  v.u2(5, 0) = -std::numeric_limits<float>::infinity();
+  EXPECT_THROW((void)solve_flow(v, params), std::invalid_argument);
+}
+
+TEST(Validation, RunVideoRejectsPoisonedFrame) {
+  std::vector<Image> frames;
+  for (int i = 0; i < 3; ++i)
+    frames.push_back(workloads::smooth_texture(16, 16, i + 1));
+  tvl1::VideoRunnerOptions options;
+  options.tvl1.pyramid_levels = 2;
+  options.tvl1.warps = 1;
+  options.tvl1.chambolle.iterations = 3;
+  frames[2](0, 0) = std::numeric_limits<float>::quiet_NaN();
+  try {
+    (void)tvl1::run_video(frames, options);
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    // The message names the frame index so a video pipeline can locate it.
+    EXPECT_NE(std::string(e.what()).find("frame 2"), std::string::npos);
+  }
+}
+
+// Regression: every comparison with NaN is false, so NaN theta/tau/lambda
+// satisfied none of the rejection conditions and validate() accepted them.
+TEST(Validation, ParamsValidateRejectsNaN) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  ChambolleParams p;
+  p.theta = nan;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = ChambolleParams{};
+  p.tau = nan;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = ChambolleParams{};
+  p.theta = std::numeric_limits<float>::infinity();
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  tvl1::Tvl1Params t;
+  t.lambda = nan;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+}
+
+// Regression: a denormal tau under a large theta makes tau/theta round to
+// exactly zero — sign and ratio checks all pass, but every dual update is a
+// no-op.  validate() must reject the degenerate step.
+TEST(Validation, ParamsValidateRejectsUnderflowingStep) {
+  ChambolleParams p;
+  p.theta = 1e38f;
+  p.tau = std::numeric_limits<float>::denorm_min();
+  EXPECT_EQ(p.tau / p.theta, 0.f);  // the degenerate case really underflows
+  EXPECT_THROW(p.validate(), std::invalid_argument);
 }
 
 TEST(Validation, ComputeFlowRejectsPoisonedFrames) {

@@ -23,6 +23,7 @@
 #include "kernels/kernel.hpp"
 #include "parallel/thread_pool.hpp"
 #include "telemetry/bench_report.hpp"
+#include "telemetry/profiler.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace {
@@ -499,6 +500,24 @@ int main(int argc, char** argv) {
       res.stats.halo_elements_per_pass,
       static_cast<std::size_t>(4) * 768 * 1024);
 
+  // Lane utilization of one profiled resident solve — the measurement the
+  // profiler exists for: how much of each lane's wall time the epoch-graph
+  // schedule converts into kernel work on this machine.
+  namespace tel = chambolle::telemetry;
+  tel::UtilizationReport profile;
+  {
+    constexpr int kProfRows = 768, kProfCols = 1024, kProfThreads = 4;
+    const chambolle::Matrix<float> v = bench_field2(kProfRows, kProfCols);
+    const chambolle::ChambolleParams params = bench_params(20);
+    chambolle::TiledSolverOptions opt;
+    opt.num_threads = kProfThreads;
+    tel::Profiler::instance().begin(kProfThreads);
+    (void)chambolle::solve_resident(v, params, opt);
+    profile = tel::Profiler::instance().end();
+  }
+  std::printf("\nresident lane utilization (1024x768, 4 threads, profiled):\n");
+  std::fputs(profile.to_table().c_str(), stdout);
+
   chambolle::telemetry::BenchParams report{
       {"suite", "google-benchmark"},
       {"benchmarks",
@@ -554,6 +573,14 @@ int main(int argc, char** argv) {
       "resident_halo_fraction_of_reload",
       fmt(static_cast<double>(res.stats.halo_elements_per_pass) /
           (4.0 * 768.0 * 1024.0)));
+  report.emplace_back("resident_busy_fraction", fmt(profile.busy_fraction()));
+  report.emplace_back("resident_imbalance_ratio",
+                      fmt(profile.imbalance_ratio()));
+  report.emplace_back(
+      "resident_epoch_wait_seconds",
+      fmt(profile.total_seconds(tel::LaneCause::kEpochWait)));
+  report.emplace_back("resident_mailbox_seconds",
+                      fmt(profile.total_seconds(tel::LaneCause::kMailbox)));
 
   const double wall_ms = clock.milliseconds();
   benchmark::Shutdown();

@@ -10,6 +10,8 @@
 //            [--tile RxC] [--merge K] [--median]
 //            [--kernel auto|scalar|sse2|neon|avx2]
 //            [--warp warped.pgm] [--trace trace.json] [--metrics metrics.json]
+//            [--metrics-prom metrics.prom] [--profile profile.json]
+//            [--flight-dump flight.json] [--no-flight]
 //
 // --threads N sizes the process-wide worker pool (and the tiled solver's
 // team); 0 or omitted uses the hardware concurrency.
@@ -30,7 +32,12 @@
 //
 // --trace enables telemetry and writes a Chrome trace-event JSON (open in
 // chrome://tracing or https://ui.perfetto.dev); --metrics writes the metric
-// registry snapshot.  See docs/observability.md.
+// registry snapshot; --metrics-prom writes the same registry in the
+// Prometheus text format; --profile brackets the flow computation in a
+// profiling session and writes the per-lane utilization report (its text
+// table also prints to stdout).  The crash flight recorder is always on:
+// --flight-dump writes its timeline on success too (and names the crash
+// dump file), --no-flight disables it.  See docs/observability.md.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -44,7 +51,11 @@
 #include "hw/accelerator.hpp"
 #include "kernels/kernel.hpp"
 #include "parallel/thread_pool.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/json_util.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/profiler.hpp"
+#include "telemetry/prometheus.hpp"
 #include "telemetry/telemetry.hpp"
 #include "telemetry/trace.hpp"
 #include "tvl1/accel_backend.hpp"
@@ -65,7 +76,9 @@ int usage() {
       "               [--tile RxC] [--merge K]\n"
       "               [--median] [--kernel auto|scalar|sse2|neon|avx2]\n"
       "               [--warp out.pgm] [--trace trace.json]\n"
-      "               [--metrics metrics.json]\n"
+      "               [--metrics metrics.json] [--metrics-prom out.prom]\n"
+      "               [--profile profile.json] [--flight-dump flight.json]\n"
+      "               [--no-flight]\n"
       "With no positional arguments a self-demo runs on generated frames.\n");
   return 2;
 }
@@ -98,6 +111,8 @@ bool flag_float(const char* flag, const char* value, float min, float max,
 
 int main(int argc, char** argv) {
   std::string in0, in1, out_flow, out_warp, out_trace, out_metrics;
+  std::string out_prom, out_profile, out_flight;
+  bool no_flight = false;
   std::vector<std::string> positional;
   tvl1::Tvl1Params params;
   params.pyramid_levels = 4;
@@ -201,6 +216,20 @@ int main(int argc, char** argv) {
       const char* n = next();
       if (!n) return usage();
       out_metrics = n;
+    } else if (arg == "--metrics-prom") {
+      const char* n = next();
+      if (!n) return usage();
+      out_prom = n;
+    } else if (arg == "--profile") {
+      const char* n = next();
+      if (!n) return usage();
+      out_profile = n;
+    } else if (arg == "--flight-dump") {
+      const char* n = next();
+      if (!n) return usage();
+      out_flight = n;
+    } else if (arg == "--no-flight") {
+      no_flight = true;
     } else if (!arg.empty() && arg[0] == '-') {
       return usage();
     } else {
@@ -230,13 +259,21 @@ int main(int argc, char** argv) {
   }
 
   // Asking for an observability artifact is the opt-in.
-  if (!out_trace.empty() || !out_metrics.empty())
+  if (!out_trace.empty() || !out_metrics.empty() || !out_prom.empty())
     telemetry::set_enabled(true);
+  if (no_flight)
+    telemetry::set_flight_recorder_enabled(false);
+  else
+    telemetry::install_crash_handler(out_flight.empty() ? nullptr
+                                                        : out_flight.c_str());
 
   try {
     const Image f0 = io::read_pgm(in0);
     const Image f1 = io::read_pgm(in1);
 
+    if (!out_profile.empty())
+      telemetry::Profiler::instance().begin(
+          parallel::default_pool().lanes_for(0));
     const Stopwatch clock;
     tvl1::Tvl1Stats stats;
     FlowField flow;
@@ -257,6 +294,8 @@ int main(int argc, char** argv) {
       flow = tvl1::compute_flow(f0, f1, params, &stats);
     }
     const double ms = clock.milliseconds();
+    telemetry::UtilizationReport profile;
+    if (!out_profile.empty()) profile = telemetry::Profiler::instance().end();
 
     io::write_ppm(out_flow, colorize_flow(flow));
     std::printf("flow_cli: %dx%d, %d levels, %d warps, %d inner iterations\n",
@@ -294,7 +333,33 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "flow_cli: failed to write %s\n",
                      out_metrics.c_str());
     }
+    if (!out_prom.empty()) {
+      if (telemetry::write_prometheus(out_prom))
+        std::printf("  wrote           : %s (Prometheus exposition)\n",
+                    out_prom.c_str());
+      else
+        std::fprintf(stderr, "flow_cli: failed to write %s\n",
+                     out_prom.c_str());
+    }
+    if (!out_profile.empty()) {
+      std::fputs(profile.to_table().c_str(), stdout);
+      if (telemetry::write_text_file(out_profile, profile.to_json()))
+        std::printf("  wrote           : %s (utilization report)\n",
+                    out_profile.c_str());
+      else
+        std::fprintf(stderr, "flow_cli: failed to write %s\n",
+                     out_profile.c_str());
+    }
+    if (!out_flight.empty() && !no_flight) {
+      if (telemetry::write_flight_record(out_flight))
+        std::printf("  wrote           : %s (flight record, %zu events)\n",
+                    out_flight.c_str(), telemetry::flight_event_count());
+      else
+        std::fprintf(stderr, "flow_cli: failed to write %s\n",
+                     out_flight.c_str());
+    }
   } catch (const std::exception& e) {
+    telemetry::Profiler::instance().cancel();
     std::fprintf(stderr, "flow_cli: %s\n", e.what());
     return 1;
   }

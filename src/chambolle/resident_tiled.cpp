@@ -6,7 +6,9 @@
 
 #include "kernels/kernel.hpp"
 #include "kernels/strips.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/profiler.hpp"
 #include "telemetry/trace.hpp"
 
 namespace chambolle {
@@ -117,6 +119,7 @@ void ResidentTiledEngine::run(int iterations) {
     throw std::invalid_argument("ResidentTiledEngine::run: iterations < 0");
   if (iterations == 0) return;
   const telemetry::TraceSpan span("chambolle.resident.run");
+  telemetry::flight_mark("resident.run", static_cast<double>(iterations));
 
   // Pass schedule: merge_iterations per pass, remainder last.  Every k is
   // <= plan_.halo, which is what keeps profitable cells' dependency cones
@@ -145,6 +148,7 @@ void ResidentTiledEngine::run(int iterations) {
       // Refresh the halo ring from the neighbors' pass-(g-1) strips.  The
       // incoming rectangles partition the halo exactly, so after this loop
       // the whole buffer holds the exact global pre-pass state.
+      const telemetry::ProfScope prof(telemetry::LaneCause::kMailbox);
       for (const int mi : in_edges_[ti]) {
         const Mailbox& m = mail_[static_cast<std::size_t>(mi)];
         const float* strip = m.slot[(g - 1) & 1].data();
@@ -156,19 +160,34 @@ void ResidentTiledEngine::run(int iterations) {
     }
     const RegionGeometry geom{t.buf_row0, t.buf_col0, plan_.frame_rows,
                               plan_.frame_cols};
-    kernels::iterate_region_fused(b.px, b.py, b.v, geom, inv_theta, step,
-                                  pass_iters[static_cast<std::size_t>(epoch)],
-                                  scratch[lane]);
+    {
+      // Timed by hand (not ProfScope) because the per-tile attribution needs
+      // the same measurement twice; no clock is read without a session.
+      const bool prof = telemetry::profiler_active();
+      const std::uint64_t k0 = prof ? telemetry::detail::trace_now_ns() : 0;
+      kernels::iterate_region_fused(b.px, b.py, b.v, geom, inv_theta, step,
+                                    pass_iters[static_cast<std::size_t>(epoch)],
+                                    scratch[lane]);
+      if (prof) {
+        const double kernel_seconds =
+            static_cast<double>(telemetry::detail::trace_now_ns() - k0) * 1e-9;
+        telemetry::profiler_add(telemetry::LaneCause::kKernel, kernel_seconds);
+        telemetry::profiler_add_tile(node, kernel_seconds);
+      }
+    }
     // Publish this pass's strips (profitable cells only, hence exact) into
     // the parity slot.  Publishing on the final pass too keeps the mailboxes
     // coherent for a later run() on the resident state.
-    for (const int mi : out_edges_[ti]) {
-      Mailbox& m = mail_[static_cast<std::size_t>(mi)];
-      float* strip = m.slot[g & 1].data();
-      kernels::gather_rect(b.px, m.src_r0, m.src_c0, m.edge.rows, m.edge.cols,
-                           strip);
-      kernels::gather_rect(b.py, m.src_r0, m.src_c0, m.edge.rows, m.edge.cols,
-                           strip + m.edge.elements());
+    {
+      const telemetry::ProfScope prof(telemetry::LaneCause::kMailbox);
+      for (const int mi : out_edges_[ti]) {
+        Mailbox& m = mail_[static_cast<std::size_t>(mi)];
+        float* strip = m.slot[g & 1].data();
+        kernels::gather_rect(b.px, m.src_r0, m.src_c0, m.edge.rows, m.edge.cols,
+                             strip);
+        kernels::gather_rect(b.py, m.src_r0, m.src_c0, m.edge.rows,
+                             m.edge.cols, strip + m.edge.elements());
+      }
     }
   };
 

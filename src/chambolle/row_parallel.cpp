@@ -9,6 +9,7 @@
 #include "kernels/kernel.hpp"
 #include "parallel/thread_pool.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/profiler.hpp"
 #include "telemetry/trace.hpp"
 
 namespace chambolle {
@@ -128,9 +129,15 @@ ChambolleResult solve_row_parallel(const Matrix<float>& v,
     parallel::default_pool().run_team(
         lanes, [&](int lane, int nlanes, parallel::Barrier& barrier) {
           for (int it = 0; it < params.iterations; ++it) {
-            for (int s = lane; s < strips; s += nlanes) phase1_strip(s);
+            {
+              const telemetry::ProfScope prof(telemetry::LaneCause::kKernel);
+              for (int s = lane; s < strips; s += nlanes) phase1_strip(s);
+            }
             barrier.arrive_and_wait();
-            for (int s = lane; s < strips; s += nlanes) phase2_strip(s);
+            {
+              const telemetry::ProfScope prof(telemetry::LaneCause::kKernel);
+              for (int s = lane; s < strips; s += nlanes) phase2_strip(s);
+            }
             barrier.arrive_and_wait();
           }
         });

@@ -9,6 +9,7 @@
 #include "common/validation.hpp"
 #include "kernels/kernel.hpp"
 #include "telemetry/convergence.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
@@ -79,6 +80,7 @@ void solve_into(const Matrix<float>& v, const ChambolleParams& params,
   // scan is noise next to the iterations * n solve that follows.
   require_finite(v, "chambolle::solve: v");
   const telemetry::TraceSpan span("chambolle.solve");
+  telemetry::flight_mark("solve", static_cast<double>(params.iterations));
   // Validate the warm start BEFORE adopting it, and check both components:
   // a py of the wrong shape would otherwise be copied into the result and
   // read out of bounds by the iteration.

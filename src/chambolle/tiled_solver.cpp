@@ -7,6 +7,7 @@
 
 #include "parallel/thread_pool.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/profiler.hpp"
 #include "telemetry/trace.hpp"
 
 namespace chambolle {
@@ -19,6 +20,9 @@ void process_tile(const TileSpec& t, const Matrix<float>& px,
                   const TilingPlan& plan, const ChambolleParams& params,
                   int iterations, Matrix<float>& scratch) {
   const telemetry::TraceSpan span("chambolle.tiled.tile");
+  // The whole tile body (buffer copy + local sweeps + write-back) is kernel
+  // work for this engine; halo copies are part of its compute overhead.
+  const telemetry::ProfScope prof(telemetry::LaneCause::kKernel);
   Matrix<float> bpx = px.block(t.buf_row0, t.buf_col0, t.buf_rows, t.buf_cols);
   Matrix<float> bpy = py.block(t.buf_row0, t.buf_col0, t.buf_rows, t.buf_cols);
   const Matrix<float> bv =

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "telemetry/metrics.hpp"
+#include "telemetry/profiler.hpp"
 
 namespace chambolle::parallel {
 namespace {
@@ -37,6 +38,8 @@ void Barrier::arrive_and_wait() {
     generation_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
+  // The whole rendezvous (spin + sleep) is barrier-wait time for this lane.
+  const telemetry::ProfScope prof(telemetry::LaneCause::kBarrierWait);
 
   std::unique_lock<std::mutex> lk(mu_);
   const std::uint64_t gen = generation_.load(std::memory_order_relaxed);

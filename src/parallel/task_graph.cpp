@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/stopwatch.hpp"
+#include "telemetry/profiler.hpp"
 
 namespace chambolle::parallel {
 namespace {
@@ -95,7 +96,9 @@ EpochGraph::RunStats EpochGraph::run(int passes, int lanes, ThreadPool& pool,
           ++stats.stall_spins;
           const Stopwatch stall_clock;
           std::this_thread::yield();
-          stats.stall_seconds += stall_clock.seconds();
+          const double stalled = stall_clock.seconds();
+          stats.stall_seconds += stalled;
+          telemetry::profiler_add(telemetry::LaneCause::kEpochWait, stalled);
         }
       }
     } catch (...) {

@@ -1,6 +1,7 @@
 #include "parallel/thread_pool.hpp"
 
 #include "telemetry/metrics.hpp"
+#include "telemetry/profiler.hpp"
 
 namespace chambolle::parallel {
 namespace {
@@ -98,11 +99,13 @@ void ThreadPool::worker_main(std::size_t index, std::uint64_t seen_epoch) {
     lk.unlock();
     std::exception_ptr err;
     t_in_region = true;
+    const int prev_lane = telemetry::profiler_set_lane(lane);
     try {
       (*fn)(lane, lanes, *bar);
     } catch (...) {
       err = std::current_exception();
     }
+    telemetry::profiler_set_lane(prev_lane);
     t_in_region = false;
     lk.lock();
     if (err && !job_error_) job_error_ = err;
@@ -119,12 +122,18 @@ void ThreadPool::run_team(int lanes, const TeamFn& fn) {
     Barrier solo(1, &barrier_waits_, &c_barrier_waits());
     const bool was_in_region = t_in_region;
     t_in_region = true;
+    // A nested region inlines on the caller's lane and keeps attributing
+    // there; only a fresh single-lane region maps to lane 0.
+    const int prev_lane =
+        was_in_region ? telemetry::profiler_lane() : telemetry::profiler_set_lane(0);
     try {
       fn(0, 1, solo);
     } catch (...) {
+      telemetry::profiler_set_lane(prev_lane);
       t_in_region = was_in_region;
       throw;
     }
+    telemetry::profiler_set_lane(prev_lane);
     t_in_region = was_in_region;
     return;
   }
@@ -148,11 +157,13 @@ void ThreadPool::run_team(int lanes, const TeamFn& fn) {
   // The caller is lane 0 of its own team — no thread sits idle waiting.
   std::exception_ptr caller_error;
   t_in_region = true;
+  const int prev_lane = telemetry::profiler_set_lane(0);
   try {
     fn(0, lanes, bar);
   } catch (...) {
     caller_error = std::current_exception();
   }
+  telemetry::profiler_set_lane(prev_lane);
   t_in_region = false;
 
   lk.lock();
@@ -177,7 +188,10 @@ void ThreadPool::parallel_for(std::size_t n, int lanes, const RangeFn& fn,
   if (team == 1 || t_in_region) {
     tasks_.fetch_add(1, std::memory_order_relaxed);
     c_tasks().add(1);
+    const int prev_lane = t_in_region ? telemetry::profiler_lane()
+                                      : telemetry::profiler_set_lane(0);
     fn(0, n, 0);
+    telemetry::profiler_set_lane(prev_lane);
     return;
   }
 

@@ -1,0 +1,320 @@
+#include "telemetry/bench_diff.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "telemetry/json_util.hpp"
+
+namespace chambolle::telemetry {
+
+namespace {
+
+/// Just enough JSON reading for the BENCH schema: pull "name", "wall_ms",
+/// and the flat "params" string map out of the top-level object; skip
+/// everything else (the embedded metrics snapshot) structurally.
+struct BenchParser {
+  const std::string& s;
+  std::size_t i = 0;
+
+  void skip_ws() {
+    while (i < s.size() &&
+           (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' || s[i] == '\r'))
+      ++i;
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_string(std::string* out) {
+    skip_ws();
+    if (i >= s.size() || s[i] != '"') return false;
+    ++i;
+    std::string val;
+    while (i < s.size()) {
+      const char c = s[i];
+      if (c == '"') {
+        ++i;
+        if (out != nullptr) *out = std::move(val);
+        return true;
+      }
+      if (c == '\\') {
+        ++i;
+        if (i >= s.size()) return false;
+        switch (s[i]) {
+          case '"': val.push_back('"'); break;
+          case '\\': val.push_back('\\'); break;
+          case '/': val.push_back('/'); break;
+          case 'b': val.push_back('\b'); break;
+          case 'f': val.push_back('\f'); break;
+          case 'n': val.push_back('\n'); break;
+          case 'r': val.push_back('\r'); break;
+          case 't': val.push_back('\t'); break;
+          case 'u': {
+            if (i + 4 >= s.size()) return false;
+            // BENCH params are ASCII; a \uXXXX escape only ever encodes a
+            // control character here — decode the low byte, drop the high.
+            const std::string hex = s.substr(i + 1, 4);
+            char* end = nullptr;
+            const long cp = std::strtol(hex.c_str(), &end, 16);
+            if (end != hex.c_str() + 4) return false;
+            val.push_back(static_cast<char>(cp & 0xff));
+            i += 4;
+            break;
+          }
+          default:
+            return false;
+        }
+        ++i;
+      } else {
+        val.push_back(c);
+        ++i;
+      }
+    }
+    return false;
+  }
+
+  bool parse_number(double* out) {
+    skip_ws();
+    const char* start = s.c_str() + i;
+    char* end = nullptr;
+    const double v = std::strtod(start, &end);
+    if (end == start) return false;
+    i += static_cast<std::size_t>(end - start);
+    if (out != nullptr) *out = v;
+    return true;
+  }
+
+  bool skip_value() {
+    skip_ws();
+    if (i >= s.size()) return false;
+    switch (s[i]) {
+      case '{':
+      case '[': {
+        const char open = s[i];
+        const char close = open == '{' ? '}' : ']';
+        ++i;
+        skip_ws();
+        if (eat(close)) return true;
+        while (true) {
+          if (open == '{') {
+            if (!parse_string(nullptr) || !eat(':')) return false;
+          }
+          if (!skip_value()) return false;
+          if (eat(close)) return true;
+          if (!eat(',')) return false;
+        }
+      }
+      case '"':
+        return parse_string(nullptr);
+      case 't':
+        i += 4;
+        return i <= s.size();
+      case 'f':
+        i += 5;
+        return i <= s.size();
+      case 'n':
+        i += 4;
+        return i <= s.size();
+      default:
+        return parse_number(nullptr);
+    }
+  }
+
+  bool parse_params(std::map<std::string, std::string>* out) {
+    if (!eat('{')) return false;
+    if (eat('}')) return true;
+    while (true) {
+      std::string key, value;
+      if (!parse_string(&key) || !eat(':')) return false;
+      skip_ws();
+      if (i < s.size() && s[i] == '"') {
+        if (!parse_string(&value)) return false;
+      } else {
+        // Tolerate non-string values from foreign producers: keep the raw
+        // token text so numeric params still diff.
+        double num = 0.0;
+        if (!parse_number(&num)) return false;
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.12g", num);
+        value = buf;
+      }
+      (*out)[key] = std::move(value);
+      if (eat('}')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+};
+
+bool parse_double_param(const std::map<std::string, std::string>& params,
+                        const std::string& key, double* out) {
+  const auto it = params.find(key);
+  if (it == params.end()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str()) return false;
+  *out = v;
+  return true;
+}
+
+/// The per-benchmark noise scale: MAD of the repeats when the report carries
+/// one, else half the min–max spread (older reports), as a fraction of the
+/// base median.
+double relative_noise(const std::map<std::string, std::string>& params,
+                      const std::string& stem, double median) {
+  if (median <= 0.0) return 0.0;
+  double mad = 0.0;
+  if (parse_double_param(params, stem + "_mad", &mad)) return mad / median;
+  double lo = 0.0, hi = 0.0;
+  if (parse_double_param(params, stem + "_min", &lo) &&
+      parse_double_param(params, stem + "_max", &hi))
+    return 0.5 * (hi - lo) / median;
+  return 0.0;
+}
+
+}  // namespace
+
+bool parse_bench_report(const std::string& json, BenchReport* out) {
+  if (out == nullptr || !json_well_formed(json)) return false;
+  BenchParser p{json};
+  if (!p.eat('{')) return false;
+  if (p.eat('}')) return true;
+  while (true) {
+    std::string key;
+    if (!p.parse_string(&key) || !p.eat(':')) return false;
+    if (key == "name") {
+      if (!p.parse_string(&out->name)) return false;
+    } else if (key == "wall_ms") {
+      if (!p.parse_number(&out->wall_ms)) return false;
+    } else if (key == "params") {
+      if (!p.parse_params(&out->params)) return false;
+    } else {
+      if (!p.skip_value()) return false;
+    }
+    if (p.eat('}')) return true;
+    if (!p.eat(',')) return false;
+  }
+}
+
+const char* diff_status_name(DiffStatus s) {
+  switch (s) {
+    case DiffStatus::kUnchanged:
+      return "unchanged";
+    case DiffStatus::kImprovement:
+      return "improvement";
+    case DiffStatus::kRegression:
+      return "regression";
+    case DiffStatus::kMissing:
+      return "missing";
+  }
+  return "unknown";
+}
+
+BenchDiffResult bench_diff(const BenchReport& base, const BenchReport& pr,
+                           const BenchDiffOptions& opts) {
+  BenchDiffResult result;
+  const std::string suffix = "_median";
+  const auto timing_stem = [&](const std::string& key) -> std::string {
+    if (key.size() <= suffix.size() ||
+        key.compare(key.size() - suffix.size(), suffix.size(), suffix) != 0)
+      return "";
+    const std::string stem = key.substr(0, key.size() - suffix.size());
+    // Only wall-clock timings have a defined "better" direction here.
+    if (stem.size() < 3 || stem.compare(stem.size() - 3, 3, "_ms") != 0)
+      return "";
+    return stem;
+  };
+
+  for (const auto& [key, value] : base.params) {
+    const std::string stem = timing_stem(key);
+    if (stem.empty()) continue;
+    KeyDiff d;
+    d.key = stem;
+    if (!parse_double_param(base.params, key, &d.base_median)) continue;
+    if (!parse_double_param(pr.params, key, &d.pr_median)) {
+      d.status = DiffStatus::kMissing;
+      result.keys.push_back(d);
+      continue;
+    }
+    if (d.base_median <= 0.0) {
+      d.status = DiffStatus::kMissing;  // degenerate base: no valid ratio
+      result.keys.push_back(d);
+      continue;
+    }
+    d.delta = (d.pr_median - d.base_median) / d.base_median;
+    const double noise =
+        opts.noise_mult * (relative_noise(base.params, stem, d.base_median) +
+                           relative_noise(pr.params, stem, d.base_median));
+    d.threshold = std::max(opts.threshold, noise);
+    if (d.delta > d.threshold)
+      d.status = DiffStatus::kRegression;
+    else if (d.delta < -d.threshold)
+      d.status = DiffStatus::kImprovement;
+    else
+      d.status = DiffStatus::kUnchanged;
+    result.keys.push_back(d);
+  }
+
+  // Keys the PR added are reported as missing-on-base (informational).
+  for (const auto& [key, value] : pr.params) {
+    const std::string stem = timing_stem(key);
+    if (stem.empty() || base.params.count(key) != 0) continue;
+    KeyDiff d;
+    d.key = stem;
+    parse_double_param(pr.params, key, &d.pr_median);
+    d.status = DiffStatus::kMissing;
+    result.keys.push_back(d);
+  }
+  return result;
+}
+
+bool BenchDiffResult::has_regression() const {
+  return std::any_of(keys.begin(), keys.end(), [](const KeyDiff& d) {
+    return d.status == DiffStatus::kRegression;
+  });
+}
+
+std::string BenchDiffResult::to_json() const {
+  std::string out = "{\n  \"verdict\": ";
+  json_append_escaped(out, has_regression() ? "regression" : "pass");
+  out += ",\n  \"keys\": [";
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const KeyDiff& d = keys[i];
+    out += i == 0 ? "\n    {" : ",\n    {";
+    out += "\"key\": ";
+    json_append_escaped(out, d.key);
+    out += ", \"base_median\": " + json_number(d.base_median);
+    out += ", \"pr_median\": " + json_number(d.pr_median);
+    out += ", \"delta\": " + json_number(d.delta);
+    out += ", \"threshold\": " + json_number(d.threshold);
+    out += ", \"status\": ";
+    json_append_escaped(out, diff_status_name(d.status));
+    out += "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+std::string BenchDiffResult::to_table() const {
+  std::string out =
+      "key                                base      pr   delta   thresh  "
+      "status\n";
+  char buf[192];
+  for (const KeyDiff& d : keys) {
+    std::snprintf(buf, sizeof buf, "%-32s %7.3f %7.3f %+6.1f%%  %6.1f%%  %s\n",
+                  d.key.c_str(), d.base_median, d.pr_median, 100.0 * d.delta,
+                  100.0 * d.threshold, diff_status_name(d.status));
+    out += buf;
+  }
+  if (keys.empty()) out += "(no comparable *_ms medians)\n";
+  out += has_regression() ? "VERDICT: REGRESSION\n" : "VERDICT: PASS\n";
+  return out;
+}
+
+}  // namespace chambolle::telemetry

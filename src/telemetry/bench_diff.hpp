@@ -1,0 +1,74 @@
+// bench_diff.hpp — noise-aware comparison of two BENCH_*.json reports.
+//
+// The CI perf-regression gate: given a base report and a PR report produced
+// by the same bench binary, compare every repeated-measurement median
+// (`<stem>_ms_median` keys emitted by append_repeat_stats) and classify each
+// as unchanged / improvement / regression / missing.  The decision threshold
+// is noise-aware: a key only regresses when the median moved by more than
+//
+//   max(fixed relative threshold,  noise_mult * (base MAD + PR MAD) / base)
+//
+// so a benchmark whose own repeats scatter by 8% cannot trip a 10% gate on
+// scheduler luck, while a tight benchmark still gets the full sensitivity of
+// the fixed threshold.  All `_ms` keys are lower-is-better.
+//
+// The library half lives here (unit-testable on synthetic reports); the CLI
+// half is tools/bench_diff.cpp, which exits 0 on pass, 1 on regression,
+// 2 on usage/parse errors.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace chambolle::telemetry {
+
+/// Parsed essentials of one BENCH_*.json: its name and the flat string
+/// params map (stats keys included).  Returns false on malformed input.
+struct BenchReport {
+  std::string name;
+  double wall_ms = 0.0;
+  std::map<std::string, std::string> params;
+};
+[[nodiscard]] bool parse_bench_report(const std::string& json,
+                                      BenchReport* out);
+
+enum class DiffStatus : int {
+  kUnchanged = 0,
+  kImprovement,
+  kRegression,
+  kMissing,  ///< key present on one side only — reported, never fatal
+};
+[[nodiscard]] const char* diff_status_name(DiffStatus s);
+
+struct BenchDiffOptions {
+  double threshold = 0.10;  ///< fixed relative regression threshold
+  double noise_mult = 3.0;  ///< MADs of combined noise a move must exceed
+};
+
+/// One compared measurement (the `<stem>` of `<stem>_median`).
+struct KeyDiff {
+  std::string key;
+  double base_median = 0.0;
+  double pr_median = 0.0;
+  double delta = 0.0;      ///< (pr - base) / base; positive is slower
+  double threshold = 0.0;  ///< the effective (noise-widened) threshold used
+  DiffStatus status = DiffStatus::kUnchanged;
+};
+
+struct BenchDiffResult {
+  std::vector<KeyDiff> keys;
+
+  [[nodiscard]] bool has_regression() const;
+  /// Machine-readable verdict object (consumed by the CI gate).
+  [[nodiscard]] std::string to_json() const;
+  /// Human-readable table for the job log.
+  [[nodiscard]] std::string to_table() const;
+};
+
+/// Diffs every `*_ms` timing median common to both reports.
+[[nodiscard]] BenchDiffResult bench_diff(const BenchReport& base,
+                                         const BenchReport& pr,
+                                         const BenchDiffOptions& opts = {});
+
+}  // namespace chambolle::telemetry

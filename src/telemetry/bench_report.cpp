@@ -1,6 +1,7 @@
 #include "telemetry/bench_report.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "telemetry/json_util.hpp"
@@ -48,6 +49,12 @@ RepeatStats repeat_stats(std::vector<double> samples) {
   out.max = samples.back();
   out.median = n % 2 == 1 ? samples[n / 2]
                           : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+  out.count = n;
+  // MAD: reuse the sample buffer for the absolute deviations.
+  for (double& s : samples) s = std::abs(s - out.median);
+  std::sort(samples.begin(), samples.end());
+  out.mad = n % 2 == 1 ? samples[n / 2]
+                       : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
   return out;
 }
 
@@ -61,6 +68,8 @@ void append_repeat_stats(BenchParams& params, const std::string& key,
   params.emplace_back(key + "_min", fmt(stats.min));
   params.emplace_back(key + "_median", fmt(stats.median));
   params.emplace_back(key + "_max", fmt(stats.max));
+  params.emplace_back(key + "_mad", fmt(stats.mad));
+  params.emplace_back(key + "_n", std::to_string(stats.count));
 }
 
 }  // namespace chambolle::telemetry

@@ -41,12 +41,16 @@ struct RepeatStats {
   double min = 0.0;
   double median = 0.0;  ///< even counts: mean of the middle pair
   double max = 0.0;
+  double mad = 0.0;  ///< median absolute deviation from the median
+  std::size_t count = 0;
 };
 
 /// Computes RepeatStats from raw samples (any unit).  Empty input -> zeros.
 [[nodiscard]] RepeatStats repeat_stats(std::vector<double> samples);
 
-/// Emits `<key>_min`, `<key>_median`, `<key>_max` (%.3f) into `params`.
+/// Emits `<key>_min`, `<key>_median`, `<key>_max`, `<key>_mad` (%.3f) and
+/// `<key>_n` into `params` — the MAD and sample count give bench_diff a
+/// per-benchmark noise scale instead of a one-size-fits-all threshold.
 void append_repeat_stats(BenchParams& params, const std::string& key,
                          const RepeatStats& stats);
 

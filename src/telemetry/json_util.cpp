@@ -1,5 +1,6 @@
 #include "telemetry/json_util.hpp"
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -42,6 +43,142 @@ std::string json_number(double v) {
 
 std::string json_number(std::uint64_t v) { return std::to_string(v); }
 std::string json_number(std::int64_t v) { return std::to_string(v); }
+
+namespace {
+
+/// Cursor over the candidate document; each parse_* consumes one production
+/// or returns false with the position unspecified (callers give up anyway).
+struct JsonCursor {
+  const std::string& s;
+  std::size_t i = 0;
+
+  void skip_ws() {
+    while (i < s.size() &&
+           (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' || s[i] == '\r'))
+      ++i;
+  }
+  bool eat(char c) {
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_string() {
+    if (!eat('"')) return false;
+    while (i < s.size()) {
+      const unsigned char c = static_cast<unsigned char>(s[i]);
+      if (c == '"') {
+        ++i;
+        return true;
+      }
+      if (c < 0x20) return false;  // raw control char: must be escaped
+      if (c == '\\') {
+        ++i;
+        if (i >= s.size()) return false;
+        const char e = s[i];
+        if (e == 'u') {
+          for (int k = 1; k <= 4; ++k)
+            if (i + k >= s.size() || std::isxdigit(static_cast<unsigned char>(
+                                         s[i + k])) == 0)
+              return false;
+          i += 4;
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+                   e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      }
+      ++i;
+    }
+    return false;  // unterminated
+  }
+
+  bool parse_number() {
+    const std::size_t start = i;
+    if (eat('-')) {
+    }
+    if (!eat('0')) {
+      if (i >= s.size() || s[i] < '1' || s[i] > '9') return false;
+      while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i])))
+        ++i;
+    }
+    if (eat('.')) {
+      if (i >= s.size() || std::isdigit(static_cast<unsigned char>(s[i])) == 0)
+        return false;
+      while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i])))
+        ++i;
+    }
+    if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+      ++i;
+      if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+      if (i >= s.size() || std::isdigit(static_cast<unsigned char>(s[i])) == 0)
+        return false;
+      while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i])))
+        ++i;
+    }
+    return i > start;
+  }
+
+  bool parse_literal(const char* lit) {
+    for (; *lit != '\0'; ++lit)
+      if (!eat(*lit)) return false;
+    return true;
+  }
+
+  bool parse_value(int depth) {
+    if (depth > 128) return false;
+    skip_ws();
+    if (i >= s.size()) return false;
+    switch (s[i]) {
+      case '{': {
+        ++i;
+        skip_ws();
+        if (eat('}')) return true;
+        while (true) {
+          skip_ws();
+          if (!parse_string()) return false;
+          skip_ws();
+          if (!eat(':')) return false;
+          if (!parse_value(depth + 1)) return false;
+          skip_ws();
+          if (eat('}')) return true;
+          if (!eat(',')) return false;
+        }
+      }
+      case '[': {
+        ++i;
+        skip_ws();
+        if (eat(']')) return true;
+        while (true) {
+          if (!parse_value(depth + 1)) return false;
+          skip_ws();
+          if (eat(']')) return true;
+          if (!eat(',')) return false;
+        }
+      }
+      case '"':
+        return parse_string();
+      case 't':
+        return parse_literal("true");
+      case 'f':
+        return parse_literal("false");
+      case 'n':
+        return parse_literal("null");
+      default:
+        return parse_number();
+    }
+  }
+};
+
+}  // namespace
+
+bool json_well_formed(const std::string& s) {
+  JsonCursor c{s};
+  if (!c.parse_value(0)) return false;
+  c.skip_ws();
+  return c.i == s.size();
+}
 
 bool write_text_file(const std::string& path, const std::string& content) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);

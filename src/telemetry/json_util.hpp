@@ -18,6 +18,13 @@ void json_append_escaped(std::string& out, const std::string& s);
 [[nodiscard]] std::string json_number(std::uint64_t v);
 [[nodiscard]] std::string json_number(std::int64_t v);
 
+/// Strict recursive-descent check that `s` is one complete JSON value
+/// (object/array/string/number/true/false/null) with nothing but whitespace
+/// after it.  Exists so tests can assert every exported artifact parses —
+/// the escaping-audit fuzz test round-trips hostile names through the
+/// exporters and feeds the output here.
+[[nodiscard]] bool json_well_formed(const std::string& s);
+
 /// Writes `content` to `path`; returns false (without throwing) on I/O error.
 bool write_text_file(const std::string& path, const std::string& content);
 

@@ -1,5 +1,6 @@
 #include "telemetry/metrics.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "telemetry/json_util.hpp"
@@ -25,6 +26,33 @@ void Histogram::observe(double v) {
 
 std::uint64_t Histogram::bucket_count(std::size_t i) const {
   return buckets_.at(i).load(std::memory_order_relaxed);
+}
+
+double Histogram::quantile(double q) const {
+  const std::uint64_t total = total_count();
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    const std::uint64_t in_bucket =
+        buckets_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= rank) {
+      if (i == bounds_.size())  // overflow bucket: no upper edge to lerp to
+        return bounds_.empty() ? 0.0 : bounds_.back();
+      const double hi = bounds_[i];
+      // Lower edge: previous bound, or (for the first bucket) 0 unless the
+      // bound itself is negative.
+      const double lo = i > 0 ? bounds_[i - 1] : std::min(0.0, hi);
+      const double frac =
+          (rank - static_cast<double>(cumulative)) / static_cast<double>(in_bucket);
+      return lo + (hi - lo) * std::min(1.0, std::max(0.0, frac));
+    }
+    cumulative += in_bucket;
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
 }
 
 void Histogram::reset() {
@@ -114,9 +142,52 @@ std::string MetricRegistry::snapshot_json() const {
       out += json_number(h->bucket_count(i));
     }
     out += "], \"count\": " + json_number(h->total_count());
-    out += ", \"sum\": " + json_number(h->sum()) + "}";
+    out += ", \"sum\": " + json_number(h->sum());
+    out += ", \"p50\": " + json_number(h->quantile(0.50));
+    out += ", \"p95\": " + json_number(h->quantile(0.95));
+    out += ", \"p99\": " + json_number(h->quantile(0.99)) + "}";
   }
   out += "\n  }\n}\n";
+  return out;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+MetricRegistry::counters_snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> MetricRegistry::gauges_snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g->value());
+  return out;
+}
+
+std::vector<MetricRegistry::HistogramSnapshot>
+MetricRegistry::histograms_snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<HistogramSnapshot> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot s;
+    s.name = name;
+    s.bounds = h->bounds();
+    s.buckets.resize(s.bounds.size() + 1);
+    for (std::size_t i = 0; i <= s.bounds.size(); ++i)
+      s.buckets[i] = h->bucket_count(i);
+    s.count = h->total_count();
+    s.sum = h->sum();
+    s.p50 = h->quantile(0.50);
+    s.p95 = h->quantile(0.95);
+    s.p99 = h->quantile(0.99);
+    out.push_back(std::move(s));
+  }
   return out;
 }
 

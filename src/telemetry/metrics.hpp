@@ -17,6 +17,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "telemetry/telemetry.hpp"
@@ -72,6 +73,14 @@ class Histogram {
   [[nodiscard]] double sum() const {
     return sum_.load(std::memory_order_relaxed);
   }
+
+  /// Estimates the q-quantile (q in [0, 1]) from the bucket counts by linear
+  /// interpolation inside the bucket that holds the target rank.  The
+  /// overflow bucket has no upper edge, so anything landing there reports the
+  /// last finite bound — an underestimate by construction, same convention as
+  /// Prometheus histogram_quantile.  Returns 0 for an empty histogram.
+  [[nodiscard]] double quantile(double q) const;
+
   void reset();
 
  private:
@@ -98,8 +107,25 @@ class MetricRegistry {
                        std::vector<double> upper_bounds = default_ms_bounds());
 
   /// JSON object: {"counters": {...}, "gauges": {...}, "histograms": {...}}.
-  /// Histograms serialize bounds, per-bucket counts, total count, and sum.
+  /// Histograms serialize bounds, per-bucket counts, total count, sum, and
+  /// derived p50/p95/p99 quantile estimates.
   [[nodiscard]] std::string snapshot_json() const;
+
+  /// Point-in-time copies for exporters that need to enumerate the registry
+  /// (the Prometheus renderer).  Name-sorted, values read relaxed.
+  struct HistogramSnapshot {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1 (overflow last)
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+  };
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>>
+  counters_snapshot() const;
+  [[nodiscard]] std::vector<std::pair<std::string, double>> gauges_snapshot()
+      const;
+  [[nodiscard]] std::vector<HistogramSnapshot> histograms_snapshot() const;
 
   /// Writes snapshot_json() to `path`; false on I/O failure.
   bool write_json(const std::string& path) const;

@@ -1,0 +1,77 @@
+#include "telemetry/prometheus.hpp"
+
+#include <cctype>
+
+#include "telemetry/json_util.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace chambolle::telemetry {
+
+std::string prometheus_metric_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (const char ch : name) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    out.push_back(std::isalnum(c) != 0 || ch == '_' || ch == ':'
+                      ? static_cast<char>(ch)
+                      : '_');
+  }
+  if (out.empty()) out = "_";
+  if (std::isdigit(static_cast<unsigned char>(out.front())) != 0)
+    out.insert(out.begin(), '_');
+  return out;
+}
+
+namespace {
+
+// Prometheus floats: plain decimal or exponent notation; json_number()'s
+// output is compatible except for "null" (non-finite), which Prometheus
+// spells "NaN".
+std::string prom_number(double v) {
+  const std::string s = json_number(v);
+  return s == "null" ? "NaN" : s;
+}
+
+void emit_metric(std::string& out, const std::string& name, const char* type,
+                 const std::string& value) {
+  out += "# TYPE " + name + " " + type + "\n";
+  out += name + " " + value + "\n";
+}
+
+}  // namespace
+
+std::string prometheus_text() {
+  std::string out;
+  MetricRegistry& reg = registry();
+
+  for (const auto& [name, value] : reg.counters_snapshot())
+    emit_metric(out, prometheus_metric_name(name) + "_total", "counter",
+                std::to_string(value));
+
+  for (const auto& [name, value] : reg.gauges_snapshot())
+    emit_metric(out, prometheus_metric_name(name), "gauge", prom_number(value));
+
+  for (const auto& h : reg.histograms_snapshot()) {
+    const std::string name = prometheus_metric_name(h.name);
+    out += "# TYPE " + name + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += h.buckets[i];
+      out += name + "_bucket{le=\"" + prom_number(h.bounds[i]) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += name + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+    out += name + "_sum " + prom_number(h.sum) + "\n";
+    out += name + "_count " + std::to_string(h.count) + "\n";
+    emit_metric(out, name + "_p50", "gauge", prom_number(h.p50));
+    emit_metric(out, name + "_p95", "gauge", prom_number(h.p95));
+    emit_metric(out, name + "_p99", "gauge", prom_number(h.p99));
+  }
+  return out;
+}
+
+bool write_prometheus(const std::string& path) {
+  return write_text_file(path, prometheus_text());
+}
+
+}  // namespace chambolle::telemetry

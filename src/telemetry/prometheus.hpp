@@ -1,0 +1,32 @@
+// prometheus.hpp — Prometheus text exposition of the metric registry.
+//
+// Renders every registered counter, gauge, and histogram in the Prometheus
+// text format (version 0.0.4): the metrics surface the future flow_server
+// will serve over HTTP, available today via `flow_cli --metrics-prom` for
+// node_exporter-style textfile collection.
+//
+// Mapping:
+//   * metric names are sanitized to [a-zA-Z_:][a-zA-Z0-9_:]* — the repo's
+//     dot-separated names ("chambolle.solver.iterations") become underscore
+//     paths ("chambolle_solver_iterations");
+//   * histograms render cumulative `_bucket{le="..."}` series, a `+Inf`
+//     bucket, `_sum` and `_count`, plus derived `_p50` / `_p95` / `_p99`
+//     gauges from Histogram::quantile() so dashboards get percentiles
+//     without a PromQL histogram_quantile() round-trip.
+#pragma once
+
+#include <string>
+
+namespace chambolle::telemetry {
+
+/// Sanitizes `name` into a valid Prometheus metric name (invalid characters
+/// become '_'; a leading digit gets a '_' prefix).  Exposed for tests.
+[[nodiscard]] std::string prometheus_metric_name(const std::string& name);
+
+/// Renders the whole registry in the Prometheus text format.
+[[nodiscard]] std::string prometheus_text();
+
+/// Writes prometheus_text() to `path`; false on I/O failure.
+bool write_prometheus(const std::string& path);
+
+}  // namespace chambolle::telemetry

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <vector>
 
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/json_util.hpp"
 
 namespace chambolle::telemetry {
@@ -96,6 +97,9 @@ void record_span(const char* name, std::uint64_t start_ns,
   ev.dur_ns = end_ns >= start_ns ? end_ns - start_ns : 0;
   ev.depth = depth;
   buf.head.store(h + 1, std::memory_order_release);
+  // Mirror into the crash flight recorder: a postmortem dump then carries
+  // the span timeline whenever tracing was on.
+  flight_span(name, start_ns, ev.dur_ns);
 }
 
 std::uint64_t trace_now_ns() {

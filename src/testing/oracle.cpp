@@ -11,6 +11,7 @@
 #include "chambolle/tiled_solver.hpp"
 #include "hw/accelerator.hpp"
 #include "kernels/kernel.hpp"
+#include "telemetry/flight_recorder.hpp"
 
 namespace chambolle::oracle {
 namespace {
@@ -91,6 +92,9 @@ OracleReport run_oracle(const OracleCase& c, const OracleOptions& options) {
   OracleReport report;
   report.seed = c.seed;
   report.case_line = c.describe();
+  // Breadcrumb for the crash flight recorder: a postmortem dump names the
+  // case that was in flight.
+  telemetry::flight_mark("oracle.case", static_cast<double>(c.seed));
 
   const DualField* initial = c.warm_start ? &c.initial : nullptr;
 

@@ -1,0 +1,193 @@
+// bench_diff_test.cpp — the noise-aware perf-regression gate.
+//
+// Unit tests of the library half of tools/bench_diff: BENCH report parsing,
+// the regression / improvement / unchanged / missing classification, the
+// MAD-based noise widening that keeps scattering benchmarks from tripping
+// the fixed threshold on scheduler luck, and the machine-readable verdict
+// the CI job consumes.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "telemetry/bench_diff.hpp"
+#include "telemetry/bench_report.hpp"
+#include "telemetry/json_util.hpp"
+
+namespace chambolle {
+namespace {
+
+namespace tel = telemetry;
+
+tel::BenchReport make_report(double median, double mad) {
+  tel::BenchReport r;
+  r.name = "micro_chambolle";
+  r.wall_ms = 100.0;
+  r.params["solve_ms_median"] = std::to_string(median);
+  r.params["solve_ms_mad"] = std::to_string(mad);
+  r.params["solve_ms_n"] = "5";
+  r.params["threads"] = "4";  // non-timing params are ignored by the diff
+  return r;
+}
+
+const tel::KeyDiff* find_key(const tel::BenchDiffResult& r,
+                             const std::string& key) {
+  for (const tel::KeyDiff& d : r.keys)
+    if (d.key == key) return &d;
+  return nullptr;
+}
+
+TEST(BenchDiffParse, RoundTripsRealBenchReportJson) {
+  // Feed it the actual producer's output, stats keys included.
+  tel::BenchParams params{{"threads", "4"}};
+  tel::append_repeat_stats(params, "solve_ms",
+                           tel::repeat_stats({10.0, 11.0, 12.0}));
+  const std::string json =
+      tel::bench_report_json("micro_chambolle", params, 33.0);
+
+  tel::BenchReport report;
+  ASSERT_TRUE(tel::parse_bench_report(json, &report));
+  EXPECT_EQ(report.name, "micro_chambolle");
+  EXPECT_DOUBLE_EQ(report.wall_ms, 33.0);
+  EXPECT_EQ(report.params.at("threads"), "4");
+  EXPECT_EQ(report.params.at("solve_ms_median"), "11.000");
+  EXPECT_EQ(report.params.at("solve_ms_mad"), "1.000");
+  EXPECT_EQ(report.params.at("solve_ms_n"), "3");
+}
+
+TEST(BenchDiffParse, ToleratesNumericParamsAndUnknownKeys) {
+  const std::string json =
+      "{\"name\": \"b\", \"wall_ms\": 5.5,"
+      " \"metrics\": {\"counters\": {\"x\": 3}, \"list\": [1, [2], {}]},"
+      " \"params\": {\"solve_ms_median\": 7.25, \"tag\": \"v\\\"q\"}}";
+  tel::BenchReport report;
+  ASSERT_TRUE(tel::parse_bench_report(json, &report));
+  EXPECT_EQ(report.name, "b");
+  EXPECT_EQ(report.params.at("solve_ms_median"), "7.25");
+  EXPECT_EQ(report.params.at("tag"), "v\"q");
+}
+
+TEST(BenchDiffParse, RejectsMalformedInput) {
+  tel::BenchReport report;
+  EXPECT_FALSE(tel::parse_bench_report("", &report));
+  EXPECT_FALSE(tel::parse_bench_report("not json", &report));
+  EXPECT_FALSE(tel::parse_bench_report("{\"name\": \"x\"", &report));
+  EXPECT_FALSE(tel::parse_bench_report("[1, 2]", &report));  // not an object
+  EXPECT_FALSE(tel::parse_bench_report("{\"name\": \"x\"} trailing", &report));
+  EXPECT_FALSE(tel::parse_bench_report("{\"name\": \"x\"}", nullptr));
+}
+
+TEST(BenchDiff, ClassifiesRegressionImprovementUnchanged) {
+  const tel::BenchReport base = make_report(100.0, 0.5);
+  // +30% with ~0.5% noise: far past both the fixed and noise thresholds.
+  {
+    const tel::BenchDiffResult r = tel::bench_diff(base, make_report(130.0, 0.5));
+    const tel::KeyDiff* d = find_key(r, "solve_ms");
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->status, tel::DiffStatus::kRegression);
+    EXPECT_NEAR(d->delta, 0.30, 1e-9);
+    EXPECT_DOUBLE_EQ(d->threshold, 0.10);  // tight repeats: fixed wins
+    EXPECT_TRUE(r.has_regression());
+  }
+  {
+    const tel::BenchDiffResult r = tel::bench_diff(base, make_report(80.0, 0.5));
+    ASSERT_NE(find_key(r, "solve_ms"), nullptr);
+    EXPECT_EQ(find_key(r, "solve_ms")->status, tel::DiffStatus::kImprovement);
+    EXPECT_FALSE(r.has_regression());
+  }
+  {
+    const tel::BenchDiffResult r = tel::bench_diff(base, make_report(104.0, 0.5));
+    EXPECT_EQ(find_key(r, "solve_ms")->status, tel::DiffStatus::kUnchanged);
+    EXPECT_FALSE(r.has_regression());
+  }
+}
+
+TEST(BenchDiff, NoisyBenchmarkWidensItsOwnThreshold) {
+  // A 12% move would trip the 10% fixed gate, but the repeats scatter with a
+  // MAD of 5ms on each side: threshold = 3 * (5 + 5) / 100 = 30%.
+  const tel::BenchDiffResult r =
+      tel::bench_diff(make_report(100.0, 5.0), make_report(112.0, 5.0));
+  const tel::KeyDiff* d = find_key(r, "solve_ms");
+  ASSERT_NE(d, nullptr);
+  EXPECT_NEAR(d->threshold, 0.30, 1e-9);
+  EXPECT_EQ(d->status, tel::DiffStatus::kUnchanged);
+  EXPECT_FALSE(r.has_regression());
+  // A 40% move clears even the widened threshold.
+  EXPECT_TRUE(
+      tel::bench_diff(make_report(100.0, 5.0), make_report(140.0, 5.0))
+          .has_regression());
+}
+
+TEST(BenchDiff, FallsBackToMinMaxSpreadWhenNoMad) {
+  // Older reports carry only min/median/max: noise = half the spread.
+  tel::BenchReport base;
+  base.params["solve_ms_median"] = "100.0";
+  base.params["solve_ms_min"] = "90.0";
+  base.params["solve_ms_max"] = "110.0";  // spread 20 -> noise 10%
+  tel::BenchReport pr = base;
+  pr.params["solve_ms_median"] = "125.0";
+  const tel::KeyDiff* d = find_key(tel::bench_diff(base, pr), "solve_ms");
+  ASSERT_NE(d, nullptr);
+  // 3 * (10% + 10%) = 60% widened threshold: a 25% move is noise here.
+  EXPECT_NEAR(d->threshold, 0.60, 1e-9);
+  EXPECT_EQ(d->status, tel::DiffStatus::kUnchanged);
+}
+
+TEST(BenchDiff, MissingKeysAreReportedButNeverFatal) {
+  tel::BenchReport base = make_report(100.0, 0.5);
+  base.params["old_bench_ms_median"] = "50.0";  // removed by the PR
+  tel::BenchReport pr = make_report(100.0, 0.5);
+  pr.params["new_bench_ms_median"] = "25.0";  // added by the PR
+  const tel::BenchDiffResult r = tel::bench_diff(base, pr);
+  const tel::KeyDiff* removed = find_key(r, "old_bench_ms");
+  const tel::KeyDiff* added = find_key(r, "new_bench_ms");
+  ASSERT_NE(removed, nullptr);
+  ASSERT_NE(added, nullptr);
+  EXPECT_EQ(removed->status, tel::DiffStatus::kMissing);
+  EXPECT_EQ(added->status, tel::DiffStatus::kMissing);
+  EXPECT_FALSE(r.has_regression());
+  // A degenerate (zero) base median cannot form a ratio: missing, not a div0.
+  tel::BenchReport zero = make_report(0.0, 0.0);
+  EXPECT_EQ(find_key(tel::bench_diff(zero, pr), "solve_ms")->status,
+            tel::DiffStatus::kMissing);
+}
+
+TEST(BenchDiff, OnlyTimingMediansAreCompared) {
+  tel::BenchReport base = make_report(100.0, 0.5);
+  base.params["cells_per_second_median"] = "100";  // not an _ms stem
+  base.params["solve_ms_min"] = "99";              // not a _median key
+  tel::BenchReport pr = base;
+  pr.params["cells_per_second_median"] = "10";  // 10x worse, but ignored
+  pr.params["solve_ms_min"] = "999";
+  const tel::BenchDiffResult r = tel::bench_diff(base, pr);
+  ASSERT_EQ(r.keys.size(), 1u);
+  EXPECT_EQ(r.keys[0].key, "solve_ms");
+}
+
+TEST(BenchDiff, VerdictJsonAndTable) {
+  const tel::BenchDiffResult pass =
+      tel::bench_diff(make_report(100.0, 0.5), make_report(101.0, 0.5));
+  const tel::BenchDiffResult fail =
+      tel::bench_diff(make_report(100.0, 0.5), make_report(150.0, 0.5));
+  for (const tel::BenchDiffResult* r : {&pass, &fail})
+    ASSERT_TRUE(tel::json_well_formed(r->to_json()));
+  EXPECT_NE(pass.to_json().find("\"verdict\": \"pass\""), std::string::npos);
+  EXPECT_NE(fail.to_json().find("\"verdict\": \"regression\""),
+            std::string::npos);
+  EXPECT_NE(pass.to_table().find("VERDICT: PASS"), std::string::npos);
+  EXPECT_NE(fail.to_table().find("VERDICT: REGRESSION"), std::string::npos);
+  EXPECT_NE(fail.to_table().find("solve_ms"), std::string::npos);
+  // An empty diff still renders a decidable table.
+  const tel::BenchDiffResult empty = tel::bench_diff({}, {});
+  EXPECT_NE(empty.to_table().find("VERDICT: PASS"), std::string::npos);
+
+  EXPECT_STREQ(tel::diff_status_name(tel::DiffStatus::kUnchanged),
+               "unchanged");
+  EXPECT_STREQ(tel::diff_status_name(tel::DiffStatus::kImprovement),
+               "improvement");
+  EXPECT_STREQ(tel::diff_status_name(tel::DiffStatus::kRegression),
+               "regression");
+  EXPECT_STREQ(tel::diff_status_name(tel::DiffStatus::kMissing), "missing");
+}
+
+}  // namespace
+}  // namespace chambolle

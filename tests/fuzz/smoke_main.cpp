@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "harnesses.hpp"
+#include "telemetry/flight_recorder.hpp"
 
 namespace fs = std::filesystem;
 
@@ -55,6 +56,9 @@ struct Runner {
       out.write(reinterpret_cast<const char*>(input.data()),
                 static_cast<std::streamsize>(input.size()));
     }
+    // Breadcrumb: a crash dump names the target and input ordinal in flight.
+    chambolle::telemetry::flight_mark(target.name,
+                                      static_cast<double>(executions));
     target.run(input.data(), input.size());
     ++executions;
   }
@@ -93,6 +97,11 @@ int main(int argc, char** argv) {
     }
   }
   if (!artifact_dir.empty()) fs::create_directories(artifact_dir);
+  // A crash now ships a per-thread event timeline next to the saved input.
+  const std::string flight_path =
+      (artifact_dir.empty() ? fs::path(".") : fs::path(artifact_dir)) /
+      "flight_record.json";
+  chambolle::telemetry::install_crash_handler(flight_path.c_str());
 
   Runner runner{artifact_dir};
   for (const Target& target : kTargets) {

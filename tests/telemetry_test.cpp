@@ -13,6 +13,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdlib>
+#include <random>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -24,7 +25,9 @@
 #include "hw/accelerator.hpp"
 #include "telemetry/bench_report.hpp"
 #include "telemetry/convergence.hpp"
+#include "telemetry/json_util.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/prometheus.hpp"
 #include "telemetry/telemetry.hpp"
 #include "telemetry/trace.hpp"
 #include "tvl1/tvl1.hpp"
@@ -277,6 +280,176 @@ TEST(MetricRegistry, HistogramRejectsNonIncreasingBounds) {
                std::invalid_argument);
 }
 
+TEST(MetricRegistry, HistogramQuantilesInterpolateWithinBuckets) {
+  SKIP_IF_COMPILED_OUT();
+  const ScopedTelemetry t(true);
+  auto& h = registry().histogram("test.histo.quantiles", {10.0, 20.0, 40.0});
+  for (int i = 0; i < 10; ++i) h.observe(5.0);   // bucket (-inf, 10]
+  for (int i = 0; i < 10; ++i) h.observe(15.0);  // bucket (10, 20]
+  // p50: rank 10 lands exactly at the top of the first bucket.
+  EXPECT_DOUBLE_EQ(h.quantile(0.50), 10.0);
+  // p95: rank 19 is 9/10 through the (10, 20] bucket.
+  EXPECT_DOUBLE_EQ(h.quantile(0.95), 19.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 19.8);
+  // Out-of-range q clamps.
+  EXPECT_DOUBLE_EQ(h.quantile(-1.0), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(2.0), h.quantile(1.0));
+
+  // Overflow bucket has no upper edge: report the last finite bound (the
+  // Prometheus convention).
+  auto& over = registry().histogram("test.histo.quantile.over", {1.0});
+  over.observe(100.0);
+  EXPECT_DOUBLE_EQ(over.quantile(0.5), 1.0);
+  // No observations: 0.
+  auto& empty = registry().histogram("test.histo.quantile.empty", {1.0});
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+}
+
+TEST(MetricRegistry, SnapshotCarriesHistogramQuantiles) {
+  SKIP_IF_COMPILED_OUT();
+  const ScopedTelemetry t(true);
+  auto& h = registry().histogram("test.histo.snapshot.quantiles", {1.0, 8.0});
+  h.observe(0.5);
+  h.observe(4.0);
+  const std::string json = registry().snapshot_json();
+  ASSERT_TRUE(telemetry::json_well_formed(json));
+  const JsonValue root = JsonParser(json).parse();
+  const JsonValue* histo =
+      root.find("histograms")->find("test.histo.snapshot.quantiles");
+  ASSERT_NE(histo, nullptr);
+  for (const char* key : {"p50", "p95", "p99"}) {
+    const JsonValue* q = histo->find(key);
+    ASSERT_NE(q, nullptr) << key;
+    EXPECT_EQ(q->kind, JsonValue::kNumber) << key;
+  }
+  EXPECT_DOUBLE_EQ(histo->find("p50")->number, h.quantile(0.50));
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition.
+
+TEST(Prometheus, MetricNameSanitization) {
+  using telemetry::prometheus_metric_name;
+  EXPECT_EQ(prometheus_metric_name("tiles.passes"), "tiles_passes");
+  EXPECT_EQ(prometheus_metric_name("already_fine:name"), "already_fine:name");
+  EXPECT_EQ(prometheus_metric_name("0starts.with.digit"),
+            "_0starts_with_digit");
+  EXPECT_EQ(prometheus_metric_name("sp ace\"quote\nnl"), "sp_ace_quote_nl");
+  EXPECT_EQ(prometheus_metric_name(""), "_");
+}
+
+TEST(Prometheus, ExpositionFormat) {
+  SKIP_IF_COMPILED_OUT();
+  const ScopedTelemetry t(true);
+  registry().counter("test.prom.counter").add(3);
+  registry().gauge("test.prom.gauge").set(2.5);
+  auto& h = registry().histogram("test.prom.histo", {1.0, 10.0});
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(50.0);
+
+  const std::string text = telemetry::prometheus_text();
+  EXPECT_NE(text.find("# TYPE test_prom_counter_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("\ntest_prom_counter_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_gauge 2.5\n"), std::string::npos);
+  // Histogram: cumulative buckets, +Inf = count, sum/count, quantile gauges.
+  EXPECT_NE(text.find("# TYPE test_prom_histo histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_prom_histo_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_prom_histo_bucket{le=\"10\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_prom_histo_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_prom_histo_sum 55.5\n"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_histo_count 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_prom_histo_p50 gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_prom_histo_p99 "), std::string::npos);
+  // Every line is a comment or "<name> <value>" with a sanitized name.
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t sp = line.find(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    const std::string name = line.substr(0, sp);
+    for (const char c : name)
+      EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                  c == '_' || c == ':' || c == '{' || c == '}' || c == '"' ||
+                  c == '=' || c == '+' || c == '.' || c == '-')
+          << "bad char in: " << line;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// JSON hardening: the exporters must stay well-formed for ANY metric/span
+// name, and json_well_formed must actually reject broken documents.
+
+TEST(JsonHardening, ValidatorAcceptsAndRejects) {
+  using telemetry::json_well_formed;
+  EXPECT_TRUE(json_well_formed("{}"));
+  EXPECT_TRUE(json_well_formed("[1, 2.5e-3, -4]"));
+  EXPECT_TRUE(json_well_formed("{\"a\": [true, false, null], \"b\": \"x\"}"));
+  EXPECT_TRUE(json_well_formed("\"lone \\u0041 string\""));
+  EXPECT_FALSE(json_well_formed(""));
+  EXPECT_FALSE(json_well_formed("{"));
+  EXPECT_FALSE(json_well_formed("{} extra"));
+  EXPECT_FALSE(json_well_formed("{\"a\": 01}"));      // leading zero
+  EXPECT_FALSE(json_well_formed("{\"a\": .5}"));      // bare fraction
+  EXPECT_FALSE(json_well_formed("{\"a\": \"\x01\"}"));  // raw control char
+  EXPECT_FALSE(json_well_formed("{\"a\": \"\\x\"}"));   // bad escape
+  EXPECT_FALSE(json_well_formed("{\"a\": \"\\u00g1\"}"));
+  EXPECT_FALSE(json_well_formed("{\"a\" 1}"));
+  EXPECT_FALSE(json_well_formed("[1, ]"));
+  // Depth cap: 200 nested arrays overflow the 128-deep cursor.
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(json_well_formed(deep));
+  EXPECT_TRUE(json_well_formed(std::string(64, '[') + std::string(64, ']')));
+}
+
+TEST(JsonHardening, HostileMetricNamesSurviveEveryExporter) {
+  SKIP_IF_COMPILED_OUT();
+  const ScopedTelemetry t(true);
+  // Deterministic fuzz sweep: names covering every escape class (quotes,
+  // backslashes, control chars, DEL, high bytes, separators) plus seeded
+  // random byte strings.
+  std::vector<std::string> names = {
+      "test.evil.quote\"name",   "test.evil.back\\slash",
+      "test.evil.ctrl\x01\x02",  "test.evil.tab\tnewline\n",
+      "test.evil.del\x7f",       "test.evil.high\xc3\xa9\xff",
+      "test.evil.{br=\"ace\"}",  "test.evil.\\u0000like",
+  };
+  std::mt19937_64 rng(0xe5caf);
+  for (int i = 0; i < 24; ++i) {
+    std::string name = "test.evil.rand.";
+    const std::size_t len = 1 + rng() % 12;
+    for (std::size_t k = 0; k < len; ++k)
+      name.push_back(static_cast<char>(1 + rng() % 255));  // no NUL
+    names.push_back(std::move(name));
+  }
+  for (const std::string& name : names) {
+    registry().counter(name).add(1);
+    registry().gauge(name + ".g").set(1.0);
+  }
+  const std::string snapshot = registry().snapshot_json();
+  EXPECT_TRUE(telemetry::json_well_formed(snapshot));
+  EXPECT_NO_THROW((void)JsonParser(snapshot).parse());
+  // The Prometheus side must sanitize the same names into the legal charset.
+  const std::string prom = telemetry::prometheus_text();
+  EXPECT_EQ(prom.find('\x01'), std::string::npos);
+  EXPECT_EQ(prom.find('\x7f'), std::string::npos);
+  // And the bench-report envelope, which embeds the snapshot verbatim.
+  const std::string bench = telemetry::bench_report_json(
+      "hostile\"bench\\name", {{"par\"am", "val\\ue\n"}}, 1.0);
+  EXPECT_TRUE(telemetry::json_well_formed(bench));
+}
+
 TEST(MetricRegistry, DisabledUpdatesAreNoOps) {
   const ScopedTelemetry t(false);
   auto& c = registry().counter("test.disabled.counter");
@@ -475,11 +648,30 @@ TEST(BenchReport, RepeatStatsOrderStatistics) {
 
   telemetry::BenchParams params;
   telemetry::append_repeat_stats(params, "solve_ms", odd);
-  ASSERT_EQ(params.size(), 3u);
+  ASSERT_EQ(params.size(), 5u);
   EXPECT_EQ(params[0].first, "solve_ms_min");
   EXPECT_EQ(params[1].first, "solve_ms_median");
   EXPECT_EQ(params[1].second, "3.000");
   EXPECT_EQ(params[2].first, "solve_ms_max");
+  EXPECT_EQ(params[3].first, "solve_ms_mad");
+  EXPECT_EQ(params[4].first, "solve_ms_n");
+  EXPECT_EQ(params[4].second, "5");
+}
+
+TEST(BenchReport, RepeatStatsMadIsRobustToOutliers) {
+  // {1, 2, 3, 4, 100}: the outlier drags the mean but not the median (3)
+  // or the MAD (deviations {2, 1, 0, 1, 97} -> sorted median 1).
+  const telemetry::RepeatStats s =
+      telemetry::repeat_stats({1.0, 2.0, 3.0, 4.0, 100.0});
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.mad, 1.0);
+  EXPECT_EQ(s.count, 5u);
+  const telemetry::RepeatStats even =
+      telemetry::repeat_stats({10.0, 12.0, 14.0, 20.0});
+  EXPECT_DOUBLE_EQ(even.median, 13.0);
+  EXPECT_DOUBLE_EQ(even.mad, 2.0);  // deviations {3, 1, 1, 7} -> (1 + 3) / 2
+  EXPECT_EQ(telemetry::repeat_stats({}).count, 0u);
+  EXPECT_DOUBLE_EQ(telemetry::repeat_stats({}).mad, 0.0);
 }
 
 // ---------------------------------------------------------------------------

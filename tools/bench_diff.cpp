@@ -1,0 +1,99 @@
+// bench_diff — CLI front end of telemetry::bench_diff (the CI perf gate).
+//
+//   bench_diff [options] BASE.json PR.json
+//     --threshold F   fixed relative regression threshold (default 0.10)
+//     --noise-mult F  MAD multiplier for the noise-aware widening (default 3)
+//     --json PATH     also write the machine-readable verdict to PATH
+//
+// Exit status: 0 pass (improvements and unchanged keys included), 1 at least
+// one regression, 2 usage or parse error.  Keys present on only one side are
+// reported as "missing" and never fail the gate, so adding or renaming a
+// benchmark does not break CI for unrelated PRs.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "telemetry/bench_diff.hpp"
+#include "telemetry/json_util.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--threshold F] [--noise-mult F] [--json PATH] "
+               "BASE.json PR.json\n",
+               argv0);
+  return 2;
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace chambolle::telemetry;
+  BenchDiffOptions opts;
+  std::string json_out;
+  std::string paths[2];
+  int npaths = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next_value = [&](double* out) {
+      if (i + 1 >= argc) return false;
+      char* end = nullptr;
+      *out = std::strtod(argv[++i], &end);
+      return end != argv[i] && *end == '\0';
+    };
+    if (arg == "--threshold") {
+      if (!next_value(&opts.threshold)) return usage(argv[0]);
+    } else if (arg == "--noise-mult") {
+      if (!next_value(&opts.noise_mult)) return usage(argv[0]);
+    } else if (arg == "--json") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      json_out = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else if (npaths < 2) {
+      paths[npaths++] = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (npaths != 2) return usage(argv[0]);
+
+  BenchReport reports[2];
+  for (int i = 0; i < 2; ++i) {
+    std::string text;
+    if (!read_file(paths[i], &text)) {
+      std::fprintf(stderr, "bench_diff: cannot read %s\n", paths[i].c_str());
+      return 2;
+    }
+    if (!parse_bench_report(text, &reports[i])) {
+      std::fprintf(stderr, "bench_diff: %s is not a BENCH report\n",
+                   paths[i].c_str());
+      return 2;
+    }
+  }
+  if (!reports[0].name.empty() && reports[0].name != reports[1].name)
+    std::fprintf(stderr, "bench_diff: warning: comparing '%s' vs '%s'\n",
+                 reports[0].name.c_str(), reports[1].name.c_str());
+
+  const BenchDiffResult result = bench_diff(reports[0], reports[1], opts);
+  std::fputs(result.to_table().c_str(), stdout);
+  if (!json_out.empty() && !write_text_file(json_out, result.to_json())) {
+    std::fprintf(stderr, "bench_diff: cannot write %s\n", json_out.c_str());
+    return 2;
+  }
+  return result.has_regression() ? 1 : 0;
+}

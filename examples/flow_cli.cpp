@@ -8,6 +8,7 @@
 //            [--levels N] [--warps N] [--iters N] [--lambda X]
 //            [--solver ref|tiled|resident|fixed|accel] [--threads N]
 //            [--tile RxC] [--merge K] [--median]
+//            [--adaptive] [--tol X] [--patience K]
 //            [--kernel auto|scalar|sse2|neon|avx2]
 //            [--warp warped.pgm] [--trace trace.json] [--metrics metrics.json]
 //            [--metrics-prom metrics.prom] [--profile profile.json]
@@ -19,6 +20,12 @@
 // --tile RxC and --merge K set the sliding-window geometry of the `tiled`
 // and `resident` solvers (defaults: the paper's 88x92 window, K = 4; tile
 // dims must exceed 2*K).
+//
+// --adaptive (resident solver only) turns on per-tile early stopping: a tile
+// whose per-iteration dual residual stays under --tol (default 1e-4) for
+// --patience consecutive passes (default 2) retires and its lane capacity is
+// redistributed; --iters still caps the work.  Results are quality-bounded
+// rather than bit-exact — see docs/parallelism.md.
 //
 // --kernel pins the SIMD iteration-kernel backend (default: best the CPU
 // supports, also overridable with CHAMBOLLE_KERNEL); every backend produces
@@ -74,6 +81,7 @@ int usage() {
       "               [--levels N] [--warps N] [--iters N] [--lambda X]\n"
       "               [--solver ref|tiled|resident|fixed|accel] [--threads N]\n"
       "               [--tile RxC] [--merge K]\n"
+      "               [--adaptive] [--tol X] [--patience K]\n"
       "               [--median] [--kernel auto|scalar|sse2|neon|avx2]\n"
       "               [--warp out.pgm] [--trace trace.json]\n"
       "               [--metrics metrics.json] [--metrics-prom out.prom]\n"
@@ -202,6 +210,18 @@ int main(int argc, char** argv) {
           return 2;
         }
       }
+    } else if (arg == "--adaptive") {
+      params.adaptive_stopping = true;
+    } else if (arg == "--tol") {
+      const char* n = next();
+      if (!n) return usage();
+      if (!flag_float("--tol", n, 1e-12f, 1e3f, params.adaptive.tolerance))
+        return 2;
+    } else if (arg == "--patience") {
+      const char* n = next();
+      if (!n) return usage();
+      if (!flag_int("--patience", n, 1, 1 << 20, params.adaptive.patience))
+        return 2;
     } else if (arg == "--median") {
       params.median_filtering = true;
     } else if (arg == "--warp") {

@@ -14,12 +14,17 @@
 namespace chambolle {
 
 struct AdaptiveOptions {
-  /// Stop when max |p_{k+1} - p_k| over both components drops below this.
+  /// Stop when the SINGLE-ITERATION residual max |p_{k+1} - p_k| (over both
+  /// components) drops below this.  The residual is always measured over
+  /// exactly one iteration — the last of each check burst — so the meaning
+  /// of `tolerance` is independent of `check_every` (a burst-maximum
+  /// residual would make the same tolerance stricter at larger bursts).
   float tolerance = 1e-4f;
   /// Hard cap on iterations.
   int max_iterations = 2000;
-  /// Convergence is checked every `check_every` iterations (checking is as
-  /// expensive as an iteration, so batching amortizes it).
+  /// Convergence is checked every `check_every` iterations.  Affects only
+  /// the stopping granularity (iterations_used is a multiple of it, short of
+  /// the cap), never what `tolerance` means.
   int check_every = 10;
 
   void validate() const;
@@ -28,8 +33,12 @@ struct AdaptiveOptions {
 struct AdaptiveResult {
   ChambolleResult solution;
   int iterations_used = 0;
-  float final_residual = 0.f;  ///< max |dp| at the last check
-  bool converged = false;      ///< hit tolerance before the cap
+  /// Single-iteration max |dp| of the LAST iteration actually executed —
+  /// also when the loop exits via the max_iterations cap mid-burst, so the
+  /// triple (iterations_used, final_residual, converged) is always
+  /// consistent: converged == (final_residual < tolerance).
+  float final_residual = 0.f;
+  bool converged = false;
 };
 
 /// Solves min TV(u) + ||u-v||^2/(2 theta) iterating until the dual state

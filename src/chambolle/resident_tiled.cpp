@@ -1,6 +1,7 @@
 #include "chambolle/resident_tiled.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
@@ -92,6 +93,61 @@ ResidentTiledEngine::ResidentTiledEngine(const Matrix<float>& v,
 
 ResidentTiledEngine::~ResidentTiledEngine() = default;
 
+void ResidentAdaptiveOptions::validate() const {
+  if (!(tolerance > 0.f) || !std::isfinite(tolerance))
+    throw std::invalid_argument(
+        "ResidentAdaptiveOptions: tolerance must be finite and > 0");
+  if (patience < 1)
+    throw std::invalid_argument("ResidentAdaptiveOptions: patience < 1");
+  if (max_passes < 1)
+    throw std::invalid_argument("ResidentAdaptiveOptions: max_passes < 1");
+  if (final_pass_iterations < 0)
+    throw std::invalid_argument(
+        "ResidentAdaptiveOptions: final_pass_iterations < 0");
+}
+
+void ResidentTiledEngine::gather_halos(std::size_t ti, int g) {
+  // The incoming rectangles partition the halo exactly, so after this loop
+  // the whole buffer holds the neighbors' post-pass-(g-1) state.
+  TileBuffers& b = tiles_[ti];
+  const telemetry::ProfScope prof(telemetry::LaneCause::kMailbox);
+  for (const int mi : in_edges_[ti]) {
+    const Mailbox& m = mail_[static_cast<std::size_t>(mi)];
+    const float* strip = m.slot[(g - 1) & 1].data();
+    kernels::scatter_rect(strip, b.px, m.dst_r0, m.dst_c0, m.edge.rows,
+                          m.edge.cols);
+    kernels::scatter_rect(strip + m.edge.elements(), b.py, m.dst_r0, m.dst_c0,
+                          m.edge.rows, m.edge.cols);
+  }
+}
+
+void ResidentTiledEngine::publish_strips(std::size_t ti, int g) {
+  // Profitable cells only, hence exact.  Publishing on the final pass too
+  // keeps the mailboxes coherent for a later run() on the resident state.
+  TileBuffers& b = tiles_[ti];
+  const telemetry::ProfScope prof(telemetry::LaneCause::kMailbox);
+  for (const int mi : out_edges_[ti]) {
+    Mailbox& m = mail_[static_cast<std::size_t>(mi)];
+    float* strip = m.slot[g & 1].data();
+    kernels::gather_rect(b.px, m.src_r0, m.src_c0, m.edge.rows, m.edge.cols,
+                         strip);
+    kernels::gather_rect(b.py, m.src_r0, m.src_c0, m.edge.rows, m.edge.cols,
+                         strip + m.edge.elements());
+  }
+}
+
+void ResidentTiledEngine::freeze_strips(std::size_t ti, int g) {
+  // A retired tile never publishes again, but neighbors keep gathering at
+  // both parities as they advance.  Mirroring the final strips into the
+  // other slot makes every future gather read the frozen state; ordering is
+  // safe because these writes happen before the terminal epoch's release
+  // store and every gather happens after the matching acquire.
+  for (const int mi : out_edges_[ti]) {
+    Mailbox& m = mail_[static_cast<std::size_t>(mi)];
+    m.slot[(g + 1) & 1] = m.slot[g & 1];
+  }
+}
+
 void ResidentTiledEngine::load_duals(const DualField* initial) {
   for (std::size_t i = 0; i < tiles_.size(); ++i) {
     const TileSpec& t = plan_.tiles[i];
@@ -144,20 +200,7 @@ void ResidentTiledEngine::run(int iterations) {
     const TileSpec& t = plan_.tiles[ti];
     TileBuffers& b = tiles_[ti];
     const int g = base + epoch;  // global pass index since the last reload
-    if (g > 0) {
-      // Refresh the halo ring from the neighbors' pass-(g-1) strips.  The
-      // incoming rectangles partition the halo exactly, so after this loop
-      // the whole buffer holds the exact global pre-pass state.
-      const telemetry::ProfScope prof(telemetry::LaneCause::kMailbox);
-      for (const int mi : in_edges_[ti]) {
-        const Mailbox& m = mail_[static_cast<std::size_t>(mi)];
-        const float* strip = m.slot[(g - 1) & 1].data();
-        kernels::scatter_rect(strip, b.px, m.dst_r0, m.dst_c0, m.edge.rows,
-                              m.edge.cols);
-        kernels::scatter_rect(strip + m.edge.elements(), b.py, m.dst_r0,
-                              m.dst_c0, m.edge.rows, m.edge.cols);
-      }
-    }
+    if (g > 0) gather_halos(ti, g);
     const RegionGeometry geom{t.buf_row0, t.buf_col0, plan_.frame_rows,
                               plan_.frame_cols};
     {
@@ -175,20 +218,7 @@ void ResidentTiledEngine::run(int iterations) {
         telemetry::profiler_add_tile(node, kernel_seconds);
       }
     }
-    // Publish this pass's strips (profitable cells only, hence exact) into
-    // the parity slot.  Publishing on the final pass too keeps the mailboxes
-    // coherent for a later run() on the resident state.
-    {
-      const telemetry::ProfScope prof(telemetry::LaneCause::kMailbox);
-      for (const int mi : out_edges_[ti]) {
-        Mailbox& m = mail_[static_cast<std::size_t>(mi)];
-        float* strip = m.slot[g & 1].data();
-        kernels::gather_rect(b.px, m.src_r0, m.src_c0, m.edge.rows, m.edge.cols,
-                             strip);
-        kernels::gather_rect(b.py, m.src_r0, m.src_c0, m.edge.rows,
-                             m.edge.cols, strip + m.edge.elements());
-      }
-    }
+    publish_strips(ti, g);
   };
 
   const parallel::EpochGraph::RunStats rs =
@@ -229,6 +259,144 @@ void ResidentTiledEngine::run(int iterations) {
                ? static_cast<double>(stats_.halo_elements_per_pass) *
                      sizeof(float) / frame_reload_bytes
                : 0.0);
+}
+
+ResidentAdaptiveReport ResidentTiledEngine::run_adaptive(
+    const ResidentAdaptiveOptions& options) {
+  options.validate();
+  const telemetry::TraceSpan span("chambolle.resident.run_adaptive");
+  telemetry::flight_mark("resident.run_adaptive",
+                         static_cast<double>(options.max_passes));
+
+  if (options.final_pass_iterations > options_.merge_iterations)
+    throw std::invalid_argument(
+        "run_adaptive: final_pass_iterations exceeds the merge depth");
+
+  const std::size_t n = tiles_.size();
+  ResidentAdaptiveReport report;
+  report.pass_cap = options.max_passes;
+  report.tiles = n;
+  report.tile_passes.assign(n, 0);
+  report.tile_residuals.assign(n, 0.f);
+  if (n == 0) return report;
+
+  // Consecutive under-tolerance passes per tile.  Only the claiming lane for
+  // a (tile, pass) touches a tile's entry, and claims of successive passes
+  // are ordered by the epoch release/acquire chain, so plain ints are safe
+  // even under work stealing.
+  std::vector<int> streak(n, 0);
+
+  const int base = pass_count_;
+  const float inv_theta = 1.f / params_.theta;
+  const float step = params_.step();
+  const int lanes = parallel::default_pool().lanes_for(options_.num_threads);
+  parallel::PerLane<Matrix<float>> scratch(lanes);
+
+  const auto body = [&](int node, int epoch, int lane) -> bool {
+    const std::size_t ti = static_cast<std::size_t>(node);
+    const TileSpec& t = plan_.tiles[ti];
+    TileBuffers& b = tiles_[ti];
+    const int g = base + epoch;  // global pass index since the last reload
+    if (g > 0) gather_halos(ti, g);
+    const RegionGeometry geom{t.buf_row0, t.buf_col0, plan_.frame_rows,
+                              plan_.frame_cols};
+    // run()'s remainder schedule: the last pass of the cap may be a
+    // truncated burst so the cap lands on an exact iteration budget.
+    const int burst = (epoch == options.max_passes - 1 &&
+                       options.final_pass_iterations > 0)
+                          ? options.final_pass_iterations
+                          : options_.merge_iterations;
+    float residual = 0.f;
+    {
+      // Timed by hand (not ProfScope) because the per-tile attribution needs
+      // the same measurement twice; no clock is read without a session.
+      const bool prof = telemetry::profiler_active();
+      const std::uint64_t k0 = prof ? telemetry::detail::trace_now_ns() : 0;
+      kernels::iterate_region_fused(b.px, b.py, b.v, geom, inv_theta, step,
+                                    burst, scratch[lane], &residual);
+      if (prof) {
+        const double kernel_seconds =
+            static_cast<double>(telemetry::detail::trace_now_ns() - k0) * 1e-9;
+        telemetry::profiler_add(telemetry::LaneCause::kKernel, kernel_seconds);
+        telemetry::profiler_add_tile(node, kernel_seconds);
+      }
+    }
+    publish_strips(ti, g);
+    report.tile_passes[ti] = epoch + 1;
+    report.tile_residuals[ti] = residual;
+    // The residual is the buffer-wide max |dp| of the pass's LAST iteration:
+    // the same single-iteration semantics as solve_adaptive, so the same
+    // tolerance means the same thing regardless of merge depth.  Halo cells
+    // are included — conservative: a tile only retires once its neighborhood
+    // influence has also stilled.
+    if (residual < options.tolerance) {
+      if (++streak[ti] >= options.patience) {
+        freeze_strips(ti, g);
+        return true;  // retire: EpochGraph publishes the terminal epoch
+      }
+    } else {
+      streak[ti] = 0;
+    }
+    return false;
+  };
+
+  const parallel::EpochGraph::RunStats rs = graph_->run_adaptive(
+      options.max_passes, lanes, parallel::default_pool(), body);
+  // The parity clock advances by the full cap: a retired tile's strips are
+  // frozen into BOTH slots, so any later run()/run_adaptive() gathers valid
+  // data no matter how many passes each tile actually executed.
+  pass_count_ += options.max_passes;
+
+  report.tiles_converged = rs.retired_nodes;
+  report.total_tile_passes = rs.executed_passes;
+  report.stolen_passes = rs.stolen_passes;
+
+  stats_.passes += options.max_passes;
+  stats_.stall_seconds += rs.stall_seconds;
+  stats_.stall_spins += rs.stall_spins;
+  std::uint64_t halo_floats = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t out_elems = 0;
+    for (const int mi : out_edges_[i])
+      out_elems += 2 * mail_[static_cast<std::size_t>(mi)].edge.elements();
+    halo_floats += static_cast<std::uint64_t>(out_elems) *
+                   static_cast<std::uint64_t>(report.tile_passes[i]);
+    std::size_t iters = static_cast<std::size_t>(report.tile_passes[i]) *
+                        static_cast<std::size_t>(options_.merge_iterations);
+    // A tile that reached the cap's final pass ran the truncated burst there.
+    if (options.final_pass_iterations > 0 &&
+        report.tile_passes[i] == options.max_passes)
+      iters -= static_cast<std::size_t>(options_.merge_iterations -
+                                        options.final_pass_iterations);
+    stats_.element_iterations += plan_.tiles[i].buffer_elements() * iters;
+  }
+  stats_.halo_bytes_exchanged += halo_floats * sizeof(float);
+
+  static telemetry::Counter& c_passes =
+      telemetry::registry().counter("tiles.passes");
+  static telemetry::Counter& c_halo =
+      telemetry::registry().counter("tiles.halo_bytes");
+  static telemetry::Counter& c_stall =
+      telemetry::registry().counter("tiles.stall_micros");
+  static telemetry::Counter& c_spins =
+      telemetry::registry().counter("tiles.stall_spins");
+  static telemetry::Counter& c_converged =
+      telemetry::registry().counter("tiles.converged");
+  static telemetry::Counter& c_stolen =
+      telemetry::registry().counter("tiles.stolen_passes");
+  static telemetry::Histogram& h_passes = telemetry::registry().histogram(
+      "tiles.passes_used", {1, 2, 4, 8, 16, 32, 64, 128, 256, 512});
+  c_passes.add(rs.executed_passes);
+  c_halo.add(halo_floats * sizeof(float));
+  c_stall.add(static_cast<std::uint64_t>(rs.stall_seconds * 1e6));
+  c_spins.add(rs.stall_spins);
+  c_converged.add(rs.retired_nodes);
+  c_stolen.add(rs.stolen_passes);
+  for (const int p : report.tile_passes) h_passes.observe(p);
+  telemetry::registry()
+      .gauge("tiles.adaptive_pass_savings")
+      .set(report.pass_savings());
+  return report;
 }
 
 void ResidentTiledEngine::snapshot(DualField& out) const {
@@ -286,6 +454,35 @@ ChambolleResult solve_resident(const Matrix<float>& v,
   static telemetry::Counter& c_solves =
       telemetry::registry().counter("tiles.resident_solves");
   c_solves.add(1);
+  if (stats != nullptr) *stats = engine.stats();
+  return engine.result();
+}
+
+ChambolleResult solve_resident_adaptive(const Matrix<float>& v,
+                                        const ChambolleParams& params,
+                                        const TiledSolverOptions& options,
+                                        const ResidentAdaptiveOptions& adaptive,
+                                        ResidentAdaptiveReport* report,
+                                        ResidentTiledStats* stats,
+                                        const DualField* initial) {
+  const telemetry::TraceSpan span("chambolle.solve_resident_adaptive");
+  ResidentAdaptiveOptions opts = adaptive;
+  if (opts.max_passes <= 0) {
+    // Default the cap to the fixed budget: the adaptive solve never does
+    // more work than solve_resident() with the same params.  Mirror run()'s
+    // remainder schedule so a run where nothing retires is bit-exact with
+    // the fixed solve even when iterations % merge != 0.
+    const int merge = std::max(1, options.merge_iterations);
+    opts.max_passes = std::max(1, (params.iterations + merge - 1) / merge);
+    const int tail = params.iterations - (opts.max_passes - 1) * merge;
+    if (tail > 0 && tail < merge) opts.final_pass_iterations = tail;
+  }
+  ResidentTiledEngine engine(v, params, options, initial);
+  const ResidentAdaptiveReport rep = engine.run_adaptive(opts);
+  static telemetry::Counter& c_solves =
+      telemetry::registry().counter("tiles.adaptive_solves");
+  c_solves.add(1);
+  if (report != nullptr) *report = rep;
   if (stats != nullptr) *stats = engine.stats();
   return engine.result();
 }

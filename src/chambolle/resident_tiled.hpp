@@ -47,6 +47,64 @@
 
 namespace chambolle {
 
+/// Per-tile adaptive early stopping (ROADMAP item 2, after the local-error
+/// indicators of Alkämper/Hilb/Langer's adaptive primal-dual FEM): each
+/// tile tracks the kernel layer's fused single-iteration dual residual
+/// (max |dp| of the last iteration of each pass — no extra sweep, no state
+/// copies) and RETIRES once the residual stays under `tolerance` for
+/// `patience` consecutive passes.  A retired tile publishes a terminal
+/// epoch so neighbors never wait on it, freezes its outgoing halo strips
+/// for both mailbox parities, and its lane's capacity is redistributed to
+/// still-active tiles by the EpochGraph's adaptive work queue.
+struct ResidentAdaptiveOptions {
+  /// Per-iteration residual threshold: a pass counts toward retirement when
+  /// the max |dp| of its last iteration falls below this.  Same semantics
+  /// as AdaptiveOptions::tolerance (single-iteration, merge-depth
+  /// independent).
+  float tolerance = 1e-4f;
+  /// Consecutive under-tolerance passes before a tile retires.
+  int patience = 2;
+  /// Hard per-tile pass cap — the termination guarantee for tiles that
+  /// never reach tolerance.  One pass is `merge_iterations` iterations.
+  int max_passes = 125;
+  /// Iterations of the FINAL pass (pass max_passes - 1); 0 means a full
+  /// merge_iterations burst.  This is the remainder pass of run()'s
+  /// schedule: with it set to `iterations - (max_passes - 1) * merge`, a
+  /// run where no tile retires executes exactly the fixed schedule of
+  /// run(iterations), bit for bit, even when the iteration budget is not a
+  /// multiple of the merge depth.
+  int final_pass_iterations = 0;
+
+  void validate() const;
+};
+
+/// Outcome of one run_adaptive(): which tiles converged, how many passes
+/// each actually ran, and what the fixed budget would have cost.
+struct ResidentAdaptiveReport {
+  int pass_cap = 0;                   ///< the max_passes this run enforced
+  std::size_t tiles = 0;
+  std::size_t tiles_converged = 0;    ///< retired before the cap
+  std::size_t total_tile_passes = 0;  ///< sum over tiles of passes executed
+  std::uint64_t stolen_passes = 0;    ///< passes run off the preferred lane
+  std::vector<int> tile_passes;       ///< per-tile passes executed
+  std::vector<float> tile_residuals;  ///< per-tile final residual
+
+  [[nodiscard]] bool all_converged() const {
+    return tiles_converged == tiles;
+  }
+  /// Passes a fixed budget of pass_cap per tile would have executed.
+  [[nodiscard]] std::size_t fixed_budget_passes() const {
+    return tiles * static_cast<std::size_t>(pass_cap);
+  }
+  /// Fraction of the fixed budget the adaptive run skipped (0 = none).
+  [[nodiscard]] double pass_savings() const {
+    const std::size_t fixed = fixed_budget_passes();
+    return fixed > 0 ? 1.0 - static_cast<double>(total_tile_passes) /
+                                 static_cast<double>(fixed)
+                     : 0.0;
+  }
+};
+
 /// Work and traffic accounting of a resident solve (cumulative across
 /// run() calls), used by the E6 overhead bench and the acceptance tests.
 struct ResidentTiledStats {
@@ -86,6 +144,17 @@ class ResidentTiledEngine {
   /// run(a); run(b) is bit-exact equal to run(a + b).
   void run(int iterations);
 
+  /// Advances the solve adaptively: every tile runs passes of
+  /// `merge_iterations` iterations until its per-iteration residual stays
+  /// under options.tolerance for options.patience consecutive passes (it
+  /// then retires) or it hits options.max_passes (guaranteed termination).
+  /// Deliberately NOT bit-exact against the fixed-budget solve — retired
+  /// tiles stop refining while neighbors continue against their frozen
+  /// halos; the tolerance-mode oracle (src/testing) bounds the deviation.
+  /// The resident state stays coherent for snapshot()/result() and for
+  /// further run()/run_adaptive() calls.
+  ResidentAdaptiveReport run_adaptive(const ResidentAdaptiveOptions& options);
+
   /// On-demand profitable write-back of the CURRENT dual state into `out`
   /// (resized as needed) — the telemetry-snapshot path; does not disturb the
   /// resident buffers.
@@ -115,6 +184,14 @@ class ResidentTiledEngine {
   struct Mailbox;
 
   void load_duals(const DualField* initial);
+  /// Refreshes tile ti's halo ring from the neighbors' pass-(g-1) strips.
+  void gather_halos(std::size_t ti, int g);
+  /// Publishes tile ti's pass-g strips into the parity slot g & 1.
+  void publish_strips(std::size_t ti, int g);
+  /// Copies tile ti's pass-g strips into the OTHER parity slot too, so a
+  /// retired tile's mailboxes read back its frozen state at every future
+  /// parity (ordered before the terminal epoch publish — see run_adaptive).
+  void freeze_strips(std::size_t ti, int g);
 
   ChambolleParams params_;
   TiledSolverOptions options_;
@@ -136,5 +213,16 @@ class ResidentTiledEngine {
     const Matrix<float>& v, const ChambolleParams& params,
     const TiledSolverOptions& options, ResidentTiledStats* stats = nullptr,
     const DualField* initial = nullptr);
+
+/// One-shot adaptive resident solve.  When adaptive.max_passes <= 0 the cap
+/// defaults to the fixed budget ceil(params.iterations / merge_iterations),
+/// so the adaptive solve never exceeds the work of solve_resident() with
+/// the same params and typically does much less on smooth/static content.
+[[nodiscard]] ChambolleResult solve_resident_adaptive(
+    const Matrix<float>& v, const ChambolleParams& params,
+    const TiledSolverOptions& options,
+    const ResidentAdaptiveOptions& adaptive,
+    ResidentAdaptiveReport* report = nullptr,
+    ResidentTiledStats* stats = nullptr, const DualField* initial = nullptr);
 
 }  // namespace chambolle

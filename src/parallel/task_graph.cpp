@@ -114,4 +114,100 @@ EpochGraph::RunStats EpochGraph::run(int passes, int lanes, ThreadPool& pool,
   return total;
 }
 
+EpochGraph::RunStats EpochGraph::run_adaptive(int max_passes, int lanes,
+                                              ThreadPool& pool,
+                                              const AdaptiveNodeFn& body) {
+  if (max_passes < 0)
+    throw std::invalid_argument("EpochGraph::run_adaptive: max_passes < 0");
+  const int n = nodes();
+  RunStats total;
+  if (n == 0 || max_passes == 0) return total;
+  for (NodeState& s : state_) {
+    s.epoch.store(0, std::memory_order_relaxed);
+    s.claim.store(0, std::memory_order_relaxed);
+  }
+
+  const int team = std::max(1, std::min(lanes, n));
+  std::atomic<bool> abort{false};
+  // Nodes whose epoch reached the terminal value (retired or capped); the
+  // lanes' sole termination condition, so a retired node can never be
+  // waited on — the no-deadlock guarantee the adaptive engine tests pin.
+  std::atomic<int> finished{0};
+  PerLane<RunStats> lane_stats(team);
+
+  pool.run_team(team, [&](int lane, int nlanes, Barrier&) {
+    const int begin = block_begin(n, nlanes, lane);
+    const int end = block_begin(n, nlanes, lane + 1);
+    RunStats& stats = lane_stats[lane];
+    try {
+      while (finished.load(std::memory_order_relaxed) < n) {
+        if (abort.load(std::memory_order_relaxed)) return;
+        bool progressed = false;
+        // Affinity-preferring sweep: own block first (scan starts at
+        // `begin` and wraps), so a node keeps its preferred lane while that
+        // lane has runnable work, and migrates only when capacity frees up.
+        for (int k = 0; k < n; ++k) {
+          const int node = begin + k < n ? begin + k : begin + k - n;
+          NodeState& s = state_[static_cast<std::size_t>(node)];
+          // Acquire pairs with the release publish of the node's previous
+          // pass — possibly by another lane — making the body's writes for
+          // epochs < e visible before we try to run epoch e.
+          const int e = s.epoch.load(std::memory_order_acquire);
+          if (e >= max_passes) continue;
+          // Cheap pre-check: someone already claimed (is running) epoch e.
+          if (s.claim.load(std::memory_order_relaxed) != e) continue;
+          bool ready = true;
+          for (const int m : adj_[static_cast<std::size_t>(node)]) {
+            if (m == node) continue;
+            if (state_[static_cast<std::size_t>(m)].epoch.load(
+                    std::memory_order_acquire) < e) {
+              ready = false;
+              break;
+            }
+          }
+          if (!ready) continue;
+          int expected = e;
+          if (!s.claim.compare_exchange_strong(expected, e + 1,
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_relaxed))
+            continue;  // another lane won the race for this pass
+          const bool retire = body(node, e, lane);
+          const int next = retire ? max_passes : e + 1;
+          s.epoch.store(next, std::memory_order_release);
+          ++stats.executed_passes;
+          if (node < begin || node >= end) ++stats.stolen_passes;
+          if (retire) ++stats.retired_nodes;
+          if (next >= max_passes)
+            finished.fetch_add(1, std::memory_order_relaxed);
+          progressed = true;
+        }
+        if (!progressed && finished.load(std::memory_order_relaxed) < n) {
+          // Every unfinished node is blocked or claimed elsewhere.  The
+          // globally lowest-epoch unfinished node is always ready (its
+          // neighbors are at its epoch or terminal), so some lane can run;
+          // yield the core to it and count the stall.
+          ++stats.stall_spins;
+          const Stopwatch stall_clock;
+          std::this_thread::yield();
+          const double stalled = stall_clock.seconds();
+          stats.stall_seconds += stalled;
+          telemetry::profiler_add(telemetry::LaneCause::kEpochWait, stalled);
+        }
+      }
+    } catch (...) {
+      abort.store(true, std::memory_order_relaxed);
+      throw;  // run_team captures and rethrows on the caller
+    }
+  });
+
+  for (int lane = 0; lane < team; ++lane) {
+    total.stall_seconds += lane_stats[lane].stall_seconds;
+    total.stall_spins += lane_stats[lane].stall_spins;
+    total.executed_passes += lane_stats[lane].executed_passes;
+    total.stolen_passes += lane_stats[lane].stolen_passes;
+    total.retired_nodes += lane_stats[lane].retired_nodes;
+  }
+  return total;
+}
+
 }  // namespace chambolle::parallel

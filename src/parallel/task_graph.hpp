@@ -41,15 +41,24 @@ class EpochGraph {
   /// body(node, epoch, lane): run pass `epoch` (0-based) of `node` on `lane`.
   using NodeFn = std::function<void(int, int, int)>;
 
+  /// Adaptive body: like NodeFn but the return value decides the node's
+  /// fate — `true` RETIRES the node after this pass (its epoch jumps to the
+  /// terminal value, so neighbors never wait on it again and no lane runs
+  /// it any more), `false` advances it normally.
+  using AdaptiveNodeFn = std::function<bool(int, int, int)>;
+
   /// `neighbors[n]` lists the nodes whose previous epoch must be complete
   /// before `n` may advance (the relation should be symmetric; a one-sided
   /// edge still only delays, never corrupts).  Self-edges are ignored.
   explicit EpochGraph(std::vector<std::vector<int>> neighbors);
 
-  /// Aggregate outcome of one run() — stall accounting for telemetry.
+  /// Aggregate outcome of one run()/run_adaptive() — telemetry accounting.
   struct RunStats {
     double stall_seconds = 0.0;      ///< summed over lanes
     std::uint64_t stall_spins = 0;   ///< ready-scan sweeps that found no work
+    std::uint64_t executed_passes = 0;  ///< body invocations (adaptive only)
+    std::uint64_t stolen_passes = 0;    ///< run off the preferred lane
+    std::uint64_t retired_nodes = 0;    ///< bodies that returned true
   };
 
   /// Runs `passes` epochs of every node on `lanes` lanes of `pool`, subject
@@ -57,16 +66,34 @@ class EpochGraph {
   /// blocks.  Returns stall statistics.  Rethrows the first body exception.
   RunStats run(int passes, int lanes, ThreadPool& pool, const NodeFn& body);
 
+  /// The adaptive variant: every node runs until its body returns true
+  /// (retirement) or it completes `max_passes` epochs — the hard cap that
+  /// guarantees termination even for a never-converging node.  Lane pinning
+  /// relaxes into an affinity-preferring work queue: a lane scans its own
+  /// contiguous block first and, when none of those nodes is runnable (all
+  /// retired, capped, or blocked), steals any ready node in the graph, so
+  /// capacity freed by early-retiring nodes is redistributed to the
+  /// stragglers instead of idling.  Per-(node, epoch) execution is
+  /// serialized by a CAS claim; the release/acquire epoch protocol is the
+  /// same as run()'s, so the neighbor skew bound (<= 1 pass) still holds
+  /// and the caller's parity-double-buffered mailboxes remain safe — a
+  /// retiring body must leave its outgoing data valid for BOTH parities
+  /// (see resident_tiled.cpp).
+  RunStats run_adaptive(int max_passes, int lanes, ThreadPool& pool,
+                        const AdaptiveNodeFn& body);
+
   [[nodiscard]] int nodes() const { return static_cast<int>(adj_.size()); }
 
   /// The lane a node is pinned to when running on `lanes` lanes: contiguous
   /// blocks, so grid-adjacent nodes usually share a lane and cross-lane
-  /// waits happen only at block seams.
+  /// waits happen only at block seams.  In run_adaptive() this is the
+  /// node's PREFERRED lane; work stealing may run it elsewhere.
   [[nodiscard]] int owner(int node, int lanes) const;
 
  private:
   struct alignas(64) NodeState {
     std::atomic<int> epoch{0};  ///< passes completed; release on publish
+    std::atomic<int> claim{0};  ///< epochs claimed (adaptive work queue)
   };
 
   std::vector<std::vector<int>> adj_;

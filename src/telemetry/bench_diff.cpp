@@ -165,10 +165,16 @@ bool parse_double_param(const std::map<std::string, std::string>& params,
 
 /// The per-benchmark noise scale: MAD of the repeats when the report carries
 /// one, else half the min–max spread (older reports), as a fraction of the
-/// base median.
+/// base median.  A side that reports `<stem>_n` <= 1 gets the explicit
+/// single-sample fallback instead: its MAD is 0 by construction (the one
+/// sample's deviation from itself), not because the benchmark is quiet.
 double relative_noise(const std::map<std::string, std::string>& params,
-                      const std::string& stem, double median) {
+                      const std::string& stem, double median,
+                      double single_sample_noise) {
   if (median <= 0.0) return 0.0;
+  double n = 0.0;
+  if (parse_double_param(params, stem + "_n", &n) && n <= 1.0)
+    return single_sample_noise;
   double mad = 0.0;
   if (parse_double_param(params, stem + "_mad", &mad)) return mad / median;
   double lo = 0.0, hi = 0.0;
@@ -249,8 +255,10 @@ BenchDiffResult bench_diff(const BenchReport& base, const BenchReport& pr,
     }
     d.delta = (d.pr_median - d.base_median) / d.base_median;
     const double noise =
-        opts.noise_mult * (relative_noise(base.params, stem, d.base_median) +
-                           relative_noise(pr.params, stem, d.base_median));
+        opts.noise_mult * (relative_noise(base.params, stem, d.base_median,
+                                          opts.single_sample_noise) +
+                           relative_noise(pr.params, stem, d.base_median,
+                                          opts.single_sample_noise));
     d.threshold = std::max(opts.threshold, noise);
     if (d.delta > d.threshold)
       d.status = DiffStatus::kRegression;

@@ -44,6 +44,12 @@ enum class DiffStatus : int {
 struct BenchDiffOptions {
   double threshold = 0.10;  ///< fixed relative regression threshold
   double noise_mult = 3.0;  ///< MADs of combined noise a move must exceed
+  /// Assumed relative noise of a side whose `<stem>_n` is 1: a single
+  /// sample's MAD is identically 0, which would silently collapse the
+  /// noise-aware threshold to the fixed floor — exactly the reports with
+  /// the LEAST statistical backing.  8% is the upper range of observed
+  /// repeat scatter on the CI runners.
+  double single_sample_noise = 0.08;
 };
 
 /// One compared measurement (the `<stem>` of `<stem>_median`).

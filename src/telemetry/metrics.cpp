@@ -1,6 +1,7 @@
 #include "telemetry/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "telemetry/json_util.hpp"
@@ -10,13 +11,19 @@ namespace chambolle::telemetry {
 Histogram::Histogram(std::vector<double> upper_bounds)
     : bounds_(std::move(upper_bounds)),
       buckets_(bounds_.size() + 1) {
-  for (std::size_t i = 1; i < bounds_.size(); ++i)
-    if (bounds_[i] <= bounds_[i - 1])
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    // Non-finite bounds would pass a pure <=-previous check (every NaN
+    // comparison is false) and then corrupt bucketing and the quantile lerp.
+    if (!std::isfinite(bounds_[i]))
+      throw std::invalid_argument("Histogram: bounds must be finite");
+    if (i > 0 && bounds_[i] <= bounds_[i - 1])
       throw std::invalid_argument("Histogram: bounds must increase strictly");
+  }
 }
 
 void Histogram::observe(double v) {
   if (!enabled()) return;
+  if (!std::isfinite(v)) return;  // see header: non-finite is dropped
   std::size_t i = 0;
   while (i < bounds_.size() && v > bounds_[i]) ++i;
   buckets_[i].fetch_add(1, std::memory_order_relaxed);
@@ -31,7 +38,9 @@ std::uint64_t Histogram::bucket_count(std::size_t i) const {
 double Histogram::quantile(double q) const {
   const std::uint64_t total = total_count();
   if (total == 0) return 0.0;
-  if (q < 0.0) q = 0.0;
+  // !(q >= 0) also catches NaN, which `q < 0` would pass through and turn
+  // the rank (and every comparison below) into garbage.
+  if (!(q >= 0.0)) q = 0.0;
   if (q > 1.0) q = 1.0;
   const double rank = q * static_cast<double>(total);
   std::uint64_t cumulative = 0;

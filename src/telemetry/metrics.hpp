@@ -60,8 +60,15 @@ class Gauge {
 /// relaxed increment — no locks.
 class Histogram {
  public:
+  /// Bounds must be finite and strictly increasing (NaN/inf bounds would
+  /// silently break bucketing and quantile lerp; rejected with
+  /// std::invalid_argument).
   explicit Histogram(std::vector<double> upper_bounds);
 
+  /// Records one observation.  Non-finite values are DROPPED (not counted):
+  /// a NaN would otherwise land in the lowest bucket (every comparison is
+  /// false) and poison sum() forever, and an inf would make sum() useless
+  /// while reporting as the last finite bound anyway.
   void observe(double v);
 
   [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
@@ -78,7 +85,8 @@ class Histogram {
   /// interpolation inside the bucket that holds the target rank.  The
   /// overflow bucket has no upper edge, so anything landing there reports the
   /// last finite bound — an underestimate by construction, same convention as
-  /// Prometheus histogram_quantile.  Returns 0 for an empty histogram.
+  /// Prometheus histogram_quantile.  Returns 0 for an empty histogram;
+  /// out-of-range and NaN q clamp to the nearest valid quantile (NaN -> 0).
   [[nodiscard]] double quantile(double q) const;
 
   void reset();

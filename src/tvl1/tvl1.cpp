@@ -34,19 +34,22 @@ Image normalize(const Image& img) {
 // `resident` is the component's persistent resident-tile engine (kResident
 // only): tile buffers survive across warps of a level, so the steady state
 // re-streams only v; it is rebuilt when the pyramid level changes shape.
-void inner_solve(const Matrix<float>& v, const Tvl1Params& params,
-                 Matrix<float>& out, ChambolleResult& scratch,
-                 std::unique_ptr<ResidentTiledEngine>& resident) {
+// Returns the inner-iteration count this solve contributed to the stats:
+// the fixed budget, or (adaptive resident) the tile-average iterations
+// actually executed.
+long long inner_solve(const Matrix<float>& v, const Tvl1Params& params,
+                      Matrix<float>& out, ChambolleResult& scratch,
+                      std::unique_ptr<ResidentTiledEngine>& resident) {
   switch (params.solver) {
     case InnerSolver::kReference:
       solve_into(v, params.chambolle, scratch);
       // Hand the result out and keep the previous output buffer (same shape
       // at this pyramid level) as next warp's recover_u_into destination.
       std::swap(out, scratch.u);
-      return;
+      return params.chambolle.iterations;
     case InnerSolver::kTiled:
       out = solve_tiled(v, params.chambolle, params.tiled).u;
-      return;
+      return params.chambolle.iterations;
     case InnerSolver::kResident: {
       if (resident == nullptr || resident->rows() != v.rows() ||
           resident->cols() != v.cols()) {
@@ -56,16 +59,37 @@ void inner_solve(const Matrix<float>& v, const Tvl1Params& params,
         resident->reset_v(v);
         if (!params.warm_start_duals) resident->reset_duals();
       }
-      resident->run(params.chambolle.iterations);
+      long long iters = params.chambolle.iterations;
+      if (params.adaptive_stopping) {
+        ResidentAdaptiveOptions ao = params.adaptive;
+        if (ao.max_passes <= 0) {
+          // Same fixed-budget sentinel resolution as solve_resident_adaptive,
+          // remainder pass included.
+          const int merge = std::max(1, params.tiled.merge_iterations);
+          ao.max_passes =
+              std::max(1, (params.chambolle.iterations + merge - 1) / merge);
+          const int tail =
+              params.chambolle.iterations - (ao.max_passes - 1) * merge;
+          if (tail > 0 && tail < merge) ao.final_pass_iterations = tail;
+        }
+        const ResidentAdaptiveReport rep = resident->run_adaptive(ao);
+        iters = rep.tiles > 0
+                    ? static_cast<long long>(rep.total_tile_passes) *
+                          params.tiled.merge_iterations /
+                          static_cast<long long>(rep.tiles)
+                    : 0;
+      } else {
+        resident->run(params.chambolle.iterations);
+      }
       ChambolleResult r = resident->result();
       std::swap(out, r.u);
-      return;
+      return iters;
     }
     case InnerSolver::kFixed: {
       // The 13-bit Q5.8 v-format spans [-16,16); flow components at any
       // pyramid level stay well inside it for the supported image sizes.
       out = solve_fixed(v, params.chambolle).u;
-      return;
+      return params.chambolle.iterations;
     }
   }
   throw std::logic_error("inner_solve: unknown solver");
@@ -85,6 +109,16 @@ void Tvl1Params::validate() const {
   chambolle.validate();
   if (solver == InnerSolver::kTiled || solver == InnerSolver::kResident)
     tiled.validate();
+  if (adaptive_stopping) {
+    if (solver != InnerSolver::kResident)
+      throw std::invalid_argument(
+          "Tvl1Params: adaptive_stopping requires the resident solver");
+    // max_passes <= 0 is the "fixed budget" sentinel, resolved per solve;
+    // validate the rest.
+    ResidentAdaptiveOptions check = adaptive;
+    if (check.max_passes <= 0) check.max_passes = 1;
+    check.validate();
+  }
 }
 
 FlowField compute_flow(const Image& i0, const Image& i1,
@@ -156,11 +190,12 @@ FlowField compute_flow(const Image& i0, const Image& i1,
       total_clock.lap();  // exclude warp/threshold time from the inner figure
       {
         const telemetry::TraceSpan span("tvl1.chambolle_inner");
-        inner_solve(v.u1, params, u.u1, inner_scratch, resident_u1);
-        inner_solve(v.u2, params, u.u2, inner_scratch, resident_u2);
+        inner_iters += inner_solve(v.u1, params, u.u1, inner_scratch,
+                                   resident_u1);
+        inner_iters += inner_solve(v.u2, params, u.u2, inner_scratch,
+                                   resident_u2);
       }
       chambolle_seconds += total_clock.lap();
-      inner_iters += 2LL * params.chambolle.iterations;
 
       if (params.median_filtering) {
         const telemetry::TraceSpan span("tvl1.median_filter");

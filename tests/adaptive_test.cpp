@@ -76,6 +76,64 @@ TEST(Adaptive, CapStopsDivergentBudget) {
   EXPECT_EQ(r.iterations_used, 60);
 }
 
+TEST(Adaptive, ToleranceMeansTheSameAtEveryCheckEvery) {
+  // Regression for the burst-dependent tolerance semantics: the residual is
+  // measured over exactly ONE iteration (the burst's last), so check_every
+  // only changes the stopping granularity.  check_every = 1 and 10 must
+  // cross the same tolerance at the same underlying iteration, i.e. within
+  // one burst of each other.
+  Rng rng(61);
+  const Matrix<float> v = random_image(rng, 24, 24, -2.f, 2.f);
+  AdaptiveOptions fine;
+  fine.tolerance = 1e-4f;
+  fine.check_every = 1;
+  AdaptiveOptions coarse = fine;
+  coarse.check_every = 10;
+  const AdaptiveResult rf = solve_adaptive(v, default_params(), fine);
+  const AdaptiveResult rc = solve_adaptive(v, default_params(), coarse);
+  ASSERT_TRUE(rf.converged);
+  ASSERT_TRUE(rc.converged);
+  // Coarse can only overshoot by rounding up to the next multiple of 10.
+  EXPECT_GE(rc.iterations_used, rf.iterations_used);
+  EXPECT_LT(rc.iterations_used - rf.iterations_used, coarse.check_every);
+  // A burst-max residual (the old bug) would make the same tolerance
+  // STRICTER at larger bursts; the single-iteration residual at the shared
+  // stopping point must itself be under tolerance for both.
+  EXPECT_LT(rf.final_residual, fine.tolerance);
+  EXPECT_LT(rc.final_residual, coarse.tolerance);
+}
+
+TEST(Adaptive, CapExitMidBurstReportsConsistentTriple) {
+  // Exit via the max_iterations cap with max_iterations NOT a multiple of
+  // check_every: the final burst is truncated, and iterations_used /
+  // final_residual / converged must still describe the state actually
+  // reached — residual of the last iteration executed, converged iff it
+  // beat the tolerance.
+  Rng rng(67);
+  const Matrix<float> v = random_image(rng, 24, 24, -5.f, 5.f);
+  AdaptiveOptions o;
+  o.tolerance = 1e-12f;  // unreachable in float
+  o.check_every = 10;
+  o.max_iterations = 37;  // 3 full bursts + a truncated 7-iteration one
+  const AdaptiveResult r = solve_adaptive(v, default_params(), o);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.iterations_used, 37);
+  EXPECT_GT(r.final_residual, 0.f);
+  EXPECT_EQ(r.converged, r.final_residual < o.tolerance);
+  // The reported residual must be the SINGLE-ITERATION residual at exactly
+  // iteration 37: recompute it by running 36 iterations then one more.
+  ChambolleParams p = default_params();
+  p.iterations = 36;
+  const ChambolleResult at36 = solve(v, p);
+  DualField dual = at36.p;
+  Matrix<float> scratch;
+  float expect = 0.f;
+  iterate_region(dual.px, dual.py, v,
+                 RegionGeometry::full_frame(v.rows(), v.cols()), p, 1, scratch,
+                 &expect);
+  EXPECT_EQ(r.final_residual, expect);
+}
+
 TEST(Adaptive, PaperIterationBudgetsAreInTheConvergentRange) {
   // The paper's 50/100/200 budgets bracket the tolerance range 1e-2..1e-4
   // on a representative field — the empirical justification of Table II's

@@ -132,6 +132,53 @@ TEST(BenchDiff, FallsBackToMinMaxSpreadWhenNoMad) {
   EXPECT_EQ(d->status, tel::DiffStatus::kUnchanged);
 }
 
+TEST(BenchDiff, SingleSampleSideUsesFallbackNoiseNotZeroMad) {
+  // _n == 1 regression: the MAD of one repeat is identically 0 (the sample's
+  // deviation from itself), which used to collapse that side's noise to zero
+  // and leave only the 10% fixed gate — a one-shot bench then tripped CI on
+  // scheduler luck.  A single-sample side now contributes the explicit
+  // single_sample_noise floor (default 0.08) instead.
+  tel::BenchReport base = make_report(100.0, 0.0);
+  base.params["solve_ms_n"] = "1";
+  const tel::BenchReport pr = make_report(115.0, 0.5);  // n=5, tight repeats
+  const tel::KeyDiff* d = find_key(tel::bench_diff(base, pr), "solve_ms");
+  ASSERT_NE(d, nullptr);
+  // 3 * (0.08 + 0.5/100) = 25.5%: a 15% one-shot move is noise, not a
+  // regression.
+  EXPECT_NEAR(d->threshold, 0.255, 1e-9);
+  EXPECT_EQ(d->status, tel::DiffStatus::kUnchanged);
+}
+
+TEST(BenchDiff, BothSidesSingleSampleWidenIndependently) {
+  tel::BenchReport base = make_report(100.0, 0.0);
+  base.params["solve_ms_n"] = "1";
+  tel::BenchReport pr = make_report(130.0, 0.0);
+  pr.params["solve_ms_n"] = "1";
+  const tel::KeyDiff* d = find_key(tel::bench_diff(base, pr), "solve_ms");
+  ASSERT_NE(d, nullptr);
+  EXPECT_NEAR(d->threshold, 0.48, 1e-9);  // 3 * (0.08 + 0.08)
+  EXPECT_EQ(d->status, tel::DiffStatus::kUnchanged);
+  // A genuinely huge one-shot move still registers.
+  pr.params["solve_ms_median"] = "160.0";
+  EXPECT_TRUE(tel::bench_diff(base, pr).has_regression());
+  // The fallback is a knob: forcing it to 0 restores the old behaviour.
+  tel::BenchDiffOptions strict;
+  strict.single_sample_noise = 0.0;
+  pr.params["solve_ms_median"] = "130.0";
+  const tel::BenchDiffResult r = tel::bench_diff(base, pr, strict);
+  EXPECT_DOUBLE_EQ(find_key(r, "solve_ms")->threshold, 0.10);
+  EXPECT_TRUE(r.has_regression());
+}
+
+TEST(BenchDiff, MultiSampleSidesIgnoreTheSingleSampleFallback) {
+  // n > 1 on both sides: the MAD path is untouched by the fallback knob.
+  const tel::BenchDiffResult r =
+      tel::bench_diff(make_report(100.0, 0.5), make_report(104.0, 0.5));
+  const tel::KeyDiff* d = find_key(r, "solve_ms");
+  ASSERT_NE(d, nullptr);
+  EXPECT_DOUBLE_EQ(d->threshold, 0.10);  // 3 * (0.005 + 0.005) < fixed gate
+}
+
 TEST(BenchDiff, MissingKeysAreReportedButNeverFatal) {
   tel::BenchReport base = make_report(100.0, 0.5);
   base.params["old_bench_ms_median"] = "50.0";  // removed by the PR

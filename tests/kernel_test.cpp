@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <string>
@@ -204,6 +205,60 @@ TEST(KernelEquivalence, ManyIterationsStayBitExact) {
     iterate_region(px, py, f.v, geom, params, 50, scratch);
     EXPECT_TRUE(bits_equal(px, ref_px)) << kernels::backend_name(b);
     EXPECT_TRUE(bits_equal(py, ref_py)) << kernels::backend_name(b);
+  }
+}
+
+TEST(KernelEquivalence, ResidualVariantLeavesDualsBitExact) {
+  // The fused residual plumbing (last_iter_max_dp) must be a pure observer:
+  // requesting the residual may not change a single bit of the px/py
+  // trajectory on any backend or geometry.
+  const ChambolleParams params;
+  for (const kernels::Backend b : kernels::available_backends()) {
+    const ScopedBackend scoped(b);
+    for (const Geometry& g : sweep_geometries()) {
+      const Fields f = random_fields(g.rows, g.cols, 20260807);
+      Matrix<float> plain_px = f.px, plain_py = f.py, scratch;
+      iterate_region(plain_px, plain_py, f.v, g.geom, params, 4, scratch);
+      Matrix<float> px = f.px, py = f.py;
+      float residual = -1.f;
+      iterate_region(px, py, f.v, g.geom, params, 4, scratch, &residual);
+      EXPECT_TRUE(bits_equal(px, plain_px))
+          << kernels::backend_name(b) << " px on " << g.name;
+      EXPECT_TRUE(bits_equal(py, plain_py))
+          << kernels::backend_name(b) << " py on " << g.name;
+      EXPECT_TRUE(std::isfinite(residual)) << g.name;
+      EXPECT_GE(residual, 0.f) << g.name;
+    }
+  }
+}
+
+TEST(KernelEquivalence, ResidualIsLastIterationMaxDpOnEveryBackend) {
+  // Semantic pin: the residual is max(|px'-px|, |py'-py|) over the FINAL
+  // iteration only.  Recompute it by hand with the seed loop (iterations-1
+  // steps, snapshot, one more step, elementwise max) and demand exact float
+  // equality from every backend — the max reduction is order-invariant, so
+  // SIMD lane order cannot excuse a different answer.
+  const ChambolleParams params;
+  const int iterations = 5;
+  for (const Geometry& g : sweep_geometries()) {
+    const Fields f = random_fields(g.rows, g.cols, 424242);
+    Matrix<float> ref_px = f.px, ref_py = f.py;
+    seed_iterate_region(ref_px, ref_py, f.v, g.geom, params, iterations - 1);
+    const Matrix<float> before_px = ref_px, before_py = ref_py;
+    seed_iterate_region(ref_px, ref_py, f.v, g.geom, params, 1);
+    float want = 0.f;
+    for (std::size_t i = 0; i < ref_px.size(); ++i) {
+      want = std::max(want, std::abs(ref_px.data()[i] - before_px.data()[i]));
+      want = std::max(want, std::abs(ref_py.data()[i] - before_py.data()[i]));
+    }
+    for (const kernels::Backend b : kernels::available_backends()) {
+      const ScopedBackend scoped(b);
+      Matrix<float> px = f.px, py = f.py, scratch;
+      float residual = -1.f;
+      iterate_region(px, py, f.v, g.geom, params, iterations, scratch,
+                     &residual);
+      EXPECT_EQ(residual, want) << kernels::backend_name(b) << " on " << g.name;
+    }
   }
 }
 

@@ -13,6 +13,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <random>
 #include <stdexcept>
 #include <string>
@@ -303,6 +304,41 @@ TEST(MetricRegistry, HistogramQuantilesInterpolateWithinBuckets) {
   // No observations: 0.
   auto& empty = registry().histogram("test.histo.quantile.empty", {1.0});
   EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+}
+
+TEST(MetricRegistry, HistogramRejectsNonFiniteBoundsAndDropsNonFiniteObs) {
+  // Audit regressions: NaN bounds used to pass the strictly-increasing check
+  // (every NaN comparison is false), a NaN q escaped both clamps and walked
+  // off the bucket array, and a NaN observation landed in bucket 0 and
+  // poisoned sum() forever.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(registry().histogram("test.histo.nanbound", {nan}),
+               std::invalid_argument);
+  EXPECT_THROW(registry().histogram("test.histo.nanbound2", {1.0, nan}),
+               std::invalid_argument);
+  EXPECT_THROW(registry().histogram("test.histo.infbound", {1.0, inf}),
+               std::invalid_argument);
+  EXPECT_THROW(registry().histogram("test.histo.ninfbound", {-inf, 1.0}),
+               std::invalid_argument);
+
+  SKIP_IF_COMPILED_OUT();
+  const ScopedTelemetry t(true);
+  auto& h = registry().histogram("test.histo.nonfinite.obs", {1.0, 10.0});
+  h.observe(nan);
+  h.observe(inf);
+  h.observe(-inf);
+  EXPECT_EQ(h.total_count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // still empty
+  h.observe(5.0);
+  EXPECT_EQ(h.total_count(), 1u);
+  EXPECT_DOUBLE_EQ(h.sum(), 5.0);
+  // NaN q clamps to the low end instead of indexing garbage.
+  EXPECT_DOUBLE_EQ(h.quantile(nan), h.quantile(0.0));
+  // Single observation: every quantile sits inside its bucket.
+  EXPECT_GT(h.quantile(0.5), 1.0);
+  EXPECT_LE(h.quantile(0.99), 10.0);
 }
 
 TEST(MetricRegistry, SnapshotCarriesHistogramQuantiles) {

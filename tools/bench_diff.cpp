@@ -3,6 +3,9 @@
 //   bench_diff [options] BASE.json PR.json
 //     --threshold F   fixed relative regression threshold (default 0.10)
 //     --noise-mult F  MAD multiplier for the noise-aware widening (default 3)
+//     --single-sample-noise F
+//                     assumed relative noise for a side whose repeats carry
+//                     _n <= 1, where the MAD is degenerately 0 (default 0.08)
 //     --json PATH     also write the machine-readable verdict to PATH
 //
 // Exit status: 0 pass (improvements and unchanged keys included), 1 at least
@@ -23,8 +26,8 @@ namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--threshold F] [--noise-mult F] [--json PATH] "
-               "BASE.json PR.json\n",
+               "usage: %s [--threshold F] [--noise-mult F] "
+               "[--single-sample-noise F] [--json PATH] BASE.json PR.json\n",
                argv0);
   return 2;
 }
@@ -59,6 +62,8 @@ int main(int argc, char** argv) {
       if (!next_value(&opts.threshold)) return usage(argv[0]);
     } else if (arg == "--noise-mult") {
       if (!next_value(&opts.noise_mult)) return usage(argv[0]);
+    } else if (arg == "--single-sample-noise") {
+      if (!next_value(&opts.single_sample_noise)) return usage(argv[0]);
     } else if (arg == "--json") {
       if (i + 1 >= argc) return usage(argv[0]);
       json_out = argv[++i];

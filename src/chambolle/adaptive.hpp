@@ -5,6 +5,24 @@
 // until the dual update falls below a tolerance and REPORT how many
 // iterations that took — the tool used to choose Table II's 50/100/200
 // budgets and by the convergence bench.
+//
+// BEHAVIOR CHANGE (adaptive-stopping PR): `tolerance` now compares the
+// SINGLE-ITERATION residual (max |dp| of the last iteration of each check
+// burst).  Previously it compared the maximum over the whole
+// `check_every`-iteration burst, which made the same tolerance value mean
+// different things at different `check_every` settings — and, because a
+// burst maximum dominates any one of its iterations, effectively stricter
+// at larger bursts.  Consequences for callers tuned against the old
+// semantics: with check_every > 1 the solve can stop EARLIER (the
+// per-iteration step being under tolerance does not bound the displacement
+// accumulated across a burst); if you relied on burst-accumulated
+// displacement, tighten `tolerance` (dividing by roughly `check_every` is
+// the conservative first guess) or set `check_every = 1`, which is
+// unchanged between the two semantics.  In-repo callers were audited:
+// TV-L1 and flow_cli never call solve_adaptive (their adaptive path is the
+// resident per-tile engine, designed against the new semantics with the
+// same default tolerance), and this module's tests/bench were rewritten
+// for the single-iteration meaning.
 #pragma once
 
 #include "chambolle/params.hpp"

@@ -27,7 +27,9 @@ struct ResidentTiledEngine::TileBuffers {
 /// buffered payload: slot[n & 1] carries the pass-n strip (px rows first,
 /// then py rows).  Publication/consumption is ordered by the EpochGraph's
 /// release/acquire epoch protocol; the skew bound (neighbors never more
-/// than one pass apart) keeps the two slots from colliding.
+/// than one pass apart) keeps the two slots from colliding.  A tile retired
+/// by run_adaptive() stops publishing: gathers are redirected to its final
+/// strips by the frozen_pass_ marker (see gather_halos / mark_frozen).
 struct ResidentTiledEngine::Mailbox {
   HaloEdge edge;
   int src_r0 = 0, src_c0 = 0;  // edge rect in src-buffer coordinates
@@ -87,6 +89,10 @@ ResidentTiledEngine::ResidentTiledEngine(const Matrix<float>& v,
   // the tiles it exchanges strips with.
   graph_ = std::make_unique<parallel::EpochGraph>(std::move(adjacency));
 
+  frozen_pass_ = std::vector<std::atomic<int>>(static_cast<std::size_t>(n));
+  for (std::atomic<int>& f : frozen_pass_)
+    f.store(-1, std::memory_order_relaxed);
+
   stats_.tiles = plan_.tiles.size();
   stats_.halo_elements_per_pass = halo_exchange_elements(edges);
 }
@@ -113,7 +119,22 @@ void ResidentTiledEngine::gather_halos(std::size_t ti, int g) {
   const telemetry::ProfScope prof(telemetry::LaneCause::kMailbox);
   for (const int mi : in_edges_[ti]) {
     const Mailbox& m = mail_[static_cast<std::size_t>(mi)];
-    const float* strip = m.slot[(g - 1) & 1].data();
+    // A live neighbor's post-pass-(g-1) strips sit at parity (g-1).  A
+    // neighbor retired at pass f stopped publishing: its final strips sit at
+    // parity f, so read that slot once f < g-1.  Visibility: the marker is
+    // stored before the terminal epoch's release store, and acquiring that
+    // epoch in the scheduler's ready check is the only way this tile can
+    // reach pass g > f + 1, so whenever the frozen slot is the one that
+    // matters the load below is guaranteed to observe f.  While f >= g-1
+    // (the neighbor's retirement pass may still be racing this gather)
+    // min() keeps the normal parity, whose strips the neighbor published
+    // before our pass became ready — so the slot actually read, and hence
+    // the numeric result, is schedule-independent.
+    int src_pass = g - 1;
+    const int f = frozen_pass_[static_cast<std::size_t>(m.edge.src)].load(
+        std::memory_order_acquire);
+    if (f >= 0) src_pass = std::min(src_pass, f);
+    const float* strip = m.slot[src_pass & 1].data();
     kernels::scatter_rect(strip, b.px, m.dst_r0, m.dst_c0, m.edge.rows,
                           m.edge.cols);
     kernels::scatter_rect(strip + m.edge.elements(), b.py, m.dst_r0, m.dst_c0,
@@ -136,16 +157,17 @@ void ResidentTiledEngine::publish_strips(std::size_t ti, int g) {
   }
 }
 
-void ResidentTiledEngine::freeze_strips(std::size_t ti, int g) {
-  // A retired tile never publishes again, but neighbors keep gathering at
-  // both parities as they advance.  Mirroring the final strips into the
-  // other slot makes every future gather read the frozen state; ordering is
-  // safe because these writes happen before the terminal epoch's release
-  // store and every gather happens after the matching acquire.
-  for (const int mi : out_edges_[ti]) {
-    Mailbox& m = mail_[static_cast<std::size_t>(mi)];
-    m.slot[(g + 1) & 1] = m.slot[g & 1];
-  }
+void ResidentTiledEngine::mark_frozen(std::size_t ti, int g) {
+  // A retired tile never publishes again; the marker redirects every later
+  // gather to the parity-g slot holding its final strips (see gather_halos).
+  // Writing the OTHER parity slot here instead would be a data race: a
+  // neighbor concurrently executing the same pass g reads
+  // slot[(g - 1) & 1] == slot[(g + 1) & 1], and the epoch protocol only
+  // guarantees that reader our epoch >= g — which already holds while we
+  // run pass g, so no release/acquire pair orders such a copy against its
+  // gather.  The cross-parity mirror is deferred to run_adaptive()'s
+  // epilogue, when every lane has joined and no reader can exist.
+  frozen_pass_[ti].store(g, std::memory_order_release);
 }
 
 void ResidentTiledEngine::load_duals(const DualField* initial) {
@@ -286,6 +308,11 @@ ResidentAdaptiveReport ResidentTiledEngine::run_adaptive(
   // even under work stealing.
   std::vector<int> streak(n, 0);
 
+  // Markers are cleared by the previous adaptive run's epilogue; reset
+  // defensively in case that run aborted via a body exception mid-flight.
+  for (std::atomic<int>& f : frozen_pass_)
+    f.store(-1, std::memory_order_relaxed);
+
   const int base = pass_count_;
   const float inv_theta = 1.f / params_.theta;
   const float step = params_.step();
@@ -331,7 +358,7 @@ ResidentAdaptiveReport ResidentTiledEngine::run_adaptive(
     // influence has also stilled.
     if (residual < options.tolerance) {
       if (++streak[ti] >= options.patience) {
-        freeze_strips(ti, g);
+        mark_frozen(ti, g);
         return true;  // retire: EpochGraph publishes the terminal epoch
       }
     } else {
@@ -342,9 +369,22 @@ ResidentAdaptiveReport ResidentTiledEngine::run_adaptive(
 
   const parallel::EpochGraph::RunStats rs = graph_->run_adaptive(
       options.max_passes, lanes, parallel::default_pool(), body);
-  // The parity clock advances by the full cap: a retired tile's strips are
-  // frozen into BOTH slots, so any later run()/run_adaptive() gathers valid
-  // data no matter how many passes each tile actually executed.
+  // Quiescent epilogue (every lane has joined): mirror each retired tile's
+  // final strips into the other parity slot and clear its marker, so later
+  // run()/run_adaptive() calls — whose gathers assume the live parity —
+  // read the frozen state no matter how many passes each tile actually
+  // executed.  This copy is exactly the write that would race a concurrent
+  // gather during the run (see mark_frozen); here no reader exists.
+  for (std::size_t i = 0; i < n; ++i) {
+    const int f = frozen_pass_[i].load(std::memory_order_relaxed);
+    if (f < 0) continue;
+    for (const int mi : out_edges_[i]) {
+      Mailbox& m = mail_[static_cast<std::size_t>(mi)];
+      m.slot[(f + 1) & 1] = m.slot[f & 1];
+    }
+    frozen_pass_[i].store(-1, std::memory_order_relaxed);
+  }
+  // The parity clock advances by the full cap.
   pass_count_ += options.max_passes;
 
   report.tiles_converged = rs.retired_nodes;
@@ -368,6 +408,7 @@ ResidentAdaptiveReport ResidentTiledEngine::run_adaptive(
         report.tile_passes[i] == options.max_passes)
       iters -= static_cast<std::size_t>(options_.merge_iterations -
                                         options.final_pass_iterations);
+    report.total_iterations += iters;
     stats_.element_iterations += plan_.tiles[i].buffer_elements() * iters;
   }
   stats_.halo_bytes_exchanged += halo_floats * sizeof(float);

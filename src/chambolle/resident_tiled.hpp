@@ -32,6 +32,7 @@
 // BIT-EXACT equal to the sequential reference (tests memcmp it).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -53,9 +54,11 @@ namespace chambolle {
 /// (max |dp| of the last iteration of each pass — no extra sweep, no state
 /// copies) and RETIRES once the residual stays under `tolerance` for
 /// `patience` consecutive passes.  A retired tile publishes a terminal
-/// epoch so neighbors never wait on it, freezes its outgoing halo strips
-/// for both mailbox parities, and its lane's capacity is redistributed to
-/// still-active tiles by the EpochGraph's adaptive work queue.
+/// epoch so neighbors never wait on it, redirects their gathers to its
+/// final (frozen) halo strips via a frozen-pass marker (mirrored into both
+/// mailbox parities once the run quiesces), and its lane's capacity is
+/// redistributed to still-active tiles by the EpochGraph's adaptive work
+/// queue.
 struct ResidentAdaptiveOptions {
   /// Per-iteration residual threshold: a pass counts toward retirement when
   /// the max |dp| of its last iteration falls below this.  Same semantics
@@ -85,6 +88,10 @@ struct ResidentAdaptiveReport {
   std::size_t tiles = 0;
   std::size_t tiles_converged = 0;    ///< retired before the cap
   std::size_t total_tile_passes = 0;  ///< sum over tiles of passes executed
+  /// Sum over tiles of Chambolle iterations actually executed —
+  /// cap-truncated final bursts (final_pass_iterations) included, so this
+  /// is NOT always total_tile_passes * merge_iterations.
+  std::size_t total_iterations = 0;
   std::uint64_t stolen_passes = 0;    ///< passes run off the preferred lane
   std::vector<int> tile_passes;       ///< per-tile passes executed
   std::vector<float> tile_residuals;  ///< per-tile final residual
@@ -188,10 +195,12 @@ class ResidentTiledEngine {
   void gather_halos(std::size_t ti, int g);
   /// Publishes tile ti's pass-g strips into the parity slot g & 1.
   void publish_strips(std::size_t ti, int g);
-  /// Copies tile ti's pass-g strips into the OTHER parity slot too, so a
-  /// retired tile's mailboxes read back its frozen state at every future
-  /// parity (ordered before the terminal epoch publish — see run_adaptive).
-  void freeze_strips(std::size_t ti, int g);
+  /// Publishes tile ti's frozen-pass marker (retirement at pass g), ordered
+  /// before the terminal epoch store: later gathers read its final strips
+  /// at parity g.  The cross-parity mirror is deferred to run_adaptive()'s
+  /// quiescent epilogue — doing it here would race neighbors concurrently
+  /// gathering the same pass (see the comments in resident_tiled.cpp).
+  void mark_frozen(std::size_t ti, int g);
 
   ChambolleParams params_;
   TiledSolverOptions options_;
@@ -202,6 +211,11 @@ class ResidentTiledEngine {
   std::vector<std::vector<int>> in_edges_;   // per tile: indices into mail_
   std::vector<std::vector<int>> out_edges_;  // per tile: indices into mail_
   std::unique_ptr<parallel::EpochGraph> graph_;
+  /// Per-tile retirement pass, -1 while live.  Set (release) by the retiring
+  /// body before its terminal epoch publish, read (acquire) by gather_halos
+  /// to pick the mailbox parity, cleared in run_adaptive()'s epilogue after
+  /// the frozen strips are mirrored into both slots.
+  std::vector<std::atomic<int>> frozen_pass_;
   int pass_count_ = 0;  ///< global passes completed; also the mailbox parity
   ResidentTiledStats stats_;
 };

@@ -76,9 +76,14 @@ class EpochGraph {
   /// stragglers instead of idling.  Per-(node, epoch) execution is
   /// serialized by a CAS claim; the release/acquire epoch protocol is the
   /// same as run()'s, so the neighbor skew bound (<= 1 pass) still holds
-  /// and the caller's parity-double-buffered mailboxes remain safe — a
-  /// retiring body must leave its outgoing data valid for BOTH parities
-  /// (see resident_tiled.cpp).
+  /// and the caller's parity-double-buffered mailboxes remain safe.  NOTE:
+  /// a retiring body must NOT write mailbox slots its live neighbors may
+  /// still be reading — a neighbor running the SAME pass only observed this
+  /// node's epoch >= that pass, which holds during the retiring execution
+  /// too, so no release/acquire pair orders such writes.  Publish a marker
+  /// whose consumers re-route their reads instead, and defer any slot
+  /// rewriting until the run has quiesced (see resident_tiled.cpp's
+  /// frozen-pass protocol).
   RunStats run_adaptive(int max_passes, int lanes, ThreadPool& pool,
                         const AdaptiveNodeFn& body);
 

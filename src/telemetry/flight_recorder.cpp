@@ -200,6 +200,11 @@ void flight_span(const char* name, std::uint64_t start_ns,
   record(name, start_ns, dur_ns, 0.0);
 }
 
+// The non-crash readers below require recorder quiescence (no thread
+// concurrently recording) — see the contract block in flight_recorder.hpp.
+// Only the async-signal-safe crash dump may race live writers, and it
+// accepts torn slots as best-effort postmortem output.
+
 std::size_t flight_event_count() {
   std::size_t total = 0;
   const int n = std::min(g_ring_count.load(std::memory_order_acquire),

@@ -66,18 +66,33 @@ void flight_mark(const char* name, double value = 0.0);
 void flight_span(const char* name, std::uint64_t start_ns,
                  std::uint64_t dur_ns);
 
-/// Events currently held across all rings (capped per thread).
+// QUIESCENT-READER CONTRACT — flight_event_count / clear_flight_record /
+// flight_record_json / write_flight_record.  The rings are single-writer
+// lock-free for the benefit of the CRASH path, whose best-effort dump
+// tolerates a torn in-flight slot.  The ordinary readers below do NOT: they
+// walk slots without per-event validation, and a recording thread can lap a
+// full ring (overwrite the oldest slot) while a reader is mid-walk, which
+// would be a data race.  Call them only when no thread is concurrently
+// recording — between solves / after the pool quiesces, the same contract
+// as the profiler's report accessors — never from inside a running region.
+// Every in-repo call site (tests, flow_cli after the solve) satisfies this.
+
+/// Events currently held across all rings (capped per thread).  Quiescent
+/// readers only — see the contract above.
 [[nodiscard]] std::size_t flight_event_count();
 
-/// Discards all recorded events (ring registrations survive).
+/// Discards all recorded events (ring registrations survive).  Quiescent
+/// readers only — see the contract above.
 void clear_flight_record();
 
 /// Serializes every ring, oldest first per thread, as a JSON object:
 /// {"flight_recorder": {"events": [{"t_us":…, "tid":…, "name":…,
-/// "value":…, "dur_us":…}, …]}}.  Normal (non-signal) code path.
+/// "value":…, "dur_us":…}, …]}}.  Normal (non-signal) code path; quiescent
+/// readers only — see the contract above.
 [[nodiscard]] std::string flight_record_json();
 
-/// Writes flight_record_json() to `path`; false on I/O failure.
+/// Writes flight_record_json() to `path`; false on I/O failure.  Quiescent
+/// readers only — see the contract above.
 bool write_flight_record(const std::string& path);
 
 /// Installs the crash handler for SIGSEGV, SIGABRT, SIGFPE and SIGBUS.  On

@@ -73,11 +73,12 @@ long long inner_solve(const Matrix<float>& v, const Tvl1Params& params,
           if (tail > 0 && tail < merge) ao.final_pass_iterations = tail;
         }
         const ResidentAdaptiveReport rep = resident->run_adaptive(ao);
-        iters = rep.tiles > 0
-                    ? static_cast<long long>(rep.total_tile_passes) *
-                          params.tiled.merge_iterations /
-                          static_cast<long long>(rep.tiles)
-                    : 0;
+        // Tile-average of the iterations actually executed;
+        // rep.total_iterations already discounts cap-truncated final bursts
+        // (final_pass_iterations), unlike passes * merge_iterations.
+        iters = rep.tiles > 0 ? static_cast<long long>(rep.total_iterations) /
+                                    static_cast<long long>(rep.tiles)
+                              : 0;
       } else {
         resident->run(params.chambolle.iterations);
       }

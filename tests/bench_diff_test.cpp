@@ -125,7 +125,8 @@ TEST(BenchDiff, FallsBackToMinMaxSpreadWhenNoMad) {
   base.params["solve_ms_max"] = "110.0";  // spread 20 -> noise 10%
   tel::BenchReport pr = base;
   pr.params["solve_ms_median"] = "125.0";
-  const tel::KeyDiff* d = find_key(tel::bench_diff(base, pr), "solve_ms");
+  const tel::BenchDiffResult r = tel::bench_diff(base, pr);
+  const tel::KeyDiff* d = find_key(r, "solve_ms");
   ASSERT_NE(d, nullptr);
   // 3 * (10% + 10%) = 60% widened threshold: a 25% move is noise here.
   EXPECT_NEAR(d->threshold, 0.60, 1e-9);
@@ -141,7 +142,8 @@ TEST(BenchDiff, SingleSampleSideUsesFallbackNoiseNotZeroMad) {
   tel::BenchReport base = make_report(100.0, 0.0);
   base.params["solve_ms_n"] = "1";
   const tel::BenchReport pr = make_report(115.0, 0.5);  // n=5, tight repeats
-  const tel::KeyDiff* d = find_key(tel::bench_diff(base, pr), "solve_ms");
+  const tel::BenchDiffResult r = tel::bench_diff(base, pr);
+  const tel::KeyDiff* d = find_key(r, "solve_ms");
   ASSERT_NE(d, nullptr);
   // 3 * (0.08 + 0.5/100) = 25.5%: a 15% one-shot move is noise, not a
   // regression.
@@ -154,7 +156,8 @@ TEST(BenchDiff, BothSidesSingleSampleWidenIndependently) {
   base.params["solve_ms_n"] = "1";
   tel::BenchReport pr = make_report(130.0, 0.0);
   pr.params["solve_ms_n"] = "1";
-  const tel::KeyDiff* d = find_key(tel::bench_diff(base, pr), "solve_ms");
+  const tel::BenchDiffResult both = tel::bench_diff(base, pr);
+  const tel::KeyDiff* d = find_key(both, "solve_ms");
   ASSERT_NE(d, nullptr);
   EXPECT_NEAR(d->threshold, 0.48, 1e-9);  // 3 * (0.08 + 0.08)
   EXPECT_EQ(d->status, tel::DiffStatus::kUnchanged);
@@ -194,7 +197,8 @@ TEST(BenchDiff, MissingKeysAreReportedButNeverFatal) {
   EXPECT_FALSE(r.has_regression());
   // A degenerate (zero) base median cannot form a ratio: missing, not a div0.
   tel::BenchReport zero = make_report(0.0, 0.0);
-  EXPECT_EQ(find_key(tel::bench_diff(zero, pr), "solve_ms")->status,
+  const tel::BenchDiffResult degenerate = tel::bench_diff(zero, pr);
+  EXPECT_EQ(find_key(degenerate, "solve_ms")->status,
             tel::DiffStatus::kMissing);
 }
 

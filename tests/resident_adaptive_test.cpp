@@ -106,6 +106,16 @@ TEST_P(ResidentAdaptiveQuality, StaysWithinQualityBoundOfFixedBudget) {
   EXPECT_EQ(report.total_tile_passes, sum);
   EXPECT_LE(report.total_tile_passes, report.fixed_budget_passes());
   EXPECT_LE(report.tiles_converged, report.tiles);
+  // Iteration accounting: passes * merge, minus the truncation of the
+  // remainder burst for every tile that ran the cap's final pass.
+  const int tail = tc.iterations - (report.pass_cap - 1) * tc.merge;
+  std::size_t expect_iters = 0;
+  for (const int p : report.tile_passes) {
+    expect_iters += static_cast<std::size_t>(p) * tc.merge;
+    if (p == report.pass_cap && tail < tc.merge)
+      expect_iters -= static_cast<std::size_t>(tc.merge - tail);
+  }
+  EXPECT_EQ(report.total_iterations, expect_iters);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -178,6 +188,7 @@ TEST(ResidentAdaptive, UnreachableToleranceRunsToCapWithoutDeadlock) {
   EXPECT_FALSE(report.all_converged());
   for (const int p : report.tile_passes) EXPECT_EQ(p, report.pass_cap);
   EXPECT_EQ(report.total_tile_passes, report.fixed_budget_passes());
+  EXPECT_EQ(report.total_iterations, report.tiles * std::size_t{20});
   for (const float r : report.tile_residuals) EXPECT_GT(r, 0.f);
 
   const ChambolleResult fixed = solve_resident(v, params_with(20), opt);
@@ -204,6 +215,9 @@ TEST(ResidentAdaptive, FixedBudgetSentinelIsBitExactOnNonMultipleBudget) {
   const ChambolleResult res =
       solve_resident_adaptive(v, params_with(17), opt, adaptive, &report);
   EXPECT_EQ(report.pass_cap, 5);  // ceil(17 / 4)
+  // 17 iterations per tile, NOT pass_cap * merge = 20: total_iterations
+  // discounts the truncated remainder burst (the tvl1 accounting input).
+  EXPECT_EQ(report.total_iterations, report.tiles * std::size_t{17});
   const ChambolleResult fixed = solve_resident(v, params_with(17), opt);
   expect_memcmp_eq(res.u, fixed.u, "u");
   expect_memcmp_eq(res.p.px, fixed.p.px, "px");
@@ -260,6 +274,77 @@ TEST(ResidentAdaptive, StateStaysCoherentForFurtherRuns) {
   // Chambolle iterations are monotone in energy; further passes from any
   // valid dual state can only improve (or hold) the objective.
   EXPECT_LE(e_end, e_mid + 1e-9);
+}
+
+TEST(ResidentAdaptive, ResultIsIndependentOfThreadCount) {
+  // Regression for the retirement/gather race: gather_halos picks a
+  // neighbor's mailbox parity as min(g-1, frozen_pass), which is the same
+  // slot under every schedule — so the adaptive result must be bit-exact
+  // across lane counts even with tiles retiring at staggered passes while
+  // neighbors still execute.  The old cross-parity mirror inside the
+  // retiring pass could tear a concurrent gather (thread-count- and
+  // timing-dependent data), which this memcmp catches deterministically
+  // whenever the torn bits differ, and TSan catches always.
+  Matrix<float> v = random_v(96, 96, 6007);
+  for (int r = 0; r < 96; ++r)
+    for (int c = 0; c < 48; ++c) v(r, c) = 0.25f;  // half retires early
+  TiledSolverOptions opt;
+  opt.tile_rows = 24;
+  opt.tile_cols = 24;
+  opt.merge_iterations = 2;
+  ResidentAdaptiveOptions adaptive;
+  adaptive.tolerance = 1e-3f;
+  adaptive.patience = 1;  // retire at the first quiet pass: maximal stagger
+  adaptive.max_passes = 0;
+  const ChambolleParams params = params_with(60);
+
+  opt.num_threads = 1;
+  const ChambolleResult one_lane =
+      solve_resident_adaptive(v, params, opt, adaptive);
+  opt.num_threads = 4;
+  ResidentAdaptiveReport report;
+  const ChambolleResult four_lanes =
+      solve_resident_adaptive(v, params, opt, adaptive, &report);
+
+  EXPECT_GT(report.tiles_converged, 0u);  // the race window was exercised
+  expect_memcmp_eq(four_lanes.u, one_lane.u, "u");
+  expect_memcmp_eq(four_lanes.p.px, one_lane.p.px, "px");
+  expect_memcmp_eq(four_lanes.p.py, one_lane.p.py, "py");
+}
+
+TEST(ResidentAdaptive, StaggeredRetirementStressStaysCoherent) {
+  // TSan stress for the frozen-pass protocol: noise amplitude banded by
+  // column third (zero / weak / full) makes tile residuals decay at
+  // tile-dependent rates, so retirements stagger across the run while busy
+  // neighbors keep gathering — many concurrent retire-while-gathering
+  // windows per solve.  Also covers the post-run epilogue: a fixed run()
+  // follows on the same engine and must gather the mirrored frozen strips
+  // at either parity.
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const Matrix<float> noise = random_v(96, 96, 6100 + seed);
+    Matrix<float> v(96, 96, 0.3f);
+    for (int r = 0; r < 96; ++r) {
+      for (int c = 32; c < 64; ++c) v(r, c) += 0.05f * noise(r, c);
+      for (int c = 64; c < 96; ++c) v(r, c) += noise(r, c);
+    }
+    TiledSolverOptions opt;
+    opt.tile_rows = 16;
+    opt.tile_cols = 16;
+    opt.merge_iterations = 2;
+    opt.num_threads = 4;
+    ResidentTiledEngine engine(v, params_with(80), opt);
+    ResidentAdaptiveOptions adaptive;
+    adaptive.tolerance = 1e-4f;
+    adaptive.patience = 1;
+    adaptive.max_passes = 40;
+    const ResidentAdaptiveReport report = engine.run_adaptive(adaptive);
+    EXPECT_GT(report.tiles_converged, 0u);
+    EXPECT_LT(report.total_tile_passes, report.fixed_budget_passes());
+    const double e_mid = rof_energy(engine.result().u, v, 0.25f);
+    engine.run(10);
+    const double e_end = rof_energy(engine.result().u, v, 0.25f);
+    EXPECT_LE(e_end, e_mid + 1e-9);
+  }
 }
 
 TEST(ResidentAdaptive, ReportsStolenPassesAccounting) {

@@ -124,6 +124,35 @@ TEST(Tvl1, ResidentBackendMatchesReferenceExactly) {
   EXPECT_EQ(a.u2, b.u2);
 }
 
+TEST(Tvl1, AdaptiveResidentAccountsExecutedInnerIterations) {
+  // Regression for the adaptive inner-iteration accounting: with an
+  // unreachable tolerance nothing retires, so the adaptive resident path
+  // executes exactly the fixed budget — including the TRUNCATED remainder
+  // burst when iterations % merge != 0 (25 = 6*4 + 1 here) — and
+  // chambolle_inner_iterations must report the executed count, not round
+  // the final burst up to a whole merged pass.
+  const auto wl = workloads::translating_scene(48, 48, 1.f, 0.5f, 37);
+  Tvl1Params p = fast_params();
+  p.solver = InnerSolver::kResident;
+  p.tiled.tile_rows = 24;
+  p.tiled.tile_cols = 24;
+  p.tiled.merge_iterations = 4;
+  p.adaptive_stopping = true;
+  p.adaptive.tolerance = 1e-30f;  // nothing retires: deterministic budget
+  p.adaptive.patience = 1;
+  p.adaptive.max_passes = 0;  // fixed-budget sentinel
+  Tvl1Stats stats;
+  const FlowField a = compute_flow(wl.frame0, wl.frame1, p, &stats);
+  EXPECT_EQ(stats.chambolle_inner_iterations,
+            2LL * 25 * p.warps * stats.levels_processed);
+  // With nothing retiring the adaptive schedule IS the fixed schedule.
+  Tvl1Params fixed = p;
+  fixed.adaptive_stopping = false;
+  const FlowField b = compute_flow(wl.frame0, wl.frame1, fixed);
+  EXPECT_EQ(a.u1, b.u1);
+  EXPECT_EQ(a.u2, b.u2);
+}
+
 TEST(Tvl1, ResidentWarmStartStaysCloseToReference) {
   // warm_start_duals carries duals across warps: a different (not wrong)
   // solve, so the flow agrees approximately, not bitwise.

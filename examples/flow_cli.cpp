@@ -9,6 +9,7 @@
 //            [--solver ref|tiled|resident|fixed|accel] [--threads N]
 //            [--tile RxC] [--merge K] [--median]
 //            [--adaptive] [--tol X] [--patience K]
+//            [--ml-period K] [--ml-levels N]
 //            [--kernel auto|scalar|sse2|neon|avx2]
 //            [--warp warped.pgm] [--trace trace.json] [--metrics metrics.json]
 //            [--metrics-prom metrics.prom] [--profile profile.json]
@@ -26,6 +27,12 @@
 // --patience consecutive passes (default 2) retires and its lane capacity is
 // redistributed; --iters still caps the work.  Results are quality-bounded
 // rather than bit-exact — see docs/parallelism.md.
+//
+// --ml-period K (resident solver only; implies --adaptive) adds the periodic
+// coarse-grid correction: every K passes a small V-cycle Chambolle solve on
+// restricted grids computes a low-frequency dual correction that every tile
+// folds in at its next pass.  --ml-levels N fixes the ladder depth (default
+// 0 = auto).  See docs/parallelism.md ("Coarse-correction rendezvous").
 //
 // --kernel pins the SIMD iteration-kernel backend (default: best the CPU
 // supports, also overridable with CHAMBOLLE_KERNEL); every backend produces
@@ -82,6 +89,7 @@ int usage() {
       "               [--solver ref|tiled|resident|fixed|accel] [--threads N]\n"
       "               [--tile RxC] [--merge K]\n"
       "               [--adaptive] [--tol X] [--patience K]\n"
+      "               [--ml-period K] [--ml-levels N]\n"
       "               [--median] [--kernel auto|scalar|sse2|neon|avx2]\n"
       "               [--warp out.pgm] [--trace trace.json]\n"
       "               [--metrics metrics.json] [--metrics-prom out.prom]\n"
@@ -221,6 +229,17 @@ int main(int argc, char** argv) {
       const char* n = next();
       if (!n) return usage();
       if (!flag_int("--patience", n, 1, 1 << 20, params.adaptive.patience))
+        return 2;
+    } else if (arg == "--ml-period") {
+      const char* n = next();
+      if (!n) return usage();
+      if (!flag_int("--ml-period", n, 1, 1 << 20, params.multilevel.period))
+        return 2;
+      params.adaptive_stopping = true;  // run_multilevel rides the adaptive path
+    } else if (arg == "--ml-levels") {
+      const char* n = next();
+      if (!n) return usage();
+      if (!flag_int("--ml-levels", n, 0, 16, params.multilevel.levels))
         return 2;
     } else if (arg == "--median") {
       params.median_filtering = true;

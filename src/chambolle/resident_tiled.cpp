@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "chambolle/multilevel.hpp"
+#include "common/stopwatch.hpp"
 #include "kernels/kernel.hpp"
 #include "kernels/strips.hpp"
 #include "telemetry/flight_recorder.hpp"
@@ -440,6 +442,311 @@ ResidentAdaptiveReport ResidentTiledEngine::run_adaptive(
   return report;
 }
 
+namespace {
+
+/// max |m| over the frame rectangle [r0, r0+rows) x [c0, c0+cols).
+float max_abs_rect(const Matrix<float>& m, int r0, int c0, int rows,
+                   int cols) {
+  float best = 0.f;
+  for (int r = 0; r < rows; ++r) {
+    const float* p = &m(r0 + r, c0);
+    for (int c = 0; c < cols; ++c) best = std::max(best, std::fabs(p[c]));
+  }
+  return best;
+}
+
+}  // namespace
+
+ResidentMultilevelReport ResidentTiledEngine::run_multilevel(
+    const ResidentMultilevelOptions& options) {
+  options.validate();
+  ResidentMultilevelReport report;
+
+  // Disabled / degenerate configurations delegate verbatim — the bit-exact
+  // contract of the fixed-budget path rests on this being the SAME code.
+  const int levels = CoarseCorrector::resolve_levels(
+      plan_.frame_rows, plan_.frame_cols, options.multilevel);
+  const int period = options.multilevel.period;
+  const int num_firings =
+      period > 0 ? (options.adaptive.max_passes - 1) / period : 0;
+  if (levels == 0 || num_firings == 0 || tiles_.empty()) {
+    report.adaptive = run_adaptive(options.adaptive);
+    return report;
+  }
+
+  const telemetry::TraceSpan span("chambolle.resident.run_multilevel");
+  telemetry::flight_mark("resident.run_multilevel",
+                         static_cast<double>(options.adaptive.max_passes));
+  if (options.adaptive.final_pass_iterations > options_.merge_iterations)
+    throw std::invalid_argument(
+        "run_multilevel: final_pass_iterations exceeds the merge depth");
+
+  const std::size_t n = tiles_.size();
+  report.adaptive.pass_cap = options.adaptive.max_passes;
+  report.adaptive.tiles = n;
+  report.adaptive.tile_passes.assign(n, 0);
+  report.adaptive.tile_residuals.assign(n, 0.f);
+  report.coarse_levels = levels;
+
+  std::vector<int> streak(n, 0);
+  // Whether the tile executed the cap's final (possibly truncated) pass —
+  // needed for exact iteration accounting, since a resurrected tile's pass
+  // history is not contiguous.
+  std::vector<char> ran_final(n, 0);
+  for (std::atomic<int>& f : frozen_pass_)
+    f.store(-1, std::memory_order_relaxed);
+
+  CoarseCorrector corrector;
+  corrector.setup(frame_v_, params_, options.multilevel);
+  DualField snap;
+  const float unretire_tol =
+      options.multilevel.unretire_factor * options.adaptive.tolerance;
+  // The boundary whose rendezvous actually applied a correction (-1 = none):
+  // written inside the exclusive window before the scheduler's releasing
+  // rv_epoch store, read by boundary-pass bodies after its acquire — so a
+  // plain int is race-free.  Bodies at a boundary whose firing was declined
+  // by the progress gate must NOT fold in the (stale) delta buffers.
+  int applied_boundary = -1;
+
+  const int base = pass_count_;
+  const float inv_theta = 1.f / params_.theta;
+  const float step = params_.step();
+  const int lanes = parallel::default_pool().lanes_for(options_.num_threads);
+  parallel::PerLane<Matrix<float>> scratch(lanes);
+
+  // Folds the last computed correction into one tile's WHOLE buffer
+  // (profitable + halo): the delta is globally consistent, so overlapping
+  // buffer cells of different tiles receive identical values.  No
+  // projection here — the corrector's delta is corrected-feasible minus
+  // snapshot, so a plain add lands on the projected state.
+  const auto apply_delta = [&](std::size_t ti) {
+    const TileSpec& t = plan_.tiles[ti];
+    TileBuffers& b = tiles_[ti];
+    const Matrix<float>& dx = corrector.delta_px();
+    const Matrix<float>& dy = corrector.delta_py();
+    for (int r = 0; r < t.buf_rows; ++r) {
+      const float* sx = &dx(t.buf_row0 + r, t.buf_col0);
+      const float* sy = &dy(t.buf_row0 + r, t.buf_col0);
+      float* px = &b.px(r, 0);
+      float* py = &b.py(r, 0);
+      for (int c = 0; c < t.buf_cols; ++c) {
+        px[c] += sx[c];
+        py[c] += sy[c];
+      }
+    }
+  };
+
+  const auto body = [&](int node, int epoch, int lane) -> bool {
+    const std::size_t ti = static_cast<std::size_t>(node);
+    const TileSpec& t = plan_.tiles[ti];
+    TileBuffers& b = tiles_[ti];
+    const int g = base + epoch;
+    if (g > 0) gather_halos(ti, g);
+    // At a correction boundary, fold the rendezvous delta in AFTER the
+    // gather: the gathered strips are pre-correction (live neighbors are
+    // parked at the same boundary; a frozen neighbor's strips were re-
+    // published from its pre-correction buffer by the rendezvous), so
+    // adding the delta over the whole buffer lands every cell — profitable
+    // and halo alike — on the corrected state exactly once.
+    if (epoch > 0 && epoch == applied_boundary) apply_delta(ti);
+    const RegionGeometry geom{t.buf_row0, t.buf_col0, plan_.frame_rows,
+                              plan_.frame_cols};
+    const int burst = (epoch == options.adaptive.max_passes - 1 &&
+                       options.adaptive.final_pass_iterations > 0)
+                          ? options.adaptive.final_pass_iterations
+                          : options_.merge_iterations;
+    float residual = 0.f;
+    {
+      const bool prof = telemetry::profiler_active();
+      const std::uint64_t k0 = prof ? telemetry::detail::trace_now_ns() : 0;
+      kernels::iterate_region_fused(b.px, b.py, b.v, geom, inv_theta, step,
+                                    burst, scratch[lane], &residual);
+      if (prof) {
+        const double kernel_seconds =
+            static_cast<double>(telemetry::detail::trace_now_ns() - k0) * 1e-9;
+        telemetry::profiler_add(telemetry::LaneCause::kKernel, kernel_seconds);
+        telemetry::profiler_add_tile(node, kernel_seconds);
+      }
+    }
+    publish_strips(ti, g);
+    ++report.adaptive.tile_passes[ti];
+    report.adaptive.tile_residuals[ti] = residual;
+    if (epoch == options.adaptive.max_passes - 1) ran_final[ti] = 1;
+    if (residual < options.adaptive.tolerance) {
+      if (++streak[ti] >= options.adaptive.patience) {
+        mark_frozen(ti, g);
+        return true;
+      }
+    } else {
+      streak[ti] = 0;
+    }
+    return false;
+  };
+
+  // The rendezvous body: runs in the scheduler's exclusive window (every
+  // live tile parked exactly at the boundary, every other tile retired), so
+  // it may touch any tile buffer and any mailbox slot without racing a
+  // reader — see EpochGraph::run_rendezvous.
+  const auto rendezvous = [&](int /*firing*/,
+                              parallel::EpochGraph::RendezvousControl& ctl) {
+    const Stopwatch clock;
+    const int boundary = ctl.boundary();  // epoch of the next fine pass
+    const int gb = base + boundary;       // its global pass index (parity)
+    // Step 0: re-sync each still-frozen tile's published strips from its
+    // buffer (parity = its frozen pass, where its readers look).  Earlier
+    // corrections were absorbed into the buffer but could not be published
+    // mid-run; this bounds a frozen tile's publish drift to at most ONE
+    // correction, never an accumulation.
+    for (std::size_t i = 0; i < n; ++i) {
+      const int f = frozen_pass_[i].load(std::memory_order_relaxed);
+      if (f >= 0) publish_strips(i, f);
+    }
+    // Step 1+2: assemble the fine dual state and run the gated V-cycle.
+    // The gate's residual is the max over tiles of the last pass's
+    // buffer-wide |dp| — every live tile is parked at the boundary, so each
+    // entry is that tile's pass (boundary - 1) value; frozen tiles
+    // contribute their (sub-tolerance) retirement-time residual.
+    float churn = 0.f;
+    for (std::size_t i = 0; i < n; ++i)
+      churn = std::max(churn, report.adaptive.tile_residuals[i]);
+    snapshot(snap);
+    const CoarseCorrector::Result res =
+        corrector.compute(snap.px, snap.py, churn);
+    if (!res.applied) {
+      // Baseline call, gate declined, or the energy safeguard vetoed the
+      // cycle's output: no delta exists, so boundary-pass bodies must not
+      // apply one and frozen tiles stay untouched.
+      applied_boundary = -1;
+      ++report.coarse_gated;
+      report.rendezvous_seconds += clock.seconds();
+      return;
+    }
+    applied_boundary = boundary;
+    ++report.coarse_solves;
+    report.last_correction_max = res.max_delta;
+    // Step 3: retired tiles don't run a boundary pass, so they take the
+    // correction here — in place if it is below the un-retirement bar,
+    // by resurrection otherwise.
+    for (std::size_t i = 0; i < n; ++i) {
+      const int f = frozen_pass_[i].load(std::memory_order_relaxed);
+      if (f < 0) continue;
+      const TileSpec& t = plan_.tiles[i];
+      const float local = std::max(
+          max_abs_rect(corrector.delta_px(), t.prof_row0, t.prof_col0,
+                       t.prof_rows, t.prof_cols),
+          max_abs_rect(corrector.delta_py(), t.prof_row0, t.prof_col0,
+                       t.prof_rows, t.prof_cols));
+      if (local > unretire_tol) {
+        // Resurrect: publish the PRE-correction strips at the live parity
+        // the boundary-pass gathers read, clear the frozen marker, and
+        // rewind the node.  The tile's own boundary pass then applies the
+        // delta exactly like every live tile — no special casing, no
+        // double application.
+        publish_strips(i, gb - 1);
+        frozen_pass_[i].store(-1, std::memory_order_relaxed);
+        streak[i] = 0;
+        ctl.resurrect(static_cast<int>(i));
+        ++report.tiles_unretired;
+      } else {
+        // Stay frozen: fold the correction into the frozen buffer.  Its
+        // published strips intentionally stay pre-correction until the next
+        // step-0 re-sync (or the epilogue): readers between boundaries see
+        // a drift of at most this one delta, itself bounded by
+        // unretire_tol — the same deviation class the adaptive tolerance
+        // mode already admits.
+        apply_delta(i);
+      }
+    }
+    report.rendezvous_seconds += clock.seconds();
+  };
+
+  const parallel::EpochGraph::RunStats rs = graph_->run_rendezvous(
+      options.adaptive.max_passes, period, lanes, parallel::default_pool(),
+      body, rendezvous);
+
+  // Quiescent epilogue: frozen buffers may hold corrections absorbed after
+  // their last publish, so republish from the buffer into BOTH parity slots
+  // (later run()/run_adaptive() gathers assume the live parity) and clear
+  // the markers.
+  std::size_t converged = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int f = frozen_pass_[i].load(std::memory_order_relaxed);
+    if (f < 0) continue;
+    ++converged;
+    publish_strips(i, 0);
+    publish_strips(i, 1);
+    frozen_pass_[i].store(-1, std::memory_order_relaxed);
+  }
+  pass_count_ += options.adaptive.max_passes;
+
+  report.adaptive.tiles_converged = converged;
+  report.adaptive.total_tile_passes = rs.executed_passes;
+  report.adaptive.stolen_passes = rs.stolen_passes;
+
+  stats_.passes += options.adaptive.max_passes;
+  stats_.stall_seconds += rs.stall_seconds;
+  stats_.stall_spins += rs.stall_spins;
+  std::uint64_t halo_floats = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t out_elems = 0;
+    for (const int mi : out_edges_[i])
+      out_elems += 2 * mail_[static_cast<std::size_t>(mi)].edge.elements();
+    halo_floats +=
+        static_cast<std::uint64_t>(out_elems) *
+        static_cast<std::uint64_t>(report.adaptive.tile_passes[i]);
+    std::size_t iters =
+        static_cast<std::size_t>(report.adaptive.tile_passes[i]) *
+        static_cast<std::size_t>(options_.merge_iterations);
+    if (options.adaptive.final_pass_iterations > 0 && ran_final[i])
+      iters -= static_cast<std::size_t>(options_.merge_iterations -
+                                        options.adaptive.final_pass_iterations);
+    report.adaptive.total_iterations += iters;
+    stats_.element_iterations += plan_.tiles[i].buffer_elements() * iters;
+  }
+  stats_.halo_bytes_exchanged += halo_floats * sizeof(float);
+
+  static telemetry::Counter& c_passes =
+      telemetry::registry().counter("tiles.passes");
+  static telemetry::Counter& c_halo =
+      telemetry::registry().counter("tiles.halo_bytes");
+  static telemetry::Counter& c_stall =
+      telemetry::registry().counter("tiles.stall_micros");
+  static telemetry::Counter& c_spins =
+      telemetry::registry().counter("tiles.stall_spins");
+  static telemetry::Counter& c_converged =
+      telemetry::registry().counter("tiles.converged");
+  static telemetry::Counter& c_stolen =
+      telemetry::registry().counter("tiles.stolen_passes");
+  static telemetry::Counter& c_solves =
+      telemetry::registry().counter("tiles.coarse_solves");
+  static telemetry::Counter& c_gated =
+      telemetry::registry().counter("tiles.coarse_gated");
+  static telemetry::Counter& c_unretired =
+      telemetry::registry().counter("tiles.coarse_unretired");
+  static telemetry::Counter& c_rv_micros =
+      telemetry::registry().counter("tiles.coarse_rendezvous_micros");
+  static telemetry::Histogram& h_passes = telemetry::registry().histogram(
+      "tiles.passes_used", {1, 2, 4, 8, 16, 32, 64, 128, 256, 512});
+  c_passes.add(rs.executed_passes);
+  c_halo.add(halo_floats * sizeof(float));
+  c_stall.add(static_cast<std::uint64_t>(rs.stall_seconds * 1e6));
+  c_spins.add(rs.stall_spins);
+  c_converged.add(converged);
+  c_stolen.add(rs.stolen_passes);
+  c_solves.add(report.coarse_solves);
+  c_gated.add(report.coarse_gated);
+  c_unretired.add(report.tiles_unretired);
+  c_rv_micros.add(static_cast<std::uint64_t>(report.rendezvous_seconds * 1e6));
+  for (const int p : report.adaptive.tile_passes) h_passes.observe(p);
+  telemetry::registry()
+      .gauge("tiles.coarse_correction_norm")
+      .set(static_cast<double>(report.last_correction_max));
+  telemetry::registry()
+      .gauge("tiles.adaptive_pass_savings")
+      .set(report.adaptive.pass_savings());
+  return report;
+}
+
 void ResidentTiledEngine::snapshot(DualField& out) const {
   out.px.resize(plan_.frame_rows, plan_.frame_cols);
   out.py.resize(plan_.frame_rows, plan_.frame_cols);
@@ -522,6 +829,34 @@ ChambolleResult solve_resident_adaptive(const Matrix<float>& v,
   const ResidentAdaptiveReport rep = engine.run_adaptive(opts);
   static telemetry::Counter& c_solves =
       telemetry::registry().counter("tiles.adaptive_solves");
+  c_solves.add(1);
+  if (report != nullptr) *report = rep;
+  if (stats != nullptr) *stats = engine.stats();
+  return engine.result();
+}
+
+ChambolleResult solve_resident_multilevel(
+    const Matrix<float>& v, const ChambolleParams& params,
+    const TiledSolverOptions& options,
+    const ResidentMultilevelOptions& multilevel,
+    ResidentMultilevelReport* report, ResidentTiledStats* stats,
+    const DualField* initial) {
+  const telemetry::TraceSpan span("chambolle.solve_resident_multilevel");
+  ResidentMultilevelOptions opts = multilevel;
+  if (opts.adaptive.max_passes <= 0) {
+    // Same fixed-budget sentinel as solve_resident_adaptive(): the cap is
+    // the schedule of solve_resident(params) including its remainder pass.
+    const int merge = std::max(1, options.merge_iterations);
+    opts.adaptive.max_passes =
+        std::max(1, (params.iterations + merge - 1) / merge);
+    const int tail =
+        params.iterations - (opts.adaptive.max_passes - 1) * merge;
+    if (tail > 0 && tail < merge) opts.adaptive.final_pass_iterations = tail;
+  }
+  ResidentTiledEngine engine(v, params, options, initial);
+  const ResidentMultilevelReport rep = engine.run_multilevel(opts);
+  static telemetry::Counter& c_solves =
+      telemetry::registry().counter("tiles.multilevel_solves");
   c_solves.add(1);
   if (report != nullptr) *report = rep;
   if (stats != nullptr) *stats = engine.stats();

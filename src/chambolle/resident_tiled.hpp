@@ -112,6 +112,34 @@ struct ResidentAdaptiveReport {
   }
 };
 
+/// Options of run_multilevel(): the adaptive per-tile stopping policy plus
+/// the coarse-grid correction schedule.  With the correction disabled
+/// (multilevel.period <= 0, or a frame too small to coarsen)
+/// run_multilevel() IS run_adaptive(options.adaptive), bit for bit.
+struct ResidentMultilevelOptions {
+  ResidentAdaptiveOptions adaptive;
+  MultilevelOptions multilevel;
+
+  void validate() const {
+    adaptive.validate();
+    multilevel.validate();
+  }
+};
+
+/// Outcome of one run_multilevel(): the adaptive accounting plus the
+/// coarse-correction accounting.
+struct ResidentMultilevelReport {
+  ResidentAdaptiveReport adaptive;
+  int coarse_levels = 0;         ///< realized ladder depth (0 = correction off)
+  std::uint64_t coarse_solves = 0;     ///< firings whose correction applied
+  std::uint64_t coarse_gated = 0;      ///< firings declined by the progress
+                                       ///< gate or energy safeguard (includes
+                                       ///< the baseline firing)
+  std::uint64_t tiles_unretired = 0;   ///< resurrections forced by corrections
+  float last_correction_max = 0.f;     ///< max |delta p| of the final cycle
+  double rendezvous_seconds = 0.0;     ///< wall time inside rendezvous bodies
+};
+
 /// Work and traffic accounting of a resident solve (cumulative across
 /// run() calls), used by the E6 overhead bench and the acceptance tests.
 struct ResidentTiledStats {
@@ -161,6 +189,20 @@ class ResidentTiledEngine {
   /// The resident state stays coherent for snapshot()/result() and for
   /// further run()/run_adaptive() calls.
   ResidentAdaptiveReport run_adaptive(const ResidentAdaptiveOptions& options);
+
+  /// run_adaptive() composed with a periodic coarse-grid correction: every
+  /// multilevel.period passes the fleet's parked state is snapshotted at an
+  /// exclusive EpochGraph rendezvous (no global barrier — the last lane out
+  /// of work runs it), a small V-cycle Chambolle solve computes a fine dual
+  /// correction (chambolle/multilevel.hpp), and every tile folds the
+  /// correction into its pinned buffers at its next pass.  Retired tiles
+  /// absorb corrections in place; a correction exceeding
+  /// multilevel.unretire_factor * adaptive.tolerance inside a retired
+  /// tile's profitable region un-retires it.  Results are schedule-
+  /// independent (same bits for any lane count).  With the correction
+  /// disabled this IS run_adaptive(options.adaptive), bit for bit.
+  ResidentMultilevelReport run_multilevel(
+      const ResidentMultilevelOptions& options);
 
   /// On-demand profitable write-back of the CURRENT dual state into `out`
   /// (resized as needed) — the telemetry-snapshot path; does not disturb the
@@ -237,6 +279,17 @@ class ResidentTiledEngine {
     const TiledSolverOptions& options,
     const ResidentAdaptiveOptions& adaptive,
     ResidentAdaptiveReport* report = nullptr,
+    ResidentTiledStats* stats = nullptr, const DualField* initial = nullptr);
+
+/// One-shot multilevel resident solve.  The adaptive.max_passes <= 0
+/// sentinel resolves exactly as in solve_resident_adaptive() (fixed budget
+/// with run()'s remainder schedule), so a correction-disabled call is
+/// memcmp-identical to solve_resident() when nothing retires.
+[[nodiscard]] ChambolleResult solve_resident_multilevel(
+    const Matrix<float>& v, const ChambolleParams& params,
+    const TiledSolverOptions& options,
+    const ResidentMultilevelOptions& multilevel,
+    ResidentMultilevelReport* report = nullptr,
     ResidentTiledStats* stats = nullptr, const DualField* initial = nullptr);
 
 }  // namespace chambolle

@@ -1,0 +1,109 @@
+#include "grid/transfer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace chambolle::grid {
+
+void restrict_half(const Matrix<float>& fine, Matrix<float>& coarse) {
+  if (fine.rows() < 1 || fine.cols() < 1)
+    throw std::invalid_argument("restrict_half: empty source");
+  const int rows = coarse_extent(fine.rows());
+  const int cols = coarse_extent(fine.cols());
+  coarse.resize(rows, cols);
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c) {
+      const int r0 = 2 * r, c0 = 2 * c;
+      // Odd trailing edge: the clamp duplicates the last row/column, so the
+      // boundary cell carries weight 1/2 (or 1 in the 1x1 corner) and the
+      // weights still sum to exactly 1.  The summation order below is part
+      // of the contract: it keeps restriction of a constant bit-exact AND
+      // matches the pre-refactor tvl1::downsample2 bit for bit.
+      const int r1 = std::min(r0 + 1, fine.rows() - 1);
+      const int c1 = std::min(c0 + 1, fine.cols() - 1);
+      coarse(r, c) = 0.25f * (fine(r0, c0) + fine(r0, c1) + fine(r1, c0) +
+                              fine(r1, c1));
+    }
+}
+
+Matrix<float> restrict_half(const Matrix<float>& fine) {
+  Matrix<float> coarse;
+  restrict_half(fine, coarse);
+  return coarse;
+}
+
+void prolong_bilinear_into(const Matrix<float>& coarse, int rows, int cols,
+                           Matrix<float>& fine) {
+  if (rows <= 0 || cols <= 0)
+    throw std::invalid_argument("prolong_bilinear_into: empty target");
+  if (coarse.rows() < 1 || coarse.cols() < 1)
+    throw std::invalid_argument("prolong_bilinear_into: empty source");
+  fine.resize(rows, cols);
+  const float sr =
+      static_cast<float>(coarse.rows()) / static_cast<float>(rows);
+  const float sc =
+      static_cast<float>(coarse.cols()) / static_cast<float>(cols);
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c) {
+      // Sample at the source location of this target pixel's center.
+      const float fr = (static_cast<float>(r) + 0.5f) * sr - 0.5f;
+      const float fc = (static_cast<float>(c) + 0.5f) * sc - 0.5f;
+      const int r0 = static_cast<int>(std::floor(fr));
+      const int c0 = static_cast<int>(std::floor(fc));
+      const float wr = fr - static_cast<float>(r0);
+      const float wc = fc - static_cast<float>(c0);
+      const auto sample = [&](int rr, int cc) {
+        rr = std::clamp(rr, 0, coarse.rows() - 1);
+        cc = std::clamp(cc, 0, coarse.cols() - 1);
+        return coarse(rr, cc);
+      };
+      fine(r, c) =
+          (1.f - wr) *
+              ((1.f - wc) * sample(r0, c0) + wc * sample(r0, c0 + 1)) +
+          wr * ((1.f - wc) * sample(r0 + 1, c0) + wc * sample(r0 + 1, c0 + 1));
+    }
+}
+
+void prolong_nearest_into(const Matrix<float>& coarse, int rows, int cols,
+                          Matrix<float>& fine) {
+  if (rows <= 0 || cols <= 0)
+    throw std::invalid_argument("prolong_nearest_into: empty target");
+  if (coarse.rows() != coarse_extent(rows) ||
+      coarse.cols() != coarse_extent(cols))
+    throw std::invalid_argument(
+        "prolong_nearest_into: coarse extents must be the ceil-half of the "
+        "fine extents");
+  fine.resize(rows, cols);
+  for (int r = 0; r < rows; ++r) {
+    const float* src = &coarse(r / 2, 0);
+    float* dst = &fine(r, 0);
+    for (int c = 0; c < cols; ++c) dst[c] = src[c / 2];
+  }
+}
+
+void sub_into(const Matrix<float>& a, const Matrix<float>& b,
+              Matrix<float>& out) {
+  if (!a.same_shape(b))
+    throw std::invalid_argument("sub_into: shape mismatch");
+  // Resize only on a genuine shape change: Matrix::resize reinitializes the
+  // storage even when the shape is unchanged, which would destroy `a` or `b`
+  // in the (supported) aliased calls out == a / out == b.
+  if (!out.same_shape(a)) out.resize(a.rows(), a.cols());
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* po = out.data().data();
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) po[i] = pa[i] - pb[i];
+}
+
+void add_scaled(Matrix<float>& dst, const Matrix<float>& src, float scale) {
+  if (!dst.same_shape(src))
+    throw std::invalid_argument("add_scaled: shape mismatch");
+  float* pd = dst.data().data();
+  const float* ps = src.data().data();
+  const std::size_t n = dst.size();
+  for (std::size_t i = 0; i < n; ++i) pd[i] += scale * ps[i];
+}
+
+}  // namespace chambolle::grid

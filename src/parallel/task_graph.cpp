@@ -210,4 +210,181 @@ EpochGraph::RunStats EpochGraph::run_adaptive(int max_passes, int lanes,
   return total;
 }
 
+void EpochGraph::RendezvousControl::resurrect(int node) {
+  if (node < 0 || node >= graph_.nodes())
+    throw std::invalid_argument("RendezvousControl::resurrect: node out of range");
+  NodeState& s = graph_.state_[static_cast<std::size_t>(node)];
+  // The body runs in an exclusive window, so this relaxed read is exact:
+  // nothing else mutates node state while a firing is live.
+  if (s.epoch.load(std::memory_order_relaxed) != max_passes_) return;
+  finished_.fetch_sub(1, std::memory_order_relaxed);
+  // claim first, then the release epoch store: a lane that acquires
+  // epoch == boundary sees the matching claim (and, transitively, every
+  // write the body made before calling resurrect).
+  s.claim.store(boundary_, std::memory_order_relaxed);
+  s.epoch.store(boundary_, std::memory_order_release);
+  resurrected_ = true;
+}
+
+EpochGraph::RunStats EpochGraph::run_rendezvous(int max_passes, int period,
+                                                int lanes, ThreadPool& pool,
+                                                const AdaptiveNodeFn& body,
+                                                const RendezvousFn& rendezvous) {
+  if (max_passes < 0)
+    throw std::invalid_argument("EpochGraph::run_rendezvous: max_passes < 0");
+  // Firings sit at boundaries period, 2*period, ... strictly below the cap
+  // (a firing at the cap would have no subsequent pass to feed).
+  const int num_firings = period > 0 ? (max_passes - 1) / period : 0;
+  if (num_firings == 0) return run_adaptive(max_passes, lanes, pool, body);
+
+  const int n = nodes();
+  RunStats total;
+  if (n == 0 || max_passes == 0) return total;
+  for (NodeState& s : state_) {
+    s.epoch.store(0, std::memory_order_relaxed);
+    s.claim.store(0, std::memory_order_relaxed);
+  }
+
+  const int team = std::max(1, std::min(lanes, n));
+  std::atomic<bool> abort{false};
+  std::atomic<int> finished{0};
+  // Rendezvous node state: rv_epoch = firings completed (released by the
+  // firing lane, acquired by the per-pass gate), rv_claim = firings claimed
+  // (CAS work-queue, same idiom as the node claims), rv_done = no further
+  // firing will run.
+  std::atomic<int> rv_epoch{0};
+  std::atomic<int> rv_claim{0};
+  std::atomic<bool> rv_done{false};
+  PerLane<RunStats> lane_stats(team);
+
+  pool.run_team(team, [&](int lane, int nlanes, Barrier&) {
+    const int begin = block_begin(n, nlanes, lane);
+    const int end = block_begin(n, nlanes, lane + 1);
+    RunStats& stats = lane_stats[lane];
+
+    // Attempts to run the next rendezvous firing; true when this lane ran
+    // it.  Called only from the no-progress branch — while any node pass is
+    // runnable the rendezvous cannot be ready anyway.
+    const auto try_rendezvous = [&]() -> bool {
+      if (rv_done.load(std::memory_order_relaxed)) return false;
+      const int m = rv_epoch.load(std::memory_order_relaxed);
+      if (m >= num_firings) return false;
+      if (rv_claim.load(std::memory_order_relaxed) != m) return false;
+      const int boundary = (m + 1) * period;
+      // Ready when every node completed pass boundary-1 (live nodes park at
+      // exactly `boundary`: their next pass is gated on this firing) or is
+      // finished (terminal epoch >= boundary).  The acquire pairs with each
+      // node's release publish, making every pre-boundary write visible to
+      // the body.
+      for (int node = 0; node < n; ++node)
+        if (state_[static_cast<std::size_t>(node)].epoch.load(
+                std::memory_order_acquire) < boundary)
+          return false;
+      int expected = m;
+      if (!rv_claim.compare_exchange_strong(expected, m + 1,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_relaxed))
+        return false;
+      RendezvousControl ctl(*this, boundary, max_passes, finished);
+      rendezvous(m, ctl);
+      ++stats.rendezvous_fired;
+      // In the exclusive window `finished` only moves by our own resurrects,
+      // so the relaxed read is exact.  Stop firing early when the fleet is
+      // fully finished and this firing chose to leave it that way — later
+      // firings would correct a state no pass will ever read back.
+      const bool fleet_done =
+          !ctl.resurrected_ && finished.load(std::memory_order_relaxed) >= n;
+      if (m + 1 >= num_firings || fleet_done)
+        rv_done.store(true, std::memory_order_release);
+      // Release-publish the firing: the per-pass gate's acquire load pairs
+      // with this store, so every write of the body (correction buffers,
+      // resurrections) happens-before any post-boundary node pass.
+      rv_epoch.store(m + 1, std::memory_order_release);
+      return true;
+    };
+
+    try {
+      while (true) {
+        // rv_done first, then finished: a final firing that resurrects
+        // decrements `finished` before its release store of rv_done, so the
+        // acquire here cannot observe rv_done without the decrement.
+        if (rv_done.load(std::memory_order_acquire) &&
+            finished.load(std::memory_order_relaxed) >= n)
+          break;
+        if (abort.load(std::memory_order_relaxed)) return;
+        bool progressed = false;
+        // One acquire of the firing count per sweep: pairs with the firing
+        // lane's release publish, so a pass admitted by the gate below sees
+        // all of that firing's writes.  A stale (lower) value only delays.
+        const int fired = rv_epoch.load(std::memory_order_acquire);
+        for (int k = 0; k < n; ++k) {
+          const int node = begin + k < n ? begin + k : begin + k - n;
+          NodeState& s = state_[static_cast<std::size_t>(node)];
+          const int e = s.epoch.load(std::memory_order_acquire);
+          if (e >= max_passes) continue;
+          // The rendezvous gate: pass e runs only after firing e/period
+          // (i.e. every boundary <= e) has been published.
+          if (e / period > fired) continue;
+          if (s.claim.load(std::memory_order_relaxed) != e) continue;
+          bool ready = true;
+          for (const int m : adj_[static_cast<std::size_t>(node)]) {
+            if (m == node) continue;
+            if (state_[static_cast<std::size_t>(m)].epoch.load(
+                    std::memory_order_acquire) < e) {
+              ready = false;
+              break;
+            }
+          }
+          if (!ready) continue;
+          int expected = e;
+          if (!s.claim.compare_exchange_strong(expected, e + 1,
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_relaxed))
+            continue;
+          const bool retire = body(node, e, lane);
+          const int next = retire ? max_passes : e + 1;
+          s.epoch.store(next, std::memory_order_release);
+          ++stats.executed_passes;
+          if (node < begin || node >= end) ++stats.stolen_passes;
+          if (retire) ++stats.retired_nodes;
+          if (next >= max_passes)
+            finished.fetch_add(1, std::memory_order_relaxed);
+          progressed = true;
+        }
+        if (!progressed) {
+          // No node pass was runnable — either the fleet is parked at a
+          // boundary (then the rendezvous is ready: run it) or other lanes
+          // hold the claims (then yield).  The liveness argument of
+          // run_adaptive extends: the lowest-epoch unfinished node is ready
+          // unless gated, and a gated lowest node implies every node is at
+          // or past the next boundary, i.e. the rendezvous is ready.
+          if (try_rendezvous()) continue;
+          if (rv_done.load(std::memory_order_acquire) &&
+              finished.load(std::memory_order_relaxed) >= n)
+            break;
+          ++stats.stall_spins;
+          const Stopwatch stall_clock;
+          std::this_thread::yield();
+          const double stalled = stall_clock.seconds();
+          stats.stall_seconds += stalled;
+          telemetry::profiler_add(telemetry::LaneCause::kEpochWait, stalled);
+        }
+      }
+    } catch (...) {
+      abort.store(true, std::memory_order_relaxed);
+      throw;  // run_team captures and rethrows on the caller
+    }
+  });
+
+  for (int lane = 0; lane < team; ++lane) {
+    total.stall_seconds += lane_stats[lane].stall_seconds;
+    total.stall_spins += lane_stats[lane].stall_spins;
+    total.executed_passes += lane_stats[lane].executed_passes;
+    total.stolen_passes += lane_stats[lane].stolen_passes;
+    total.retired_nodes += lane_stats[lane].retired_nodes;
+    total.rendezvous_fired += lane_stats[lane].rendezvous_fired;
+  }
+  return total;
+}
+
 }  // namespace chambolle::parallel

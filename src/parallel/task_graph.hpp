@@ -52,13 +52,15 @@ class EpochGraph {
   /// edge still only delays, never corrupts).  Self-edges are ignored.
   explicit EpochGraph(std::vector<std::vector<int>> neighbors);
 
-  /// Aggregate outcome of one run()/run_adaptive() — telemetry accounting.
+  /// Aggregate outcome of one run()/run_adaptive()/run_rendezvous() —
+  /// telemetry accounting.
   struct RunStats {
     double stall_seconds = 0.0;      ///< summed over lanes
     std::uint64_t stall_spins = 0;   ///< ready-scan sweeps that found no work
     std::uint64_t executed_passes = 0;  ///< body invocations (adaptive only)
     std::uint64_t stolen_passes = 0;    ///< run off the preferred lane
     std::uint64_t retired_nodes = 0;    ///< bodies that returned true
+    std::uint64_t rendezvous_fired = 0; ///< rendezvous bodies executed
   };
 
   /// Runs `passes` epochs of every node on `lanes` lanes of `pool`, subject
@@ -86,6 +88,73 @@ class EpochGraph {
   /// frozen-pass protocol).
   RunStats run_adaptive(int max_passes, int lanes, ThreadPool& pool,
                         const AdaptiveNodeFn& body);
+
+  /// Handle passed to a rendezvous body (run_rendezvous); lets it un-retire
+  /// nodes whose state the rendezvous work invalidated.  Only meaningful
+  /// inside the body — the handle must not escape it.
+  class RendezvousControl {
+   public:
+    /// Pass index of this firing's boundary B = (firing + 1) * period: every
+    /// live node has completed exactly B passes, every other node is
+    /// retired.  The node pass that runs next after this body is pass B.
+    [[nodiscard]] int boundary() const { return boundary_; }
+    /// Un-retires a retired node: its epoch rewinds to boundary() and it
+    /// resumes passes (up to the usual max_passes cap) once the body
+    /// returns.  No-op on a node that is not retired.  During a firing no
+    /// node can be at the cap without being retired (the pass gate orders
+    /// the last fine pass after the last firing), so this never extends a
+    /// capped node's budget.
+    void resurrect(int node);
+
+   private:
+    friend class EpochGraph;
+    RendezvousControl(EpochGraph& graph, int boundary, int max_passes,
+                      std::atomic<int>& finished)
+        : graph_(graph),
+          boundary_(boundary),
+          max_passes_(max_passes),
+          finished_(finished) {}
+    EpochGraph& graph_;
+    int boundary_;
+    int max_passes_;
+    std::atomic<int>& finished_;
+    bool resurrected_ = false;
+  };
+
+  /// rendezvous(firing, ctl): run firing `firing` (0-based) of the
+  /// rendezvous node at pass boundary ctl.boundary().
+  using RendezvousFn = std::function<void(int, RendezvousControl&)>;
+
+  /// run_adaptive() composed with a periodic EXCLUSIVE rendezvous node —
+  /// the scheduling primitive of the resident engine's coarse-grid
+  /// correction (resident_tiled.cpp).  Firing m of the rendezvous sits at
+  /// pass boundary B = (m + 1) * period; there are (max_passes - 1) /
+  /// period firings (a boundary at or past the cap would have no
+  /// subsequent pass to feed).  Semantics:
+  ///
+  ///  * Firing m becomes ready when EVERY node's epoch is >= B — live nodes
+  ///    parked at exactly B, the rest retired — and is claimed by one lane
+  ///    via CAS.  While the body runs, no node body can run anywhere: pass
+  ///    B is gated on the firing's completion, passes < B are already done.
+  ///    The body therefore owns the whole graph state (an exclusive window)
+  ///    WITHOUT a blocking barrier: lanes park only when truly out of work,
+  ///    exactly as in run_adaptive, and the last lane to finish a pre-
+  ///    boundary pass fires the rendezvous itself.
+  ///  * A node may run pass e only after firing e / period - 1 ... i.e.
+  ///    after rv_epoch >= e / period (acquire, pairing with the firing's
+  ///    release publish) — this is what makes the body's writes visible to
+  ///    every subsequent node pass, and what bounds a node's lead over the
+  ///    rendezvous to < period passes.
+  ///  * The body may resurrect retired nodes (RendezvousControl); the run
+  ///    ends when all firings are spent (or every node is finished and the
+  ///    last firing chose not to resurrect anyone) AND every node is
+  ///    finished.
+  ///
+  /// With period <= 0 or no realizable firing this degenerates to
+  /// run_adaptive() with the same body, bit for bit.
+  RunStats run_rendezvous(int max_passes, int period, int lanes,
+                          ThreadPool& pool, const AdaptiveNodeFn& body,
+                          const RendezvousFn& rendezvous);
 
   [[nodiscard]] int nodes() const { return static_cast<int>(adj_.size()); }
 

@@ -29,6 +29,7 @@ struct OracleOptions {
   bool include_backends = true;     ///< one reference solve per SIMD backend
   bool include_fixedpoint = true;   ///< fixed-point solver + accelerator
   bool include_adaptive = true;     ///< adaptive resident (quality policy)
+  bool include_multilevel = true;   ///< multilevel resident (quality policy)
 };
 
 /// Outcome of one engine on one case.
@@ -72,6 +73,20 @@ inline constexpr float kAdaptiveOracleTolerance = 1e-4f;
 inline constexpr int kAdaptiveOraclePatience = 2;
 inline constexpr double kAdaptiveDuBound = 100.0 * kAdaptiveOracleTolerance;
 inline constexpr double kAdaptiveEnergySlack = 1e-3;
+
+/// The multilevel resident solve is scored with the SAME quality constants
+/// as the adaptive one, but against a CONVERGED reference: a coarse-grid
+/// correction legitimately jumps AHEAD of the fixed-budget reference (that
+/// is its purpose), so distance to the fixed-budget state is the wrong
+/// yardstick.  The policy is: the multilevel primal must be no farther from
+/// the converged solution than the fixed-budget reference is, plus
+/// kAdaptiveDuBound of adaptive-retirement slack — and its ROF energy must
+/// not regress against the fixed-budget reference (it should be at least as
+/// converged, never less).  Firing cadence for the oracle budgets:
+inline constexpr int kMultilevelOraclePeriod = 2;
+/// Extra iterations of the converged-reference solve (on top of the case's
+/// own budget); oracle frames are <= 64 px, so this stays cheap.
+inline constexpr int kMultilevelRefExtraIterations = 400;
 
 /// Runs every applicable engine on the case and compares against the
 /// sequential reference.  Engines are executed one after another in the

@@ -72,7 +72,15 @@ long long inner_solve(const Matrix<float>& v, const Tvl1Params& params,
               params.chambolle.iterations - (ao.max_passes - 1) * merge;
           if (tail > 0 && tail < merge) ao.final_pass_iterations = tail;
         }
-        const ResidentAdaptiveReport rep = resident->run_adaptive(ao);
+        ResidentAdaptiveReport rep;
+        if (params.multilevel.enabled()) {
+          ResidentMultilevelOptions mo;
+          mo.adaptive = ao;
+          mo.multilevel = params.multilevel;
+          rep = resident->run_multilevel(mo).adaptive;
+        } else {
+          rep = resident->run_adaptive(ao);
+        }
         // Tile-average of the iterations actually executed;
         // rep.total_iterations already discounts cap-truncated final bursts
         // (final_pass_iterations), unlike passes * merge_iterations.
@@ -119,6 +127,13 @@ void Tvl1Params::validate() const {
     ResidentAdaptiveOptions check = adaptive;
     if (check.max_passes <= 0) check.max_passes = 1;
     check.validate();
+  }
+  if (multilevel.enabled()) {
+    if (!adaptive_stopping)
+      throw std::invalid_argument(
+          "Tvl1Params: multilevel correction requires adaptive_stopping "
+          "(the resident solver's run_multilevel path)");
+    multilevel.validate();
   }
 }
 

@@ -51,6 +51,12 @@ struct Tvl1Params {
   /// <= 0 means "the fixed budget": ceil(chambolle.iterations /
   /// tiled.merge_iterations), so adaptive never does more work than fixed.
   ResidentAdaptiveOptions adaptive{1e-4f, 2, 0};
+  /// kResident + adaptive_stopping only: periodic coarse-grid correction
+  /// composed with the adaptive schedule — each inner solve runs the
+  /// engine's run_multilevel() instead of run_adaptive().  Disabled by
+  /// default (period = 0 here, overriding MultilevelOptions' own default),
+  /// which is bit-identical to plain adaptive stopping.
+  MultilevelOptions multilevel{/*period=*/0};
   /// Median-filter the flow between warps (Wedel et al. 2009 refinement;
   /// false reproduces the paper's pipeline).
   bool median_filtering = false;

@@ -268,6 +268,138 @@ TEST(EpochGraph, AdaptiveBodyExceptionAbortsAndPropagates) {
   EXPECT_EQ(total.load(), n * 2);
 }
 
+TEST(EpochGraph, RendezvousFiresAtEveryBoundary) {
+  // max_passes = 17, period = 4: firings at pass boundaries 4, 8, 12, 16 —
+  // (17 - 1) / 4 = 4 of them; every node still runs every pass exactly once.
+  const int n = 10, passes = 17, period = 4;
+  EpochGraph graph(chain(n));
+  std::vector<std::atomic<int>> count(static_cast<std::size_t>(n));
+  std::vector<int> boundaries;
+  const auto stats = graph.run_rendezvous(
+      passes, period, 4, default_pool(),
+      [&](int node, int epoch, int) {
+        EXPECT_EQ(count[static_cast<std::size_t>(node)].load(), epoch);
+        count[static_cast<std::size_t>(node)].fetch_add(1);
+        return false;
+      },
+      [&](int firing, EpochGraph::RendezvousControl& ctl) {
+        EXPECT_EQ(ctl.boundary(), (firing + 1) * period);
+        boundaries.push_back(ctl.boundary());
+      });
+  EXPECT_EQ(stats.rendezvous_fired, 4u);
+  EXPECT_EQ(boundaries, (std::vector<int>{4, 8, 12, 16}));
+  for (int i = 0; i < n; ++i)
+    EXPECT_EQ(count[static_cast<std::size_t>(i)].load(), passes);
+}
+
+TEST(EpochGraph, RendezvousWindowIsExclusive) {
+  // Inside a firing every live node is parked at EXACTLY the boundary: no
+  // node body runs concurrently with the rendezvous, and no node has run
+  // past it.  Checked live from inside the firing, under real concurrency.
+  const int n = 12, passes = 25, period = 5;
+  EpochGraph graph(chain(n));
+  std::vector<std::atomic<int>> count(static_cast<std::size_t>(n));
+  std::atomic<int> violations{0};
+  graph.run_rendezvous(
+      passes, period, 4, default_pool(),
+      [&](int node, int, int) {
+        count[static_cast<std::size_t>(node)].fetch_add(1);
+        return false;
+      },
+      [&](int, EpochGraph::RendezvousControl& ctl) {
+        for (int i = 0; i < n; ++i)
+          if (count[static_cast<std::size_t>(i)].load() != ctl.boundary())
+            violations.fetch_add(1);
+      });
+  EXPECT_EQ(violations.load(), 0);
+}
+
+TEST(EpochGraph, RendezvousRetiredNodesStayParked) {
+  // Node 0 retires after pass 3; later firings see its count unchanged and
+  // the other nodes keep their exact boundary counts.
+  const int n = 6, passes = 13, period = 4;
+  EpochGraph graph(chain(n));
+  std::vector<std::atomic<int>> count(static_cast<std::size_t>(n));
+  std::atomic<int> bad{0};
+  graph.run_rendezvous(
+      passes, period, 3, default_pool(),
+      [&](int node, int epoch, int) {
+        count[static_cast<std::size_t>(node)].fetch_add(1);
+        return node == 0 && epoch == 2;  // retired with 3 passes done
+      },
+      [&](int, EpochGraph::RendezvousControl& ctl) {
+        if (count[0].load() != 3) bad.fetch_add(1);
+        for (int i = 1; i < n; ++i)
+          if (count[static_cast<std::size_t>(i)].load() != ctl.boundary())
+            bad.fetch_add(1);
+      });
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_EQ(count[0].load(), 3);
+  for (int i = 1; i < n; ++i)
+    EXPECT_EQ(count[static_cast<std::size_t>(i)].load(), passes);
+}
+
+TEST(EpochGraph, RendezvousResurrectionResumesANode) {
+  // Node 0 retires before the first firing; the firing un-retires it, and it
+  // then runs every remaining pass from the boundary to the cap.
+  const int n = 5, passes = 11, period = 4;
+  EpochGraph graph(chain(n));
+  std::vector<std::atomic<int>> count(static_cast<std::size_t>(n));
+  std::atomic<int> resurrections{0};
+  graph.run_rendezvous(
+      passes, period, 3, default_pool(),
+      [&](int node, int, int) {
+        const int c =
+            count[static_cast<std::size_t>(node)].fetch_add(1) + 1;
+        return node == 0 && c == 2 && resurrections.load() == 0;
+      },
+      [&](int firing, EpochGraph::RendezvousControl& ctl) {
+        if (firing == 0) {
+          EXPECT_EQ(count[0].load(), 2);
+          ctl.resurrect(0);
+          resurrections.fetch_add(1);
+        }
+      });
+  // Node 0: passes 0..1 before retiring, then passes 4..10 after the
+  // boundary-4 resurrection = 9 total; everyone else runs all 11.
+  EXPECT_EQ(resurrections.load(), 1);
+  EXPECT_EQ(count[0].load(), 2 + (passes - period));
+  for (int i = 1; i < n; ++i)
+    EXPECT_EQ(count[static_cast<std::size_t>(i)].load(), passes);
+}
+
+TEST(EpochGraph, RendezvousDegeneratesToAdaptive) {
+  // period <= 0 and period >= max_passes realize no firing: the run must be
+  // exactly run_adaptive — all passes execute, the rendezvous never fires.
+  const int n = 6;
+  EpochGraph graph(chain(n));
+  for (const int period : {0, -3, 7, 100}) {
+    std::atomic<int> total{0};
+    const auto stats = graph.run_rendezvous(
+        7, period, 3, default_pool(),
+        [&](int, int, int) {
+          total.fetch_add(1);
+          return false;
+        },
+        [&](int, EpochGraph::RendezvousControl&) { ADD_FAILURE(); });
+    EXPECT_EQ(total.load(), n * 7) << "period=" << period;
+    EXPECT_EQ(stats.rendezvous_fired, 0u) << "period=" << period;
+  }
+}
+
+TEST(EpochGraph, RendezvousAllRetiredEndsRunWithoutTrailingFirings) {
+  // Every node retires immediately; the scheduler must terminate without
+  // running all nominal firings (finished fleet + no resurrection ends it).
+  const int n = 4;
+  EpochGraph graph(chain(n));
+  std::atomic<int> firings{0};
+  const auto stats = graph.run_rendezvous(
+      41, 4, 3, default_pool(), [&](int, int, int) { return true; },
+      [&](int, EpochGraph::RendezvousControl&) { firings.fetch_add(1); });
+  EXPECT_LE(firings.load(), 1);
+  EXPECT_EQ(stats.retired_nodes, static_cast<std::uint64_t>(n));
+}
+
 TEST(EpochGraph, AdaptiveZeroPassesAndEmptyGraphAreNoOps) {
   EpochGraph empty(std::vector<std::vector<int>>{});
   empty.run_adaptive(5, 2, default_pool(), [&](int, int, int) -> bool {

@@ -10,7 +10,7 @@
 //            [--tile RxC] [--merge K] [--median]
 //            [--adaptive] [--tol X] [--patience K]
 //            [--ml-period K] [--ml-levels N]
-//            [--kernel auto|scalar|sse2|neon|avx2]
+//            [--kernel auto|scalar|sse2|neon|avx2|avx512|fixed-simd|fixed-scalar]
 //            [--warp warped.pgm] [--trace trace.json] [--metrics metrics.json]
 //            [--metrics-prom metrics.prom] [--profile profile.json]
 //            [--flight-dump flight.json] [--no-flight]
@@ -37,7 +37,9 @@
 // --kernel pins the SIMD iteration-kernel backend (default: best the CPU
 // supports, also overridable with CHAMBOLLE_KERNEL); every backend produces
 // bit-identical output, so this is a measurement knob, not a quality one.
-// See docs/kernels.md.
+// The fixed-simd/fixed-scalar values pin the FIXED-POINT kernel instead
+// (used by --solver fixed; also overridable with CHAMBOLLE_FIXED_KERNEL),
+// which is likewise bit-identical across backends.  See docs/kernels.md.
 //
 // With no positional arguments, runs a self-demo on generated frames (an
 // optional bare argument names the output directory, default /tmp).  The
@@ -64,6 +66,7 @@
 #include "common/stopwatch.hpp"
 #include "hw/accelerator.hpp"
 #include "kernels/kernel.hpp"
+#include "kernels/kernel_fixed_simd.hpp"
 #include "parallel/thread_pool.hpp"
 #include "telemetry/flight_recorder.hpp"
 #include "telemetry/json_util.hpp"
@@ -90,7 +93,8 @@ int usage() {
       "               [--tile RxC] [--merge K]\n"
       "               [--adaptive] [--tol X] [--patience K]\n"
       "               [--ml-period K] [--ml-levels N]\n"
-      "               [--median] [--kernel auto|scalar|sse2|neon|avx2]\n"
+      "               [--median] [--kernel auto|scalar|sse2|neon|avx2|avx512|\n"
+      "                           fixed-simd|fixed-scalar]\n"
       "               [--warp out.pgm] [--trace trace.json]\n"
       "               [--metrics metrics.json] [--metrics-prom out.prom]\n"
       "               [--profile profile.json] [--flight-dump flight.json]\n"
@@ -206,17 +210,22 @@ int main(int argc, char** argv) {
     } else if (arg == "--kernel") {
       const char* n = next();
       if (!n) return usage();
-      if (std::strcmp(n, "auto") == 0) {
-        kernels::reset_backend();
-      } else {
-        const auto backend = kernels::parse_backend(n);
-        if (!backend) return usage();
-        try {
-          kernels::force_backend(*backend);
-        } catch (const std::exception& e) {
-          std::fprintf(stderr, "flow_cli: %s\n", e.what());
-          return 2;
+      try {
+        if (std::strcmp(n, "auto") == 0) {
+          kernels::reset_backend();
+          kernels::fixed::reset_backend();
+        } else if (std::strcmp(n, "fixed-simd") == 0) {
+          kernels::fixed::force_backend(kernels::fixed::Backend::kSimd);
+        } else if (std::strcmp(n, "fixed-scalar") == 0) {
+          kernels::fixed::force_backend(kernels::fixed::Backend::kScalar);
+        } else {
+          // Hard-rejects unknown or unavailable names with the list of
+          // compiled-in backends.
+          kernels::force_backend(std::string_view(n));
         }
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "flow_cli: %s\n", e.what());
+        return 2;
       }
     } else if (arg == "--adaptive") {
       params.adaptive_stopping = true;
@@ -348,6 +357,10 @@ int main(int argc, char** argv) {
     if (!use_accel && params.solver != tvl1::InnerSolver::kFixed)
       std::printf("  kernel backend  : %s\n",
                   kernels::backend_name(kernels::active_backend()));
+    else if (!use_accel)
+      std::printf("  kernel backend  : fixed-%s\n",
+                  kernels::fixed::backend_name(
+                      kernels::fixed::active_backend()));
     std::printf("  max |flow|      : %.2f px\n", max_flow_magnitude(flow));
     std::printf("  wrote           : %s\n", out_flow.c_str());
 

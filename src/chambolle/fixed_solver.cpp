@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "fixedpoint/lut_sqrt.hpp"
+#include "kernels/kernel_fixed_simd.hpp"
 
 namespace chambolle {
 
@@ -71,6 +72,14 @@ void fixed_iterate_region(FixedState& state, const RegionGeometry& geom,
     throw std::invalid_argument("fixed_iterate_region: shape mismatch");
   if (rows == 0 || cols == 0 || iterations == 0) return;
   if (!term_scratch.same_shape(state.v)) term_scratch.resize(rows, cols);
+
+  // SIMD fast path: the AVX2 Q24.8 kernel runs the identical two-pass
+  // schedule and is bit-exact with the loops below (differential-oracle
+  // enforced); returns false when the scalar backend is active.
+  if (kernels::fixed::iterate_region_simd(state.px, state.py, state.v, geom,
+                                          params.inv_theta_q, params.step_q,
+                                          iterations, term_scratch))
+    return;
 
   for (int it = 0; it < iterations; ++it) {
     for (int r = 0; r < rows; ++r) {

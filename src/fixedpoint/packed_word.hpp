@@ -56,4 +56,26 @@ struct BramFields {
   return f;
 }
 
+/// Bulk SoA unpack: n packed words into separate v/px/py runs.  The SIMD
+/// fixed-point kernel eats structure-of-arrays rows, so the word <-> SoA
+/// boundary crossings (BRAM rows, tile staging) go through these helpers
+/// instead of per-element BramFields round trips.
+inline void unpack_words(const std::uint32_t* words, int n, std::int32_t* v,
+                         std::int32_t* px, std::int32_t* py) {
+  for (int i = 0; i < n; ++i) {
+    const std::uint32_t w = words[i];
+    v[i] = sign_extend(w >> 19, kVBits);
+    px[i] = sign_extend(w >> 10, kPBits);
+    py[i] = sign_extend(w >> 1, kPBits);
+  }
+}
+
+/// Bulk SoA pack: inverse of unpack_words (each field saturated to its
+/// BRAM width, like pack_word).
+inline void pack_words(const std::int32_t* v, const std::int32_t* px,
+                       const std::int32_t* py, int n, std::uint32_t* words) {
+  for (int i = 0; i < n; ++i)
+    words[i] = pack_word(BramFields{v[i], px[i], py[i]});
+}
+
 }  // namespace chambolle::fx

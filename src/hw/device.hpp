@@ -42,6 +42,13 @@ struct ArchConfig {
   /// (the paper assumes frames pre-loaded in device memory, so this models
   /// only the on-chip BRAM initialization through the input pins).
   bool model_tile_io = true;
+  /// When true, PeArray::run skips the cycle-level ladder and computes the
+  /// tile with the (SIMD-dispatched) fixed-point kernel, charging the
+  /// ladder's exact access/cycle statistics in closed form.  Bit- and
+  /// stat-identical to cycle mode by the tests' contract — use it to run
+  /// simulator-backed workloads at software speed.  Default off so the
+  /// cycle-level schedule stays the exercised path.
+  bool functional_mode = false;
 
   void validate() const {
     if (tile_rows <= 0 || tile_cols <= 0)

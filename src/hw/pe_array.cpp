@@ -28,8 +28,62 @@ void PeArray::run(BramBank& bank, int buf_rows, int buf_cols,
       geom.row0 + buf_rows > geom.frame_rows ||
       geom.col0 + buf_cols > geom.frame_cols)
     throw std::invalid_argument("PeArray::run: window exceeds frame");
+  if (config_.functional_mode) {
+    run_functional(bank, buf_rows, buf_cols, geom, params, iterations);
+    return;
+  }
   for (int it = 0; it < iterations; ++it)
     run_one_iteration(bank, buf_rows, buf_cols, geom, params);
+}
+
+void PeArray::run_functional(BramBank& bank, int buf_rows, int buf_cols,
+                             const RegionGeometry& geom,
+                             const FixedParams& params, int iterations) {
+  // Stage the window out of the bank (uncounted: the charged statistics below
+  // already account for every access the ladder would have made), run the
+  // fixed-point software model — which dispatches to the SIMD kernel when
+  // available — and write the result back.  fixed_iterate_region is the very
+  // reference the "simulator == fixed solver" tests compare the ladder
+  // against, so the functional result is bit-identical by that contract.
+  FixedState st(buf_rows, buf_cols);
+  for (int r = 0; r < buf_rows; ++r) {
+    for (int c = 0; c < buf_cols; ++c) {
+      const fx::BramFields w = bank.peek_fields(r, c);
+      st.v(r, c) = w.v;
+      st.px(r, c) = w.px;
+      st.py(r, c) = w.py;
+    }
+  }
+  Matrix<std::int32_t> scratch;
+  fixed_iterate_region(st, geom, params, iterations, scratch);
+  for (int r = 0; r < buf_rows; ++r)
+    for (int c = 0; c < buf_cols; ++c)
+      bank.load_fields(r, c, {st.v(r, c), st.px(r, c), st.py(r, c)});
+
+  // Closed-form per-iteration statistics of run_one_iteration:
+  //   * `regions` region sweeps plus the flush sweep, each W+1 column steps
+  //     plus the pipeline fill;
+  //   * BRAM-Term traffic: one write per column per region, one read per
+  //     column per deferred sweep (regions-1 region sweeps with a row above,
+  //     plus the flush) — both regions*W;
+  //   * main-bank word reads: each region reads its `active` rows plus the
+  //     row above when present -> (buf_rows + regions - 1)*W, plus W in the
+  //     flush;
+  //   * every element is written exactly once per iteration.
+  const std::uint64_t W = static_cast<std::uint64_t>(buf_cols);
+  const std::uint64_t rows = static_cast<std::uint64_t>(buf_rows);
+  const std::uint64_t regions =
+      (rows + static_cast<std::uint64_t>(config_.pe_lanes) - 1) /
+      static_cast<std::uint64_t>(config_.pe_lanes);
+  const std::uint64_t its = static_cast<std::uint64_t>(iterations);
+  const std::uint64_t sweep =
+      W + 1 + static_cast<std::uint64_t>(config_.pipeline_fill);
+  stats_.cycles += its * (regions + 1) * sweep;
+  stats_.term_bram_reads += its * regions * W;
+  stats_.term_bram_writes += its * regions * W;
+  stats_.bram_word_reads += its * (rows + regions) * W;
+  stats_.bram_word_writes += its * rows * W;
+  stats_.elements_updated += its * rows * W;
 }
 
 void PeArray::run_one_iteration(BramBank& bank, int buf_rows, int buf_cols,

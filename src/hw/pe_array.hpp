@@ -63,6 +63,13 @@ class PeArray {
                          const RegionGeometry& geom,
                          const FixedParams& params);
 
+  /// ArchConfig::functional_mode: the same tile computed by the fixed-point
+  /// kernel (SIMD when available) with the ladder's statistics charged
+  /// analytically — bit- and stat-identical to run_one_iteration.
+  void run_functional(BramBank& bank, int buf_rows, int buf_cols,
+                      const RegionGeometry& geom, const FixedParams& params,
+                      int iterations);
+
   ArchConfig config_;
   Bram term_bram_;  ///< BRAM-Term: one Term word per column
   PeArrayStats stats_;

@@ -12,6 +12,7 @@ namespace chambolle::kernels {
 const KernelOps* scalar_ops();
 const KernelOps* sse2_ops();
 const KernelOps* avx2_ops();
+const KernelOps* avx512_ops();
 const KernelOps* neon_ops();
 
 }  // namespace chambolle::kernels

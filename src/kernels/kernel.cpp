@@ -45,6 +45,8 @@ const KernelOps* compiled_ops(Backend b) {
       return neon_ops();
     case Backend::kAvx2:
       return avx2_ops();
+    case Backend::kAvx512:
+      return avx512_ops();
   }
   return nullptr;
 }
@@ -62,6 +64,12 @@ bool cpu_supports(Backend b) {
     case Backend::kAvx2:
 #if defined(__x86_64__) || defined(__i386__)
       return __builtin_cpu_supports("avx2");
+#else
+      return false;
+#endif
+    case Backend::kAvx512:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("avx512f");
 #else
       return false;
 #endif
@@ -88,28 +96,46 @@ void export_choice(Backend b) {
       .add(1);
 }
 
+// "scalar, sse2, avx2" — the backends this build + machine can actually
+// run, for the hard-reject diagnostics below.
+std::string available_backend_list() {
+  std::string out;
+  for (Backend b : available_backends()) {
+    if (!out.empty()) out += ", ";
+    out += backend_name(b);
+  }
+  return out;
+}
+
+// Parses a backend name with the hard-reject contract: unknown or
+// unavailable names throw std::invalid_argument naming the offender and
+// listing what this build + machine offers instead.  Shared by the
+// CHAMBOLLE_KERNEL override and force_backend(name) — a typo'd request
+// must never silently run a different backend.
+Backend parse_backend_checked(std::string_view name, const char* what) {
+  const std::optional<Backend> req = parse_backend(name);
+  if (!req.has_value())
+    throw std::invalid_argument(std::string("kernels: ") + what + "=" +
+                                std::string(name) +
+                                " is not a known backend (available: " +
+                                available_backend_list() + ", or auto)");
+  if (!backend_available(*req))
+    throw std::invalid_argument(std::string("kernels: ") + what + "=" +
+                                std::string(name) +
+                                " is not available on this machine "
+                                "(available: " +
+                                available_backend_list() + ", or auto)");
+  return *req;
+}
+
 Backend resolve_backend() {
   // Environment override first.
   if (const char* env = std::getenv("CHAMBOLLE_KERNEL");
-      env != nullptr && *env != '\0' && std::string_view(env) != "auto") {
-    const std::optional<Backend> req = parse_backend(env);
-    if (!req.has_value()) {
-      std::fprintf(stderr,
-                   "[kernels] CHAMBOLLE_KERNEL=%s not recognized "
-                   "(scalar|sse2|neon|avx2|auto); using dispatch\n",
-                   env);
-    } else if (!backend_available(*req)) {
-      std::fprintf(stderr,
-                   "[kernels] CHAMBOLLE_KERNEL=%s unavailable on this "
-                   "machine; using dispatch\n",
-                   env);
-    } else {
-      return *req;
-    }
-  }
+      env != nullptr && *env != '\0' && std::string_view(env) != "auto")
+    return parse_backend_checked(env, "CHAMBOLLE_KERNEL");
   // CPU dispatch, best first.
-  for (Backend b :
-       {Backend::kAvx2, Backend::kNeon, Backend::kSse2, Backend::kScalar})
+  for (Backend b : {Backend::kAvx512, Backend::kAvx2, Backend::kNeon,
+                    Backend::kSse2, Backend::kScalar})
     if (backend_available(b)) return b;
   return Backend::kScalar;
 }
@@ -126,6 +152,8 @@ const char* backend_name(Backend b) {
       return "neon";
     case Backend::kAvx2:
       return "avx2";
+    case Backend::kAvx512:
+      return "avx512";
   }
   return "unknown";
 }
@@ -135,6 +163,7 @@ std::optional<Backend> parse_backend(std::string_view name) {
   if (name == "sse2") return Backend::kSse2;
   if (name == "neon") return Backend::kNeon;
   if (name == "avx2") return Backend::kAvx2;
+  if (name == "avx512") return Backend::kAvx512;
   return std::nullopt;
 }
 
@@ -144,8 +173,8 @@ bool backend_available(Backend b) {
 
 std::vector<Backend> available_backends() {
   std::vector<Backend> out;
-  for (Backend b :
-       {Backend::kAvx2, Backend::kNeon, Backend::kSse2, Backend::kScalar})
+  for (Backend b : {Backend::kAvx512, Backend::kAvx2, Backend::kNeon,
+                    Backend::kSse2, Backend::kScalar})
     if (backend_available(b)) out.push_back(b);
   return out;
 }
@@ -179,6 +208,10 @@ void force_backend(Backend b) {
   (void)ops_for(b);  // throws when unavailable
   g_backend.store(static_cast<int>(b), std::memory_order_release);
   export_choice(b);
+}
+
+void force_backend(std::string_view name) {
+  force_backend(parse_backend_checked(name, "backend"));
 }
 
 void reset_backend() { g_backend.store(-1, std::memory_order_release); }

@@ -49,7 +49,7 @@ struct RegionGeometry {
 namespace kernels {
 
 /// The SIMD backends, in dispatch-preference order (highest wins).
-enum class Backend { kScalar = 0, kSse2 = 1, kNeon = 2, kAvx2 = 3 };
+enum class Backend { kScalar = 0, kSse2 = 1, kNeon = 2, kAvx2 = 3, kAvx512 = 4 };
 
 /// Arguments of the Term-row primitive (Algorithm 1, lines 2-3):
 ///   term[c] = div p(r, c) - v[c] / theta        for one buffer row r.
@@ -120,7 +120,7 @@ struct KernelOps {
   void (*recover_row)(const RecoverRowArgs&) = nullptr;
 };
 
-/// Human-readable backend name ("scalar", "sse2", "neon", "avx2").
+/// Human-readable backend name ("scalar", "sse2", "neon", "avx2", "avx512").
 [[nodiscard]] const char* backend_name(Backend b);
 
 /// Parses a backend name (as accepted by CHAMBOLLE_KERNEL and --kernel);
@@ -137,9 +137,11 @@ struct KernelOps {
 
 /// The backend the kernel layer currently runs on.  Resolution order:
 /// programmatic force_backend() > CHAMBOLLE_KERNEL environment variable >
-/// best available by CPU dispatch.  An unavailable or unparsable
-/// CHAMBOLLE_KERNEL value warns once on stderr and falls through to
-/// dispatch.  The choice is exported as the `kernel.backend` gauge.
+/// best available by CPU dispatch.  An unknown or unavailable
+/// CHAMBOLLE_KERNEL value is a hard error (std::invalid_argument listing
+/// the backends available on this machine) — a typo'd override must not
+/// silently run a different backend than the operator asked for.  The
+/// choice is exported as the `kernel.backend` gauge.
 [[nodiscard]] Backend active_backend();
 
 /// Row primitives of active_backend().
@@ -152,6 +154,12 @@ struct KernelOps {
 /// Forces the active backend (tests, bench sweeps, --kernel CLI flag).
 /// Throws std::invalid_argument when unavailable.
 void force_backend(Backend b);
+
+/// Name-taking convenience overload: parses and forces in one step, with
+/// the same hard-reject contract as the CHAMBOLLE_KERNEL override — throws
+/// std::invalid_argument naming the offender and listing the backends
+/// available on this machine.
+void force_backend(std::string_view name);
 
 /// Clears a force_backend() override; the next ops() call re-resolves from
 /// the environment + CPU dispatch.

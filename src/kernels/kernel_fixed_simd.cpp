@@ -1,0 +1,441 @@
+// kernel_fixed_simd.cpp — 8-lane AVX2 implementation of the Q24.8 datapath.
+//
+// Bit-equality with the scalar fxdp:: path is the design constraint, and it
+// forces three non-obvious choices:
+//
+//  * 32-bit lanes, not the 16-bit saturating family: Term values reach
+//    ~+-2^14 and Term differences ~+-2^15, so the squared-gradient products
+//    and the division numerators overflow int16 semantics — a 16-lane
+//    _mm256_adds_epi16 datapath could not reproduce the scalar int32/int64
+//    arithmetic bit-for-bit.  8 wide and exact beats 16 wide and wrong.
+//
+//  * fx::div (truncation toward zero, denominator >= kOne > 0) has no SIMD
+//    integer instruction.  The lanes convert to double — exact for any
+//    int32 — divide, truncate, and then apply an exact +-1 correction
+//    computed from the remainder n - q*b.  Every intermediate is an
+//    integer below 2^53, so the double multiply/subtract are exact and one
+//    correction step provably suffices (the correctly rounded quotient
+//    truncates to within 1 of the true quotient).
+//
+//  * lut_sqrt's window selection needs the MSB position.  Converting to
+//    FLOAT would round (2^24 - 1 rounds up and shifts the window); the
+//    lanes convert to double instead and read the MSB straight out of the
+//    exponent field, then reproduce select_sqrt_window's odd-alignment
+//    rule — lo = max(0, odd_adjusted(msb - 7)) also covers the raw < 256
+//    short-circuit branch — with variable shifts and a table gather.
+#include "kernels/kernel_fixed_simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+
+#include "fixedpoint/lut_sqrt.hpp"
+#include "fixedpoint/packed_word.hpp"
+#include "fixedpoint/qformat.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace chambolle::kernels::fixed {
+namespace {
+
+bool simd_compiled() {
+#if defined(__AVX2__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool cpu_supports_simd() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+std::string available_backend_list() {
+  std::string out;
+  for (Backend b : available_backends()) {
+    if (!out.empty()) out += ", ";
+    out += backend_name(b);
+  }
+  return out;
+}
+
+Backend parse_backend_checked(std::string_view name, const char* what) {
+  const std::optional<Backend> req = parse_backend(name);
+  if (!req.has_value())
+    throw std::invalid_argument(std::string("kernels: ") + what + "=" +
+                                std::string(name) +
+                                " is not a known fixed-point backend "
+                                "(available: " +
+                                available_backend_list() + ", or auto)");
+  if (!backend_available(*req))
+    throw std::invalid_argument(std::string("kernels: ") + what + "=" +
+                                std::string(name) +
+                                " is not available on this machine "
+                                "(available: " +
+                                available_backend_list() + ", or auto)");
+  return *req;
+}
+
+// -1 = unresolved; resolution is idempotent, same benign-race contract as
+// the float dispatcher.
+std::atomic<int> g_backend{-1};
+
+void export_choice(Backend b) {
+  telemetry::registry()
+      .gauge("kernel.fixed.backend")
+      .set(static_cast<double>(b));
+}
+
+Backend resolve_backend() {
+  if (const char* env = std::getenv("CHAMBOLLE_FIXED_KERNEL");
+      env != nullptr && *env != '\0' && std::string_view(env) != "auto")
+    return parse_backend_checked(env, "CHAMBOLLE_FIXED_KERNEL");
+  for (Backend b : {Backend::kSimd, Backend::kScalar})
+    if (backend_available(b)) return b;
+  return Backend::kScalar;
+}
+
+}  // namespace
+
+const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::kScalar:
+      return "scalar";
+    case Backend::kSimd:
+      return "simd";
+  }
+  return "unknown";
+}
+
+std::optional<Backend> parse_backend(std::string_view name) {
+  if (name == "scalar") return Backend::kScalar;
+  if (name == "simd") return Backend::kSimd;
+  return std::nullopt;
+}
+
+bool backend_available(Backend b) {
+  switch (b) {
+    case Backend::kScalar:
+      return true;
+    case Backend::kSimd:
+      return simd_compiled() && cpu_supports_simd();
+  }
+  return false;
+}
+
+std::vector<Backend> available_backends() {
+  std::vector<Backend> out;
+  for (Backend b : {Backend::kSimd, Backend::kScalar})
+    if (backend_available(b)) out.push_back(b);
+  return out;
+}
+
+Backend active_backend() {
+  int cur = g_backend.load(std::memory_order_acquire);
+  if (cur < 0) {
+    const Backend resolved = resolve_backend();
+    cur = static_cast<int>(resolved);
+    int expected = -1;
+    if (g_backend.compare_exchange_strong(expected, cur,
+                                          std::memory_order_acq_rel))
+      export_choice(resolved);
+    else
+      cur = expected;
+  }
+  return static_cast<Backend>(cur);
+}
+
+void force_backend(Backend b) {
+  if (!backend_available(b))
+    throw std::invalid_argument(
+        std::string("kernels: fixed-point backend ") + backend_name(b) +
+        " is not available on this machine (available: " +
+        available_backend_list() + ")");
+  g_backend.store(static_cast<int>(b), std::memory_order_release);
+  export_choice(b);
+}
+
+void force_backend(std::string_view name) {
+  force_backend(parse_backend_checked(name, "backend"));
+}
+
+void reset_backend() { g_backend.store(-1, std::memory_order_release); }
+
+}  // namespace chambolle::kernels::fixed
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <array>
+
+namespace chambolle::kernels::fixed {
+namespace {
+
+constexpr int kLanes = 8;
+
+// sqrt_table() widened to int32 entries once, for vpgatherdd.
+const std::int32_t* sqrt_table32() {
+  static const std::array<std::int32_t, 256> t = [] {
+    std::array<std::int32_t, 256> a{};
+    const auto& s = fx::sqrt_table();
+    for (int i = 0; i < 256; ++i) a[static_cast<std::size_t>(i)] = s[i];
+    return a;
+  }();
+  return t.data();
+}
+
+const __m256i kIota = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+
+// All-ones in lanes i with i < n (n <= 8): the maskload/maskstore masks and
+// the lane predicates.
+inline __m256i lanes_below(int n) {
+  return _mm256_cmpgt_epi32(_mm256_set1_epi32(n), kIota);
+}
+
+// fx::mul on 8 lanes: (int64(a) * int64(b)) >> 8, truncated to int32.  The
+// int32 result keeps bits 8..39 of the product, so the logical 64-bit
+// shift is equivalent to the scalar arithmetic shift.
+inline __m256i mul_q(__m256i a, __m256i b) {
+  const __m256i even = _mm256_srli_epi64(_mm256_mul_epi32(a, b), 8);
+  const __m256i odd = _mm256_srli_epi64(
+      _mm256_mul_epi32(_mm256_srli_epi64(a, 32), _mm256_srli_epi64(b, 32)), 8);
+  return _mm256_blend_epi32(even, _mm256_slli_epi64(odd, 32), 0xAA);
+}
+
+// Low dwords of the four 64-bit lanes, compressed to 4 int32 lanes.
+inline __m128i low_dwords(__m256i x) {
+  return _mm256_castsi256_si128(_mm256_permutevar8x32_epi32(
+      x, _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0)));
+}
+
+// fx::div on 4 lanes: trunc((int64(a) << 8) / b), b > 0.  Exact via double
+// division plus a +-1 correction — see the file comment for the proof.
+inline __m128i div_q4(__m128i a, __m128i b) {
+  const __m256d bd = _mm256_cvtepi32_pd(b);
+  const __m256d n =
+      _mm256_mul_pd(_mm256_cvtepi32_pd(a), _mm256_set1_pd(256.0));
+  const __m128i q0 = _mm256_cvttpd_epi32(_mm256_div_pd(n, bd));
+  const __m256d r =
+      _mm256_sub_pd(n, _mm256_mul_pd(_mm256_cvtepi32_pd(q0), bd));
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d n_neg = _mm256_cmp_pd(n, zero, _CMP_LT_OQ);
+  // n >= 0 wants 0 <= r < b; n < 0 (trunc == ceil) wants -b < r <= 0.
+  const __m256d dec = _mm256_blendv_pd(
+      _mm256_cmp_pd(r, zero, _CMP_LT_OQ),
+      _mm256_cmp_pd(r, _mm256_sub_pd(zero, bd), _CMP_LE_OQ), n_neg);
+  const __m256d inc =
+      _mm256_blendv_pd(_mm256_cmp_pd(r, bd, _CMP_GE_OQ),
+                       _mm256_cmp_pd(r, zero, _CMP_GT_OQ), n_neg);
+  // dec/inc lanes are all-ones (-1): adding dec subtracts 1, subtracting
+  // inc adds 1; at most one fires per lane.
+  return _mm_add_epi32(
+      _mm_sub_epi32(q0, low_dwords(_mm256_castpd_si256(inc))),
+      low_dwords(_mm256_castpd_si256(dec)));
+}
+
+inline __m256i div_q(__m256i a, __m256i b) {
+  const __m128i lo = div_q4(_mm256_castsi256_si128(a),
+                            _mm256_castsi256_si128(b));
+  const __m128i hi = div_q4(_mm256_extracti128_si256(a, 1),
+                            _mm256_extracti128_si256(b, 1));
+  return _mm256_set_m128i(hi, lo);
+}
+
+// IEEE double exponent fields of 4 int32 lanes == MSB positions (int32 ->
+// double is exact; nonnegative inputs keep the sign bit clear, so the
+// logical shift exposes the biased exponent directly).
+inline __m128i biased_exp4(__m128i x) {
+  return low_dwords(
+      _mm256_srli_epi64(_mm256_castpd_si256(_mm256_cvtepi32_pd(x)), 52));
+}
+
+// lut_sqrt on 8 nonnegative lanes, bit-identical to lut_sqrt.cpp: the
+// even-aligned window lo = max(0, odd_adjusted(msb - 7)) — the max also
+// reproduces the raw < 256 short-circuit (m = raw, k = 0), and raw == 0
+// (biased exponent 0) lands there too.
+inline __m256i lut_sqrt8(__m256i raw) {
+  const __m256i biased = _mm256_set_m128i(
+      biased_exp4(_mm256_extracti128_si256(raw, 1)),
+      biased_exp4(_mm256_castsi256_si128(raw)));
+  const __m256i lo0 =
+      _mm256_sub_epi32(biased, _mm256_set1_epi32(1023 + 7));  // msb - 7
+  const __m256i lo_adj =
+      _mm256_add_epi32(lo0, _mm256_and_si256(lo0, _mm256_set1_epi32(1)));
+  const __m256i lo = _mm256_max_epi32(lo_adj, _mm256_setzero_si256());
+  const __m256i m = _mm256_and_si256(_mm256_srlv_epi32(raw, lo),
+                                     _mm256_set1_epi32(0xFF));
+  const __m256i entry = _mm256_i32gather_epi32(sqrt_table32(), m, 4);
+  return _mm256_sllv_epi32(entry, _mm256_srli_epi32(lo, 1));  // entry << k
+}
+
+// fx::saturate_bits(x, kPBits): clamp to the 9-bit Q1.8 BRAM range.
+inline __m256i sat_p(__m256i x) {
+  const __m256i hi = _mm256_set1_epi32((1 << (fx::kPBits - 1)) - 1);
+  const __m256i lo = _mm256_set1_epi32(-(1 << (fx::kPBits - 1)));
+  return _mm256_min_epi32(_mm256_max_epi32(x, lo), hi);
+}
+
+enum class DyMode { kFirst, kLast, kMid };  // fxdp::pe_t_op's dy branches
+
+// Term pass for one row: term = div p - mul(v, inv_theta).
+template <DyMode kDy, bool kHaveUp>
+void term_row(const std::int32_t* px, const std::int32_t* py,
+              const std::int32_t* py_up, const std::int32_t* v,
+              std::int32_t* term, int cols, bool at_left, bool at_right,
+              __m256i inv_theta_v) {
+  const int last = cols - 1;
+  for (int c = 0; c < cols; c += kLanes) {
+    const __m256i m = lanes_below(cols - c);
+    // West neighbor: lane 0 of chunk 0 reads as 0, exactly the scalar
+    // c > 0 ? px[c-1] : 0 — which already makes dx = c_px - l_px correct
+    // for BOTH the first_col frame rule and a halo window's left edge.
+    const __m256i mleft =
+        c == 0 ? _mm256_andnot_si256(
+                     _mm256_setr_epi32(-1, 0, 0, 0, 0, 0, 0, 0), m)
+               : m;
+    const __m256i l_px = _mm256_maskload_epi32(px + c - 1, mleft);
+    __m256i c_px = _mm256_maskload_epi32(px + c, m);
+    if (at_right && last >= c && last < c + kLanes &&
+        !(last == 0 && at_left)) {
+      // last_col rule dx = -l_px: zero c_px in the lane holding the frame's
+      // right border (first_col precedence exempts a 1-wide frame).
+      const __m256i mlast =
+          _mm256_cmpeq_epi32(kIota, _mm256_set1_epi32(last - c));
+      c_px = _mm256_andnot_si256(mlast, c_px);
+    }
+    const __m256i dx = _mm256_sub_epi32(c_px, l_px);
+    const __m256i c_py = _mm256_maskload_epi32(py + c, m);
+    const __m256i a_py = kHaveUp ? _mm256_maskload_epi32(py_up + c, m)
+                                 : _mm256_setzero_si256();
+    __m256i dy;
+    if constexpr (kDy == DyMode::kFirst)
+      dy = c_py;
+    else if constexpr (kDy == DyMode::kLast)
+      dy = _mm256_sub_epi32(_mm256_setzero_si256(), a_py);
+    else
+      dy = _mm256_sub_epi32(c_py, a_py);
+    const __m256i div_p = _mm256_add_epi32(dx, dy);
+    const __m256i vv = _mm256_maskload_epi32(v + c, m);
+    _mm256_maskstore_epi32(term + c, m,
+                           _mm256_sub_epi32(div_p, mul_q(vv, inv_theta_v)));
+  }
+}
+
+// Dual-update pass for one row: forward differences, LUT gradient,
+// projected update, 9-bit saturation.
+template <bool kHaveDown>
+void update_row(std::int32_t* px, std::int32_t* py, const std::int32_t* term,
+                const std::int32_t* term_down, int cols, __m256i step_v) {
+  const int last = cols - 1;
+  const __m256i one = _mm256_set1_epi32(fx::kOne);
+  for (int c = 0; c < cols; c += kLanes) {
+    const __m256i m = lanes_below(cols - c);
+    // ForwardX vanishes in the lane holding the last column; the masked
+    // r_term load also keeps the lanes off term[cols].
+    const __m256i mfx = lanes_below(last - c);
+    const __m256i c_term = _mm256_maskload_epi32(term + c, m);
+    const __m256i r_term = _mm256_maskload_epi32(term + c + 1, mfx);
+    const __m256i t1 =
+        _mm256_and_si256(_mm256_sub_epi32(r_term, c_term), mfx);
+    const __m256i t2 =
+        kHaveDown ? _mm256_sub_epi32(_mm256_maskload_epi32(term_down + c, m),
+                                     c_term)
+                  : _mm256_setzero_si256();
+    const __m256i mag =
+        _mm256_add_epi32(mul_q(t1, t1), mul_q(t2, t2));
+    if (_mm256_movemask_ps(_mm256_castsi256_ps(mag)) != 0)
+      throw std::domain_error("lut_sqrt: negative input");
+    const __m256i grad = lut_sqrt8(mag);
+    const __m256i denom = _mm256_add_epi32(one, mul_q(step_v, grad));
+    const __m256i c_px = _mm256_maskload_epi32(px + c, m);
+    const __m256i c_py = _mm256_maskload_epi32(py + c, m);
+    const __m256i px_new = sat_p(
+        div_q(_mm256_add_epi32(c_px, mul_q(step_v, t1)), denom));
+    const __m256i py_new = sat_p(
+        div_q(_mm256_add_epi32(c_py, mul_q(step_v, t2)), denom));
+    _mm256_maskstore_epi32(px + c, m, px_new);
+    _mm256_maskstore_epi32(py + c, m, py_new);
+  }
+}
+
+}  // namespace
+
+bool iterate_region_simd(Matrix<std::int32_t>& px, Matrix<std::int32_t>& py,
+                         const Matrix<std::int32_t>& v,
+                         const RegionGeometry& geom, std::int32_t inv_theta_q,
+                         std::int32_t step_q, int iterations,
+                         Matrix<std::int32_t>& term_scratch) {
+  if (active_backend() != Backend::kSimd) return false;
+  const int rows = v.rows(), cols = v.cols();
+  if (rows == 0 || cols == 0 || iterations == 0) return true;
+  if (!term_scratch.same_shape(v)) term_scratch.resize(rows, cols);
+  const bool at_left = geom.col0 == 0;
+  const bool at_right = geom.col0 + cols == geom.frame_cols;
+  const __m256i inv_theta_v = _mm256_set1_epi32(inv_theta_q);
+  const __m256i step_v = _mm256_set1_epi32(step_q);
+
+  for (int it = 0; it < iterations; ++it) {
+    for (int r = 0; r < rows; ++r) {
+      const int ar = geom.row0 + r;
+      const bool first_row = ar == 0;
+      const bool last_row = ar == geom.frame_rows - 1;
+      const std::int32_t* py_up = r > 0 ? &py(r - 1, 0) : nullptr;
+      std::int32_t* out = &term_scratch(r, 0);
+      const auto run = [&](auto dy_tag) {
+        constexpr DyMode kDy = decltype(dy_tag)::value;
+        if (py_up != nullptr)
+          term_row<kDy, true>(&px(r, 0), &py(r, 0), py_up, &v(r, 0), out,
+                              cols, at_left, at_right, inv_theta_v);
+        else
+          term_row<kDy, false>(&px(r, 0), &py(r, 0), py_up, &v(r, 0), out,
+                               cols, at_left, at_right, inv_theta_v);
+      };
+      if (first_row)
+        run(std::integral_constant<DyMode, DyMode::kFirst>{});
+      else if (last_row)
+        run(std::integral_constant<DyMode, DyMode::kLast>{});
+      else
+        run(std::integral_constant<DyMode, DyMode::kMid>{});
+    }
+    for (int r = 0; r < rows; ++r) {
+      const int ar = geom.row0 + r;
+      const bool last_row = ar == geom.frame_rows - 1 || r + 1 >= rows;
+      if (last_row)
+        update_row<false>(&px(r, 0), &py(r, 0), &term_scratch(r, 0), nullptr,
+                          cols, step_v);
+      else
+        update_row<true>(&px(r, 0), &py(r, 0), &term_scratch(r, 0),
+                         &term_scratch(r + 1, 0), cols, step_v);
+    }
+  }
+
+  static telemetry::Counter& cells =
+      telemetry::registry().counter("kernel.fixed.cells");
+  cells.add(static_cast<std::uint64_t>(rows) *
+            static_cast<std::uint64_t>(cols) *
+            static_cast<std::uint64_t>(iterations));
+  return true;
+}
+
+}  // namespace chambolle::kernels::fixed
+
+#else  // !__AVX2__
+
+namespace chambolle::kernels::fixed {
+
+bool iterate_region_simd(Matrix<std::int32_t>&, Matrix<std::int32_t>&,
+                         const Matrix<std::int32_t>&, const RegionGeometry&,
+                         std::int32_t, std::int32_t, int,
+                         Matrix<std::int32_t>&) {
+  return false;  // backend_available(kSimd) is false without the TU body
+}
+
+}  // namespace chambolle::kernels::fixed
+
+#endif

@@ -1,0 +1,81 @@
+// kernel_fixed_simd.hpp — vectorized Q24.8 fixed-point Chambolle iteration.
+//
+// The fixed-point solver (chambolle/fixed_solver.cpp) models the paper's
+// integer PE datapath: Q24.8 arithmetic, 9/13-bit BRAM saturation, and the
+// 256-entry LUT square root of Section V-C.  This kernel runs that exact
+// datapath on 8 x int32 AVX2 lanes — the software analogue of the paper's
+// row of parallel PEs — under a bit-equality contract with the scalar
+// fxdp:: path: integer math leaves no rounding freedom, so every lane must
+// reproduce fx::mul's arithmetic-shift truncation, fx::div's
+// truncation-toward-zero (done here as an exact double-precision division
+// with a +-1 correction step), the LUT window selection of lut_sqrt.cpp
+// (as an exponent-extraction + variable-shift + gather), and the border
+// precedence of fxdp::pe_t_op — verified per case by the differential
+// oracle.
+//
+// Dispatch mirrors the float layer on a smaller scale: one SIMD backend
+// plus the scalar fallback (the solver's own loops), resolved from
+// force_backend() > CHAMBOLLE_FIXED_KERNEL > CPU detection, with the same
+// hard-reject contract for unknown or unavailable names.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "common/image.hpp"
+#include "kernels/kernel.hpp"
+
+namespace chambolle::kernels::fixed {
+
+/// Fixed-point kernel backends, dispatch-preference order (highest wins).
+/// kScalar is not a TU here — it means "run the solver's portable loops".
+enum class Backend { kScalar = 0, kSimd = 1 };
+
+/// Human-readable backend name ("scalar", "simd").
+[[nodiscard]] const char* backend_name(Backend b);
+
+/// Parses a name as accepted by CHAMBOLLE_FIXED_KERNEL and
+/// --kernel fixed-{scalar,simd}; nullopt for unknown strings ("auto" is not
+/// a backend and parses to nullopt, like the float layer).
+[[nodiscard]] std::optional<Backend> parse_backend(std::string_view name);
+
+/// True when the backend is compiled in and the CPU supports it.
+[[nodiscard]] bool backend_available(Backend b);
+
+/// All available fixed backends, best first.
+[[nodiscard]] std::vector<Backend> available_backends();
+
+/// The fixed-point backend in effect: force_backend() >
+/// CHAMBOLLE_FIXED_KERNEL > best available.  Unknown or unavailable
+/// environment values throw std::invalid_argument listing the compiled-in
+/// backends (same hard-reject contract as CHAMBOLLE_KERNEL).
+[[nodiscard]] Backend active_backend();
+
+/// Forces the fixed-point backend; throws std::invalid_argument when it is
+/// not available on this machine.
+void force_backend(Backend b);
+
+/// Name-taking overload with the hard-reject diagnostics.
+void force_backend(std::string_view name);
+
+/// Clears a force_backend() override.
+void reset_backend();
+
+/// Runs `iterations` fixed-point Chambolle iterations in place on (px, py)
+/// over the window described by `geom`, using the SIMD backend.  Exactly
+/// the scalar two-pass schedule of fixed_iterate_region: a full Term pass
+/// into `term_scratch`, then the dual-update pass — bit-identical output.
+///
+/// Returns false (doing nothing) when the active fixed backend is not
+/// kSimd; the caller then runs its scalar loops.  This keeps the solver's
+/// portable path as the single scalar implementation instead of cloning
+/// the datapath here.
+bool iterate_region_simd(Matrix<std::int32_t>& px, Matrix<std::int32_t>& py,
+                         const Matrix<std::int32_t>& v,
+                         const RegionGeometry& geom, std::int32_t inv_theta_q,
+                         std::int32_t step_q, int iterations,
+                         Matrix<std::int32_t>& term_scratch);
+
+}  // namespace chambolle::kernels::fixed

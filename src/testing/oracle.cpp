@@ -13,6 +13,7 @@
 #include "chambolle/tiled_solver.hpp"
 #include "hw/accelerator.hpp"
 #include "kernels/kernel.hpp"
+#include "kernels/kernel_fixed_simd.hpp"
 #include "telemetry/flight_recorder.hpp"
 
 namespace chambolle::oracle {
@@ -293,6 +294,23 @@ OracleReport run_oracle(const OracleCase& c, const OracleOptions& options) {
     } catch (const std::exception& e) {
       record_failure(report, "fixed", std::string("threw: ") + e.what());
     }
+    if (have_fixed && kernels::fixed::backend_available(
+                          kernels::fixed::Backend::kSimd)) {
+      // The vectorized fixed-point kernel must reproduce the scalar fixed
+      // path bit for bit.  All fixed fields are small Q*.8 rationals, so the
+      // dequantized floats are injective images of the raw words and
+      // bits_equal is a faithful bit-equality check.
+      try {
+        kernels::fixed::force_backend(kernels::fixed::Backend::kScalar);
+        const ChambolleResult fixed_scalar = solve_fixed(c.v, c.params);
+        kernels::fixed::force_backend(kernels::fixed::Backend::kSimd);
+        compare(report, "fixed_simd", fixed_scalar, solve_fixed(c.v, c.params),
+                /*exact=*/true);
+      } catch (const std::exception& e) {
+        record_failure(report, "fixed_simd", std::string("threw: ") + e.what());
+      }
+      kernels::fixed::reset_backend();
+    }
     if (have_fixed) {
       try {
         const ChambolleResult fixed2 = solve_fixed(c.v2, c.params);
@@ -323,6 +341,42 @@ OracleReport run_oracle(const OracleCase& c, const OracleOptions& options) {
         report.engines.push_back(std::move(out));
       } catch (const std::exception& e) {
         record_failure(report, "accel", std::string("threw: ") + e.what());
+      }
+      // Functional mode short-circuits the cycle ladder through the
+      // (SIMD-dispatched) fixed kernel; its bits AND its cycle count must be
+      // indistinguishable from cycle mode.
+      try {
+        const ChambolleResult fixed2 = solve_fixed(c.v2, c.params);
+        hw::ArchConfig arch_func = c.arch;
+        arch_func.functional_mode = true;
+        hw::ChambolleAccelerator accel(arch_func);
+        FlowField vf;
+        vf.u1 = c.v;
+        vf.u2 = c.v2;
+        const auto result = accel.solve(vf, c.params);
+        EngineOutcome out;
+        out.engine = "accel_functional";
+        out.exact_required = true;
+        const bool bits = bits_equal(result.u.u1, fixed1.u) &&
+                          bits_equal(result.u.u2, fixed2.u) &&
+                          bits_equal(result.dual_u1.u1, fixed1.p.px) &&
+                          bits_equal(result.dual_u1.u2, fixed1.p.py) &&
+                          bits_equal(result.dual_u2.u1, fixed2.p.px) &&
+                          bits_equal(result.dual_u2.u2, fixed2.p.py);
+        const bool cycles =
+            result.stats.total_cycles ==
+            accel.estimate_frame_cycles(c.v.rows(), c.v.cols(),
+                                        c.params.iterations);
+        out.pass = bits && cycles;
+        if (!bits) out.detail = "bits differ from the fixed-point solver";
+        if (!cycles)
+          out.detail += std::string(bits ? "" : "; ") +
+                        "functional-mode cycles differ from the analytic model";
+        out.max_diff_u = diff_or_shape(result.u.u1, fixed1.u);
+        report.engines.push_back(std::move(out));
+      } catch (const std::exception& e) {
+        record_failure(report, "accel_functional",
+                       std::string("threw: ") + e.what());
       }
     }
   }

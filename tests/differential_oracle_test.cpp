@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include "kernels/kernel_fixed_simd.hpp"
 #include "testing/generators.hpp"
 #include "testing/oracle.hpp"
 
@@ -45,6 +46,33 @@ TEST_P(OracleSmoke, AllEnginesAgree) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, OracleSmoke, ::testing::Range(0, 12));
+
+// The quantized-engine roster must include the vectorized fixed kernel and
+// the accelerator's functional mode: pin a case where they apply (default
+// parameters, cold start) and assert both engines ran and passed.  This is
+// the explicit fixed-simd-vs-scalar-fixed oracle case — the 200-seed sweep
+// exercises the same engines, but only on the seeds that happen to draw
+// default parameters.
+TEST(DifferentialOracleCoverage, FixedSimdAndFunctionalEnginesScored) {
+  oracle::CaseLimits limits;
+  limits.allow_warm_start = false;
+  limits.allow_param_variation = false;
+  const oracle::OracleCase c = oracle::make_case(42, limits);
+  ASSERT_TRUE(c.default_params);
+  ASSERT_FALSE(c.warm_start);
+  const oracle::OracleReport report = oracle::run_oracle(c);
+  EXPECT_TRUE(report.pass()) << report.failure_report();
+  bool saw_fixed_simd = false, saw_functional = false;
+  for (const oracle::EngineOutcome& e : report.engines) {
+    if (e.engine == "fixed_simd") saw_fixed_simd = true;
+    if (e.engine == "accel_functional") saw_functional = true;
+  }
+  EXPECT_TRUE(saw_functional);
+  if (kernels::fixed::backend_available(kernels::fixed::Backend::kSimd))
+    EXPECT_TRUE(saw_fixed_simd);
+  else
+    EXPECT_FALSE(saw_fixed_simd);
+}
 
 // Replays exactly one case chosen through the environment — the repro hook
 // referenced by OracleReport::failure_report().  Without the variable the

@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "chambolle/energy.hpp"
 #include "common/rng.hpp"
 #include "fixedpoint/lut_sqrt.hpp"
+#include "kernels/kernel_fixed_simd.hpp"
 
 namespace chambolle {
 namespace {
@@ -170,6 +174,77 @@ TEST(FixedSolver, RegionSemanticsMatchFloatSolver) {
       EXPECT_EQ(win.px(r, c), full.px(4 + r, 8 + c)) << r << "," << c;
       EXPECT_EQ(win.py(r, c), full.py(4 + r, 8 + c)) << r << "," << c;
     }
+}
+
+// The vectorized fixed kernel against the scalar loops, forced explicitly
+// through the fixed dispatch: raw int32 state must match exactly — including
+// windows narrower than one 8-lane chunk and windows pinned to the right
+// border, where the masked tail handling does all the work.
+TEST(FixedSimdKernel, BitExactWithScalarAcrossGeometries) {
+  namespace kf = kernels::fixed;
+  if (!kf::backend_available(kf::Backend::kSimd))
+    GTEST_SKIP() << "fixed SIMD backend unavailable on this build/CPU";
+
+  struct Geo {
+    const char* name;
+    int rows, cols, row0, col0, frame_rows, frame_cols, iters;
+  };
+  const Geo geos[] = {
+      {"full_16x16", 16, 16, 0, 0, 16, 16, 4},
+      {"single_cell", 1, 1, 0, 0, 1, 1, 3},
+      {"single_col_interior", 5, 1, 2, 0, 9, 1, 3},
+      {"narrow_tile_at_right", 2, 9, 5, 36, 45, 45, 4},
+      {"sub_lane_width", 7, 5, 0, 0, 7, 5, 3},
+      {"one_chunk", 7, 8, 0, 0, 7, 8, 3},
+      {"chunk_plus_tail", 7, 17, 0, 0, 7, 17, 3},
+      {"interior_halo_window", 20, 24, 10, 12, 64, 64, 2},
+  };
+  const FixedParams fp = FixedParams::from(params_with(0));
+  for (const Geo& g : geos) {
+    SCOPED_TRACE(g.name);
+    Rng rng(static_cast<std::uint64_t>(g.rows * 131 + g.cols));
+    FixedState init = make_fixed_state(
+        random_image(rng, g.rows, g.cols, -3.f, 3.f));
+    // Nonzero duals so the backward differences see real operands.
+    for (int r = 0; r < g.rows; ++r)
+      for (int c = 0; c < g.cols; ++c) {
+        init.px(r, c) = rng.uniform_int(-256, 255);
+        init.py(r, c) = rng.uniform_int(-256, 255);
+      }
+    const RegionGeometry geom{g.row0, g.col0, g.frame_rows, g.frame_cols};
+    Matrix<std::int32_t> scratch;
+
+    kf::force_backend(kf::Backend::kScalar);
+    FixedState want = init;
+    fixed_iterate_region(want, geom, fp, g.iters, scratch);
+
+    kf::force_backend(kf::Backend::kSimd);
+    FixedState got = init;
+    fixed_iterate_region(got, geom, fp, g.iters, scratch);
+    kf::reset_backend();
+
+    ASSERT_EQ(want.px, got.px);
+    ASSERT_EQ(want.py, got.py);
+    ASSERT_EQ(want.v, got.v);
+  }
+}
+
+// The fixed dispatch honours the same hard-reject contract as the float one.
+TEST(FixedSimdKernel, DispatchRejectsUnknownNames) {
+  namespace kf = kernels::fixed;
+  EXPECT_NO_THROW(kf::force_backend("scalar"));
+  EXPECT_EQ(kf::active_backend(), kf::Backend::kScalar);
+  kf::reset_backend();
+  EXPECT_THROW(kf::force_backend("avx1024"), std::invalid_argument);
+  EXPECT_THROW(kf::force_backend("auto"), std::invalid_argument);
+  try {
+    kf::force_backend("avx1024");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("avx1024"), std::string::npos);
+    EXPECT_NE(what.find("scalar"), std::string::npos);  // lists alternatives
+  }
 }
 
 TEST(FixedSolver, DequantizeRoundTrips) {

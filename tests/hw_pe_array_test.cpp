@@ -162,6 +162,59 @@ TEST(PeArray, DataReuseBoundsBramTraffic) {
   EXPECT_EQ(array.stats().bram_word_writes, elements);
 }
 
+// ArchConfig::functional_mode must be indistinguishable from the cycle-level
+// ladder: same bank bits AND same statistics, window by window.
+TEST(PeArray, FunctionalModeBitAndStatIdentical) {
+  const ArrayCase cases[] = {
+      ArrayCase{16, 16, 3, 16, 16, 0, 0},
+      ArrayCase{23, 24, 2, 23, 24, 0, 0},   // partial last region
+      ArrayCase{1, 16, 2, 1, 16, 0, 0},     // single row
+      ArrayCase{16, 1, 2, 16, 1, 0, 0},     // single column
+      ArrayCase{20, 24, 2, 64, 64, 10, 12}, // interior window (halo rules)
+      ArrayCase{20, 24, 2, 64, 64, 44, 0},  // bottom & left borders
+  };
+  for (const ArrayCase& ac : cases) {
+    Rng rng(static_cast<std::uint64_t>(ac.rows * 1000 + ac.cols));
+    const Matrix<float> v = random_image(rng, ac.rows, ac.cols, -3.f, 3.f);
+    const RegionGeometry geom{ac.row0, ac.col0, ac.frame_rows, ac.frame_cols};
+    const FixedParams fp = default_fp(ac.iterations);
+
+    ArchConfig cfg = small_config();
+    cfg.tile_rows = std::max(cfg.tile_rows, ac.rows);
+    cfg.tile_cols = std::max(((ac.cols + 7) / 8) * 8, cfg.tile_cols);
+
+    BramBank bank_cycle(cfg.tile_rows, cfg.tile_cols, cfg.num_brams);
+    load_bank(bank_cycle, v);
+    PeArray cycle(cfg);
+    cycle.run(bank_cycle, ac.rows, ac.cols, geom, fp, ac.iterations);
+
+    cfg.functional_mode = true;
+    BramBank bank_func(cfg.tile_rows, cfg.tile_cols, cfg.num_brams);
+    load_bank(bank_func, v);
+    PeArray func(cfg);
+    func.run(bank_func, ac.rows, ac.cols, geom, fp, ac.iterations);
+
+    for (int r = 0; r < ac.rows; ++r)
+      for (int c = 0; c < ac.cols; ++c) {
+        const fx::BramFields a = bank_cycle.peek_fields(r, c);
+        const fx::BramFields b = bank_func.peek_fields(r, c);
+        ASSERT_EQ(a.v, b.v) << "v at " << r << "," << c;
+        ASSERT_EQ(a.px, b.px) << "px at " << r << "," << c;
+        ASSERT_EQ(a.py, b.py) << "py at " << r << "," << c;
+      }
+    EXPECT_EQ(cycle.stats().cycles, func.stats().cycles);
+    EXPECT_EQ(cycle.stats().elements_updated, func.stats().elements_updated);
+    EXPECT_EQ(cycle.stats().bram_word_reads, func.stats().bram_word_reads);
+    EXPECT_EQ(cycle.stats().bram_word_writes, func.stats().bram_word_writes);
+    EXPECT_EQ(cycle.stats().term_bram_reads, func.stats().term_bram_reads);
+    EXPECT_EQ(cycle.stats().term_bram_writes, func.stats().term_bram_writes);
+    // The functional bank must carry zero counted accesses of its own: all
+    // traffic is charged analytically, the staging uses uncounted ports.
+    EXPECT_EQ(bank_func.total_reads(), 0u);
+    EXPECT_EQ(bank_func.total_writes(), 0u);
+  }
+}
+
 TEST(PeArray, RejectsBadGeometry) {
   ArchConfig cfg = small_config();
   BramBank bank(cfg.tile_rows, cfg.tile_cols, cfg.num_brams);

@@ -15,7 +15,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -144,6 +146,15 @@ std::vector<Geometry> sweep_geometries() {
       {"one_col_at_right", 10, 1, {3, 44, 32, 45}},
       {"one_row_at_bottom", 1, 10, {31, 3, 32, 45}},
       {"one_pixel_interior", 1, 1, {11, 13, 32, 45}},
+      // Narrow tiles and widths straddling the 16-lane boundary: the rows
+      // where the AVX-512 masked emission diverges most from the
+      // interior/border split (an all-tail row for the other backends).
+      {"narrow_tile_2x9", 2, 9, {5, 7, 32, 45}},
+      {"narrow_tile_at_right", 2, 9, {5, 36, 32, 45}},
+      {"width_15", 7, 15, RegionGeometry::full_frame(7, 15)},
+      {"width_16", 7, 16, RegionGeometry::full_frame(7, 16)},
+      {"width_17", 7, 17, RegionGeometry::full_frame(7, 17)},
+      {"width_33", 5, 33, RegionGeometry::full_frame(5, 33)},
   };
 }
 
@@ -304,7 +315,8 @@ TEST(KernelDispatch, ForceAndResetRoundTrip) {
 TEST(KernelDispatch, UnavailableBackendThrows) {
   for (const kernels::Backend b :
        {kernels::Backend::kScalar, kernels::Backend::kSse2,
-        kernels::Backend::kNeon, kernels::Backend::kAvx2}) {
+        kernels::Backend::kNeon, kernels::Backend::kAvx2,
+        kernels::Backend::kAvx512}) {
     if (kernels::backend_available(b)) continue;
     EXPECT_THROW((void)kernels::ops_for(b), std::invalid_argument);
     EXPECT_THROW(kernels::force_backend(b), std::invalid_argument);
@@ -317,11 +329,90 @@ TEST(KernelDispatch, ParseBackendNames) {
   EXPECT_EQ(kernels::parse_backend("sse2"), Backend::kSse2);
   EXPECT_EQ(kernels::parse_backend("neon"), Backend::kNeon);
   EXPECT_EQ(kernels::parse_backend("avx2"), Backend::kAvx2);
+  EXPECT_EQ(kernels::parse_backend("avx512"), Backend::kAvx512);
   EXPECT_FALSE(kernels::parse_backend("auto").has_value());
-  EXPECT_FALSE(kernels::parse_backend("avx512").has_value());
+  EXPECT_FALSE(kernels::parse_backend("avx-512").has_value());
   for (const kernels::Backend b :
-       {Backend::kScalar, Backend::kSse2, Backend::kNeon, Backend::kAvx2})
+       {Backend::kScalar, Backend::kSse2, Backend::kNeon, Backend::kAvx2,
+        Backend::kAvx512})
     EXPECT_EQ(kernels::parse_backend(kernels::backend_name(b)), b);
+}
+
+TEST(KernelDispatch, Avx512PreferredOverAvx2WhenAvailable) {
+  // The dispatch-preference contract: whenever both x86 wide backends are
+  // usable, auto-dispatch must pick the 16-lane one.
+  const std::vector<kernels::Backend> avail = kernels::available_backends();
+  if (!kernels::backend_available(kernels::Backend::kAvx512)) GTEST_SKIP();
+  ASSERT_FALSE(avail.empty());
+  EXPECT_EQ(avail.front(), kernels::Backend::kAvx512);
+}
+
+// Saves CHAMBOLLE_KERNEL around a test that mutates it (the scalar-pinned
+// ctest job depends on the value surviving).
+struct ScopedKernelEnv {
+  ScopedKernelEnv() {
+    const char* cur = std::getenv("CHAMBOLLE_KERNEL");
+    saved = cur != nullptr ? std::optional<std::string>(cur) : std::nullopt;
+  }
+  ~ScopedKernelEnv() {
+    if (saved.has_value())
+      ::setenv("CHAMBOLLE_KERNEL", saved->c_str(), 1);
+    else
+      ::unsetenv("CHAMBOLLE_KERNEL");
+    kernels::reset_backend();
+  }
+  std::optional<std::string> saved;
+};
+
+TEST(KernelDispatch, RejectsUnknownEnvironmentOverride) {
+  // A typo'd CHAMBOLLE_KERNEL must be a hard error naming the usable
+  // backends, never a silent fall-through to dispatch.
+  const ScopedKernelEnv guard;
+  ::setenv("CHAMBOLLE_KERNEL", "avx1024", 1);
+  kernels::reset_backend();
+  try {
+    (void)kernels::active_backend();
+    FAIL() << "unknown CHAMBOLLE_KERNEL did not throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("avx1024"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("scalar"), std::string::npos)
+        << "error must list available backends: " << msg;
+  }
+  // The failed resolution must not be cached: restoring the environment
+  // (the guard) must make the next resolution succeed.
+}
+
+TEST(KernelDispatch, RejectsUnavailableEnvironmentOverride) {
+  // A known-but-unusable name (neon on x86, avx512 on an old core) is the
+  // same hard error, with a distinguishable message.
+  kernels::Backend missing;
+  if (!kernels::backend_available(kernels::Backend::kNeon))
+    missing = kernels::Backend::kNeon;
+  else if (!kernels::backend_available(kernels::Backend::kAvx512))
+    missing = kernels::Backend::kAvx512;
+  else
+    GTEST_SKIP() << "every named backend is available here";
+  const ScopedKernelEnv guard;
+  ::setenv("CHAMBOLLE_KERNEL", kernels::backend_name(missing), 1);
+  kernels::reset_backend();
+  try {
+    (void)kernels::active_backend();
+    FAIL() << "unavailable CHAMBOLLE_KERNEL did not throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("not available"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(KernelDispatch, ForceBackendByName) {
+  kernels::force_backend("scalar");
+  EXPECT_EQ(kernels::active_backend(), kernels::Backend::kScalar);
+  kernels::reset_backend();
+  EXPECT_THROW(kernels::force_backend("vax512"), std::invalid_argument);
+  // "auto" is not a backend; resetting is the API for auto-dispatch.
+  EXPECT_THROW(kernels::force_backend("auto"), std::invalid_argument);
+  EXPECT_TRUE(kernels::backend_available(kernels::active_backend()));
 }
 
 TEST(KernelDispatch, HonorsEnvironmentOverride) {

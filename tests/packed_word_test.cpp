@@ -66,5 +66,30 @@ TEST(PackedWord, VSweepRoundTrip) {
   }
 }
 
+TEST(PackedWord, BulkSoAMatchesPerElement) {
+  // The SoA helpers must agree with pack_word/unpack_word element for
+  // element, including the saturating pack of out-of-range fields.
+  constexpr int kN = 17;
+  std::int32_t v[kN], px[kN], py[kN];
+  for (int i = 0; i < kN; ++i) {
+    v[i] = (i - 8) * 771;    // spans beyond the 13-bit range at the ends
+    px[i] = (i - 8) * 41;    // spans beyond the 9-bit range at the ends
+    py[i] = (8 - i) * 37;
+  }
+  std::uint32_t words[kN];
+  pack_words(v, px, py, kN, words);
+  for (int i = 0; i < kN; ++i)
+    EXPECT_EQ(words[i], pack_word(BramFields{v[i], px[i], py[i]})) << i;
+
+  std::int32_t v2[kN], px2[kN], py2[kN];
+  unpack_words(words, kN, v2, px2, py2);
+  for (int i = 0; i < kN; ++i) {
+    const BramFields f = unpack_word(words[i]);
+    EXPECT_EQ(v2[i], f.v) << i;
+    EXPECT_EQ(px2[i], f.px) << i;
+    EXPECT_EQ(py2[i], f.py) << i;
+  }
+}
+
 }  // namespace
 }  // namespace chambolle::fx

@@ -1,0 +1,185 @@
+// serving_latency — end-to-end latency of the multi-stream flow service
+// under open-loop load (src/serving/flow_service.hpp).
+//
+// Protocol: S Chambolle-mode sessions submit frames on a fixed arrival
+// clock WITHOUT waiting for replies (open loop — queueing delay is part of
+// the measurement, unlike a closed loop that self-throttles), against a
+// fleet of `slots` engine slots.  Per-request latency = queue wait + solve,
+// read from the replies; the run repeats several times and the bench emits
+// p50/p99 order statistics per repeat, so BENCH_serving.json carries
+// `p50_ms_median` / `p99_ms_median` (+ MAD) for the noise-aware perf gate
+// (tools/bench_diff).
+//
+// A second, deliberately overloaded phase (burst arrivals, tight latency
+// SLO, short queues) measures ADMISSION CONTROL instead of latency: how
+// many requests the service sheds at the queue bound vs. the deadline, and
+// that completed + shed accounts for every submission.  Shed rates are
+// environment-dependent, so they are reported as plain params, not gated
+// keys.
+//
+// Runs with no arguments; CHB_SERVING_SESSIONS / CHB_SERVING_REPEATS
+// override the load shape for manual exploration.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+#include "common/text_table.hpp"
+#include "serving/flow_service.hpp"
+#include "telemetry/bench_report.hpp"
+
+namespace {
+
+using namespace chambolle;
+
+int env_int(const char* name, int fallback) {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') return fallback;
+  return std::atoi(s);
+}
+
+tvl1::Tvl1Params bench_params() {
+  tvl1::Tvl1Params p;
+  p.chambolle.iterations = 30;
+  p.tiled.tile_rows = 64;
+  p.tiled.tile_cols = 64;
+  p.tiled.merge_iterations = 4;
+  return p;
+}
+
+double exact_quantile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const std::size_t idx = static_cast<std::size_t>(
+      q * static_cast<double>(samples.size() - 1) + 0.5);
+  return samples[std::min(idx, samples.size() - 1)];
+}
+
+struct LoadResult {
+  double p50 = 0.0, p99 = 0.0;
+  serving::ServiceStats stats;
+};
+
+// One open-loop run: `sessions` streams, `rounds` frames each, arrivals
+// every `interval_us` microseconds (0 = burst), on a fresh service.
+LoadResult run_load(int sessions, int rounds, int interval_us, int slots,
+                    std::size_t queue_capacity, double slo_ms,
+                    std::uint64_t seed) {
+  serving::FlowServiceOptions opts;
+  opts.params = bench_params();
+  opts.slots = slots;
+  opts.queue_capacity = queue_capacity;
+  opts.slo_ms = slo_ms;
+  serving::FlowService service(opts);
+
+  Rng rng(seed);
+  std::vector<Matrix<float>> frames;
+  for (int s = 0; s < sessions; ++s)
+    frames.push_back(random_image(rng, 128, 128, -3.f, 3.f));
+
+  std::vector<std::shared_ptr<serving::FlowService::Session>> streams;
+  for (int s = 0; s < sessions; ++s) streams.push_back(service.open_session());
+  std::vector<std::future<serving::Reply>> futures;
+  futures.reserve(static_cast<std::size_t>(sessions) *
+                  static_cast<std::size_t>(rounds));
+  for (int r = 0; r < rounds; ++r) {
+    for (int s = 0; s < sessions; ++s)
+      futures.push_back(
+          streams[static_cast<std::size_t>(s)]->submit(
+              frames[static_cast<std::size_t>(s)]));
+    if (interval_us > 0)
+      std::this_thread::sleep_for(std::chrono::microseconds(interval_us));
+  }
+
+  std::vector<double> latencies;
+  for (auto& f : futures) {
+    const serving::Reply reply = f.get();
+    if (reply.ok()) latencies.push_back(reply.queue_ms + reply.solve_ms);
+  }
+  service.drain();
+  LoadResult out;
+  out.p50 = exact_quantile(latencies, 0.50);
+  out.p99 = exact_quantile(latencies, 0.99);
+  out.stats = service.stats();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const int sessions = env_int("CHB_SERVING_SESSIONS", 6);
+  const int repeats = env_int("CHB_SERVING_REPEATS", 5);
+  const int rounds = 20;
+
+  Stopwatch wall;
+  TextTable table(
+      {"phase", "sessions", "completed", "shed", "p50 ms", "p99 ms"});
+
+  // Phase 1 (gated): sustainable open-loop load, latency quantiles.
+  std::vector<double> p50s, p99s;
+  serving::ServiceStats last{};
+  for (int r = 0; r < repeats; ++r) {
+    const LoadResult res =
+        run_load(sessions, rounds, /*interval_us=*/2000, /*slots=*/2,
+                 /*queue_capacity=*/64, /*slo_ms=*/0.0,
+                 /*seed=*/1000 + static_cast<std::uint64_t>(r));
+    p50s.push_back(res.p50);
+    p99s.push_back(res.p99);
+    last = res.stats;
+    table.add_row({"open-loop", std::to_string(sessions),
+                   std::to_string(res.stats.completed),
+                   std::to_string(res.stats.shed_queue_full +
+                                  res.stats.shed_deadline),
+                   TextTable::num(res.p50, 3), TextTable::num(res.p99, 3)});
+  }
+
+  // Phase 2 (reported, not gated): burst overload against a tight SLO and
+  // short queues — admission control must shed, and the books must balance.
+  const LoadResult overload =
+      run_load(sessions, rounds, /*interval_us=*/0, /*slots=*/1,
+               /*queue_capacity=*/4, /*slo_ms=*/10.0, /*seed=*/2000);
+  const std::uint64_t shed =
+      overload.stats.shed_queue_full + overload.stats.shed_deadline;
+  table.add_row({"overload", std::to_string(sessions),
+                 std::to_string(overload.stats.completed),
+                 std::to_string(shed), TextTable::num(overload.p50, 3),
+                 TextTable::num(overload.p99, 3)});
+  table.render(std::cout);
+
+  const std::uint64_t submitted =
+      static_cast<std::uint64_t>(sessions) * static_cast<std::uint64_t>(rounds);
+  if (overload.stats.completed + shed != submitted) {
+    std::fprintf(stderr,
+                 "serving_latency: admission books don't balance: "
+                 "%llu completed + %llu shed != %llu submitted\n",
+                 static_cast<unsigned long long>(overload.stats.completed),
+                 static_cast<unsigned long long>(shed),
+                 static_cast<unsigned long long>(submitted));
+    return 1;
+  }
+
+  telemetry::BenchParams report;
+  report.emplace_back("sessions", std::to_string(sessions));
+  report.emplace_back("rounds", std::to_string(rounds));
+  report.emplace_back("repeats", std::to_string(repeats));
+  telemetry::append_repeat_stats(report, "p50_ms",
+                                 telemetry::repeat_stats(p50s));
+  telemetry::append_repeat_stats(report, "p99_ms",
+                                 telemetry::repeat_stats(p99s));
+  report.emplace_back("openloop_completed", std::to_string(last.completed));
+  report.emplace_back("overload_completed",
+                      std::to_string(overload.stats.completed));
+  report.emplace_back("overload_shed_queue_full",
+                      std::to_string(overload.stats.shed_queue_full));
+  report.emplace_back("overload_shed_deadline",
+                      std::to_string(overload.stats.shed_deadline));
+  report.emplace_back("overload_shed", std::to_string(shed));
+  telemetry::write_bench_report("serving", report, wall.milliseconds());
+  return 0;
+}

@@ -172,6 +172,10 @@ void ResidentTiledEngine::mark_frozen(std::size_t ti, int g) {
   frozen_pass_[ti].store(g, std::memory_order_release);
 }
 
+parallel::ThreadPool& ResidentTiledEngine::pool() const {
+  return options_.pool != nullptr ? *options_.pool : parallel::default_pool();
+}
+
 void ResidentTiledEngine::load_duals(const DualField* initial) {
   for (std::size_t i = 0; i < tiles_.size(); ++i) {
     const TileSpec& t = plan_.tiles[i];
@@ -190,7 +194,16 @@ void ResidentTiledEngine::load_duals(const DualField* initial) {
     }
   }
   // A full buffer load (halo included) makes the mailboxes irrelevant until
-  // the next publish; restart the pass/parity clock.
+  // the next publish; restart the pass/parity clock.  Frozen-pass markers
+  // must go with it: a completed adaptive run clears them in its epilogue,
+  // but a run aborted by a body exception leaves them set, and a marker
+  // surviving into the next solve would redirect gathers to a stale frozen
+  // strip of the PREVIOUS stream — the engine-reuse leak a pooled fleet
+  // engine must never serve session B from session A's retirement state.
+  // (Empty during construction, where load_duals runs before the marker
+  // vector exists.)
+  for (std::atomic<int>& f : frozen_pass_)
+    f.store(-1, std::memory_order_relaxed);
   pass_count_ = 0;
 }
 
@@ -200,6 +213,14 @@ void ResidentTiledEngine::run(int iterations) {
   if (iterations == 0) return;
   const telemetry::TraceSpan span("chambolle.resident.run");
   telemetry::flight_mark("resident.run", static_cast<double>(iterations));
+
+  // A completed adaptive run mirrors frozen strips into both parities and
+  // clears the markers in its epilogue, but an exception-aborted one leaves
+  // them set — and a stale marker would redirect this run's gathers to a
+  // long-dead frozen slot.  The fixed-budget schedule never freezes, so the
+  // markers must be clear here; reset defensively (same as run_adaptive).
+  for (std::atomic<int>& f : frozen_pass_)
+    f.store(-1, std::memory_order_relaxed);
 
   // Pass schedule: merge_iterations per pass, remainder last.  Every k is
   // <= plan_.halo, which is what keeps profitable cells' dependency cones
@@ -215,8 +236,7 @@ void ResidentTiledEngine::run(int iterations) {
 
   const float inv_theta = 1.f / params_.theta;
   const float step = params_.step();
-  const int lanes =
-      parallel::default_pool().lanes_for(options_.num_threads);
+  const int lanes = pool().lanes_for(options_.num_threads);
   parallel::PerLane<Matrix<float>> scratch(lanes);
 
   const auto body = [&](int node, int epoch, int lane) {
@@ -246,7 +266,7 @@ void ResidentTiledEngine::run(int iterations) {
   };
 
   const parallel::EpochGraph::RunStats rs =
-      graph_->run(passes, lanes, parallel::default_pool(), body);
+      graph_->run(passes, lanes, pool(), body);
   pass_count_ += passes;
 
   stats_.passes += passes;
@@ -318,7 +338,7 @@ ResidentAdaptiveReport ResidentTiledEngine::run_adaptive(
   const int base = pass_count_;
   const float inv_theta = 1.f / params_.theta;
   const float step = params_.step();
-  const int lanes = parallel::default_pool().lanes_for(options_.num_threads);
+  const int lanes = pool().lanes_for(options_.num_threads);
   parallel::PerLane<Matrix<float>> scratch(lanes);
 
   const auto body = [&](int node, int epoch, int lane) -> bool {
@@ -369,8 +389,8 @@ ResidentAdaptiveReport ResidentTiledEngine::run_adaptive(
     return false;
   };
 
-  const parallel::EpochGraph::RunStats rs = graph_->run_adaptive(
-      options.max_passes, lanes, parallel::default_pool(), body);
+  const parallel::EpochGraph::RunStats rs =
+      graph_->run_adaptive(options.max_passes, lanes, pool(), body);
   // Quiescent epilogue (every lane has joined): mirror each retired tile's
   // final strips into the other parity slot and clear its marker, so later
   // run()/run_adaptive() calls — whose gathers assume the live parity —
@@ -511,7 +531,7 @@ ResidentMultilevelReport ResidentTiledEngine::run_multilevel(
   const int base = pass_count_;
   const float inv_theta = 1.f / params_.theta;
   const float step = params_.step();
-  const int lanes = parallel::default_pool().lanes_for(options_.num_threads);
+  const int lanes = pool().lanes_for(options_.num_threads);
   parallel::PerLane<Matrix<float>> scratch(lanes);
 
   // Folds the last computed correction into one tile's WHOLE buffer
@@ -661,8 +681,7 @@ ResidentMultilevelReport ResidentTiledEngine::run_multilevel(
   };
 
   const parallel::EpochGraph::RunStats rs = graph_->run_rendezvous(
-      options.adaptive.max_passes, period, lanes, parallel::default_pool(),
-      body, rendezvous);
+      options.adaptive.max_passes, period, lanes, pool(), body, rendezvous);
 
   // Quiescent epilogue: frozen buffers may hold corrections absorbed after
   // their last publish, so republish from the buffer into BOTH parity slots

@@ -232,6 +232,16 @@ class ResidentTiledEngine {
   struct TileBuffers;
   struct Mailbox;
 
+  /// The pool this engine's parallel regions run on: options.pool when the
+  /// caller injected one (the serving fleet gives every engine its own
+  /// lane-partitioned pool so concurrent sessions don't serialize on
+  /// default_pool()'s region lock), default_pool() otherwise.
+  [[nodiscard]] parallel::ThreadPool& pool() const;
+  /// Zeroes or reloads the duals in place AND restarts the pass/parity
+  /// clock and frozen-pass markers — the full state reset that makes a
+  /// reused engine indistinguishable from a freshly constructed one (the
+  /// engine-reuse contract pooled serving fleets rely on; regression-tested
+  /// by tests/engine_reuse_test.cpp).
   void load_duals(const DualField* initial);
   /// Refreshes tile ti's halo ring from the neighbors' pass-(g-1) strips.
   void gather_halos(std::size_t ti, int g);

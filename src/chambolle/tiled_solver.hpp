@@ -33,6 +33,13 @@ struct TiledSolverOptions {
   /// thread creation); kSpawn is the legacy spawn-per-pass baseline, kept so
   /// the benches can measure what the pool buys.
   parallel::Execution execution = parallel::Execution::kPool;
+  /// Pool the solve's parallel regions run on; nullptr means the process-wide
+  /// default_pool().  A ThreadPool serializes concurrent regions, so N
+  /// engines sharing one pool take turns — the serving fleet
+  /// (src/serving/) hands every engine its own lane-partitioned pool
+  /// through this field so concurrent sessions actually overlap.  The
+  /// pointer is not owned; it must outlive every solve that uses it.
+  parallel::ThreadPool* pool = nullptr;
 
   void validate() const;
 };

@@ -27,6 +27,15 @@ Image normalize(const Image& img) {
   return out;
 }
 
+// Pool the pipeline's parallel regions run on.  The tiled options carry the
+// injection point (TiledSolverOptions::pool) because the inner solves are
+// where almost all the parallel time goes; the pyramid builds ride on the
+// same pool so a serving engine slot never touches the shared default pool.
+parallel::ThreadPool& pool_for(const Tvl1Params& params) {
+  return params.tiled.pool != nullptr ? *params.tiled.pool
+                                      : parallel::default_pool();
+}
+
 // One Chambolle solve of a single component through the selected backend.
 // `out` receives the primal result; `scratch` persists across warps so the
 // reference path reuses its dual-field and output buffers instead of
@@ -104,72 +113,16 @@ long long inner_solve(const Matrix<float>& v, const Tvl1Params& params,
   throw std::logic_error("inner_solve: unknown solver");
 }
 
-}  // namespace
-
-void Tvl1Params::validate() const {
-  // NaN passes every <= comparison; screen it explicitly (see
-  // ChambolleParams::validate).
-  if (!std::isfinite(lambda))
-    throw std::invalid_argument("Tvl1Params: non-finite lambda");
-  if (lambda <= 0.f) throw std::invalid_argument("Tvl1Params: lambda <= 0");
-  if (pyramid_levels < 1)
-    throw std::invalid_argument("Tvl1Params: pyramid_levels < 1");
-  if (warps < 1) throw std::invalid_argument("Tvl1Params: warps < 1");
-  chambolle.validate();
-  if (solver == InnerSolver::kTiled || solver == InnerSolver::kResident)
-    tiled.validate();
-  if (adaptive_stopping) {
-    if (solver != InnerSolver::kResident)
-      throw std::invalid_argument(
-          "Tvl1Params: adaptive_stopping requires the resident solver");
-    // max_passes <= 0 is the "fixed budget" sentinel, resolved per solve;
-    // validate the rest.
-    ResidentAdaptiveOptions check = adaptive;
-    if (check.max_passes <= 0) check.max_passes = 1;
-    check.validate();
-  }
-  if (multilevel.enabled()) {
-    if (!adaptive_stopping)
-      throw std::invalid_argument(
-          "Tvl1Params: multilevel correction requires adaptive_stopping "
-          "(the resident solver's run_multilevel path)");
-    multilevel.validate();
-  }
-}
-
-FlowField compute_flow(const Image& i0, const Image& i1,
-                       const Tvl1Params& params, Tvl1Stats* stats) {
-  params.validate();
-  if (!i0.same_shape(i1))
-    throw std::invalid_argument("compute_flow: frame shape mismatch");
-  if (i0.rows() < 2 || i0.cols() < 2)
-    throw std::invalid_argument("compute_flow: frames must be at least 2x2");
-  require_finite(i0, "compute_flow: frame0");
-  require_finite(i1, "compute_flow: frame1");
-
-  const telemetry::TraceSpan flow_span("tvl1.compute_flow");
-  // One stopwatch with lap() replaces the former per-warp throwaway
-  // stopwatches; phase boundaries come from lap-to-lap deltas.
-  Stopwatch total_clock;
+// The coarse-to-fine loop shared by both compute_flow overloads.  The caller
+// owns `total_clock` so the image overload's stats keep covering the pyramid
+// builds (as they always did), while the pyramid overload's stats cover only
+// the work it actually performs.
+FlowField flow_from_pyramids(const Pyramid& p0, const Pyramid& p1,
+                             const Tvl1Params& params, Tvl1Stats* stats,
+                             Stopwatch& total_clock) {
+  const int levels = std::min(p0.levels(), p1.levels());
   double chambolle_seconds = 0.0;
   long long inner_iters = 0;
-
-  // The two pyramids are independent; build them concurrently on the
-  // resident default pool (frame-rate service work, not worth a spawn).
-  std::optional<Pyramid> p0_storage, p1_storage;
-  parallel::default_pool().parallel_for(
-      2, 2, [&](std::size_t begin, std::size_t end, int) {
-        for (std::size_t i = begin; i < end; ++i) {
-          const telemetry::TraceSpan span("tvl1.pyramid");
-          if (i == 0)
-            p0_storage.emplace(normalize(i0), params.pyramid_levels);
-          else
-            p1_storage.emplace(normalize(i1), params.pyramid_levels);
-        }
-      });
-  const Pyramid& p0 = *p0_storage;
-  const Pyramid& p1 = *p1_storage;
-  const int levels = std::min(p0.levels(), p1.levels());
 
   FlowField u;
   // Reused across every warp of every level: the reference inner solver's
@@ -237,6 +190,118 @@ FlowField compute_flow(const Image& i0, const Image& i1,
               static_cast<std::uint64_t>(params.warps));
   c_levels.add(static_cast<std::uint64_t>(levels));
   return u;
+}
+
+}  // namespace
+
+void Tvl1Params::validate() const {
+  // NaN passes every <= comparison; screen it explicitly (see
+  // ChambolleParams::validate).
+  if (!std::isfinite(lambda))
+    throw std::invalid_argument("Tvl1Params: non-finite lambda");
+  if (lambda <= 0.f) throw std::invalid_argument("Tvl1Params: lambda <= 0");
+  if (pyramid_levels < 1)
+    throw std::invalid_argument("Tvl1Params: pyramid_levels < 1");
+  if (warps < 1) throw std::invalid_argument("Tvl1Params: warps < 1");
+  chambolle.validate();
+  if (solver == InnerSolver::kTiled || solver == InnerSolver::kResident)
+    tiled.validate();
+  if (adaptive_stopping) {
+    if (solver != InnerSolver::kResident)
+      throw std::invalid_argument(
+          "Tvl1Params: adaptive_stopping requires the resident solver");
+    // max_passes <= 0 is the "fixed budget" sentinel, resolved per solve;
+    // validate the rest.
+    ResidentAdaptiveOptions check = adaptive;
+    if (check.max_passes <= 0) check.max_passes = 1;
+    check.validate();
+  }
+  if (multilevel.enabled()) {
+    if (!adaptive_stopping)
+      throw std::invalid_argument(
+          "Tvl1Params: multilevel correction requires adaptive_stopping "
+          "(the resident solver's run_multilevel path)");
+    multilevel.validate();
+  }
+}
+
+FlowField compute_flow(const Image& i0, const Image& i1,
+                       const Tvl1Params& params, Tvl1Stats* stats) {
+  params.validate();
+  if (!i0.same_shape(i1))
+    throw std::invalid_argument("compute_flow: frame shape mismatch");
+  if (i0.rows() < 2 || i0.cols() < 2)
+    throw std::invalid_argument("compute_flow: frames must be at least 2x2");
+  require_finite(i0, "compute_flow: frame0");
+  require_finite(i1, "compute_flow: frame1");
+
+  const telemetry::TraceSpan flow_span("tvl1.compute_flow");
+  // One stopwatch with lap() replaces the former per-warp throwaway
+  // stopwatches; phase boundaries come from lap-to-lap deltas.
+  Stopwatch total_clock;
+
+  // The two pyramids are independent; build them concurrently on the
+  // session's pool (frame-rate service work, not worth a spawn).
+  std::optional<Pyramid> p0_storage, p1_storage;
+  pool_for(params).parallel_for(
+      2, 2, [&](std::size_t begin, std::size_t end, int) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const telemetry::TraceSpan span("tvl1.pyramid");
+          if (i == 0)
+            p0_storage.emplace(normalize(i0), params.pyramid_levels);
+          else
+            p1_storage.emplace(normalize(i1), params.pyramid_levels);
+        }
+      });
+  return flow_from_pyramids(*p0_storage, *p1_storage, params, stats,
+                            total_clock);
+}
+
+FlowField compute_flow(const Pyramid& p0, const Pyramid& p1,
+                       const Tvl1Params& params, Tvl1Stats* stats) {
+  params.validate();
+  if (p0.levels() < 1 || p1.levels() < 1)
+    throw std::invalid_argument("compute_flow: empty pyramid");
+  if (!p0.level(0).same_shape(p1.level(0)))
+    throw std::invalid_argument("compute_flow: pyramid base shape mismatch");
+
+  const telemetry::TraceSpan flow_span("tvl1.compute_flow");
+  Stopwatch total_clock;
+  return flow_from_pyramids(p0, p1, params, stats, total_clock);
+}
+
+FlowSession::FlowSession(const Tvl1Params& params) : params_(params) {
+  params_.validate();
+}
+
+std::optional<FlowField> FlowSession::push_frame(const Image& frame,
+                                                Tvl1Stats* stats) {
+  if (frame.rows() < 2 || frame.cols() < 2)
+    throw std::invalid_argument("FlowSession: frames must be at least 2x2");
+  require_finite(frame, "FlowSession: frame");
+  if (prev_.has_value() && !frame.same_shape(prev_->level(0)))
+    throw std::invalid_argument(
+        "FlowSession: frame shape changed mid-session (reset() first)");
+
+  Pyramid pyr = [&] {
+    const telemetry::TraceSpan span("tvl1.pyramid");
+    return Pyramid(normalize(frame), params_.pyramid_levels);
+  }();
+  if (!prev_.has_value()) {
+    prev_.emplace(std::move(pyr));
+    frames_ = 1;
+    if (stats != nullptr) *stats = Tvl1Stats{};
+    return std::nullopt;
+  }
+  FlowField flow = compute_flow(*prev_, pyr, params_, stats);
+  prev_.emplace(std::move(pyr));
+  ++frames_;
+  return flow;
+}
+
+void FlowSession::reset() {
+  prev_.reset();
+  frames_ = 0;
 }
 
 }  // namespace chambolle::tvl1

@@ -8,10 +8,13 @@
 // (Section III), or the bit-accurate fixed-point model of the hardware.
 #pragma once
 
+#include <optional>
+
 #include "chambolle/params.hpp"
 #include "chambolle/resident_tiled.hpp"
 #include "chambolle/tiled_solver.hpp"
 #include "common/image.hpp"
+#include "tvl1/pyramid.hpp"
 
 namespace chambolle::tvl1 {
 
@@ -82,5 +85,56 @@ struct Tvl1Stats {
 [[nodiscard]] FlowField compute_flow(const Image& i0, const Image& i1,
                                      const Tvl1Params& params,
                                      Tvl1Stats* stats = nullptr);
+
+/// Pyramid-reusing form: identical numerics to compute_flow(i0, i1, ...)
+/// when the pyramids were built from the NORMALIZED frames (intensities
+/// divided by 255, as compute_flow does internally) with
+/// params.pyramid_levels levels.  This is the streaming hot path: in a
+/// video session every interior frame is frame1 of one pair and frame0 of
+/// the next, so caching its pyramid halves the per-pair pyramid work —
+/// FlowSession below does exactly that.
+[[nodiscard]] FlowField compute_flow(const Pyramid& p0, const Pyramid& p1,
+                                     const Tvl1Params& params,
+                                     Tvl1Stats* stats = nullptr);
+
+/// Per-stream flow state for a video session: feeds frames one at a time
+/// and keeps the previous frame's pyramid cached across calls, so the
+/// steady state builds one pyramid per frame instead of two per pair.
+/// This is the per-session object the serving layer (src/serving/)
+/// checks out onto fleet engines; the pool its solves run on is
+/// re-targetable per frame because a session may be scheduled onto a
+/// different engine slot every time.
+class FlowSession {
+ public:
+  /// Validates and captures the parameters for the whole stream.
+  explicit FlowSession(const Tvl1Params& params);
+
+  /// Feeds the next frame.  The first frame primes the session (builds and
+  /// caches its pyramid) and returns nullopt; every later frame returns the
+  /// flow from the previous frame to this one.  Frames must keep one shape
+  /// for the session's lifetime.  Bit-identical to running
+  /// compute_flow(prev, frame, params) on each consecutive pair.
+  std::optional<FlowField> push_frame(const Image& frame,
+                                      Tvl1Stats* stats = nullptr);
+
+  /// Frames accepted so far (flows produced = max(0, frames() - 1)).
+  [[nodiscard]] int frames() const { return frames_; }
+
+  /// Drops the cached pyramid: the next frame primes a fresh stream (scene
+  /// cut / seek).  Parameters are kept.
+  void reset();
+
+  /// Re-targets the pool the session's solves run on (nullptr =
+  /// default_pool()).  The serving layer sets this at every engine-slot
+  /// checkout; the pointer must outlive the next push_frame.
+  void set_pool(parallel::ThreadPool* pool) { params_.tiled.pool = pool; }
+
+  [[nodiscard]] const Tvl1Params& params() const { return params_; }
+
+ private:
+  Tvl1Params params_;
+  std::optional<Pyramid> prev_;  ///< previous frame's normalized pyramid
+  int frames_ = 0;
+};
 
 }  // namespace chambolle::tvl1

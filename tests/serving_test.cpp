@@ -1,0 +1,399 @@
+// serving_test.cpp — the multi-stream flow service: stream isolation,
+// batching, admission control (queue bound + latency SLO), drain, and the
+// per-session metric scoping.
+//
+// The exactness claims lean on the engine contract pinned by
+// engine_reuse_test.cpp: the service reuses pooled engines that other
+// sessions ran on, and every reply must still be bit-identical to a
+// serial fresh-engine replay of that session alone.
+#include "serving/flow_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "chambolle/resident_tiled.hpp"
+#include "common/rng.hpp"
+#include "telemetry/metrics.hpp"
+#include "testing/concurrent_oracle.hpp"
+#include "tvl1/tvl1.hpp"
+
+namespace chambolle {
+namespace {
+
+using serving::FlowService;
+using serving::FlowServiceOptions;
+using serving::Reply;
+using serving::ReplyStatus;
+
+Matrix<float> random_v(int rows, int cols, std::uint64_t seed) {
+  Rng rng(seed);
+  return random_image(rng, rows, cols, -3.f, 3.f);
+}
+
+void expect_memcmp_eq(const Matrix<float>& a, const Matrix<float>& b,
+                      const char* what) {
+  ASSERT_TRUE(a.same_shape(b)) << what;
+  EXPECT_EQ(0, std::memcmp(a.data().data(), b.data().data(),
+                           a.size() * sizeof(float)))
+      << what;
+}
+
+// Small, fast solver configuration for Chambolle-mode streams.
+tvl1::Tvl1Params quick_params() {
+  tvl1::Tvl1Params p;
+  p.chambolle.iterations = 6;
+  p.tiled.tile_rows = 12;
+  p.tiled.tile_cols = 14;
+  p.tiled.merge_iterations = 3;
+  p.tiled.num_threads = 2;
+  return p;
+}
+
+// The serial truth for one Chambolle-mode stream: fresh engine per frame,
+// duals chained through snapshots, warm only while the resolution holds
+// (a switch restarts cold) — exactly the Session::submit contract.
+std::vector<Matrix<float>> serial_chain(
+    const std::vector<Matrix<float>>& frames, const tvl1::Tvl1Params& p) {
+  std::vector<Matrix<float>> out;
+  DualField duals;
+  bool has_duals = false;
+  for (const Matrix<float>& v : frames) {
+    const DualField* initial =
+        has_duals && duals.px.same_shape(v) ? &duals : nullptr;
+    ResidentTiledEngine engine(v, p.chambolle, p.tiled, initial);
+    engine.run(p.chambolle.iterations);
+    engine.snapshot(duals);
+    has_duals = true;
+    out.push_back(engine.result().u);
+  }
+  return out;
+}
+
+TEST(ServingSession, ChambolleStreamMatchesFreshEngineChain) {
+  FlowServiceOptions opts;
+  opts.params = quick_params();
+  opts.slots = 2;
+  opts.lanes_per_slot = 2;
+  opts.queue_capacity = 16;
+  FlowService service(opts);
+  auto session = service.open_session();
+
+  std::vector<Matrix<float>> frames;
+  for (int f = 0; f < 4; ++f) frames.push_back(random_v(30, 26, 9100 + f));
+  const std::vector<Matrix<float>> want = serial_chain(frames, opts.params);
+
+  std::vector<std::future<Reply>> futures;
+  for (const auto& v : frames) futures.push_back(session->submit(v));
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    Reply r = futures[f].get();
+    ASSERT_EQ(r.status, ReplyStatus::kOk) << "frame " << f;
+    EXPECT_EQ(r.sequence, f);
+    expect_memcmp_eq(r.u, want[f], "warm-start chain frame");
+  }
+  const serving::ServiceStats st = service.stats();
+  EXPECT_EQ(st.admitted, frames.size());
+  EXPECT_EQ(st.completed, frames.size());
+  EXPECT_EQ(st.shed_queue_full + st.shed_deadline, 0u);
+}
+
+TEST(ServingSession, ResolutionSwitchRestartsColdAndStillMatches) {
+  FlowServiceOptions opts;
+  opts.params = quick_params();
+  opts.slots = 1;
+  opts.lanes_per_slot = 2;
+  FlowService service(opts);
+  auto session = service.open_session();
+
+  // 30x26 -> 18x22 -> 30x26: the second 30x26 frame warm-starts from the
+  // 18x22 snapshot's... nothing — shapes differ, so it restarts cold, and
+  // the per-resolution engine cache must serve it stale-free.
+  std::vector<Matrix<float>> frames = {random_v(30, 26, 9200),
+                                       random_v(18, 22, 9201),
+                                       random_v(30, 26, 9202)};
+  const std::vector<Matrix<float>> want = serial_chain(frames, opts.params);
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    Reply r = session->submit(frames[f]).get();
+    ASSERT_EQ(r.status, ReplyStatus::kOk);
+    expect_memcmp_eq(r.u, want[f], "resolution-switch frame");
+  }
+}
+
+TEST(ServingFlow, FlowStreamMatchesComputeFlowPairs) {
+  tvl1::Tvl1Params p;
+  p.pyramid_levels = 2;
+  p.warps = 1;
+  p.chambolle.iterations = 4;
+  FlowServiceOptions opts;
+  opts.params = p;
+  opts.slots = 2;
+  opts.lanes_per_slot = 1;
+  FlowService service(opts);
+  auto session = service.open_session();
+
+  Rng rng(9300);
+  std::vector<Image> frames;
+  for (int f = 0; f < 3; ++f) frames.push_back(random_image(rng, 28, 24));
+
+  Reply primed = session->submit_frame(frames[0]).get();
+  EXPECT_EQ(primed.status, ReplyStatus::kPrimed);
+  for (int f = 1; f < 3; ++f) {
+    Reply r = session->submit_frame(frames[f]).get();
+    ASSERT_EQ(r.status, ReplyStatus::kOk);
+    const FlowField want = tvl1::compute_flow(frames[f - 1], frames[f], p);
+    expect_memcmp_eq(r.flow.u1, want.u1, "flow stream u1");
+    expect_memcmp_eq(r.flow.u2, want.u2, "flow stream u2");
+    EXPECT_GT(r.flow_stats.levels_processed, 0);
+  }
+  EXPECT_EQ(service.stats().primed, 1u);
+}
+
+// Deterministic queue-full shedding: one slot, its worker pinned down by a
+// big solve from session A, so session B's queue fills at our pace.
+TEST(ServingAdmission, QueueFullShedsAndStreamContinuesAsIfNeverSubmitted) {
+  FlowServiceOptions opts;
+  opts.params = quick_params();
+  opts.params.chambolle.iterations = 60;  // the blocker's budget
+  opts.params.tiled.tile_rows = 88;
+  opts.params.tiled.tile_cols = 92;
+  opts.slots = 1;
+  opts.lanes_per_slot = 1;
+  opts.queue_capacity = 1;
+  opts.max_batch = 1;
+  FlowService service(opts);
+  auto blocker_session = service.open_session();
+  auto session = service.open_session();
+
+  auto blocker = blocker_session->submit(random_v(384, 384, 9400));
+  // Wait until the worker has CLAIMED the blocker (queue empty again) so
+  // the next submits provably queue behind a busy slot.
+  while (service.stats().queue_depth != 0) std::this_thread::yield();
+
+  std::vector<Matrix<float>> frames;
+  for (int f = 0; f < 4; ++f) frames.push_back(random_v(20, 20, 9410 + f));
+  auto f0 = session->submit(frames[0]);  // queues (slot busy)
+  auto f1 = session->submit(frames[1]);  // fifo at capacity: must shed NOW
+  Reply shed = f1.get();
+  EXPECT_EQ(shed.status, ReplyStatus::kShedQueueFull);
+  EXPECT_EQ(shed.sequence, 1u);
+
+  ASSERT_EQ(blocker.get().status, ReplyStatus::kOk);
+  ASSERT_EQ(f0.get().status, ReplyStatus::kOk);
+  Reply r2 = session->submit(frames[2]).get();
+  Reply r3 = session->submit(frames[3]).get();
+  ASSERT_EQ(r2.status, ReplyStatus::kOk);
+  ASSERT_EQ(r3.status, ReplyStatus::kOk);
+
+  // The stream must read as if the shed frame was never submitted: the
+  // warm chain is frames[0] -> frames[2] -> frames[3].
+  const std::vector<Matrix<float>> want =
+      serial_chain({frames[0], frames[2], frames[3]}, opts.params);
+  expect_memcmp_eq(r2.u, want[1], "post-shed continuation frame 2");
+  expect_memcmp_eq(r3.u, want[2], "post-shed continuation frame 3");
+  EXPECT_GE(service.stats().shed_queue_full, 1u);
+}
+
+// Deterministic deadline shedding: the queued request waits out the whole
+// blocker solve, far past the SLO, and must be dropped at dispatch with
+// the session state untouched.
+TEST(ServingAdmission, DeadlineShedsWhenQueuedPastSlo) {
+  FlowServiceOptions opts;
+  opts.params = quick_params();
+  opts.params.chambolle.iterations = 60;
+  opts.params.tiled.tile_rows = 88;
+  opts.params.tiled.tile_cols = 92;
+  opts.slots = 1;
+  opts.lanes_per_slot = 1;
+  opts.queue_capacity = 8;
+  opts.slo_ms = 5.0;  // far above dispatch latency, far below the blocker
+  FlowService service(opts);
+  auto blocker_session = service.open_session();
+  auto session = service.open_session();
+
+  auto blocker = blocker_session->submit(random_v(512, 512, 9500));
+  while (service.stats().queue_depth != 0) std::this_thread::yield();
+
+  const Matrix<float> v = random_v(20, 20, 9501);
+  Reply shed = session->submit(v).get();  // waits out the blocker, then sheds
+  EXPECT_EQ(shed.status, ReplyStatus::kShedDeadline);
+  EXPECT_GT(shed.queue_ms, opts.slo_ms);
+  ASSERT_EQ(blocker.get().status, ReplyStatus::kOk);
+
+  const serving::ServiceStats st = service.stats();
+  EXPECT_GE(st.shed_deadline, 1u);
+  EXPECT_EQ(st.completed, 1u);  // only the blocker solved
+}
+
+TEST(ServingAdmission, DrainRejectsNewSubmits) {
+  FlowServiceOptions opts;
+  opts.params = quick_params();
+  opts.slots = 1;
+  FlowService service(opts);
+  auto session = service.open_session();
+  ASSERT_EQ(session->submit(random_v(16, 16, 9600)).get().status,
+            ReplyStatus::kOk);
+  service.drain();
+  EXPECT_EQ(session->submit(random_v(16, 16, 9601)).get().status,
+            ReplyStatus::kClosed);
+}
+
+// Satellite assertion: more sessions than slots and lanes must make
+// progress (the old failure mode was whole-region serialization on the
+// shared default pool; the fleet's per-slot pools make sessions overlap
+// and, above all, never deadlock).
+TEST(ServingFleet, MoreSessionsThanSlotsAndLanesCompletes) {
+  FlowServiceOptions opts;
+  opts.params = quick_params();
+  opts.slots = 2;
+  opts.lanes_per_slot = 1;
+  opts.queue_capacity = 8;
+  FlowService service(opts);
+
+  constexpr int kSessions = 6;
+  constexpr int kFrames = 3;
+  std::vector<std::shared_ptr<FlowService::Session>> sessions;
+  std::vector<std::vector<Matrix<float>>> frames(kSessions);
+  std::vector<std::vector<std::future<Reply>>> futures(kSessions);
+  for (int s = 0; s < kSessions; ++s) {
+    sessions.push_back(service.open_session());
+    for (int f = 0; f < kFrames; ++f)
+      frames[s].push_back(random_v(24 + s, 20 + s, 9700 + 10 * s + f));
+  }
+  for (int f = 0; f < kFrames; ++f)
+    for (int s = 0; s < kSessions; ++s)
+      futures[s].push_back(sessions[s]->submit(frames[s][f]));
+
+  for (int s = 0; s < kSessions; ++s) {
+    const std::vector<Matrix<float>> want =
+        serial_chain(frames[s], opts.params);
+    for (int f = 0; f < kFrames; ++f) {
+      Reply r = futures[s][f].get();
+      ASSERT_EQ(r.status, ReplyStatus::kOk) << "session " << s;
+      expect_memcmp_eq(r.u, want[f], "fleet session frame");
+    }
+  }
+  const serving::ServiceStats st = service.stats();
+  EXPECT_EQ(st.completed, static_cast<std::uint64_t>(kSessions * kFrames));
+  EXPECT_GT(st.batches, 0u);
+}
+
+// The tentpole exactness claim, via the seeded differential oracle:
+// interleaved sessions through one service == each session's serial
+// fresh-engine replay, bit for bit, at every fleet lane count.
+TEST(ConcurrentSessionsOracle, InterleavedMatchesSerialAcrossLaneCounts) {
+  for (const std::uint64_t seed : {11ull, 12ull, 13ull}) {
+    const oracle::ConcurrentOracleReport report =
+        oracle::run_concurrent_oracle(seed);
+    EXPECT_TRUE(report.pass) << report.failure_report();
+    EXPECT_EQ(report.lane_counts_checked, 2);
+  }
+}
+
+// Same isolation claim for flow-mode streams (pyramid state instead of
+// dual state): interleaved == one-session-at-a-time replay.
+TEST(ConcurrentSessionsOracle, FlowModeInterleavedMatchesSoloReplay) {
+  tvl1::Tvl1Params p;
+  p.pyramid_levels = 2;
+  p.warps = 1;
+  p.chambolle.iterations = 4;
+  FlowServiceOptions opts;
+  opts.params = p;
+  opts.slots = 2;
+  opts.lanes_per_slot = 2;
+  opts.queue_capacity = 32;
+  FlowService service(opts);
+
+  constexpr int kSessions = 3;
+  constexpr int kFrames = 3;
+  Rng rng(9800);
+  std::vector<std::vector<Image>> frames(kSessions);
+  for (int s = 0; s < kSessions; ++s)
+    for (int f = 0; f < kFrames; ++f)
+      frames[s].push_back(random_image(rng, 26 + 2 * s, 22 + 2 * s));
+
+  std::vector<std::shared_ptr<FlowService::Session>> sessions;
+  std::vector<std::vector<std::future<Reply>>> futures(kSessions);
+  for (int s = 0; s < kSessions; ++s) sessions.push_back(service.open_session());
+  for (int f = 0; f < kFrames; ++f)
+    for (int s = 0; s < kSessions; ++s)
+      futures[s].push_back(sessions[s]->submit_frame(frames[s][f]));
+
+  for (int s = 0; s < kSessions; ++s) {
+    tvl1::FlowSession solo(p);
+    for (int f = 0; f < kFrames; ++f) {
+      Reply r = futures[s][f].get();
+      const std::optional<FlowField> want = solo.push_frame(frames[s][f]);
+      if (f == 0) {
+        EXPECT_EQ(r.status, ReplyStatus::kPrimed);
+        EXPECT_FALSE(want.has_value());
+        continue;
+      }
+      ASSERT_EQ(r.status, ReplyStatus::kOk);
+      ASSERT_TRUE(want.has_value());
+      expect_memcmp_eq(r.flow.u1, want->u1, "flow-mode interleaved u1");
+      expect_memcmp_eq(r.flow.u2, want->u2, "flow-mode interleaved u2");
+    }
+  }
+}
+
+// FlowSession (tvl1 layer): the pyramid cache must be unobservable, and
+// reset()/shape changes must behave as documented.
+TEST(FlowSessionTest, StreamMatchesPairwiseComputeFlow) {
+  tvl1::Tvl1Params p;
+  p.pyramid_levels = 2;
+  p.warps = 1;
+  p.chambolle.iterations = 4;
+  tvl1::FlowSession session(p);
+  Rng rng(9900);
+  std::vector<Image> frames;
+  for (int f = 0; f < 4; ++f) frames.push_back(random_image(rng, 30, 26));
+
+  EXPECT_FALSE(session.push_frame(frames[0]).has_value());
+  for (int f = 1; f < 4; ++f) {
+    const std::optional<FlowField> got = session.push_frame(frames[f]);
+    ASSERT_TRUE(got.has_value());
+    const FlowField want = tvl1::compute_flow(frames[f - 1], frames[f], p);
+    expect_memcmp_eq(got->u1, want.u1, "session vs pairwise u1");
+    expect_memcmp_eq(got->u2, want.u2, "session vs pairwise u2");
+  }
+  EXPECT_EQ(session.frames(), 4);
+
+  session.reset();
+  EXPECT_EQ(session.frames(), 0);
+  EXPECT_FALSE(session.push_frame(frames[0]).has_value());  // primes again
+}
+
+TEST(FlowSessionTest, ShapeChangeMidStreamThrows) {
+  tvl1::Tvl1Params p;
+  p.pyramid_levels = 2;
+  p.warps = 1;
+  p.chambolle.iterations = 2;
+  tvl1::FlowSession session(p);
+  Rng rng(9910);
+  (void)session.push_frame(random_image(rng, 20, 20));
+  EXPECT_THROW((void)session.push_frame(random_image(rng, 22, 20)),
+               std::invalid_argument);
+  session.reset();
+  EXPECT_FALSE(session.push_frame(random_image(rng, 22, 20)).has_value());
+}
+
+// Per-session metric scoping: a ScopedMetrics prefix must resolve to the
+// same underlying registry objects as the fully qualified name, so the
+// process-wide snapshot sees every session without interleaving them.
+TEST(ScopedMetricsTest, PrefixResolvesIntoSharedRegistry) {
+  telemetry::ScopedMetrics scope("serving.session.test42");
+  EXPECT_EQ(scope.scoped("admitted"), "serving.session.test42.admitted");
+  telemetry::Counter& scoped = scope.counter("admitted");
+  telemetry::Counter& direct =
+      telemetry::registry().counter("serving.session.test42.admitted");
+  EXPECT_EQ(&scoped, &direct);
+
+  telemetry::ScopedMetrics empty("");
+  EXPECT_EQ(&empty.counter("serving.admitted"),
+            &telemetry::registry().counter("serving.admitted"));
+}
+
+}  // namespace
+}  // namespace chambolle
